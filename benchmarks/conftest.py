@@ -1,0 +1,38 @@
+"""Benchmark-suite helpers.
+
+Scenario benches run exactly once (``benchmark.pedantic(rounds=1)``) —
+they are deterministic simulations, and their value is the *series* they
+regenerate, not a timing distribution.  Microbenches (Maglev, engine)
+use normal pytest-benchmark statistics.
+
+Every bench writes its paper-style report to ``benchmarks/reports/`` so
+the output survives pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a bench's rendered series/table and echo it to stdout."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / ("%s.txt" % name)
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print("=" * 70)
+    print(name)
+    print("=" * 70)
+    print(text)
+
+
+def rows_to_table(rows):
+    """Render ablation row dicts with the shared table formatter."""
+    from repro.harness.report import format_table
+
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row[h] for h in headers] for row in rows])

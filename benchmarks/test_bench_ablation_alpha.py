@@ -1,0 +1,28 @@
+"""ABL-ALPHA — sweep the shift fraction α (paper: 10%).
+
+Small α needs many shifts to drain a slow server; large α converges in
+one or two.  All drain eventually; the recovery tail differs.
+"""
+
+from conftest import rows_to_table, write_report
+
+from repro.harness.ablations import sweep_alpha
+from repro.harness.figures import Fig3Config
+from repro.units import SECONDS
+
+
+def test_alpha_sweep(benchmark):
+    config = Fig3Config(duration=2 * SECONDS)
+    rows = benchmark.pedantic(
+        lambda: sweep_alpha(alphas=(0.02, 0.05, 0.10, 0.20, 0.40), fig3=config),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("ablation_alpha", rows_to_table(rows))
+
+    by_alpha = {row["alpha"]: row for row in rows}
+    # Every α reacts (a first shift exists) ...
+    assert all(row["react_ms"] != "-" for row in rows)
+    # ... and every α ends with the slow server mostly drained.
+    for row in rows:
+        assert float(row["slow_server_share"]) < 0.4

@@ -1,0 +1,29 @@
+"""ABL-EPOCH — sweep ENSEMBLETIMEOUT's epoch length E (paper: 64 ms).
+
+Short epochs adapt fast but pick cliffs from few samples; long epochs
+are smooth but stale across RTT changes.  The paper's 64 ms sits in the
+flat middle of the tracking-error curve.
+"""
+
+from conftest import rows_to_table, write_report
+
+from repro.harness.ablations import sweep_epoch
+from repro.harness.figures import BacklogConfig
+from repro.units import MILLISECONDS, SECONDS
+
+
+def test_epoch_sweep(benchmark):
+    backlog = BacklogConfig(duration=2 * SECONDS, step_at=1 * SECONDS)
+    rows = benchmark.pedantic(
+        lambda: sweep_epoch(epochs_ms=(8, 16, 32, 64, 128, 256), backlog=backlog),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("ablation_epoch", rows_to_table(rows))
+
+    by_epoch = {row["epoch_ms"]: row for row in rows}
+    # The paper's default must track on both sides of the step.
+    assert float(by_epoch[64]["err_pre"]) < 0.3
+    assert float(by_epoch[64]["err_post"]) < 0.3
+    # Epoch count scales inversely with length.
+    assert by_epoch[8]["epochs"] > by_epoch[256]["epochs"]

@@ -1,0 +1,50 @@
+"""§2.5 — membership churn without connection breaking.
+
+Scale out mid-run, drain a backend later; continuous memtier-like load
+throughout.  The table reports per-phase new-flow routing; the
+assertions encode the §2.5 requirements (affinity never broken, the
+newcomer absorbs ≈ its fair share, the drained server finishes its
+in-flight connections).
+"""
+
+from conftest import write_report
+
+from repro.harness.churn import ChurnConfig, run_churn
+from repro.harness.report import format_table
+from repro.units import SECONDS
+
+
+def test_churn(benchmark):
+    config = ChurnConfig(duration=2 * SECONDS)
+    result = benchmark.pedantic(lambda: run_churn(config), rounds=1, iterations=1)
+
+    backends = ["server%d" % i for i in range(config.n_servers)]
+    rows = []
+    for phase, counts in (
+        ("before scale-out", result.new_flows_before),
+        ("after scale-out", result.new_flows_after_scale_out),
+        ("after drain of server0", result.new_flows_after_drain),
+    ):
+        rows.append([phase] + [counts.get(name, 0) for name in backends])
+    table = format_table(["phase (new flows)"] + backends, rows)
+    extra = (
+        "\naffinity violations: %d"
+        "\nflows pinned to server0 at drain: %d"
+        "\ndraining packets (to out-of-pool server0): %d"
+        "\nnewcomer share of new flows after scale-out: %.3f"
+        % (
+            len(result.affinity_violations),
+            result.pinned_at_drain,
+            result.scenario.lb.stats.draining_packets,
+            result.newcomer_share_after_scale_out(),
+        )
+    )
+    write_report("churn", table + extra)
+
+    assert result.affinity_violations == []
+    assert 0.15 < result.newcomer_share_after_scale_out() < 0.55
+    assert "server0" not in result.new_flows_after_drain
+    # Flows pinned to server0 when it left the pool (if any) kept
+    # flowing to it rather than being re-routed mid-connection.
+    if result.pinned_at_drain:
+        assert result.scenario.lb.stats.draining_packets > 0

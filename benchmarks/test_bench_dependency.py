@@ -1,0 +1,72 @@
+"""Open question #3 — slow frontends vs slow dependencies.
+
+Runs the two-tier scenario twice with the same 1 ms fault landing in
+different places.  A frontend fault separates the per-backend estimates
+and shifting fixes the tail; a dependency fault inflates every backend's
+estimate together — shifting is futile, and the small worst−best gap is
+exactly the signal an LB could use to recognize it (the answer this
+substrate enables exploring).
+"""
+
+from conftest import write_report
+
+from repro.app.client import MemtierConfig
+from repro.harness.report import format_table
+from repro.harness.tiered import TieredScenarioConfig, run_tiered
+from repro.telemetry.quantiles import exact_quantile
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS, to_micros
+
+
+def _row(result):
+    config = result.config
+    pre = [
+        r.latency for r in result.client.records if r.completed_at < config.fault_at
+    ]
+    post = [
+        r.latency
+        for r in result.client.records
+        if r.completed_at > config.fault_at + config.duration // 8
+    ]
+    gap = result.estimate_gap()
+    return (
+        config.fault,
+        "%.0f" % to_micros(exact_quantile(pre, 0.95)),
+        "%.0f" % to_micros(exact_quantile(post, 0.95)),
+        "-" if gap is None else "%.0f" % to_micros(gap),
+        result.shifts_after_fault(),
+    )
+
+
+def test_dependency_vs_frontend_fault(benchmark):
+    memtier = MemtierConfig(connections=2, pipeline=2, requests_per_connection=100)
+
+    def run_both():
+        rows = []
+        for fault in ("frontend", "dependency"):
+            config = TieredScenarioConfig(
+                duration=1 * SECONDS, fault=fault, memtier=memtier
+            )
+            rows.append(_row(run_tiered(config)))
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = format_table(
+        (
+            "fault location",
+            "pre-fault p95 (us)",
+            "post-fault p95 (us)",
+            "worst-best estimate gap (us)",
+            "shifts after fault",
+        ),
+        rows,
+    )
+    write_report("dependency_fault", table)
+
+    by_fault = {row[0]: row for row in rows}
+    # Frontend fault: estimates separate by ~the fault size...
+    assert float(by_fault["frontend"][3]) > 500
+    # ...and the tail stays controlled (shifting works).
+    assert float(by_fault["frontend"][2]) < float(by_fault["frontend"][1]) * 2
+    # Dependency fault: common-mode — small gap, inflated tail regardless.
+    assert float(by_fault["dependency"][3]) < 500
+    assert float(by_fault["dependency"][2]) > float(by_fault["dependency"][1]) + 400

@@ -1,0 +1,94 @@
+"""PERF-ENGINE — simulator throughput.
+
+Event-loop rates bound how much virtual time the experiment harness can
+afford; these benches keep regressions visible.
+"""
+
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.pipe import Pipe
+from repro.sim.engine import Simulator, Timer
+from repro.units import GIGABITS_PER_SECOND, MICROSECONDS
+
+
+class TestEventLoop:
+    def test_schedule_and_drain_10k_events(self, benchmark):
+        def run():
+            sim = Simulator()
+            sink = []
+            for i in range(10_000):
+                sim.schedule(i, lambda: sink.append(None))
+            sim.run()
+            return len(sink)
+
+        assert benchmark(run) == 10_000
+
+    def test_timer_restart_churn(self, benchmark):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+
+        def restart():
+            timer.start(1_000_000)
+
+        benchmark(restart)
+
+    def test_cancelled_event_tombstones(self, benchmark):
+        def run():
+            sim = Simulator()
+            handles = [sim.schedule(i, lambda: None) for i in range(5_000)]
+            for handle in handles[::2]:
+                handle.cancel()
+            sim.run()
+            return sim.events_processed
+
+        assert benchmark(run) == 2_500
+
+
+class TestPacketPath:
+    def test_pipe_transit_1k_packets(self, benchmark):
+        def run():
+            sim = Simulator()
+            pipe = Pipe(
+                sim,
+                "bench",
+                prop_delay=10 * MICROSECONDS,
+                bandwidth_bps=10 * GIGABITS_PER_SECOND,
+            )
+            delivered = []
+            pipe.connect(lambda pkt: delivered.append(pkt))
+            src, dst = Endpoint("a", 1), Endpoint("b", 2)
+            for _ in range(1_000):
+                pipe.send(Packet(src=src, dst=dst, payload_len=100))
+            sim.run()
+            return len(delivered)
+
+        assert benchmark(run) == 1_000
+
+    def test_network_routed_send(self, benchmark):
+        sim = Simulator()
+        network = Network(sim)
+
+        class Sink:
+            name = "sink"
+
+            def on_packet(self, packet):
+                pass
+
+        class Source:
+            name = "source"
+
+            def on_packet(self, packet):
+                pass
+
+        network.add_node(Source())
+        network.add_node(Sink())
+        network.connect("source", "sink", prop_delay=0)
+        network.set_default_route("source", "sink")
+        src, dst = Endpoint("source", 1), Endpoint("sink", 2)
+
+        def send_and_drain():
+            network.send_from("source", Packet(src=src, dst=dst))
+            sim.run()
+
+        benchmark(send_and_drain)

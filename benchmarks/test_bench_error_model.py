@@ -1,0 +1,55 @@
+"""CLAIM-ERR — §3: ``T_LB − T_client = O3 − O1 + T_trigger``.
+
+On a symmetric jitter-free client↔LB path (O3 = O1) with a serialized
+pipeline-1 client, T_trigger equals the configured think time exactly,
+so the identity predicts the measured error to the nanosecond scale.
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import run_error_decomposition
+from repro.harness.report import format_table
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS, to_micros
+
+
+THINK_TIMES = (0, 100 * MICROSECONDS, 500 * MICROSECONDS, 2 * MILLISECONDS)
+
+
+def test_error_identity(benchmark):
+    def run_all():
+        return [
+            run_error_decomposition(think, duration=SECONDS // 2)
+            for think in THINK_TIMES
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for result in results:
+        rows.append(
+            (
+                "%.0f" % to_micros(result.think_time),
+                "%.1f" % to_micros(result.median_t_client),
+                "%.1f" % to_micros(result.median_t_lb),
+                "%.1f" % to_micros(result.measured_error),
+                "%.1f" % to_micros(result.predicted_error),
+                "%.1f" % to_micros(result.identity_gap),
+            )
+        )
+    table = format_table(
+        (
+            "T_trigger=think (us)",
+            "median T_client (us)",
+            "median T_LB (us)",
+            "measured err (us)",
+            "predicted err (us)",
+            "identity gap (us)",
+        ),
+        rows,
+    )
+    write_report("error_model", table)
+
+    for result in results:
+        # The identity holds to within a few tens of microseconds
+        # (residual = queueing noise), and exactly in shape.
+        assert result.identity_gap < 50 * MICROSECONDS

@@ -1,0 +1,31 @@
+"""Open question #1 — far, non-equidistant clients.
+
+As the client↔LB distance grows, absolute T_LB estimates inflate by the
+uncontrollable legs, but the *difference* between the injected and
+healthy backends stays pinned to the injected 1 ms — ranking-based
+control survives; absolute-threshold control would not.
+"""
+
+from conftest import rows_to_table, write_report
+
+from repro.harness.ablations import sweep_far_clients
+from repro.units import MILLISECONDS, SECONDS
+
+
+def test_far_clients(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sweep_far_clients(
+            extra_delays_us=(0, 100, 500, 2000), duration=2 * SECONDS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("far_clients", rows_to_table(rows))
+
+    gaps = [float(row["gap_us"]) for row in rows]
+    # The injected-vs-healthy gap ≈ 1000 us at every client distance.
+    for gap in gaps:
+        assert 500 < gap < 2500
+    # Absolute estimates inflate with distance.
+    injected = [float(row["est_injected_us"]) for row in rows]
+    assert injected[-1] > injected[0] + 2000

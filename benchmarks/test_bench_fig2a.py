@@ -1,0 +1,65 @@
+"""FIG2A — paper Fig 2(a): FIXEDTIMEOUT at fixed δ vs ground truth.
+
+Regenerates the figure's content as a table: for δ = 64 µs and 1024 µs,
+the number of samples and the median estimate before and after the RTT
+step, against the client-measured truth.  Shape assertions encode the
+paper's reading: low δ floods erroneously-low samples; high δ yields few
+erroneously-high ones.
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import BacklogConfig, run_fig2a
+from repro.harness.report import format_table
+from repro.units import MICROSECONDS, SECONDS, to_micros
+
+
+CONFIG = BacklogConfig(duration=3 * SECONDS, step_at=3 * SECONDS // 2)
+DELTAS = (64 * MICROSECONDS, 1024 * MICROSECONDS)
+
+
+def test_fig2a_fixed_timeouts(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2a(CONFIG, deltas=DELTAS), rounds=1, iterations=1
+    )
+
+    def fmt(value):
+        return "-" if value is None else "%.0f" % to_micros(value)
+
+    rows = []
+    for delta in DELTAS:
+        pre_count, post_count = result.sample_counts[delta]
+        rows.append(
+            (
+                "T_LB @ delta=%dus" % (delta // MICROSECONDS),
+                pre_count,
+                fmt(result.median_estimate(delta, False)),
+                post_count,
+                fmt(result.median_estimate(delta, True)),
+            )
+        )
+    truth_pre = result.median_ground_truth(False)
+    truth_post = result.median_ground_truth(True)
+    rows.append(
+        (
+            "T_client (ground truth)",
+            sum(1 for t, _v in result.ground_truth.items() if t < CONFIG.step_at),
+            fmt(truth_pre),
+            sum(1 for t, _v in result.ground_truth.items() if t >= CONFIG.step_at),
+            fmt(truth_post),
+        )
+    )
+    table = format_table(
+        ("series", "#pre-step", "median pre (us)", "#post-step", "median post (us)"),
+        rows,
+    )
+    write_report("fig2a", table)
+
+    low, high = DELTAS
+    # Paper shape (i): the low timeout produces far more samples...
+    assert sum(result.sample_counts[low]) > 10 * sum(result.sample_counts[high])
+    # ...and, once the RTT has stepped up past it, erroneously low ones.
+    assert result.median_estimate(low, True) < truth_post / 2
+    # Paper shape (ii): the high timeout's few samples are erroneously high.
+    est_high_pre = result.median_estimate(high, False)
+    assert est_high_pre is None or est_high_pre > 2 * truth_pre

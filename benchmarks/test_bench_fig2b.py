@@ -1,0 +1,60 @@
+"""FIG2B — paper Fig 2(b): ENSEMBLETIMEOUT tracks the true RTT.
+
+Regenerates the figure as (i) the chosen timeout per epoch over time and
+(ii) median T_LB vs median T_client before and after the RTT step.
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import BacklogConfig, run_fig2b
+from repro.harness.report import format_table
+from repro.units import MILLISECONDS, SECONDS, to_micros, to_millis
+
+
+CONFIG = BacklogConfig(duration=3 * SECONDS, step_at=3 * SECONDS // 2)
+SETTLE = 200 * MILLISECONDS
+
+
+def test_fig2b_ensemble_tracking(benchmark):
+    result = benchmark.pedantic(lambda: run_fig2b(CONFIG), rounds=1, iterations=1)
+
+    summary = format_table(
+        ("window", "median T_LB (us)", "median T_client (us)", "rel.err"),
+        [
+            (
+                "before step",
+                "%.0f" % to_micros(result.median_estimate(False)),
+                "%.0f" % to_micros(result.median_ground_truth(False)),
+                "%.3f" % result.tracking_error(False),
+            ),
+            (
+                "after step",
+                "%.0f" % to_micros(result.median_estimate(True)),
+                "%.0f" % to_micros(result.median_ground_truth(True)),
+                "%.3f" % result.tracking_error(True),
+            ),
+        ],
+    )
+    timeline = format_table(
+        ("t (ms)", "chosen delta_m (us)"),
+        [
+            ("%.0f" % to_millis(t), "%.0f" % to_micros(v))
+            for t, v in result.chosen_timeouts.items()
+        ],
+    )
+    write_report("fig2b", summary + "\n\nchosen timeout per epoch:\n" + timeline)
+
+    # The ensemble tracks the truth on both sides of the step.
+    assert result.tracking_error(False) < 0.25
+    assert result.tracking_error(True) < 0.25
+
+    # And the chosen timeout adapts upward after the step (median choice).
+    pre = sorted(
+        v for t, v in result.chosen_timeouts.items() if t < CONFIG.step_at
+    )
+    post = sorted(
+        v
+        for t, v in result.chosen_timeouts.items()
+        if t > CONFIG.step_at + SETTLE
+    )
+    assert post[len(post) // 2] > pre[len(pre) // 2]

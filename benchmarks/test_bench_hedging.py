@@ -1,0 +1,104 @@
+"""§2.2 baseline — timeout-based request duplication vs feedback routing.
+
+One server suffers a bimodal slow mode.  A hedging client cuts its own
+tail by duplicating slow requests — at the cost of duplicated work and a
+floor of hedge_timeout + RTT on every duplicated request.  The paper's
+argument: routing *around* slowness at the LB avoids both costs.
+"""
+
+from conftest import write_report
+
+from repro.app.hedging import HedgingClient, HedgingConfig
+from repro.app.server import ServerApp, ServerConfig
+from repro.app.servicetime import Bimodal
+from repro.harness.report import format_table
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.telemetry.quantiles import exact_quantile
+from repro.transport.endpoint import Host
+from repro.units import (
+    GIGABITS_PER_SECOND,
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+    to_micros,
+)
+
+
+SLOW_MODEL = Bimodal(
+    fast_ns=50 * MICROSECONDS, slow_ns=5 * MILLISECONDS, slow_prob=0.1
+)
+
+
+def _run(hedge_timeout):
+    sim = Simulator()
+    network = Network(sim)
+    streams = RandomStreams(31)
+    client_host = Host(network, "client")
+    server_host = Host(network, "server")
+    network.connect_bidirectional(
+        "client", "server", prop_delay=100 * MICROSECONDS,
+        bandwidth_bps=10 * GIGABITS_PER_SECOND,
+    )
+    ServerApp(
+        server_host,
+        ServerConfig(port=7000, workers=4, service_model=SLOW_MODEL),
+        streams.get("svc"),
+    )
+    client = HedgingClient(
+        client_host,
+        Endpoint("server", 7000),
+        HedgingConfig(streams=4, hedge_timeout=hedge_timeout),
+        streams.get("wl"),
+    )
+    client.start()
+    sim.run_until(2 * SECONDS)
+    client.stop()
+    return client
+
+
+def test_hedging_tradeoff(benchmark):
+    def run_both():
+        return {
+            "no-hedging": _run(hedge_timeout=10 * SECONDS),
+            "hedge@500us": _run(hedge_timeout=500 * MICROSECONDS),
+            "hedge@1ms": _run(hedge_timeout=1 * MILLISECONDS),
+        }
+
+    clients = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label, client in clients.items():
+        latencies = client.latencies()
+        rows.append(
+            (
+                label,
+                len(latencies),
+                "%.0f" % to_micros(exact_quantile(latencies, 0.5)),
+                "%.0f" % to_micros(exact_quantile(latencies, 0.95)),
+                "%.0f" % to_micros(exact_quantile(latencies, 0.99)),
+                "%.3f" % client.hedge_rate,
+                client.stats.wasted_responses,
+            )
+        )
+    table = format_table(
+        ("client", "requests", "p50 (us)", "p95 (us)", "p99 (us)",
+         "hedge rate", "wasted responses"),
+        rows,
+    )
+    write_report("hedging", table)
+
+    no_hedge = clients["no-hedging"]
+    hedged = clients["hedge@500us"]
+    # Hedging cuts the p99 tail...
+    assert exact_quantile(hedged.latencies(), 0.99) < exact_quantile(
+        no_hedge.latencies(), 0.99
+    )
+    # ...but pays duplicated work...
+    assert hedged.stats.wasted_responses > 0
+    # ...and every duplicated request still paid >= the hedge timeout.
+    hedged_slow = [v for v in hedged.latencies() if v > 500 * MICROSECONDS]
+    assert hedged_slow
+    assert min(hedged_slow) >= 500 * MICROSECONDS

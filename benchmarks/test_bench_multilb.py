@@ -1,0 +1,54 @@
+"""Open question #4 — many LBs, one pool: reaction without a stampede.
+
+Each LB runs its own in-band feedback loop over the same two servers; a
+server-side 1 ms fault hits mid-run.  The bench reports per-LB shift
+counts, oscillation (weight-direction changes), and the pooled traffic
+share left on the slow server.
+"""
+
+from conftest import write_report
+
+from repro.harness.multilb import MultiLbConfig, run_multilb
+from repro.harness.report import format_table
+from repro.units import MILLISECONDS, SECONDS
+
+
+def test_multilb_herd(benchmark):
+    config = MultiLbConfig(duration=2 * SECONDS, n_lbs=3)
+    result = benchmark.pedantic(
+        lambda: run_multilb(config), rounds=1, iterations=1
+    )
+
+    injection = config.injection_at
+    rows = []
+    for index in range(config.n_lbs):
+        feedback = result.feedbacks[index]
+        shifts = [e.time for e in feedback.shift_events()]
+        rows.append(
+            (
+                "lb%d" % index,
+                sum(1 for t in shifts if t < injection),
+                sum(1 for t in shifts if t >= injection),
+                result.oscillations(index),
+                "%.2f" % result.lbs[index].pool.weights()[config.injected_server],
+            )
+        )
+    table = format_table(
+        ("LB", "shifts pre-fault", "shifts post-fault", "oscillations",
+         "final injected weight"),
+        rows,
+    )
+    share = result.injected_share_after(injection + config.duration // 4)
+    write_report(
+        "multilb_herd",
+        table + "\n\npooled slow-server share after fault: %.3f" % share,
+    )
+
+    # Every LB independently drained the slow server...
+    for index in range(config.n_lbs):
+        assert result.lbs[index].pool.weights()[config.injected_server] < 0.5
+    # ...the pooled share collapsed...
+    assert share < 0.25
+    # ...and no LB rang indefinitely.
+    for index in range(config.n_lbs):
+        assert result.oscillations(index) < 40

@@ -1,0 +1,24 @@
+"""Open question #2 (flavor) — measurement vs application concurrency.
+
+Deeper pipelines shorten the pauses Algorithms 1–2 segment on.  This
+sweep records how sample volume and estimate quality change with the
+client's pipeline depth.
+"""
+
+from conftest import rows_to_table, write_report
+
+from repro.harness.ablations import sweep_pipeline_depth
+from repro.units import SECONDS
+
+
+def test_pipeline_depth(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sweep_pipeline_depth(depths=(1, 2, 4, 8), duration=2 * SECONDS),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("pipeline_depth", rows_to_table(rows))
+
+    # Samples are produced at every depth; the measurement keeps working.
+    for row in rows:
+        assert row["t_lb_samples"] > 100

@@ -1,0 +1,66 @@
+"""Seed robustness of the headline (Fig 3) result.
+
+The reproduction's claims must not hinge on one lucky seed: across
+independent seeds, the ordering — feedback recovers, Maglev stays
+inflated — has to hold every time.  Durations are kept short (the
+shape, not the absolute numbers, is under test).
+"""
+
+from conftest import write_report
+
+from repro.harness.config import PolicyName
+from repro.harness.figures import Fig3Config, run_fig3
+from repro.harness.report import format_table
+from repro.units import MICROSECONDS, MILLISECONDS, to_millis
+
+SEEDS = (3, 11, 47)
+DURATION = 1600 * MILLISECONDS
+
+
+def test_fig3_shape_holds_across_seeds(benchmark):
+    def run_all():
+        return {
+            seed: run_fig3(Fig3Config(seed=seed, duration=DURATION))
+            for seed in SEEDS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for seed, result in results.items():
+        settle = DURATION // 8
+        rows.append(
+            (
+                seed,
+                "%.3f" % to_millis(result.steady_state_p95("maglev")),
+                "%.3f" % to_millis(result.post_injection_p95("maglev", settle)),
+                "%.3f" % to_millis(result.steady_state_p95("feedback")),
+                "%.3f" % to_millis(result.post_injection_p95("feedback", settle)),
+            )
+        )
+    write_report(
+        "seed_robustness",
+        format_table(
+            (
+                "seed",
+                "maglev pre p95 (ms)",
+                "maglev post p95 (ms)",
+                "feedback pre p95 (ms)",
+                "feedback post p95 (ms)",
+            ),
+            rows,
+        ),
+    )
+
+    for seed, result in results.items():
+        settle = DURATION // 8
+        maglev_pre = result.steady_state_p95("maglev")
+        maglev_post = result.post_injection_p95("maglev", settle)
+        fb_pre = result.steady_state_p95("feedback")
+        fb_post = result.post_injection_p95("feedback", settle)
+        # Maglev inflates by a substantial fraction of the injected 1 ms.
+        assert maglev_post > maglev_pre + 250 * MICROSECONDS, "seed %d" % seed
+        # Feedback stays near its own steady state...
+        assert fb_post < fb_pre * 1.3 + 100 * MICROSECONDS, "seed %d" % seed
+        # ...and beats Maglev after the fault.
+        assert fb_post < maglev_post, "seed %d" % seed

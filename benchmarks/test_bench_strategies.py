@@ -1,0 +1,67 @@
+"""Open question #4 — control-law comparison on the Fig 3 stimulus.
+
+The paper's α-shift rule vs the proportional and AIMD laws from
+``repro.core.strategies``, identical workload and fault.  All three
+drain the slow server; they differ in update count and end-state shape.
+"""
+
+from conftest import write_report
+
+from repro.app.protocol import Op
+from repro.harness.config import DelayInjection, PolicyName, ScenarioConfig
+from repro.harness.report import format_table
+from repro.harness.runner import run_scenario
+from repro.telemetry.quantiles import exact_quantile
+from repro.units import MILLISECONDS, SECONDS, to_millis
+
+
+DURATION = 2 * SECONDS
+INJECTION_AT = DURATION // 2
+
+
+def _run(strategy):
+    config = ScenarioConfig(
+        seed=11,
+        duration=DURATION,
+        policy=PolicyName.FEEDBACK,
+        injections=[
+            DelayInjection(at=INJECTION_AT, server="server0", extra=1 * MILLISECONDS)
+        ],
+        warmup=DURATION // 10,
+    )
+    config.feedback.strategy = strategy
+    return run_scenario(config)
+
+
+def test_strategy_comparison(benchmark):
+    strategies = ("alpha", "proportional", "aimd")
+    results = benchmark.pedantic(
+        lambda: {s: _run(s) for s in strategies}, rounds=1, iterations=1
+    )
+
+    rows = []
+    for strategy, result in results.items():
+        post = result.latencies(Op.GET, INJECTION_AT + DURATION // 8, None)
+        weights = result.scenario.pool.weights()
+        total = sum(weights.values())
+        rows.append(
+            (
+                strategy,
+                len(result.shift_times()),
+                "%.3f" % to_millis(exact_quantile(post, 0.95)),
+                "%.2f" % (weights["server0"] / total),
+            )
+        )
+    write_report(
+        "strategies",
+        format_table(
+            ("strategy", "weight updates", "post-fault p95 (ms)",
+             "final slow-server weight share"),
+            rows,
+        ),
+    )
+
+    for strategy, result in results.items():
+        weights = result.scenario.pool.weights()
+        share = weights["server0"] / sum(weights.values())
+        assert share < 0.35, "%s failed to drain the slow server" % strategy

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Open question #4: many independent feedback LBs, one server pool.
+
+Three LBs each run their own in-band feedback loop (no shared state)
+over the same two servers; a server-side 1 ms slowdown hits mid-run.
+Watch each LB independently drain the slow server — and watch the
+weight-direction changes that hint at the thundering-herd risk the
+paper asks about.
+
+Run:  python examples/many_lbs.py
+"""
+
+from repro.harness.multilb import MultiLbConfig, run_multilb
+from repro.harness.report import format_table
+from repro.units import SECONDS
+
+
+def main() -> None:
+    config = MultiLbConfig(duration=2 * SECONDS, n_lbs=3)
+    print(
+        "running %d LBs over %d servers; 1 ms server-side fault at t=%.1fs ..."
+        % (config.n_lbs, config.n_servers, config.injection_at / 1e9)
+    )
+    result = run_multilb(config)
+
+    rows = []
+    for index in range(config.n_lbs):
+        shifts = [e.time for e in result.feedbacks[index].shift_events()]
+        weights = result.lbs[index].pool.weights()
+        rows.append(
+            (
+                "lb%d" % index,
+                sum(1 for t in shifts if t >= config.injection_at),
+                result.oscillations(index),
+                "%.2f" % weights[config.injected_server],
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("LB", "shifts after fault", "weight oscillations",
+             "final slow-server weight"),
+            rows,
+        )
+    )
+    share = result.injected_share_after(
+        config.injection_at + config.duration // 4
+    )
+    print()
+    print("pooled traffic share left on the slow server: %.1f%%" % (100 * share))
+
+
+if __name__ == "__main__":
+    main()

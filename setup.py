@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment's setuptools lacks the ``wheel`` package, so PEP 660
+editable installs (which build a wheel) fail.  With this shim,
+``pip install -e . --no-use-pep517 --no-build-isolation`` takes the
+legacy ``setup.py develop`` path, which needs no wheel.  Metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

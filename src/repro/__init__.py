@@ -1,0 +1,30 @@
+"""repro — In-band feedback control for load balancers (HotNets '22).
+
+A complete, simulation-backed reproduction of *"Load Balancers Need
+In-Band Feedback Control"* (Shobhana, Narayana, Nath; HotNets 2022):
+
+* ``repro.core`` — the paper's contribution: FIXEDTIMEOUT (Alg. 1),
+  ENSEMBLETIMEOUT (Alg. 2), per-backend latency estimation, and the
+  α-shift feedback controller.
+* ``repro.sim`` / ``repro.net`` / ``repro.transport`` / ``repro.app`` /
+  ``repro.lb`` — the substrates: a deterministic discrete-event engine,
+  a DSR-capable network model, a TCP-like flow-controlled transport, a
+  memcached-like application layer with a memtier-like workload
+  generator, and a Maglev load-balancer dataplane.
+* ``repro.harness`` — scenario builders and reports that regenerate the
+  paper's figures (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro.harness import ScenarioConfig, run_scenario
+    from repro import units
+    result = run_scenario(ScenarioConfig(duration=units.seconds(2)))
+    print(result.report())
+"""
+
+from repro import units
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["units", "ReproError", "__version__"]

@@ -1,0 +1,269 @@
+"""Client applications.
+
+:class:`MemtierClient` reproduces the paper's workload generator
+(memtier_benchmark): several concurrent TCP connections, each pipelining
+up to ``pipeline`` outstanding requests (the application-level flow
+control that produces causally-triggered transmissions), closing and
+reopening after a fixed number of requests so the LB can re-route fresh
+connections with what it has learned.
+
+:class:`BacklogClient` reproduces Fig 2's stimulus: one long-lived
+flow-controlled bulk transfer whose transmission batches are windows;
+its transport RTT samples are the ground truth ``T_client``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.app.protocol import Op, Request, Response
+from repro.app.workload import WorkloadModel
+from repro.net.addr import Endpoint
+from repro.transport.connection import Connection, ConnectionState, TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import MICROSECONDS
+
+
+@dataclass
+class RequestRecord:
+    """Ground-truth log entry for one completed request."""
+
+    __slots__ = (
+        "request_id",
+        "op",
+        "sent_at",
+        "completed_at",
+        "latency",
+        "server",
+        "local_port",
+    )
+
+    request_id: int
+    op: Op
+    sent_at: int
+    completed_at: int
+    latency: int
+    server: Optional[str]
+    local_port: int
+
+
+@dataclass
+class MemtierConfig:
+    """memtier_benchmark-shaped knobs."""
+
+    connections: int = 4
+    pipeline: int = 4
+    requests_per_connection: int = 200
+    reconnect_delay: int = 100 * MICROSECONDS
+    #: Delay between receiving a response and issuing the next request.
+    #: Non-zero think time models application-limited clients — it adds
+    #: directly to ``T_trigger``, the dominant error term of the proxy
+    #: measurement (paper §3 and open question #2).
+    think_time: int = 0
+    workload: WorkloadModel = field(default_factory=WorkloadModel)
+    transport: Optional[TransportConfig] = None
+
+    def validate(self) -> None:
+        """Raise on nonsensical values."""
+        if self.connections <= 0:
+            raise ValueError("need at least one connection")
+        if self.pipeline <= 0:
+            raise ValueError("pipeline depth must be positive")
+        if self.requests_per_connection <= 0:
+            raise ValueError("requests_per_connection must be positive")
+        if self.reconnect_delay < 0:
+            raise ValueError("reconnect delay must be >= 0")
+        if self.think_time < 0:
+            raise ValueError("think time must be >= 0")
+
+
+class MemtierClient:
+    """Closed-loop, pipelined, reconnecting request generator.
+
+    Each response both records ground-truth latency and *triggers* the
+    next request on that connection — the application-level causal
+    transmission chain the paper's measurement technique detects.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        service: Endpoint,
+        config: MemtierConfig,
+        rng: random.Random,
+    ):
+        config.validate()
+        self.host = host
+        self.service = service
+        self.config = config
+        self.rng = rng
+        self.records: List[RequestRecord] = []
+        self.on_record: Optional[Callable[[RequestRecord], None]] = None
+        self._running = False
+        self._conn_state: Dict[int, _ConnLoop] = {}
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Open all connections and begin issuing requests."""
+        if self._running:
+            return
+        self._running = True
+        for index in range(self.config.connections):
+            self._open_connection(index)
+
+    def stop(self) -> None:
+        """Stop issuing requests; outstanding ones complete naturally."""
+        self._running = False
+
+    @property
+    def completed_requests(self) -> int:
+        """Requests with a recorded response so far."""
+        return len(self.records)
+
+    def latencies(self, op: Optional[Op] = None) -> List[int]:
+        """All recorded latencies (ns), optionally one operation only."""
+        if op is None:
+            return [r.latency for r in self.records]
+        return [r.latency for r in self.records if r.op is op]
+
+    # ------------------------------------------------------------------
+
+    def _open_connection(self, index: int) -> None:
+        if not self._running:
+            return
+        conn = self.host.connect(self.service, self.config.transport)
+        loop = _ConnLoop(self, index, conn)
+        self._conn_state[index] = loop
+
+    def _reopen_later(self, index: int) -> None:
+        if not self._running:
+            self._conn_state.pop(index, None)
+            return
+        self.host.sim.schedule(
+            self.config.reconnect_delay, lambda: self._open_connection(index)
+        )
+
+
+class _ConnLoop:
+    """Drives one connection through its request budget, then recycles."""
+
+    def __init__(self, client: MemtierClient, index: int, conn: Connection):
+        self.client = client
+        self.index = index
+        self.conn = conn
+        self.sent = 0
+        self.outstanding: Dict[int, Request] = {}
+        conn.on_established = self._on_established
+        conn.on_message = self._on_response
+        conn.on_closed = self._on_closed
+
+    def _on_established(self, conn: Connection) -> None:
+        for _ in range(self.client.config.pipeline):
+            if not self._send_one():
+                break
+
+    def _send_one(self) -> bool:
+        config = self.client.config
+        if not self.client._running:
+            return False
+        if self.sent >= config.requests_per_connection:
+            return False
+        request = config.workload.make_request(self.client.rng)
+        request.sent_at = self.client.host.sim.now
+        self.outstanding[request.request_id] = request
+        self.sent += 1
+        self.conn.send_message(request, request.wire_size)
+        return True
+
+    def _on_response(self, conn: Connection, response: Any) -> None:
+        if not isinstance(response, Response):
+            return
+        request = self.outstanding.pop(response.request_id, None)
+        if request is None:
+            return
+        now = self.client.host.sim.now
+        record = RequestRecord(
+            request_id=request.request_id,
+            op=request.op,
+            sent_at=request.sent_at,
+            completed_at=now,
+            latency=now - request.sent_at,
+            server=response.server,
+            local_port=conn.local.port,
+        )
+        self.client.records.append(record)
+        if self.client.on_record is not None:
+            self.client.on_record(record)
+
+        think = self.client.config.think_time
+        if think > 0:
+            self.client.host.sim.schedule(think, self._continue)
+        else:
+            self._continue()
+
+    def _continue(self) -> None:
+        if not self._send_one() and not self.outstanding:
+            # Budget exhausted and pipeline drained: recycle the
+            # connection so the LB can route a fresh one.
+            if self.conn.state is not ConnectionState.CLOSED:
+                self.conn.close()
+
+    def _on_closed(self, conn: Connection) -> None:
+        self.client._reopen_later(self.index)
+
+
+class BacklogClient:
+    """A single long-lived window-limited bulk flow (Fig 2's stimulus).
+
+    Keeps the transport's send buffer topped up so the connection is
+    permanently flow-control limited: each window of packets goes out as
+    a burst, then the sender stalls until ACKs return.  Transport RTT
+    samples (``on_rtt_sample``) provide ground truth ``T_client``.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        service: Endpoint,
+        chunk_bytes: int = 1024,
+        transport: Optional[TransportConfig] = None,
+    ):
+        if chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        self.host = host
+        self.service = service
+        self.chunk_bytes = chunk_bytes
+        self.rtt_samples: List[tuple] = []  # (time_ns, rtt_ns)
+        self.on_rtt: Optional[Callable[[int, int], None]] = None
+        self._stopped = False
+        self._chunk_counter = 0
+        self.conn = host.connect(service, transport)
+        self.conn.on_established = lambda conn: self._refill()
+        self.conn.on_rtt_sample = self._on_rtt_sample
+        self._refill()
+
+    def _refill(self) -> None:
+        if self._stopped:
+            return
+        # Keep at least two windows of unsent data buffered so the sender
+        # is always window-limited, never application-limited.
+        target = 2 * self.conn.config.window
+        while self.conn.unsent_bytes < target:
+            self._chunk_counter += 1
+            self.conn.send_message(("chunk", self._chunk_counter), self.chunk_bytes)
+
+    def _on_rtt_sample(self, conn: Connection, rtt: int) -> None:
+        now = self.host.sim.now
+        self.rtt_samples.append((now, rtt))
+        if self.on_rtt is not None:
+            self.on_rtt(now, rtt)
+        if conn.state is ConnectionState.ESTABLISHED:
+            self._refill()
+
+    def stop(self) -> None:
+        """Stop refilling and close the flow (queued data drains first)."""
+        self._stopped = True
+        self.conn.close()

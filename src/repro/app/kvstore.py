@@ -1,0 +1,89 @@
+"""In-memory key-value store with LRU eviction.
+
+Values are modelled by their size only — the LB and the latency
+measurements never look inside them.  Capacity is in value bytes; when a
+SET would exceed it, least-recently-used keys are evicted (memcached's
+slab LRU, simplified).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/eviction counters."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    sets: int = 0
+    evictions: int = 0
+
+
+class KeyValueStore:
+    """Size-tracked LRU store.
+
+    >>> store = KeyValueStore(capacity_bytes=100)
+    >>> store.set("a", 60)
+    >>> store.set("b", 60)   # evicts "a"
+    >>> store.get("a") is None
+    True
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._capacity = capacity_bytes
+        self._values: "OrderedDict[str, int]" = OrderedDict()
+        self._used = 0
+        self.stats = StoreStats()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes of stored values."""
+        return self._used
+
+    def get(self, key: str) -> Optional[int]:
+        """Return the value size for ``key`` or None on miss."""
+        self.stats.gets += 1
+        size = self._values.get(key)
+        if size is None:
+            self.stats.misses += 1
+            return None
+        self._values.move_to_end(key)
+        self.stats.hits += 1
+        return size
+
+    def set(self, key: str, value_size: int) -> None:
+        """Store ``key`` with a value of ``value_size`` bytes."""
+        if value_size <= 0:
+            raise ValueError("value size must be positive, got %r" % value_size)
+        self.stats.sets += 1
+        old = self._values.pop(key, None)
+        if old is not None:
+            self._used -= old
+        self._values[key] = value_size
+        self._used += value_size
+        if self._capacity is not None:
+            while self._used > self._capacity and len(self._values) > 1:
+                evicted_key, evicted_size = self._values.popitem(last=False)
+                if evicted_key == key:  # never evict what we just stored
+                    self._values[key] = value_size
+                    break
+                self._used -= evicted_size
+                self.stats.evictions += 1
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True if it existed."""
+        size = self._values.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True

@@ -1,0 +1,181 @@
+"""The memcached-like server application.
+
+A :class:`ServerApp` listens on its host's service port and, per
+request, charges: queueing behind earlier requests (limited worker
+concurrency), the base service-time model, and any variability-injector
+delay.  Responses travel back over the same connection — which, in the
+DSR topology, routes *directly* to the client, bypassing the LB.
+
+The server keeps ground-truth telemetry (service times, queue delays,
+busy fraction) that experiments use to validate what the LB inferred
+from one-directional traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.app.kvstore import KeyValueStore
+from repro.app.protocol import Op, Request, Response
+from repro.app.servicetime import Deterministic, ServiceTimeModel
+from repro.app.variability import LatencyInjector, NullInjector
+from repro.net.addr import Endpoint
+from repro.transport.connection import Connection, TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import MICROSECONDS
+
+
+@dataclass
+class ServerConfig:
+    """Server tunables.
+
+    ``workers`` bounds concurrent request processing; with 1 worker the
+    server is a FIFO queue and load directly translates into queueing
+    delay — the coupling the feedback controller exploits when it sheds
+    traffic from a slow server.
+    """
+
+    port: int = 11211
+    workers: int = 1
+    service_model: ServiceTimeModel = field(
+        default_factory=lambda: Deterministic(50 * MICROSECONDS)
+    )
+    injector: LatencyInjector = field(default_factory=NullInjector)
+    store_capacity: Optional[int] = None
+    transport: Optional[TransportConfig] = None
+
+
+@dataclass
+class ServerStats:
+    """Ground-truth counters for validation and reports."""
+
+    requests: int = 0
+    responses: int = 0
+    busy_ns: int = 0
+    queue_delays: List[int] = field(default_factory=list)
+    service_times: List[int] = field(default_factory=list)
+
+
+class ServerApp:
+    """Request-processing application bound to a :class:`Host`.
+
+    Parameters
+    ----------
+    host:
+        The transport host to listen on.
+    config:
+        Server tunables.
+    rng:
+        RNG for service-time draws (a dedicated stream per server).
+    service_endpoint:
+        The endpoint clients address — in a DSR deployment this is the
+        VIP, so the server can source responses from it.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        config: ServerConfig,
+        rng: random.Random,
+        service_endpoint: Optional[Endpoint] = None,
+    ):
+        self.host = host
+        self.config = config
+        self.rng = rng
+        self.store = KeyValueStore(config.store_capacity)
+        self.stats = ServerStats()
+        self.endpoint = service_endpoint or Endpoint(host.name, config.port)
+        # Worker pool as a min-heap of times at which each worker frees up.
+        self._worker_free: List[int] = [0] * max(1, config.workers)
+        heapq.heapify(self._worker_free)
+        host.listen(config.port, self._on_connection, config.transport)
+
+    # ------------------------------------------------------------------
+
+    def _on_connection(self, conn: Connection) -> None:
+        conn.on_message = self._on_request
+        conn.on_peer_close = lambda c: c.close()
+
+    def _on_request(self, conn: Connection, request: Request) -> None:
+        if not isinstance(request, Request):
+            return  # stray message type: ignore rather than crash the run
+        now = self.host.sim.now
+        self.stats.requests += 1
+
+        start = max(now, heapq.heappop(self._worker_free))
+        queue_delay = start - now
+        extra = self.config.injector.extra_delay(start)
+        service = self.config.service_model.sample(self.rng, request)
+        completion = start + extra + service
+        heapq.heappush(self._worker_free, completion)
+
+        self.stats.queue_delays.append(queue_delay)
+        self.stats.service_times.append(extra + service)
+        self.stats.busy_ns += extra + service
+
+        response = self._execute(request)
+        response.queue_delay = queue_delay
+        response.service_time = extra + service
+
+        def respond() -> None:
+            if conn.state.value != "closed":
+                self.stats.responses += 1
+                conn.send_message(response, response.wire_size)
+
+        self.host.sim.schedule_at(completion, respond)
+
+    def _execute(self, request: Request) -> Response:
+        if request.op is Op.GET:
+            size = self.store.get(request.key)
+            return Response(
+                request_id=request.request_id,
+                op=Op.GET,
+                hit=size is not None,
+                value_size=size or 0,
+                server=self.host.name,
+            )
+        self.store.set(request.key, request.value_size)
+        return Response(
+            request_id=request.request_id,
+            op=Op.SET,
+            hit=True,
+            server=self.host.name,
+        )
+
+    # ------------------------------------------------------------------
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of one worker-equivalent spent processing."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.stats.busy_ns / (elapsed_ns * max(1, self.config.workers))
+
+
+class SinkApp:
+    """Accepts connections and discards whatever arrives.
+
+    The peer for bulk flows (Fig 2's backlogged sender): its transport
+    still generates the ACKs that clock the sender's windows; the
+    application itself never replies.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        transport: Optional[TransportConfig] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.messages_received = 0
+        host.listen(port, self._on_connection, transport)
+
+    def _on_connection(self, conn: Connection) -> None:
+        conn.on_message = self._on_message
+        conn.on_peer_close = lambda c: c.close()
+
+    def _on_message(self, conn: Connection, message: object) -> None:
+        self.messages_received += 1

@@ -1,0 +1,100 @@
+"""Service-time distributions for the server's request processing.
+
+§2.2 of the paper argues that granular compute makes request-processing
+time volatile; these models provide the *baseline* processing time on
+top of which :mod:`~repro.app.variability` injects time-correlated
+disturbances.  All models return integer nanoseconds and draw from an
+explicitly passed RNG so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+from repro.app.protocol import Op, Request
+
+
+class ServiceTimeModel(Protocol):
+    """Samples per-request processing time in nanoseconds."""
+
+    def sample(self, rng: random.Random, request: Request) -> int:
+        """Draw a processing time for ``request``."""
+        ...
+
+
+class Deterministic:
+    """Constant service time."""
+
+    def __init__(self, time_ns: int):
+        if time_ns < 0:
+            raise ValueError("service time must be >= 0")
+        self._time_ns = time_ns
+
+    def sample(self, rng: random.Random, request: Request) -> int:
+        return self._time_ns
+
+
+class Exponential:
+    """Memoryless service time with the given mean."""
+
+    def __init__(self, mean_ns: int):
+        if mean_ns <= 0:
+            raise ValueError("mean must be positive")
+        self._mean_ns = mean_ns
+
+    def sample(self, rng: random.Random, request: Request) -> int:
+        return max(0, round(rng.expovariate(1.0 / self._mean_ns)))
+
+
+class LogNormal:
+    """Log-normal service time, parameterized by median and sigma.
+
+    Heavy right tail — the shape measured for real RPC service times.
+    """
+
+    def __init__(self, median_ns: int, sigma: float = 0.5):
+        if median_ns <= 0:
+            raise ValueError("median must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self._mu = math.log(median_ns)
+        self._sigma = sigma
+
+    def sample(self, rng: random.Random, request: Request) -> int:
+        return max(0, round(rng.lognormvariate(self._mu, self._sigma)))
+
+
+class Bimodal:
+    """Mostly-fast service with an occasional slow mode.
+
+    Models requests that trip a slow path (cold cache, lock contention):
+    with probability ``slow_prob`` the request takes ``slow_ns``.
+    """
+
+    def __init__(self, fast_ns: int, slow_ns: int, slow_prob: float):
+        if not 0.0 <= slow_prob <= 1.0:
+            raise ValueError("slow_prob must be in [0, 1]")
+        if fast_ns < 0 or slow_ns < 0:
+            raise ValueError("times must be >= 0")
+        self._fast_ns = fast_ns
+        self._slow_ns = slow_ns
+        self._slow_prob = slow_prob
+
+    def sample(self, rng: random.Random, request: Request) -> int:
+        if rng.random() < self._slow_prob:
+            return self._slow_ns
+        return self._fast_ns
+
+
+class PerOp:
+    """Different models for GETs and SETs (SETs are typically slower)."""
+
+    def __init__(self, get_model: ServiceTimeModel, set_model: ServiceTimeModel):
+        self._get_model = get_model
+        self._set_model = set_model
+
+    def sample(self, rng: random.Random, request: Request) -> int:
+        model = self._get_model if request.op is Op.GET else self._set_model
+        return model.sample(rng, request)

@@ -1,0 +1,124 @@
+"""Two-tier servers: frontends that call a downstream dependency.
+
+Open question #3 of the paper: *"How should an LB recognize that a
+server appears to be slow not because it is slow but one of its
+downstream dependencies is slow?"*  To study that question at all, the
+substrate needs multi-tier request processing — this module provides it.
+
+A :class:`TieredServerApp` behaves like a
+:class:`~repro.app.server.ServerApp` toward its clients, but completing
+a request requires a synchronous sub-request to a dependency service
+(itself an ordinary ``ServerApp``) over a persistent connection pool.
+The response returns to the client only after the dependency replies, so
+dependency latency is fully reflected in the end-to-end latency the LB's
+proxy measurement sees — for *every* frontend that shares the
+dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.app.protocol import Op, Request, Response
+from repro.app.servicetime import Deterministic, ServiceTimeModel
+from repro.net.addr import Endpoint
+from repro.transport.connection import Connection, TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import MICROSECONDS
+
+
+@dataclass
+class TieredServerConfig:
+    """Frontend tunables."""
+
+    port: int = 11211
+    #: Local processing before the dependency call.
+    local_service: ServiceTimeModel = field(
+        default_factory=lambda: Deterministic(20 * MICROSECONDS)
+    )
+    #: Where the downstream dependency listens.
+    dependency: Endpoint = Endpoint("dep0", 12000)
+    #: Parallel connections to the dependency.
+    dependency_connections: int = 2
+    #: Bytes of the sub-request sent downstream.
+    sub_request_size: int = 64
+    transport: Optional[TransportConfig] = None
+
+
+@dataclass
+class TieredStats:
+    """Frontend counters."""
+
+    requests: int = 0
+    responses: int = 0
+    dependency_calls: int = 0
+    dependency_latencies: List[int] = field(default_factory=list)
+
+
+class TieredServerApp:
+    """A frontend whose request path includes a dependency round trip."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: TieredServerConfig,
+        rng: random.Random,
+        service_endpoint: Optional[Endpoint] = None,
+    ):
+        self.host = host
+        self.config = config
+        self.rng = rng
+        self.stats = TieredStats()
+        self.endpoint = service_endpoint or Endpoint(host.name, config.port)
+        # request_id of the sub-request -> (client conn, client response).
+        self._pending: Dict[int, tuple] = {}
+        self._dep_conns: List[Connection] = []
+        self._next_dep = 0
+        host.listen(config.port, self._on_connection, config.transport)
+        for _ in range(max(1, config.dependency_connections)):
+            conn = host.connect(config.dependency, config.transport)
+            conn.on_message = self._on_dependency_response
+            self._dep_conns.append(conn)
+
+    # ------------------------------------------------------------------
+
+    def _on_connection(self, conn: Connection) -> None:
+        conn.on_message = self._on_request
+        conn.on_peer_close = lambda c: c.close()
+
+    def _on_request(self, conn: Connection, request: Any) -> None:
+        if not isinstance(request, Request):
+            return
+        self.stats.requests += 1
+        local = self.config.local_service.sample(self.rng, request)
+
+        def call_dependency() -> None:
+            sub = Request(op=Op.GET, key="dep:%s" % request.key)
+            response = Response(
+                request_id=request.request_id,
+                op=request.op,
+                hit=True,
+                value_size=256 if request.op is Op.GET else 0,
+                server=self.host.name,
+            )
+            self._pending[sub.request_id] = (conn, response, self.host.sim.now)
+            self.stats.dependency_calls += 1
+            dep_conn = self._dep_conns[self._next_dep % len(self._dep_conns)]
+            self._next_dep += 1
+            dep_conn.send_message(sub, self.config.sub_request_size)
+
+        self.host.sim.schedule(local, call_dependency)
+
+    def _on_dependency_response(self, conn: Connection, message: Any) -> None:
+        if not isinstance(message, Response):
+            return
+        entry = self._pending.pop(message.request_id, None)
+        if entry is None:
+            return
+        client_conn, response, started = entry
+        self.stats.dependency_latencies.append(self.host.sim.now - started)
+        if client_conn.state.value != "closed":
+            self.stats.responses += 1
+            client_conn.send_message(response, response.wire_size)

@@ -1,0 +1,142 @@
+"""Time-correlated server latency disturbances (§2.2 of the paper).
+
+The paper motivates in-band control with *system and software
+variability at 100 µs–1 ms time scales*: scheduler preemptions, garbage
+collection, compaction.  Injectors model these as extra delay that
+depends on (virtual) time.  The server queries ``extra_delay(now)`` when
+it starts processing a request.
+
+The Fig 3 stimulus — 1 ms added to an LB→server *path* — is a network
+injection (``Pipe.set_extra_delay``), but the same experiment can be run
+with a server-side :class:`StepInjector` instead; both inflate the
+response latency the LB's proxy measurement sees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Protocol, Sequence
+
+
+class LatencyInjector(Protocol):
+    """Extra processing delay as a function of time."""
+
+    def extra_delay(self, now: int) -> int:
+        """Additional ns of delay for a request starting at ``now``."""
+        ...
+
+
+class NullInjector:
+    """No disturbance."""
+
+    def extra_delay(self, now: int) -> int:
+        return 0
+
+
+class StepInjector:
+    """Constant extra delay inside a time window.
+
+    ``end=None`` means the inflation persists to the end of the run —
+    the shape of the paper's Fig 3 injection.
+    """
+
+    def __init__(self, extra: int, start: int, end: Optional[int] = None):
+        if extra < 0:
+            raise ValueError("extra delay must be >= 0")
+        if end is not None and end < start:
+            raise ValueError("end before start")
+        self._extra = extra
+        self._start = start
+        self._end = end
+
+    def extra_delay(self, now: int) -> int:
+        if now < self._start:
+            return 0
+        if self._end is not None and now >= self._end:
+            return 0
+        return self._extra
+
+
+class GcPauseInjector:
+    """Periodic stop-the-world pauses.
+
+    Every ``period`` ns the server stalls for ``duration`` ns; a request
+    starting inside a pause waits for the pause to end.  Models GC /
+    compaction background work ([2, 60, 90] in the paper).
+    """
+
+    def __init__(self, period: int, duration: int, phase: int = 0):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= duration < period:
+            raise ValueError("duration must be in [0, period)")
+        if phase < 0:
+            raise ValueError("phase must be >= 0")
+        self._period = period
+        self._duration = duration
+        self._phase = phase
+
+    def extra_delay(self, now: int) -> int:
+        offset = (now - self._phase) % self._period
+        if offset < self._duration:
+            return self._duration - offset
+        return 0
+
+
+class PreemptionInjector:
+    """Random scheduler preemption bursts.
+
+    Burst starts form a Poisson process of the given rate; each burst
+    stalls the server for a random duration in
+    ``[min_duration, max_duration]``.  Recovering from a preemption takes
+    hundreds of µs to ms on Linux ([54, 58, 74, 82]); those are sensible
+    duration choices.
+
+    The injector lazily materializes bursts in time order, so it must be
+    queried with non-decreasing ``now`` values (the simulator guarantees
+    this within one server).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        rate_hz: float,
+        min_duration: int,
+        max_duration: int,
+    ):
+        if rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        if not 0 <= min_duration <= max_duration:
+            raise ValueError("need 0 <= min_duration <= max_duration")
+        self._rng = rng
+        self._rate_hz = rate_hz
+        self._min_duration = min_duration
+        self._max_duration = max_duration
+        self._burst_start = self._next_gap(0)
+        self._burst_end = self._burst_start + self._duration()
+
+    def extra_delay(self, now: int) -> int:
+        # Advance past bursts that ended before `now`.
+        while now >= self._burst_end:
+            self._burst_start = self._burst_end + self._next_gap(self._burst_end)
+            self._burst_end = self._burst_start + self._duration()
+        if now >= self._burst_start:
+            return self._burst_end - now
+        return 0
+
+    def _next_gap(self, _from: int) -> int:
+        gap_s = self._rng.expovariate(self._rate_hz)
+        return max(1, round(gap_s * 1_000_000_000))
+
+    def _duration(self) -> int:
+        return self._rng.randint(self._min_duration, self._max_duration)
+
+
+class CompositeInjector:
+    """Sum of several injectors."""
+
+    def __init__(self, injectors: Sequence[LatencyInjector]):
+        self._injectors: List[LatencyInjector] = list(injectors)
+
+    def extra_delay(self, now: int) -> int:
+        return sum(injector.extra_delay(now) for injector in self._injectors)

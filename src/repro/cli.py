@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the paper's experiments and the ablation sweeps from a terminal,
+printing the same reports the benchmarks persist.  Intended for quick
+exploration; the benchmark suite remains the canonical reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.harness.ablations import (
+    sweep_ack_and_pacing,
+    sweep_alpha,
+    sweep_ensemble,
+    sweep_epoch,
+    sweep_far_clients,
+    sweep_hysteresis,
+    sweep_pipeline_depth,
+    sweep_policies,
+)
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.figures import (
+    BacklogConfig,
+    Fig3Config,
+    run_error_decomposition,
+    run_fig2a,
+    run_fig2b,
+    run_fig3,
+    run_reaction,
+)
+from repro.harness.report import format_table
+from repro.harness.runner import run_scenario
+from repro.units import MICROSECONDS, to_micros, to_millis
+
+_SWEEPS = {
+    "epoch": sweep_epoch,
+    "alpha": sweep_alpha,
+    "ensemble": sweep_ensemble,
+    "hysteresis": sweep_hysteresis,
+    "policies": sweep_policies,
+    "far-clients": sweep_far_clients,
+    "pipeline": sweep_pipeline_depth,
+    "ack-pacing": sweep_ack_and_pacing,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-band feedback control for load balancers (HotNets '22) "
+        "— reproduction experiments",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="scenario seed (default 1)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        help="simulated seconds (default 2.0)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one scenario and print its report")
+    run_cmd.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        default=PolicyName.FEEDBACK.value,
+    )
+    run_cmd.add_argument("--servers", type=int, default=2)
+    run_cmd.add_argument("--clients", type=int, default=1)
+
+    sub.add_parser("fig2a", help="paper Fig 2(a): fixed timeouts vs truth")
+    sub.add_parser("fig2b", help="paper Fig 2(b): the ensemble tracks truth")
+    sub.add_parser("fig3", help="paper Fig 3: Maglev vs latency-aware LB")
+    sub.add_parser("reaction", help="reaction-time claim (§1/§4)")
+    sub.add_parser("error", help="error-model identity (§3)")
+
+    ablation = sub.add_parser("ablation", help="run a parameter sweep")
+    ablation.add_argument("sweep", choices=sorted(_SWEEPS))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    duration = units.seconds(args.duration)
+
+    if args.command == "run":
+        config = ScenarioConfig(
+            seed=args.seed,
+            duration=duration,
+            n_clients=args.clients,
+            n_servers=args.servers,
+            policy=PolicyName(args.policy),
+            warmup=duration // 10,
+        )
+        print(run_scenario(config).report())
+        return 0
+
+    if args.command == "fig2a":
+        config = BacklogConfig(
+            seed=args.seed, duration=duration, step_at=duration // 2
+        )
+        result = run_fig2a(config)
+        rows = []
+        for delta, (pre, post) in sorted(result.sample_counts.items()):
+            rows.append(
+                (
+                    "%dus" % (delta // MICROSECONDS),
+                    pre,
+                    _us(result.median_estimate(delta, False)),
+                    post,
+                    _us(result.median_estimate(delta, True)),
+                )
+            )
+        rows.append(
+            (
+                "truth",
+                "",
+                _us(result.median_ground_truth(False)),
+                "",
+                _us(result.median_ground_truth(True)),
+            )
+        )
+        print(
+            format_table(
+                ("delta", "#pre", "median pre", "#post", "median post"), rows
+            )
+        )
+        return 0
+
+    if args.command == "fig2b":
+        config = BacklogConfig(
+            seed=args.seed, duration=duration, step_at=duration // 2
+        )
+        result = run_fig2b(config)
+        print(
+            format_table(
+                ("window", "median T_LB", "median T_client", "rel.err"),
+                [
+                    (
+                        "pre-step",
+                        _us(result.median_estimate(False)),
+                        _us(result.median_ground_truth(False)),
+                        "%.3f" % result.tracking_error(False),
+                    ),
+                    (
+                        "post-step",
+                        _us(result.median_estimate(True)),
+                        _us(result.median_ground_truth(True)),
+                        "%.3f" % result.tracking_error(True),
+                    ),
+                ],
+            )
+        )
+        return 0
+
+    if args.command == "fig3":
+        config = Fig3Config(seed=args.seed, duration=duration)
+        result = run_fig3(config)
+        rows = []
+        for policy in ("maglev", "feedback"):
+            rows.append(
+                (
+                    policy,
+                    _ms(result.steady_state_p95(policy)),
+                    _ms(result.post_injection_p95(policy, config.duration // 8)),
+                )
+            )
+        print(
+            format_table(
+                ("arm", "pre-fault p95 (ms)", "post-fault p95 (ms)"), rows
+            )
+        )
+        return 0
+
+    if args.command == "reaction":
+        result = run_reaction(Fig3Config(seed=args.seed, duration=duration))
+        if result.reaction_ns is None:
+            print("no shift observed after the injection")
+            return 1
+        print("first shift: +%.2f ms after injection" % to_millis(result.reaction_ns))
+        if result.injected_weight_floor_at is not None:
+            print(
+                "weight floor reached: +%.2f ms"
+                % to_millis(result.injected_weight_floor_at - result.injection_at)
+            )
+        return 0
+
+    if args.command == "error":
+        rows = []
+        for think_us in (0, 100, 500):
+            result = run_error_decomposition(
+                think_us * MICROSECONDS, duration=duration, seed=args.seed
+            )
+            rows.append(
+                (
+                    think_us,
+                    "%.1f" % to_micros(result.median_t_client),
+                    "%.1f" % to_micros(result.median_t_lb),
+                    "%.1f" % to_micros(result.measured_error),
+                    "%.1f" % to_micros(result.identity_gap),
+                )
+            )
+        print(
+            format_table(
+                ("think (us)", "T_client (us)", "T_LB (us)", "err (us)", "gap (us)"),
+                rows,
+            )
+        )
+        return 0
+
+    if args.command == "ablation":
+        rows = _SWEEPS[args.sweep]()
+        headers = list(rows[0].keys())
+        print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+        return 0
+
+    return 2  # unreachable: argparse enforces the command set
+
+
+def _us(value) -> str:
+    return "-" if value is None else "%.0fus" % to_micros(value)
+
+
+def _ms(value) -> str:
+    return "-" if value is None else "%.3f" % to_millis(value)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's contribution: in-band measurement and feedback control.
+
+* :mod:`~repro.core.fixed_timeout` — **Algorithm 1, FIXEDTIMEOUT**:
+  flowlet-style batch segmentation of one flow's client→server packet
+  arrivals with a fixed inter-batch timeout δ; the gap between first
+  packets of successive batches estimates the response latency
+  ``T_LB``.
+* :mod:`~repro.core.ensemble` — **Algorithm 2, ENSEMBLETIMEOUT**: runs
+  an ensemble of exponentially-spaced timeouts, counts samples per
+  timeout over an epoch, detects the *sample cliff* and adopts the
+  cliff timeout for the next epoch.
+* :mod:`~repro.core.flowtable` — per-flow measurement state with idle
+  eviction and a capacity bound.
+* :mod:`~repro.core.estimator` — aggregates per-flow ``T_LB`` samples
+  into per-backend latency estimates.
+* :mod:`~repro.core.controller` — the paper's simple strategy: shift a
+  fixed fraction α of total traffic away from the worst backend.
+* :mod:`~repro.core.feedback` — wires taps → measurement → estimator →
+  controller → weighted Maglev, forming the in-band feedback loop.
+"""
+
+from repro.core.fixed_timeout import FixedTimeout
+from repro.core.ensemble import EnsembleConfig, EnsembleTimeout, default_timeouts
+from repro.core.flowtable import FlowTable
+from repro.core.estimator import BackendEstimate, BackendLatencyEstimator, EstimatorConfig
+from repro.core.controller import AlphaShiftController, ControllerConfig
+from repro.core.strategies import (
+    AimdConfig,
+    AimdController,
+    ProportionalConfig,
+    ProportionalController,
+    WeightUpdate,
+)
+from repro.core.feedback import InbandFeedback, FeedbackConfig
+
+__all__ = [
+    "AimdController",
+    "AimdConfig",
+    "ProportionalController",
+    "ProportionalConfig",
+    "WeightUpdate",
+    "FixedTimeout",
+    "EnsembleTimeout",
+    "EnsembleConfig",
+    "default_timeouts",
+    "FlowTable",
+    "BackendLatencyEstimator",
+    "BackendEstimate",
+    "EstimatorConfig",
+    "AlphaShiftController",
+    "ControllerConfig",
+    "InbandFeedback",
+    "FeedbackConfig",
+]

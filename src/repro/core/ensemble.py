@@ -1,0 +1,158 @@
+"""Algorithm 2 — ENSEMBLETIMEOUT.
+
+Runs *k* FIXEDTIMEOUT instances with exponentially spaced timeouts
+(paper default: δ₁ = 64 µs, δ₂ = 128 µs, …, δ₇ = 4 ms) on every packet
+of a flow.  Over each epoch *E* (paper default 64 ms) it counts how many
+samples each timeout produced (``N_i``).  At the first packet of a new
+epoch it finds the **sample cliff** — the largest drop in sample count
+between adjacent timeouts, ``m = argmaxᵢ (Nᵢ / Nᵢ₊₁)`` — and uses δₘ as
+the reporting timeout for the next epoch.
+
+Intuition (paper §3): a too-small δ chops true batches apart and floods
+low samples; a too-large δ merges batches and produces few, inflated
+samples.  The count-vs-δ curve therefore falls off a cliff right past
+the ideal timeout, and the cliff's left edge is a good δ.
+
+Implementation notes beyond the pseudocode (documented choices, see
+DESIGN.md §5):
+
+* ``Nᵢ₊₁ = 0`` — the ratio uses ``max(Nᵢ₊₁, 1)`` so a zero count does
+  not divide by zero; a timeout that produced nothing while its
+  neighbour produced plenty is exactly a cliff.
+* All-zero epochs (an idle flow) keep the previous δₑ.
+* The first epoch has no cliff information yet; the initial reporting
+  timeout is the *smallest* δ (configurable) — matching the paper's
+  observation that low timeouts at least keep producing samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.fixed_timeout import FixedTimeout
+from repro.units import MICROSECONDS, MILLISECONDS
+
+
+def default_timeouts() -> List[int]:
+    """The paper's ensemble: 64 µs, 128 µs, …, 4 ms (k = 7)."""
+    return [64 * MICROSECONDS * (2 ** i) for i in range(7)]
+
+
+@dataclass
+class EnsembleConfig:
+    """ENSEMBLETIMEOUT parameters (paper defaults)."""
+
+    timeouts: Sequence[int] = field(default_factory=default_timeouts)
+    epoch: int = 64 * MILLISECONDS
+    initial_index: int = 0
+
+    def validate(self) -> None:
+        """Raise ValueError on malformed parameters."""
+        if len(self.timeouts) < 2:
+            raise ValueError("ensemble needs at least two timeouts")
+        if list(self.timeouts) != sorted(self.timeouts):
+            raise ValueError("timeouts must be sorted ascending")
+        if len(set(self.timeouts)) != len(self.timeouts):
+            raise ValueError("timeouts must be distinct")
+        if any(t <= 0 for t in self.timeouts):
+            raise ValueError("timeouts must be positive")
+        if self.epoch <= 0:
+            raise ValueError("epoch must be positive")
+        if not 0 <= self.initial_index < len(self.timeouts):
+            raise ValueError("initial_index out of range")
+
+
+class EnsembleTimeout:
+    """Per-flow ensemble estimator (one instance per tracked flow).
+
+    ``observe(now)`` is called for every packet of the flow arriving at
+    the LB and returns a ``T_LB`` sample when the *currently selected*
+    timeout's FIXEDTIMEOUT instance produced one, else None.
+    """
+
+    __slots__ = (
+        "config",
+        "_instances",
+        "_counts",
+        "_epoch_start",
+        "_current",
+        "epochs_completed",
+        "cliff_history",
+    )
+
+    def __init__(self, config: Optional[EnsembleConfig] = None):
+        self.config = config or EnsembleConfig()
+        self.config.validate()
+        self._instances = [FixedTimeout(delta) for delta in self.config.timeouts]
+        self._counts = [0] * len(self._instances)
+        self._epoch_start: Optional[int] = None
+        self._current = self.config.initial_index
+        self.epochs_completed = 0
+        #: (epoch_end_time, chosen_index) per completed epoch, for Fig 2(b).
+        self.cliff_history: List[tuple] = []
+
+    @property
+    def current_timeout(self) -> int:
+        """The δₑ in use for the current epoch (ns)."""
+        return self.config.timeouts[self._current]
+
+    @property
+    def current_index(self) -> int:
+        """Index of δₑ in the ensemble."""
+        return self._current
+
+    def sample_counts(self) -> List[int]:
+        """This epoch's per-timeout sample counts so far (N_i)."""
+        return list(self._counts)
+
+    def observe(self, now: int) -> Optional[int]:
+        """Feed one packet arrival; maybe emit a ``T_LB`` sample.
+
+        Epoch boundaries are detected *before* processing the packet, as
+        in the pseudocode ("if current packet is the first of a new
+        epoch"), so the packet that opens an epoch is measured with the
+        freshly chosen timeout.
+        """
+        if self._epoch_start is None:
+            self._epoch_start = now
+        elif now - self._epoch_start >= self.config.epoch:
+            self._end_epoch(now)
+
+        result: Optional[int] = None
+        for index, instance in enumerate(self._instances):
+            t_lb = instance.observe(now)
+            if t_lb is not None:
+                self._counts[index] += 1
+                if index == self._current:
+                    result = t_lb
+        return result
+
+    def _end_epoch(self, now: int) -> None:
+        chosen = self._detect_cliff()
+        if chosen is not None:
+            self._current = chosen
+        self.cliff_history.append((now, self._current))
+        self._counts = [0] * len(self._instances)
+        # Advance the epoch window to contain `now` (idle gaps may span
+        # several epochs; counters reset either way).
+        assert self._epoch_start is not None
+        span = now - self._epoch_start
+        self._epoch_start += (span // self.config.epoch) * self.config.epoch
+        self.epochs_completed += 1
+
+    def _detect_cliff(self) -> Optional[int]:
+        """``argmaxᵢ Nᵢ / Nᵢ₊₁`` over adjacent timeout pairs.
+
+        Returns None when no timeout produced any sample (idle epoch).
+        """
+        if not any(self._counts):
+            return None
+        best_index = 0
+        best_ratio = -1.0
+        for i in range(len(self._counts) - 1):
+            ratio = self._counts[i] / max(self._counts[i + 1], 1)
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_index = i
+        return best_index

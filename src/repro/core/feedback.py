@@ -1,0 +1,185 @@
+"""The in-band feedback loop: taps → measurement → estimation → control.
+
+:class:`InbandFeedback` is the paper's system glued together.  Attached
+to a :class:`~repro.lb.dataplane.LoadBalancer` it:
+
+1. receives every client→server packet via the LB's tap (never a
+   response — DSR);
+2. runs ENSEMBLETIMEOUT on the flow's per-flow state (bounded
+   :class:`~repro.core.flowtable.FlowTable`);
+3. attributes each emitted ``T_LB`` sample to the backend the flow is
+   pinned to;
+4. folds the sample into the per-backend estimator; and
+5. lets the α-shift controller adjust pool weights, which rebuilds the
+   weighted Maglev table for *future* flows (affinity keeps existing
+   flows in place).
+
+Set ``control=False`` for measurement-only operation (Fig 2 runs the
+estimator against a static Maglev table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.controller import AlphaShiftController, ControllerConfig
+from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
+from repro.core.strategies import (
+    AimdConfig,
+    AimdController,
+    ProportionalConfig,
+    ProportionalController,
+)
+from repro.errors import ConfigError
+from repro.core.estimator import BackendLatencyEstimator, EstimatorConfig
+from repro.core.flowtable import FlowTable
+from repro.lb.dataplane import LoadBalancer
+from repro.net.addr import FlowKey
+from repro.net.packet import Packet
+from repro.telemetry.timeseries import TimeSeries
+from repro.units import SECONDS
+
+
+@dataclass
+class FeedbackConfig:
+    """Configuration of the full loop.
+
+    ``strategy`` selects the control law: ``"alpha"`` (the paper's
+    α-shift rule), ``"proportional"`` or ``"aimd"`` (the open-question-#4
+    alternatives in :mod:`repro.core.strategies`).
+    """
+
+    ensemble: EnsembleConfig = field(default_factory=EnsembleConfig)
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    strategy: str = "alpha"
+    proportional: ProportionalConfig = field(default_factory=ProportionalConfig)
+    aimd: AimdConfig = field(default_factory=AimdConfig)
+    control: bool = True
+    flow_capacity: int = 100_000
+    flow_idle_timeout: int = 10 * SECONDS
+    record_samples: bool = True
+    #: Censor T_LB samples from flows that just retransmitted.  A
+    #: retransmission is detectable purely in-band (a data segment whose
+    #: sequence range was already seen), and the batch gap it creates is
+    #: RTO-scale — loss-recovery noise, not server latency.  Off by
+    #: default (the paper's algorithms are verbatim without it); see
+    #: EXPERIMENTS.md "Robustness under packet loss".
+    censor_retransmissions: bool = False
+
+
+@dataclass
+class SampleRecord:
+    """One ``T_LB`` sample as seen by the feedback plane."""
+
+    __slots__ = ("time", "flow", "backend", "t_lb")
+
+    time: int
+    flow: FlowKey
+    backend: str
+    t_lb: int
+
+
+class _FlowState:
+    """Per-flow measurement state: the ensemble plus retransmission
+    tracking (highest data sequence seen; a segment at or below it is a
+    retransmission and taints the next sample)."""
+
+    __slots__ = ("ensemble", "max_end_seq", "tainted")
+
+    def __init__(self, ensemble: EnsembleTimeout):
+        self.ensemble = ensemble
+        self.max_end_seq = 0
+        self.tainted = False
+
+    def observe_seq(self, packet: Packet) -> None:
+        """Track sequence progress; flag retransmissions."""
+        if packet.payload_len == 0 and not packet.is_syn:
+            return  # pure ACKs carry no new sequence range
+        if packet.end_seq <= self.max_end_seq:
+            self.tainted = True
+        else:
+            self.max_end_seq = packet.end_seq
+
+
+class InbandFeedback:
+    """Wires measurement and control onto a load balancer."""
+
+    def __init__(self, lb: LoadBalancer, config: Optional[FeedbackConfig] = None):
+        self.lb = lb
+        self.config = config or FeedbackConfig()
+        self.estimator = BackendLatencyEstimator(self.config.estimator)
+        self.controller = None
+        if self.config.control:
+            strategy = self.config.strategy
+            if strategy == "alpha":
+                self.controller = AlphaShiftController(
+                    lb.pool, self.estimator, self.config.controller
+                )
+            elif strategy == "proportional":
+                self.controller = ProportionalController(
+                    lb.pool, self.estimator, self.config.proportional
+                )
+            elif strategy == "aimd":
+                self.controller = AimdController(
+                    lb.pool, self.estimator, self.config.aimd
+                )
+            else:
+                raise ConfigError("unknown control strategy %r" % strategy)
+        self.flows: FlowTable[_FlowState] = FlowTable(
+            factory=lambda flow: _FlowState(EnsembleTimeout(self.config.ensemble)),
+            capacity=self.config.flow_capacity,
+            idle_timeout=self.config.flow_idle_timeout,
+        )
+        self.samples: List[SampleRecord] = []
+        self.censored_samples = 0
+        #: Per-backend sample series for reports (time, T_LB ns).
+        self.sample_series: Dict[str, TimeSeries] = {}
+        lb.add_tap(self._on_packet)
+
+    @property
+    def sample_count(self) -> int:
+        """Total ``T_LB`` samples produced."""
+        return self.estimator.total_samples
+
+    def shift_events(self) -> list:
+        """Executed weight updates (empty in measurement-only mode)."""
+        if self.controller is None:
+            return []
+        return self.controller.updates
+
+    # ------------------------------------------------------------------
+
+    def _on_packet(
+        self, now: int, flow: FlowKey, backend: str, packet: Packet
+    ) -> None:
+        state = self.flows.get_or_create(flow, now)
+        if self.config.censor_retransmissions:
+            state.observe_seq(packet)
+        t_lb = state.ensemble.observe(now)
+
+        if packet.is_fin or packet.is_rst:
+            # The flow is ending; its measurement state is no longer useful.
+            self.flows.remove(flow)
+
+        if t_lb is None:
+            return
+
+        if self.config.censor_retransmissions and state.tainted:
+            # This batch gap straddles a loss-recovery stall; drop it.
+            state.tainted = False
+            self.censored_samples += 1
+            return
+
+        self.estimator.observe(backend, now, t_lb)
+        if self.config.record_samples:
+            self.samples.append(SampleRecord(now, flow, backend, t_lb))
+            series = self.sample_series.get(backend)
+            if series is None:
+                series = TimeSeries(name=backend)
+                self.sample_series[backend] = series
+            series.append(now, float(t_lb))
+
+        if self.controller is not None:
+            self.controller.maybe_update(now)

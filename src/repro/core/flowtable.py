@@ -1,0 +1,109 @@
+"""Per-flow measurement state management.
+
+A real LB tracks measurement state for millions of flows in bounded
+memory.  :class:`FlowTable` provides that discipline for the simulation:
+a dict keyed by :class:`~repro.net.addr.FlowKey` with
+
+* **idle eviction** — state for flows silent longer than
+  ``idle_timeout`` is dropped during amortized sweeps;
+* **capacity bound** — when full, the least-recently-active flow is
+  evicted (the estimator prefers losing a quiet flow's state over
+  unbounded growth).
+
+It is generic over the state object (the feedback loop stores one
+:class:`~repro.core.ensemble.EnsembleTimeout` plus the flow's backend).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, Tuple, TypeVar
+
+from repro.net.addr import FlowKey
+from repro.units import SECONDS
+
+S = TypeVar("S")
+
+
+@dataclass
+class FlowTableStats:
+    """Lifetime counters."""
+
+    created: int = 0
+    evicted_idle: int = 0
+    evicted_capacity: int = 0
+    removed: int = 0
+
+
+class FlowTable(Generic[S]):
+    """Bounded, idle-evicting map of flow → measurement state."""
+
+    def __init__(
+        self,
+        factory: Callable[[FlowKey], S],
+        capacity: int = 100_000,
+        idle_timeout: int = 10 * SECONDS,
+        sweep_every: int = 2048,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if idle_timeout <= 0:
+            raise ValueError("idle timeout must be positive")
+        self._factory = factory
+        self._capacity = capacity
+        self._idle_timeout = idle_timeout
+        self._sweep_every = max(1, sweep_every)
+        # Ordered by recency: oldest-first (move_to_end on touch).
+        self._entries: "OrderedDict[FlowKey, Tuple[int, S]]" = OrderedDict()
+        self._ops = 0
+        self.stats = FlowTableStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, flow: FlowKey) -> bool:
+        return flow in self._entries
+
+    def get_or_create(self, flow: FlowKey, now: int) -> S:
+        """State for ``flow``, creating it on first sight."""
+        self._ops += 1
+        if self._ops % self._sweep_every == 0:
+            self._sweep(now)
+
+        entry = self._entries.get(flow)
+        if entry is not None:
+            self._entries[flow] = (now, entry[1])
+            self._entries.move_to_end(flow)
+            return entry[1]
+
+        if len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evicted_capacity += 1
+
+        state = self._factory(flow)
+        self._entries[flow] = (now, state)
+        self.stats.created += 1
+        return state
+
+    def peek(self, flow: FlowKey) -> Optional[S]:
+        """State for ``flow`` without refreshing recency; None if absent."""
+        entry = self._entries.get(flow)
+        return entry[1] if entry is not None else None
+
+    def remove(self, flow: FlowKey) -> None:
+        """Drop a flow's state (e.g. after FIN)."""
+        if self._entries.pop(flow, None) is not None:
+            self.stats.removed += 1
+
+    def _sweep(self, now: int) -> None:
+        # Entries are recency-ordered; stop at the first live one.
+        stale = []
+        for flow, (last_seen, _state) in self._entries.items():
+            if now - last_seen > self._idle_timeout:
+                stale.append(flow)
+            else:
+                break
+        for flow in stale:
+            del self._entries[flow]
+            self.stats.evicted_idle += 1

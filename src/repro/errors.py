@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses partition the
+failure domains: simulation scheduling, network configuration, transport
+protocol violations, and load-balancer configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event engine (e.g. scheduling in the past)."""
+
+
+class NetworkError(ReproError):
+    """Bad network configuration: unknown nodes, missing pipes, etc."""
+
+
+class AddressError(NetworkError):
+    """Malformed or unresolvable address."""
+
+
+class TransportError(ReproError):
+    """Violation of transport-protocol state (e.g. send on closed socket)."""
+
+
+class ConnectionResetError_(TransportError):
+    """Peer aborted the connection (named to avoid shadowing the builtin)."""
+
+
+class ProtocolError(ReproError):
+    """Malformed application-layer message."""
+
+
+class BalancerError(ReproError):
+    """Invalid load-balancer configuration (e.g. empty backend pool)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment/scenario configuration value."""

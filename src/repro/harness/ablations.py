@@ -1,0 +1,384 @@
+"""Parameter sweeps around the paper's design choices.
+
+Each function runs a small family of scenarios differing in exactly one
+knob and returns a list of row dicts, which the ablation benches print
+with :func:`~repro.harness.report.format_table`.  DESIGN.md §5 lists
+the design choices these interrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.app.protocol import Op
+from repro.core.ensemble import EnsembleConfig
+from repro.harness.config import DelayInjection, NetworkParams, PolicyName, ScenarioConfig
+from repro.harness.figures import (
+    BacklogConfig,
+    Fig3Config,
+    run_fig2b,
+    run_fig3,
+)
+from repro.harness.runner import run_scenario
+from repro.telemetry.quantiles import exact_quantile
+from repro.units import (
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+    to_micros,
+    to_millis,
+)
+
+
+def sweep_epoch(
+    epochs_ms: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    backlog: Optional[BacklogConfig] = None,
+) -> List[Dict[str, object]]:
+    """ABL-EPOCH: ENSEMBLETIMEOUT tracking quality vs epoch length E.
+
+    Short epochs adapt faster but count fewer samples per timeout (noisy
+    cliffs); long epochs are stable but stale after an RTT change.
+    """
+    backlog = backlog or BacklogConfig(duration=2 * SECONDS, step_at=1 * SECONDS)
+    rows = []
+    for epoch_ms in epochs_ms:
+        ensemble = EnsembleConfig(epoch=epoch_ms * MILLISECONDS)
+        result = run_fig2b(backlog, ensemble)
+        rows.append(
+            {
+                "epoch_ms": epoch_ms,
+                "epochs": result.epochs,
+                "err_pre": _fmt_ratio(result.tracking_error(False)),
+                "err_post": _fmt_ratio(result.tracking_error(True)),
+                "est_post_us": _fmt_us(result.median_estimate(True)),
+                "truth_post_us": _fmt_us(result.median_ground_truth(True)),
+            }
+        )
+    return rows
+
+
+def sweep_ensemble(
+    backlog: Optional[BacklogConfig] = None,
+) -> List[Dict[str, object]]:
+    """ABL-ENSEMBLE: ensemble width/range vs tracking quality.
+
+    A too-narrow ensemble cannot bracket the true RTT after the step; a
+    wider one costs more per-packet state but keeps tracking.
+    """
+    backlog = backlog or BacklogConfig(duration=2 * SECONDS, step_at=1 * SECONDS)
+    variants = {
+        "narrow-3 (64..256us)": [64 * MICROSECONDS * (2 ** i) for i in range(3)],
+        "paper-7 (64us..4ms)": [64 * MICROSECONDS * (2 ** i) for i in range(7)],
+        "wide-9 (16us..4ms)": [16 * MICROSECONDS * (2 ** i) for i in range(9)],
+        "coarse-4 (64us..4ms x4)": [64 * MICROSECONDS * (4 ** i) for i in range(4)],
+    }
+    rows = []
+    for label, timeouts in variants.items():
+        result = run_fig2b(backlog, EnsembleConfig(timeouts=timeouts))
+        rows.append(
+            {
+                "ensemble": label,
+                "k": len(timeouts),
+                "err_pre": _fmt_ratio(result.tracking_error(False)),
+                "err_post": _fmt_ratio(result.tracking_error(True)),
+                "est_post_us": _fmt_us(result.median_estimate(True)),
+            }
+        )
+    return rows
+
+
+def sweep_alpha(
+    alphas: Sequence[float] = (0.02, 0.05, 0.10, 0.20, 0.40),
+    fig3: Optional[Fig3Config] = None,
+) -> List[Dict[str, object]]:
+    """ABL-ALPHA: shift fraction vs recovery speed and stability.
+
+    Small α converges slowly (many shifts to drain the slow server);
+    large α converges in one or two shifts but overshoots more
+    aggressively on noise.
+    """
+    fig3 = fig3 or Fig3Config(duration=2 * SECONDS)
+    rows = []
+    for alpha in alphas:
+        config = _fig3_scenario(fig3, PolicyName.FEEDBACK)
+        config.feedback.controller.alpha = alpha
+        result = run_scenario(config)
+        injection = fig3.injection_at
+        first = result.first_shift_after(injection)
+        post = result.latencies(Op.GET, injection + fig3.duration // 8, None)
+        rows.append(
+            {
+                "alpha": alpha,
+                "shifts": len(result.shift_times()),
+                "react_ms": _fmt_ms(None if first is None else first - injection),
+                "post_p95_ms": _fmt_ms(
+                    exact_quantile(post, 0.95) if post else None
+                ),
+                "slow_server_share": "%.3f" % _injected_share(result, fig3),
+            }
+        )
+    return rows
+
+
+def sweep_hysteresis(
+    ratios: Sequence[float] = (1.0, 1.1, 1.2, 1.5, 2.0),
+    fig3: Optional[Fig3Config] = None,
+) -> List[Dict[str, object]]:
+    """ABL-HYST: the paper-verbatim always-shift rule vs damped variants.
+
+    At ratio 1.0 the controller shifts on noise every sample and weights
+    collapse to the floor *before* any fault — the instability that
+    motivated our 1.2 default (see controller module docs).
+    """
+    fig3 = fig3 or Fig3Config(duration=2 * SECONDS)
+    rows = []
+    for ratio in ratios:
+        config = _fig3_scenario(fig3, PolicyName.FEEDBACK)
+        config.feedback.controller.hysteresis_ratio = ratio
+        result = run_scenario(config)
+        injection = fig3.injection_at
+        shifts = result.shift_times()
+        pre = sum(1 for t in shifts if t < injection)
+        post = sum(1 for t in shifts if t >= injection)
+        first = result.first_shift_after(injection)
+        rows.append(
+            {
+                "hysteresis": ratio,
+                "pre_injection_shifts": pre,
+                "post_injection_shifts": post,
+                "react_ms": _fmt_ms(None if first is None else first - injection),
+            }
+        )
+    return rows
+
+
+def sweep_policies(
+    fig3: Optional[Fig3Config] = None,
+    policies: Sequence[PolicyName] = (
+        PolicyName.MAGLEV,
+        PolicyName.FEEDBACK,
+        PolicyName.ORACLE,
+        PolicyName.ROUND_ROBIN,
+        PolicyName.LEAST_CONNECTIONS,
+        PolicyName.POWER_OF_TWO,
+    ),
+) -> List[Dict[str, object]]:
+    """ABL-POLICY: every routing policy on the Fig 3 stimulus.
+
+    Connection-oblivious policies (Maglev, RR, least-conn, P2C without a
+    latency signal) keep feeding the slow server; the in-band feedback
+    loop and the oracle drain it.
+    """
+    fig3 = fig3 or Fig3Config(duration=2 * SECONDS)
+    result = run_fig3(fig3, policies=policies)
+    rows = []
+    for policy in policies:
+        name = policy.value
+        settle = fig3.duration // 8
+        rows.append(
+            {
+                "policy": name,
+                "pre_p95_ms": _fmt_ms(result.steady_state_p95(name)),
+                "post_p95_ms": _fmt_ms(result.post_injection_p95(name, settle)),
+                "slow_server_share": "%.3f"
+                % _injected_share(result.results[name], fig3),
+                "requests": len(result.results[name].records),
+            }
+        )
+    return rows
+
+
+def sweep_far_clients(
+    extra_delays_us: Sequence[int] = (0, 100, 500, 2000),
+    duration: int = 2 * SECONDS,
+    seed: int = 5,
+) -> List[Dict[str, object]]:
+    """Open question #1: how far clients distort the in-band signal.
+
+    The LB's ``T_LB`` includes the client↔LB legs it cannot control; as
+    those grow, per-backend estimates inflate uniformly.  Ranking (and
+    therefore control) still works when all backends serve the same
+    client mix, which this sweep demonstrates: the *difference* between
+    the injected and healthy backends' estimates stays ≈ the injected
+    delay even for far clients.
+    """
+    rows = []
+    for extra_us in extra_delays_us:
+        network = NetworkParams(
+            client_lb_delay_overrides=[10 * MICROSECONDS + extra_us * MICROSECONDS]
+        )
+        config = ScenarioConfig(
+            seed=seed,
+            duration=duration,
+            policy=PolicyName.FEEDBACK,
+            network=network,
+            injections=[
+                DelayInjection(
+                    at=duration // 2, server="server0", extra=1 * MILLISECONDS
+                )
+            ],
+            warmup=duration // 10,
+        )
+        config.feedback.control = False  # isolate measurement
+        result = run_scenario(config)
+        feedback = result.scenario.feedback
+        assert feedback is not None
+        est0 = feedback.estimator.estimate("server0")
+        est1 = feedback.estimator.estimate("server1")
+        gap = None
+        if est0 is not None and est1 is not None:
+            gap = est0 - est1
+        rows.append(
+            {
+                "client_extra_us": extra_us,
+                "est_injected_us": _fmt_us(est0),
+                "est_healthy_us": _fmt_us(est1),
+                "gap_us": _fmt_us(gap),
+                "samples": feedback.sample_count,
+            }
+        )
+    return rows
+
+
+def sweep_pipeline_depth(
+    depths: Sequence[int] = (1, 2, 4, 8),
+    duration: int = 2 * SECONDS,
+    seed: int = 9,
+) -> List[Dict[str, object]]:
+    """Measurement quality vs application concurrency limit.
+
+    Deeper pipelines make batches longer and pauses shorter; at some
+    depth flows stop pausing (the flow-control assumption of §3 erodes)
+    and samples get scarcer relative to traffic.
+    """
+    rows = []
+    for depth in depths:
+        config = ScenarioConfig(
+            seed=seed,
+            duration=duration,
+            policy=PolicyName.FEEDBACK,
+            warmup=duration // 10,
+        )
+        config.memtier = replace(config.memtier, pipeline=depth)
+        config.feedback.control = False
+        result = run_scenario(config)
+        feedback = result.scenario.feedback
+        assert feedback is not None
+        samples = feedback.sample_count
+        t_lbs = [float(s.t_lb) for s in feedback.samples]
+        truth = result.latencies(start=config.warmup)
+        rows.append(
+            {
+                "pipeline": depth,
+                "requests": len(result.records),
+                "t_lb_samples": samples,
+                "med_t_lb_us": _fmt_us(
+                    exact_quantile(t_lbs, 0.5) if t_lbs else None
+                ),
+                "med_t_client_us": _fmt_us(
+                    exact_quantile([float(v) for v in truth], 0.5)
+                    if truth
+                    else None
+                ),
+            }
+        )
+    return rows
+
+
+def sweep_ack_and_pacing(
+    duration: int = 2 * SECONDS,
+    seed: int = 13,
+) -> List[Dict[str, object]]:
+    """Open question #2: packet-timing behaviours vs estimator accuracy.
+
+    Compares the measurement error (median T_LB vs median T_client) of
+    the same workload under: immediate ACKs, delayed ACKs, and paced
+    clients.  Delayed ACKs remove the early pure-ACK trigger (error
+    grows toward T_trigger); pacing smears batch boundaries.
+    """
+    from repro.transport.ack_policy import DelayedAck, ImmediateAck
+    from repro.transport.connection import TransportConfig
+
+    variants = {
+        "immediate-acks": TransportConfig(ack_policy_factory=ImmediateAck),
+        "delayed-acks": TransportConfig(ack_policy_factory=DelayedAck),
+        "paced-1gbps": TransportConfig(pacing_rate_bps=1_000_000_000),
+    }
+    rows = []
+    for label, transport in variants.items():
+        config = ScenarioConfig(
+            seed=seed,
+            duration=duration,
+            policy=PolicyName.FEEDBACK,
+            warmup=duration // 10,
+        )
+        config.memtier = replace(config.memtier, transport=transport)
+        config.feedback.control = False
+        result = run_scenario(config)
+        feedback = result.scenario.feedback
+        assert feedback is not None
+        t_lbs = [float(s.t_lb) for s in feedback.samples]
+        truth = [float(v) for v in result.latencies(start=config.warmup)]
+        med_lb = exact_quantile(t_lbs, 0.5) if t_lbs else None
+        med_truth = exact_quantile(truth, 0.5) if truth else None
+        error = None
+        if med_lb is not None and med_truth:
+            error = abs(med_lb - med_truth) / med_truth
+        rows.append(
+            {
+                "transport": label,
+                "t_lb_samples": feedback.sample_count,
+                "med_t_lb_us": _fmt_us(med_lb),
+                "med_t_client_us": _fmt_us(med_truth),
+                "rel_error": _fmt_ratio(error),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+
+
+def _fig3_scenario(fig3: Fig3Config, policy: PolicyName) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=fig3.seed,
+        duration=fig3.duration,
+        n_servers=fig3.n_servers,
+        policy=policy,
+        memtier=fig3.memtier,
+        injections=[
+            DelayInjection(
+                at=fig3.injection_at,
+                server=fig3.injected_server,
+                extra=fig3.injection_extra,
+            )
+        ],
+        warmup=fig3.duration // 10,
+    )
+
+
+def _injected_share(result, fig3: Fig3Config) -> float:
+    """Fraction of post-injection requests served by the slow server."""
+    injected = fig3.injected_server
+    start = fig3.injection_at + fig3.duration // 8
+    total = 0
+    hit = 0
+    for record in result.records:
+        if record.completed_at >= start:
+            total += 1
+            if record.server == injected:
+                hit += 1
+    return hit / total if total else 0.0
+
+
+def _fmt_us(value) -> str:
+    return "-" if value is None else "%.1f" % to_micros(round(value))
+
+
+def _fmt_ms(value) -> str:
+    return "-" if value is None else "%.3f" % to_millis(round(value))
+
+
+def _fmt_ratio(value) -> str:
+    return "-" if value is None else "%.3f" % value

@@ -1,0 +1,155 @@
+"""Backend churn: scale-out and drain without breaking connections.
+
+§2.5 requires LBs to "meet standard LB requirements such as
+connection-to-server affinity and minimize connection-breaking due to
+churn in the set of LBs and servers".  This scenario exercises exactly
+that: a pool that starts with a subset of the provisioned servers,
+scales out mid-run, and later drains one backend — while memtier-like
+traffic flows continuously.
+
+Measured invariants:
+
+* **zero affinity violations** — no packet of an established flow is
+  ever forwarded to a different backend than its first packet, across
+  both membership changes and any feedback-driven weight updates;
+* the newcomer picks up ≈ its fair share of *new* connections;
+* the drained backend keeps serving its in-flight connections (the
+  dataplane's ``draining_packets`` counter) and stops receiving new
+  ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.app.client import MemtierConfig
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.scenario import Scenario, build_scenario
+from repro.lb.backend import Backend
+from repro.net.addr import FlowKey
+from repro.units import SECONDS
+
+
+@dataclass
+class ChurnConfig:
+    """Scale-out / drain timeline."""
+
+    seed: int = 29
+    duration: int = 2 * SECONDS
+    #: Provisioned servers (topology); the pool starts with the first
+    #: ``initial_servers`` of them.
+    n_servers: int = 3
+    initial_servers: int = 2
+    #: Long-lived connections (2000 requests each) so some are usually
+    #: mid-flight when membership changes — that's what drain semantics
+    #: protect.
+    memtier: MemtierConfig = field(
+        default_factory=lambda: MemtierConfig(
+            connections=6, pipeline=2, requests_per_connection=2000
+        )
+    )
+
+    @property
+    def scale_out_at(self) -> int:
+        """When the extra server joins the pool."""
+        return self.duration // 3
+
+    @property
+    def drain_at(self) -> int:
+        """When server0 is removed (drained) from the pool."""
+        return 2 * self.duration // 3
+
+
+@dataclass
+class ChurnResult:
+    """Observed behaviour across the membership changes."""
+
+    config: ChurnConfig
+    scenario: Scenario
+    affinity_violations: List[Tuple[FlowKey, str, str]]
+    #: backend -> count of *new flows* in each phase.
+    new_flows_before: Dict[str, int]
+    new_flows_after_scale_out: Dict[str, int]
+    new_flows_after_drain: Dict[str, int]
+    #: Flows pinned to server0 at the moment it left the pool.
+    pinned_at_drain: int = 0
+
+    def newcomer_share_after_scale_out(self) -> float:
+        """Fraction of new flows landing on the added server."""
+        total = sum(self.new_flows_after_scale_out.values())
+        if total == 0:
+            return 0.0
+        newcomer = self.config.n_servers - 1
+        return self.new_flows_after_scale_out.get(
+            "server%d" % newcomer, 0
+        ) / total
+
+
+def run_churn(config: Optional[ChurnConfig] = None) -> ChurnResult:
+    """Run the scale-out + drain timeline and collect invariants."""
+    config = config or ChurnConfig()
+    scenario_config = ScenarioConfig(
+        seed=config.seed,
+        duration=config.duration,
+        n_servers=config.n_servers,
+        policy=PolicyName.MAGLEV,
+        memtier=config.memtier,
+    )
+    scenario = build_scenario(scenario_config)
+    sim = scenario.sim
+    pool = scenario.pool
+    newcomer = "server%d" % (config.n_servers - 1)
+
+    # Topology has n_servers, but the pool starts without the newcomer.
+    pool.remove(newcomer)
+
+    # Membership timeline.  At drain time, record whether any live flow
+    # is pinned to the drained backend — only then is draining traffic
+    # expected afterwards.
+    pinned_at_drain = [0]
+
+    def drain() -> None:
+        pinned_at_drain[0] = scenario.lb.conntrack.live_flows("server0")
+        pool.remove("server0")
+
+    sim.schedule_at(config.scale_out_at, lambda: pool.add(Backend(newcomer)))
+    sim.schedule_at(config.drain_at, drain)
+
+    # Observe affinity and per-phase new-flow routing via the LB tap.
+    flow_backends: Dict[FlowKey, str] = {}
+    violations: List[Tuple[FlowKey, str, str]] = []
+    phase_counts = [dict(), dict(), dict()]  # type: List[Dict[str, int]]
+
+    def tap(now: int, flow: FlowKey, backend: str, packet) -> None:
+        previous = flow_backends.get(flow)
+        if previous is None:
+            flow_backends[flow] = backend
+            if now < config.scale_out_at:
+                phase = 0
+            elif now < config.drain_at:
+                phase = 1
+            else:
+                phase = 2
+            counts = phase_counts[phase]
+            counts[backend] = counts.get(backend, 0) + 1
+        elif previous != backend:
+            violations.append((flow, previous, backend))
+
+    scenario.lb.add_tap(tap)
+
+    for client in scenario.clients:
+        client.start()
+    sim.run_until(config.duration)
+    for client in scenario.clients:
+        client.stop()
+
+    return ChurnResult(
+        config=config,
+        scenario=scenario,
+        affinity_violations=violations,
+        new_flows_before=phase_counts[0],
+        new_flows_after_scale_out=phase_counts[1],
+        new_flows_after_drain=phase_counts[2],
+        pinned_at_drain=pinned_at_drain[0],
+    )

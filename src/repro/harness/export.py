@@ -1,0 +1,74 @@
+"""Exporting experiment series to CSV (for external plotting).
+
+The benches print ASCII; anyone regenerating the paper's figures in a
+plotting tool wants the raw series.  These helpers write the standard
+result objects to simple headered CSV files with no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.telemetry.timeseries import TimeSeries
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_csv(
+    path: PathLike, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> int:
+    """Write a headered CSV; returns the number of data rows written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def export_timeseries(path: PathLike, series: TimeSeries) -> int:
+    """Write a :class:`TimeSeries` as ``time_ns,value`` rows."""
+    return write_csv(path, ("time_ns", series.name or "value"), series.items())
+
+
+def export_latency_series(
+    path: PathLike, series: Sequence[Tuple[int, float]], label: str = "p95_ns"
+) -> int:
+    """Write a bucketed latency series (e.g. Fig 3's p95 line)."""
+    return write_csv(path, ("bucket_start_ns", label), series)
+
+
+def export_records(path: PathLike, records) -> int:
+    """Write client RequestRecords (the full ground-truth request log)."""
+    rows = (
+        (
+            r.request_id,
+            r.op.value,
+            r.sent_at,
+            r.completed_at,
+            r.latency,
+            r.server or "",
+            r.local_port,
+        )
+        for r in records
+    )
+    return write_csv(
+        path,
+        (
+            "request_id",
+            "op",
+            "sent_at_ns",
+            "completed_at_ns",
+            "latency_ns",
+            "server",
+            "local_port",
+        ),
+        rows,
+    )

@@ -1,0 +1,557 @@
+"""The paper's experiments, as runnable definitions.
+
+Each function builds, runs, and distills one of the paper's figures (or
+quantified claims) into a result object whose fields are the same series
+the paper plots.  Benchmarks and examples call these; EXPERIMENTS.md
+records the outcomes.
+
+* :func:`run_fig2a` — FIXEDTIMEOUT with fixed δ = 64 µs / 1024 µs vs
+  ground truth, across an RTT step (paper Fig 2a).
+* :func:`run_fig2b` — ENSEMBLETIMEOUT tracking the same step (Fig 2b).
+* :func:`run_fig3`  — p95 GET latency over time, plain Maglev vs the
+  latency-aware LB, 1 ms injection mid-run (Fig 3).
+* :func:`run_reaction` — reaction-time decomposition of the §1/§4 claim
+  ("adapts to a 1 ms inflation ... in milliseconds").
+* :func:`run_error_decomposition` — the §3 error identity
+  ``T_LB − T_client = O3 − O1 + T_trigger``.
+
+The Fig 2 scenarios ride on a *backlogged* flow through the LB toward a
+sink server.  Client-side jitter (scheduling noise before the LB) is
+what makes too-small timeouts produce false batch splits, reproducing
+the figure's "too many low estimates" band; it defaults to a 0–96 µs
+uniform jitter on the client→LB pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.app.client import BacklogClient, MemtierConfig
+from repro.app.protocol import Op
+from repro.app.server import SinkApp
+from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
+from repro.core.fixed_timeout import FixedTimeout
+from repro.harness.config import (
+    DelayInjection,
+    NetworkParams,
+    PolicyName,
+    ScenarioConfig,
+)
+from repro.harness.runner import ScenarioResult, run_scenario
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.dataplane import LoadBalancer
+from repro.lb.policies import MaglevPolicy
+from repro.net.addr import Endpoint, FlowKey
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.telemetry.quantiles import exact_quantile
+from repro.telemetry.timeseries import TimeSeries
+from repro.transport.ack_policy import DelayedAck
+from repro.transport.connection import TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import (
+    GIGABITS_PER_SECOND,
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+)
+
+VIP_PORT = 9000
+
+
+# ======================================================================
+# Fig 2 substrate: one backlogged flow through the LB
+# ======================================================================
+
+
+@dataclass
+class BacklogConfig:
+    """The Fig 2 single-flow scenario."""
+
+    seed: int = 7
+    duration: int = 6 * SECONDS
+    #: RTT step (paper Fig 2: true RTT increases at t = 3 s).
+    step_at: int = 3 * SECONDS
+    #: Extra one-way delay injected on the LB→server pipe at the step.
+    step_extra: int = 750 * MICROSECONDS
+    client_lb_delay: int = 10 * MICROSECONDS
+    lb_server_delay: int = 40 * MICROSECONDS
+    server_client_delay: int = 50 * MICROSECONDS
+    bandwidth_bps: int = 10 * GIGABITS_PER_SECOND
+    #: Max uniform client-side jitter before the LB (scheduling noise);
+    #: the source of false batch splits at small δ.
+    jitter_max: int = 96 * MICROSECONDS
+    #: Rare long client-side stalls (OS preemption, §2.2): with
+    #: probability ``spike_prob`` a packet is delayed by
+    #: uniform(spike_min, spike_max) instead.  These produce the "small
+    #: number of erroneously large outputs" of too-large fixed timeouts.
+    spike_prob: float = 0.002
+    spike_min: int = 1100 * MICROSECONDS
+    spike_max: int = 2 * MILLISECONDS
+    #: Flow-control window: small enough to stay window-limited (bursty).
+    window: int = 16 * 1024
+    mss: int = 1448
+
+
+@dataclass
+class BacklogRun:
+    """A built backlog scenario plus its probes."""
+
+    config: BacklogConfig
+    sim: Simulator
+    lb: LoadBalancer
+    client: BacklogClient
+    ground_truth: TimeSeries  # (t, true RTT) from the client's transport
+
+
+def build_backlog(config: BacklogConfig) -> BacklogRun:
+    """Assemble the single-flow Fig 2 scenario (no probes attached yet)."""
+    sim = Simulator()
+    network = Network(sim)
+    streams = RandomStreams(config.seed)
+    jitter_rng = streams.get("net.jitter")
+
+    client_host = Host(network, "client0")
+    server_host = Host(network, "server0")
+    pool = BackendPool([Backend("server0")])
+    lb = LoadBalancer(
+        network,
+        "lb",
+        Endpoint("vip", VIP_PORT),
+        pool,
+        MaglevPolicy(pool, table_size=251),
+    )
+    network.add_alias("vip", "server0")
+
+    jitter = None
+    if config.jitter_max > 0:
+
+        def jitter() -> int:
+            if config.spike_prob > 0 and jitter_rng.random() < config.spike_prob:
+                return jitter_rng.randint(config.spike_min, config.spike_max)
+            return jitter_rng.randrange(config.jitter_max)
+    network.connect(
+        "client0",
+        "lb",
+        prop_delay=config.client_lb_delay,
+        bandwidth_bps=config.bandwidth_bps,
+        jitter=jitter,
+    )
+    network.set_default_route("client0", "lb")
+    network.connect(
+        "lb",
+        "server0",
+        prop_delay=config.lb_server_delay,
+        bandwidth_bps=config.bandwidth_bps,
+    )
+    network.connect(
+        "server0",
+        "client0",
+        prop_delay=config.server_client_delay,
+        bandwidth_bps=config.bandwidth_bps,
+    )
+
+    SinkApp(server_host, VIP_PORT)
+    transport = TransportConfig(window=config.window, mss=config.mss)
+    client = BacklogClient(
+        client_host, Endpoint("vip", VIP_PORT), transport=transport
+    )
+
+    ground_truth = TimeSeries(name="T_client")
+    client.on_rtt = lambda now, rtt: ground_truth.append(now, float(rtt))
+
+    # The RTT step.
+    pipe = network.pipe("lb", "server0")
+    sim.schedule_at(
+        config.step_at, lambda: pipe.set_extra_delay(config.step_extra)
+    )
+
+    return BacklogRun(
+        config=config, sim=sim, lb=lb, client=client, ground_truth=ground_truth
+    )
+
+
+# ======================================================================
+# Fig 2(a): fixed timeouts
+# ======================================================================
+
+
+@dataclass
+class Fig2aResult:
+    """Per-δ estimate series vs ground truth, split at the RTT step."""
+
+    config: BacklogConfig
+    ground_truth: TimeSeries
+    estimates: Dict[int, TimeSeries]           # δ → (t, T_LB)
+    #: δ → (pre-step count, post-step count)
+    sample_counts: Dict[int, Tuple[int, int]]
+
+    def median_estimate(self, delta: int, after_step: bool) -> Optional[float]:
+        """Median ``T_LB`` for one δ, before or after the step."""
+        series = self.estimates[delta]
+        cut = self.config.step_at
+        values = [
+            v
+            for t, v in series.items()
+            if (t >= cut) == after_step
+        ]
+        if not values:
+            return None
+        return exact_quantile(values, 0.5)
+
+    def median_ground_truth(self, after_step: bool) -> Optional[float]:
+        """Median true RTT before or after the step."""
+        cut = self.config.step_at
+        values = [
+            v for t, v in self.ground_truth.items() if (t >= cut) == after_step
+        ]
+        if not values:
+            return None
+        return exact_quantile(values, 0.5)
+
+
+def run_fig2a(
+    config: Optional[BacklogConfig] = None,
+    deltas: Sequence[int] = (64 * MICROSECONDS, 1024 * MICROSECONDS),
+) -> Fig2aResult:
+    """FIXEDTIMEOUT at fixed timeouts vs ground truth across an RTT step."""
+    config = config or BacklogConfig()
+    run = build_backlog(config)
+
+    trackers: Dict[int, Dict[FlowKey, FixedTimeout]] = {d: {} for d in deltas}
+    estimates: Dict[int, TimeSeries] = {
+        d: TimeSeries(name="T_LB@%dus" % (d // MICROSECONDS)) for d in deltas
+    }
+
+    def probe(now: int, flow: FlowKey, backend: str, packet: Packet) -> None:
+        for delta in deltas:
+            per_flow = trackers[delta]
+            tracker = per_flow.get(flow)
+            if tracker is None:
+                tracker = FixedTimeout(delta)
+                per_flow[flow] = tracker
+            t_lb = tracker.observe(now)
+            if t_lb is not None:
+                estimates[delta].append(now, float(t_lb))
+
+    run.lb.add_tap(probe)
+    run.sim.run_until(config.duration)
+
+    counts = {}
+    for delta in deltas:
+        series = estimates[delta]
+        pre = sum(1 for t, _v in series.items() if t < config.step_at)
+        counts[delta] = (pre, len(series) - pre)
+
+    return Fig2aResult(
+        config=config,
+        ground_truth=run.ground_truth,
+        estimates=estimates,
+        sample_counts=counts,
+    )
+
+
+# ======================================================================
+# Fig 2(b): the ensemble
+# ======================================================================
+
+
+@dataclass
+class Fig2bResult:
+    """Ensemble estimates, chosen timeouts, and tracking error."""
+
+    config: BacklogConfig
+    ground_truth: TimeSeries
+    estimates: TimeSeries                      # (t, T_LB) from δₑ
+    chosen_timeouts: TimeSeries                # (t, δₘ) per epoch
+    epochs: int
+
+    def median_estimate(self, after_step: bool) -> Optional[float]:
+        """Median ensemble ``T_LB`` before or after the step."""
+        cut = self.config.step_at
+        values = [
+            v for t, v in self.estimates.items() if (t >= cut) == after_step
+        ]
+        if not values:
+            return None
+        return exact_quantile(values, 0.5)
+
+    def median_ground_truth(self, after_step: bool) -> Optional[float]:
+        """Median true RTT before or after the step."""
+        cut = self.config.step_at
+        values = [
+            v for t, v in self.ground_truth.items() if (t >= cut) == after_step
+        ]
+        if not values:
+            return None
+        return exact_quantile(values, 0.5)
+
+    def tracking_error(self, after_step: bool) -> Optional[float]:
+        """|median(T_LB) − median(T_client)| / median(T_client)."""
+        est = self.median_estimate(after_step)
+        truth = self.median_ground_truth(after_step)
+        if est is None or truth is None or truth == 0:
+            return None
+        return abs(est - truth) / truth
+
+
+def run_fig2b(
+    config: Optional[BacklogConfig] = None,
+    ensemble: Optional[EnsembleConfig] = None,
+) -> Fig2bResult:
+    """ENSEMBLETIMEOUT tracking the RTT step (paper Fig 2b)."""
+    config = config or BacklogConfig()
+    ensemble_config = ensemble or EnsembleConfig()
+    run = build_backlog(config)
+
+    ensembles: Dict[FlowKey, EnsembleTimeout] = {}
+    estimates = TimeSeries(name="T_LB_ensemble")
+    chosen = TimeSeries(name="delta_m")
+
+    def probe(now: int, flow: FlowKey, backend: str, packet: Packet) -> None:
+        tracker = ensembles.get(flow)
+        if tracker is None:
+            tracker = EnsembleTimeout(ensemble_config)
+            ensembles[flow] = tracker
+        before = tracker.epochs_completed
+        t_lb = tracker.observe(now)
+        if tracker.epochs_completed != before:
+            chosen.append(now, float(tracker.current_timeout))
+        if t_lb is not None:
+            estimates.append(now, float(t_lb))
+
+    run.lb.add_tap(probe)
+    run.sim.run_until(config.duration)
+
+    epochs = max((e.epochs_completed for e in ensembles.values()), default=0)
+    return Fig2bResult(
+        config=config,
+        ground_truth=run.ground_truth,
+        estimates=estimates,
+        chosen_timeouts=chosen,
+        epochs=epochs,
+    )
+
+
+# ======================================================================
+# Fig 3: the end-to-end tail-latency experiment
+# ======================================================================
+
+
+@dataclass
+class Fig3Config:
+    """Scaled-down Fig 3: two memcached-like servers, mid-run injection.
+
+    The paper ran 200 s with injection at t = 100 s; simulation runs a
+    shorter window with the same structure (injection at the midpoint).
+    """
+
+    seed: int = 11
+    duration: int = 4 * SECONDS
+    injection_extra: int = 1 * MILLISECONDS
+    injected_server: str = "server0"
+    n_servers: int = 2
+    bucket: int = 100 * MILLISECONDS
+    memtier: MemtierConfig = field(default_factory=MemtierConfig)
+
+    @property
+    def injection_at(self) -> int:
+        """Injection fires at the midpoint of the run."""
+        return self.duration // 2
+
+
+@dataclass
+class Fig3Result:
+    """Both arms of Fig 3 plus the headline numbers."""
+
+    config: Fig3Config
+    results: Dict[str, ScenarioResult]         # policy value → result
+
+    def p95_series(self, policy: str) -> List[Tuple[int, float]]:
+        """(bucket start ns, p95 GET ns) series for one arm."""
+        return self.results[policy].latency_series(
+            bucket=self.config.bucket, op=Op.GET, q=0.95
+        )
+
+    def p95_window(
+        self, policy: str, start: int, end: int
+    ) -> Optional[float]:
+        """p95 GET latency over a completion-time window."""
+        values = self.results[policy].latencies(Op.GET, start, end)
+        if not values:
+            return None
+        return exact_quantile(values, 0.95)
+
+    def steady_state_p95(self, policy: str) -> Optional[float]:
+        """p95 before the injection (after 10% warmup)."""
+        return self.p95_window(
+            policy, self.config.duration // 10, self.config.injection_at
+        )
+
+    def post_injection_p95(self, policy: str, settle: int = 0) -> Optional[float]:
+        """p95 after the injection (+optional settle time)."""
+        return self.p95_window(
+            policy, self.config.injection_at + settle, self.config.duration
+        )
+
+
+def run_fig3(
+    config: Optional[Fig3Config] = None,
+    policies: Sequence[PolicyName] = (PolicyName.MAGLEV, PolicyName.FEEDBACK),
+) -> Fig3Result:
+    """Run the Fig 3 experiment for each policy arm (identical seeds)."""
+    config = config or Fig3Config()
+    results: Dict[str, ScenarioResult] = {}
+    for policy in policies:
+        scenario_config = ScenarioConfig(
+            seed=config.seed,
+            duration=config.duration,
+            n_servers=config.n_servers,
+            policy=policy,
+            memtier=config.memtier,
+            injections=[
+                DelayInjection(
+                    at=config.injection_at,
+                    server=config.injected_server,
+                    extra=config.injection_extra,
+                )
+            ],
+            warmup=config.duration // 10,
+        )
+        results[policy.value] = run_scenario(scenario_config)
+    return Fig3Result(config=config, results=results)
+
+
+# ======================================================================
+# Reaction-time claim (§1, §4)
+# ======================================================================
+
+
+@dataclass
+class ReactionResult:
+    """How fast the feedback loop responded to the injection."""
+
+    injection_at: int
+    first_shift_after: Optional[int]
+    injected_weight_floor_at: Optional[int]
+    shifts_total: int
+
+    @property
+    def reaction_ns(self) -> Optional[int]:
+        """Injection → first weight shift."""
+        if self.first_shift_after is None:
+            return None
+        return self.first_shift_after - self.injection_at
+
+
+def run_reaction(config: Optional[Fig3Config] = None) -> ReactionResult:
+    """Measure the §4 claim: traffic shifts within milliseconds."""
+    config = config or Fig3Config()
+    fig3 = run_fig3(config, policies=(PolicyName.FEEDBACK,))
+    result = fig3.results[PolicyName.FEEDBACK.value]
+    injection = config.injection_at
+
+    first_shift = result.first_shift_after(injection)
+    feedback = result.scenario.feedback
+    assert feedback is not None and feedback.controller is not None
+
+    # When did the injected server's weight reach the floor?
+    floor_time: Optional[int] = None
+    floor = feedback.controller.config.weight_floor
+    for event in feedback.controller.shifts:
+        weights = event.weights_after
+        total = sum(weights.values())
+        injected = weights.get(config.injected_server, 0.0)
+        if event.time >= injection and injected <= floor * total * 1.01:
+            floor_time = event.time
+            break
+
+    return ReactionResult(
+        injection_at=injection,
+        first_shift_after=first_shift,
+        injected_weight_floor_at=floor_time,
+        shifts_total=len(feedback.controller.shifts),
+    )
+
+
+# ======================================================================
+# Error-model claim (§3): T_LB − T_client = O3 − O1 + T_trigger
+# ======================================================================
+
+
+@dataclass
+class ErrorDecompositionResult:
+    """Measured error of the proxy latency vs the paper's identity."""
+
+    think_time: int
+    median_t_lb: float
+    median_t_client: float
+    #: O3 − O1 is 0 by construction (symmetric client↔LB path, no jitter).
+    predicted_error: float
+    measured_error: float
+
+    @property
+    def identity_gap(self) -> float:
+        """|measured − predicted| (ns); small gap validates the model."""
+        return abs(self.measured_error - self.predicted_error)
+
+
+def run_error_decomposition(
+    think_time: int = 0,
+    duration: int = 1 * SECONDS,
+    seed: int = 3,
+) -> ErrorDecompositionResult:
+    """Single serialized client: each response triggers the next request.
+
+    With pipeline = 1 the next request *is* the causally-triggered
+    packet, so ``T_trigger = think_time`` exactly; with a symmetric,
+    jitter-free client↔LB path, ``O3 − O1 = 0``.  The paper's identity
+    then predicts ``median(T_LB) − median(T_client) = think_time``.
+
+    The client uses delayed ACKs so its cumulative ACK piggybacks on the
+    next request.  With immediate ACKs the pure ACK for the response —
+    itself a causally-triggered packet with ``T_trigger ≈ 0`` — would
+    reach the LB first and split the batch early; that regime is also
+    interesting (it *reduces* the error) and is exercised by the
+    ack-policy ablation instead.
+    """
+    memtier = MemtierConfig(
+        connections=1,
+        pipeline=1,
+        requests_per_connection=1_000_000,  # one long-lived connection
+        think_time=think_time,
+        transport=TransportConfig(ack_policy_factory=DelayedAck),
+    )
+    config = ScenarioConfig(
+        seed=seed,
+        duration=duration,
+        n_servers=1,
+        policy=PolicyName.FEEDBACK,
+        memtier=memtier,
+        warmup=duration // 10,
+    )
+    config.feedback.control = False  # measurement only
+    result = run_scenario(config)
+
+    feedback = result.scenario.feedback
+    assert feedback is not None
+    t_lb_values = [float(s.t_lb) for s in feedback.samples]
+    t_client_values = [
+        float(r.latency)
+        for r in result.records
+        if r.completed_at >= config.warmup
+    ]
+    median_t_lb = exact_quantile(t_lb_values, 0.5) if t_lb_values else 0.0
+    median_t_client = (
+        exact_quantile(t_client_values, 0.5) if t_client_values else 0.0
+    )
+    return ErrorDecompositionResult(
+        think_time=think_time,
+        median_t_lb=median_t_lb,
+        median_t_client=median_t_client,
+        predicted_error=float(think_time),
+        measured_error=median_t_lb - median_t_client,
+    )

@@ -1,0 +1,224 @@
+"""Multiple independent feedback LBs over one server pool.
+
+Open question #4 asks how to design control loops that converge "without
+thundering-herd problems, with many LBs".  This scenario provides the
+substrate: N load balancers, each with its *own* conntrack, weights, and
+in-band feedback loop (they share nothing), all forwarding to the same
+servers.  A server-side slowdown is observed — and reacted to —
+independently by every LB.
+
+The herd risk: every LB shifts off the slow server at once, the healthy
+server's queue grows, every LB then sees *it* as slow and shifts back,
+and the system oscillates.  The scenario records per-LB weight
+trajectories so benches can quantify exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.app.client import MemtierClient, MemtierConfig
+from repro.app.server import ServerApp, ServerConfig
+from repro.app.servicetime import Deterministic
+from repro.app.variability import StepInjector
+from repro.core.feedback import FeedbackConfig, InbandFeedback
+from repro.errors import ConfigError
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.dataplane import LoadBalancer
+from repro.lb.policies import MaglevPolicy
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.telemetry.timeseries import TimeSeries
+from repro.transport.endpoint import Host
+from repro.units import (
+    GIGABITS_PER_SECOND,
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+)
+
+
+@dataclass
+class MultiLbConfig:
+    """Knobs for the many-LBs experiment."""
+
+    seed: int = 23
+    duration: int = 2 * SECONDS
+    n_lbs: int = 2
+    n_servers: int = 2
+    clients_per_lb: int = 1
+    vip_port: int = 11211
+    injected_server: str = "server0"
+    injection_extra: int = 1 * MILLISECONDS
+    memtier: MemtierConfig = field(
+        default_factory=lambda: MemtierConfig(connections=2, pipeline=2)
+    )
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    server: ServerConfig = field(
+        default_factory=lambda: ServerConfig(
+            service_model=Deterministic(50 * MICROSECONDS)
+        )
+    )
+
+    @property
+    def injection_at(self) -> int:
+        """Fault onset: the midpoint of the run."""
+        return self.duration // 2
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.n_lbs < 1 or self.n_servers < 1 or self.clients_per_lb < 1:
+            raise ConfigError("counts must be >= 1")
+        if self.duration <= 0:
+            raise ConfigError("duration must be positive")
+
+
+@dataclass
+class MultiLbResult:
+    """Per-LB control trajectories plus the client view."""
+
+    config: MultiLbConfig
+    lbs: List[LoadBalancer]
+    feedbacks: List[InbandFeedback]
+    clients: List[MemtierClient]
+    servers: List[ServerApp]
+    #: Per LB: time series of the injected server's weight share.
+    weight_series: List[TimeSeries]
+
+    def all_records(self) -> list:
+        """Merged client records, completion-ordered."""
+        records = []
+        for client in self.clients:
+            records.extend(client.records)
+        records.sort(key=lambda r: r.completed_at)
+        return records
+
+    def injected_share_after(self, start: int) -> float:
+        """Fraction of requests served by the injected server after ``start``."""
+        total = 0
+        hit = 0
+        for record in self.all_records():
+            if record.completed_at >= start:
+                total += 1
+                if record.server == self.config.injected_server:
+                    hit += 1
+        return hit / total if total else 0.0
+
+    def oscillations(self, lb_index: int) -> int:
+        """Direction changes of the injected server's weight at one LB."""
+        values = list(self.weight_series[lb_index].values)
+        changes = 0
+        last_direction = 0
+        for previous, current in zip(values, values[1:]):
+            if current == previous:
+                continue
+            direction = 1 if current > previous else -1
+            if last_direction and direction != last_direction:
+                changes += 1
+            last_direction = direction
+        return changes
+
+
+def run_multilb(config: Optional[MultiLbConfig] = None) -> MultiLbResult:
+    """Build and run the many-LBs scenario."""
+    config = config or MultiLbConfig()
+    config.validate()
+    sim = Simulator()
+    network = Network(sim)
+    streams = RandomStreams(config.seed)
+    bw = 10 * GIGABITS_PER_SECOND
+
+    server_names = ["server%d" % i for i in range(config.n_servers)]
+
+    # Servers (shared by every LB).  The injected fault is server-side
+    # processing delay, so every LB observes it.
+    servers: List[ServerApp] = []
+    for name in server_names:
+        host = Host(network, name)
+        network.add_alias("vip", name)
+        server_config = ServerConfig(
+            port=config.vip_port,
+            workers=config.server.workers,
+            service_model=config.server.service_model,
+        )
+        if name == config.injected_server:
+            server_config.injector = StepInjector(
+                extra=config.injection_extra, start=config.injection_at
+            )
+        servers.append(
+            ServerApp(
+                host,
+                server_config,
+                streams.get("server.%s" % name),
+                service_endpoint=Endpoint("vip", config.vip_port),
+            )
+        )
+
+    # LBs, each with an independent pool + feedback loop.
+    lbs: List[LoadBalancer] = []
+    feedbacks: List[InbandFeedback] = []
+    weight_series: List[TimeSeries] = []
+    for index in range(config.n_lbs):
+        lb_name = "lb%d" % index
+        pool = BackendPool([Backend(name) for name in server_names])
+        lb = LoadBalancer(
+            network,
+            lb_name,
+            Endpoint("vip", config.vip_port),
+            pool,
+            MaglevPolicy(pool, table_size=1021),
+        )
+        feedback = InbandFeedback(lb, config.feedback)
+        for name in server_names:
+            network.connect(lb_name, name, prop_delay=40 * MICROSECONDS, bandwidth_bps=bw)
+        lbs.append(lb)
+        feedbacks.append(feedback)
+
+        series = TimeSeries(name="%s/injected-weight" % lb_name)
+        weight_series.append(series)
+
+        def track(
+            pool=pool, series=series, injected=config.injected_server
+        ) -> None:
+            weights = pool.weights()
+            total = sum(weights.values())
+            series.append(sim.now, weights.get(injected, 0.0) / total)
+
+        pool.on_change(track)
+
+    # Clients, partitioned across LBs.
+    clients: List[MemtierClient] = []
+    for lb_index in range(config.n_lbs):
+        for c_index in range(config.clients_per_lb):
+            name = "client%d_%d" % (lb_index, c_index)
+            host = Host(network, name)
+            network.connect(name, "lb%d" % lb_index, prop_delay=10 * MICROSECONDS, bandwidth_bps=bw)
+            network.set_default_route(name, "lb%d" % lb_index)
+            for s_name in server_names:
+                network.connect(s_name, name, prop_delay=50 * MICROSECONDS, bandwidth_bps=bw)
+            clients.append(
+                MemtierClient(
+                    host,
+                    Endpoint("vip", config.vip_port),
+                    config.memtier,
+                    streams.get("client.%s" % name),
+                )
+            )
+
+    for client in clients:
+        client.start()
+    sim.run_until(config.duration)
+    for client in clients:
+        client.stop()
+
+    return MultiLbResult(
+        config=config,
+        lbs=lbs,
+        feedbacks=feedbacks,
+        clients=clients,
+        servers=servers,
+        weight_series=weight_series,
+    )

@@ -1,0 +1,45 @@
+"""Plain-text rendering helpers for experiment output.
+
+Everything the benches print goes through these, so reports share one
+look: fixed-width columns, values pre-scaled by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a left-aligned fixed-width table."""
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    rows: Sequence[Tuple[float, float]], x_label: str, y_label: str, width: int = 40
+) -> str:
+    """Render an (x, y) series as a table with an inline bar chart."""
+    if not rows:
+        return "(empty series)"
+    peak = max(y for _x, y in rows) or 1.0
+    table_rows: List[Sequence[object]] = []
+    for x, y in rows:
+        bar = "#" * max(1, round(width * y / peak)) if y > 0 else ""
+        table_rows.append(("%.1f" % x, "%.3f" % y, bar))
+    return format_table((x_label, y_label, ""), table_rows)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)

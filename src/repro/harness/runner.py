@@ -1,0 +1,166 @@
+"""Scenario execution and result collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.app.client import RequestRecord
+from repro.app.protocol import Op
+from repro.harness.config import ScenarioConfig
+from repro.harness.report import format_series
+from repro.harness.scenario import Scenario, build_scenario
+from repro.telemetry.summary import DistributionSummary, summarize
+from repro.telemetry.timeseries import BucketedSeries
+from repro.units import MILLISECONDS, to_millis
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured during one scenario run."""
+
+    config: ScenarioConfig
+    scenario: Scenario
+    records: List[RequestRecord]
+    wall_events: int
+
+    # ------------------------------------------------------------------
+    # Request-latency views
+    # ------------------------------------------------------------------
+
+    def latencies(
+        self,
+        op: Optional[Op] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> List[int]:
+        """Latencies (ns) filtered by op and completion-time window."""
+        lo = start if start is not None else 0
+        hi = end if end is not None else float("inf")
+        return [
+            r.latency
+            for r in self.records
+            if (op is None or r.op is op) and lo <= r.completed_at < hi
+        ]
+
+    def summary(
+        self,
+        op: Optional[Op] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> Optional[DistributionSummary]:
+        """Distribution summary over a window; None if empty."""
+        values = self.latencies(op, start, end)
+        if not values:
+            return None
+        return summarize(values)
+
+    def latency_series(
+        self, bucket: int = 250 * MILLISECONDS, op: Optional[Op] = Op.GET, q: float = 0.95
+    ) -> List[Tuple[int, float]]:
+        """Per-bucket ``q``-quantile latency over time (the Fig 3 line)."""
+        series = BucketedSeries(bucket)
+        for record in self.records:
+            if op is None or record.op is op:
+                series.append(record.completed_at, record.latency)
+        return series.quantile_series(q)
+
+    def per_server_counts(self) -> Dict[str, int]:
+        """Completed requests per responding server."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if record.server is not None:
+                counts[record.server] = counts.get(record.server, 0) + 1
+        return counts
+
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        duration_s = self.config.duration / 1e9
+        return len(self.records) / duration_s if duration_s > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Control-plane views
+    # ------------------------------------------------------------------
+
+    def shift_times(self) -> List[int]:
+        """Times of executed weight shifts (in-band or oracle)."""
+        if self.scenario.feedback is not None:
+            return [e.time for e in self.scenario.feedback.shift_events()]
+        if self.scenario.oracle is not None and self.scenario.oracle.controller:
+            return [e.time for e in self.scenario.oracle.controller.shifts]
+        return []
+
+    def first_shift_after(self, time: int) -> Optional[int]:
+        """First weight shift at or after ``time`` (reaction latency)."""
+        for t in self.shift_times():
+            if t >= time:
+                return t
+        return None
+
+    def report(self) -> str:
+        """Multi-line human-readable run summary."""
+        lines = [
+            "scenario: policy=%s servers=%d clients=%d duration=%.1fs seed=%d"
+            % (
+                self.config.policy.value,
+                self.config.n_servers,
+                self.config.n_clients,
+                self.config.duration / 1e9,
+                self.config.seed,
+            ),
+            "completed requests: %d (%.0f req/s)"
+            % (len(self.records), self.throughput_rps()),
+        ]
+        overall = self.summary(start=self.config.warmup)
+        if overall is not None:
+            lines.append("latency (all ops): " + overall.format(scale=1e6, unit="ms"))
+        gets = self.summary(op=Op.GET, start=self.config.warmup)
+        if gets is not None:
+            lines.append("latency (GET):     " + gets.format(scale=1e6, unit="ms"))
+        share = self.scenario.lb.backend_share()
+        if share:
+            lines.append(
+                "backend packet share: "
+                + ", ".join("%s=%.1f%%" % (k, 100 * v) for k, v in share.items())
+            )
+        shifts = self.shift_times()
+        if shifts:
+            lines.append(
+                "weight shifts: %d (first %.3fms, last %.3fms)"
+                % (len(shifts), to_millis(shifts[0]), to_millis(shifts[-1]))
+            )
+        rows = [
+            (to_millis(t), to_millis(v))
+            for t, v in self.latency_series()
+        ]
+        if rows:
+            lines.append("p95 GET latency per 250ms bucket:")
+            lines.append(
+                format_series(rows, "t(ms)", "p95(ms)")
+            )
+        return "\n".join(lines)
+
+
+def run_scenario(
+    config: ScenarioConfig, scenario: Optional[Scenario] = None
+) -> ScenarioResult:
+    """Build (unless given) and run a scenario to its configured duration."""
+    if scenario is None:
+        scenario = build_scenario(config)
+    for client in scenario.clients:
+        client.start()
+    scenario.sim.run_until(config.duration)
+    for client in scenario.clients:
+        client.stop()
+
+    records: List[RequestRecord] = []
+    for client in scenario.clients:
+        records.extend(client.records)
+    records.sort(key=lambda r: r.completed_at)
+
+    return ScenarioResult(
+        config=config,
+        scenario=scenario,
+        records=records,
+        wall_events=scenario.sim.events_processed,
+    )

@@ -1,0 +1,206 @@
+"""Scenario assembly: config → a ready-to-run simulated deployment.
+
+The built topology is the paper's (Fig 1): every client routes via the
+LB to the VIP; each server owns the VIP alias and returns responses to
+clients over direct pipes — the LB never sees a response.
+
+::
+
+    client0 ──► lb ──► server0        server0 ──► client0   (direct)
+            ╲        ╲
+             ─► ...   ─► server1      server1 ──► client0   (direct)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.app.client import MemtierClient
+from repro.app.server import ServerApp
+from repro.core.feedback import InbandFeedback
+from repro.errors import ConfigError
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.conntrack import ConnTrack
+from repro.lb.dataplane import LoadBalancer
+from repro.lb.oracle import OracleFeedback
+from repro.lb.policies import (
+    LeastConnections,
+    MaglevPolicy,
+    PowerOfTwoChoices,
+    RandomPolicy,
+    RoundRobin,
+    RoutingPolicy,
+    WeightedRandom,
+)
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.transport.endpoint import Host
+
+VIP_HOST = "vip"
+
+
+@dataclass
+class Scenario:
+    """A fully wired deployment, ready for :func:`~repro.harness.runner.run_scenario`."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    network: Network
+    streams: RandomStreams
+    lb: LoadBalancer
+    pool: BackendPool
+    servers: List[ServerApp]
+    clients: List[MemtierClient]
+    feedback: Optional[InbandFeedback] = None
+    oracle: Optional[OracleFeedback] = None
+    #: Extra series populated by the runner.
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def vip(self) -> Endpoint:
+        """The virtual endpoint clients talk to."""
+        return Endpoint(VIP_HOST, self.config.vip_port)
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Construct the simulated deployment described by ``config``."""
+    config.validate()
+    sim = Simulator()
+    network = Network(sim)
+    streams = RandomStreams(config.seed)
+    net_params = config.network
+
+    # --- backends and routing policy ----------------------------------
+    pool = BackendPool(
+        [Backend(config.server_name(i)) for i in range(config.n_servers)]
+    )
+    conntrack = ConnTrack()
+    policy = _make_policy(config, pool, conntrack, streams)
+
+    # --- the load balancer, owner of the VIP ---------------------------
+    lb = LoadBalancer(
+        network,
+        "lb",
+        Endpoint(VIP_HOST, config.vip_port),
+        pool,
+        policy,
+        conntrack,
+    )
+
+    # --- servers --------------------------------------------------------
+    servers: List[ServerApp] = []
+    for index in range(config.n_servers):
+        name = config.server_name(index)
+        host = Host(network, name)
+        network.add_alias(VIP_HOST, name)
+        network.connect(
+            "lb",
+            name,
+            prop_delay=net_params.lb_server_delay,
+            bandwidth_bps=net_params.bandwidth_bps,
+            queue_capacity=net_params.queue_capacity,
+        )
+        server = ServerApp(
+            host,
+            config.server_config(index),
+            streams.get("server.%s.service" % name),
+            service_endpoint=Endpoint(VIP_HOST, config.vip_port),
+        )
+        servers.append(server)
+
+    # --- clients ----------------------------------------------------------
+    clients: List[MemtierClient] = []
+    vip = Endpoint(VIP_HOST, config.vip_port)
+    for index in range(config.n_clients):
+        name = config.client_name(index)
+        host = Host(network, name)
+        client_delay = net_params.client_delay(index)
+        network.connect(
+            name,
+            "lb",
+            prop_delay=client_delay,
+            bandwidth_bps=net_params.bandwidth_bps,
+            queue_capacity=net_params.queue_capacity,
+        )
+        network.set_default_route(name, "lb")
+        # Direct server→client return pipes (DSR).  A far client is far
+        # on the return path by the same margin.
+        extra_return = client_delay - net_params.client_lb_delay
+        for s_index in range(config.n_servers):
+            s_name = config.server_name(s_index)
+            network.connect(
+                s_name,
+                name,
+                prop_delay=net_params.server_client_delay + max(0, extra_return),
+                bandwidth_bps=net_params.bandwidth_bps,
+                queue_capacity=net_params.queue_capacity,
+            )
+        client = MemtierClient(
+            host, vip, config.memtier, streams.get("client.%s.workload" % name)
+        )
+        clients.append(client)
+
+    scenario = Scenario(
+        config=config,
+        sim=sim,
+        network=network,
+        streams=streams,
+        lb=lb,
+        pool=pool,
+        servers=servers,
+        clients=clients,
+    )
+
+    # --- measurement / control plane --------------------------------------
+    if config.policy is PolicyName.FEEDBACK:
+        scenario.feedback = InbandFeedback(lb, config.feedback)
+    elif config.policy is PolicyName.ORACLE:
+        oracle = OracleFeedback(
+            pool,
+            estimator_config=config.feedback.estimator,
+            controller_config=config.feedback.controller,
+            control=config.feedback.control,
+        )
+        for client in clients:
+            client.on_record = oracle.on_record
+        scenario.oracle = oracle
+
+    # --- fault injections ---------------------------------------------------
+    for injection in config.injections:
+        if injection.server not in pool:
+            raise ConfigError("injection targets unknown server %r" % injection.server)
+        pipe = network.pipe("lb", injection.server)
+        sim.schedule_at(
+            injection.at,
+            lambda p=pipe, e=injection.extra: p.set_extra_delay(e),
+        )
+        if injection.end is not None:
+            sim.schedule_at(injection.end, lambda p=pipe: p.set_extra_delay(0))
+
+    return scenario
+
+
+def _make_policy(
+    config: ScenarioConfig,
+    pool: BackendPool,
+    conntrack: ConnTrack,
+    streams: RandomStreams,
+) -> RoutingPolicy:
+    policy = config.policy
+    if policy in (PolicyName.MAGLEV, PolicyName.FEEDBACK, PolicyName.ORACLE):
+        return MaglevPolicy(pool, table_size=config.maglev_size)
+    if policy is PolicyName.ROUND_ROBIN:
+        return RoundRobin(pool)
+    if policy is PolicyName.RANDOM:
+        return RandomPolicy(pool, streams.get("lb.policy"))
+    if policy is PolicyName.WEIGHTED_RANDOM:
+        return WeightedRandom(pool, streams.get("lb.policy"))
+    if policy is PolicyName.LEAST_CONNECTIONS:
+        return LeastConnections(pool, conntrack)
+    if policy is PolicyName.POWER_OF_TWO:
+        return PowerOfTwoChoices(pool, conntrack, streams.get("lb.policy"))
+    raise ConfigError("unhandled policy %r" % policy)

@@ -1,0 +1,200 @@
+"""The dependency scenario (open question #3).
+
+Topology::
+
+    clients ─► lb ─► frontend0 ─┐
+            ╲    ╲              ├─► dep0   (shared dependency)
+             ─►   ─► frontend1 ─┘
+
+    frontends ─► clients (direct, DSR)
+
+Two experiments share it, differing only in where the fault lands:
+
+* ``fault="frontend"`` — extra delay on the LB→frontend0 pipe: one
+  frontend is genuinely slow.  Shifting traffic helps; the feedback LB's
+  tail recovers.
+* ``fault="dependency"`` — extra service delay at dep0: *both* frontends
+  slow down identically.  No routing decision at the LB can help; a good
+  controller should recognize the symmetry and hold still (the paper's
+  question is how to tell these cases apart — here the per-backend
+  estimates answer it: they inflate together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.app.client import MemtierClient, MemtierConfig
+from repro.app.server import ServerApp, ServerConfig
+from repro.app.servicetime import Deterministic
+from repro.app.tiered import TieredServerApp, TieredServerConfig
+from repro.app.variability import StepInjector
+from repro.core.feedback import FeedbackConfig, InbandFeedback
+from repro.errors import ConfigError
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.dataplane import LoadBalancer
+from repro.lb.policies import MaglevPolicy
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.transport.endpoint import Host
+from repro.units import (
+    GIGABITS_PER_SECOND,
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+)
+
+
+@dataclass
+class TieredScenarioConfig:
+    """Knobs for the dependency experiment."""
+
+    seed: int = 17
+    duration: int = 2 * SECONDS
+    n_frontends: int = 2
+    fault: str = "dependency"          # "dependency" | "frontend" | "none"
+    fault_extra: int = 1 * MILLISECONDS
+    vip_port: int = 11211
+    dep_port: int = 12000
+    memtier: MemtierConfig = field(default_factory=MemtierConfig)
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+
+    @property
+    def fault_at(self) -> int:
+        """Fault onset: the midpoint of the run."""
+        return self.duration // 2
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.fault not in ("dependency", "frontend", "none"):
+            raise ConfigError("unknown fault kind %r" % self.fault)
+        if self.n_frontends < 1:
+            raise ConfigError("need at least one frontend")
+        if self.duration <= 0:
+            raise ConfigError("duration must be positive")
+
+
+@dataclass
+class TieredResult:
+    """Everything the dependency benches read."""
+
+    config: TieredScenarioConfig
+    client: MemtierClient
+    feedback: InbandFeedback
+    pool: BackendPool
+    frontends: List[TieredServerApp]
+    dependency: ServerApp
+
+    def latencies(self, start: int = 0) -> List[int]:
+        """Client-side latencies completing after ``start``."""
+        return [
+            r.latency for r in self.client.records if r.completed_at >= start
+        ]
+
+    def estimate_gap(self) -> Optional[float]:
+        """Worst−best backend estimate (ns) at the end of the run."""
+        ranked = self.feedback.estimator.worst_and_best()
+        if ranked is None:
+            return None
+        worst, best = ranked
+        return worst.value - best.value
+
+    def shifts_after_fault(self) -> int:
+        """Weight updates executed after the fault onset."""
+        return sum(
+            1 for e in self.feedback.shift_events() if e.time >= self.config.fault_at
+        )
+
+
+def run_tiered(config: Optional[TieredScenarioConfig] = None) -> TieredResult:
+    """Build and run the two-tier scenario."""
+    config = config or TieredScenarioConfig()
+    config.validate()
+    sim = Simulator()
+    network = Network(sim)
+    streams = RandomStreams(config.seed)
+    bw = 10 * GIGABITS_PER_SECOND
+
+    frontend_names = ["frontend%d" % i for i in range(config.n_frontends)]
+    pool = BackendPool([Backend(name) for name in frontend_names])
+    lb = LoadBalancer(
+        network,
+        "lb",
+        Endpoint("vip", config.vip_port),
+        pool,
+        MaglevPolicy(pool, table_size=1021),
+    )
+    feedback = InbandFeedback(lb, config.feedback)
+
+    # Dependency host + app (with the optional service-side fault).
+    dep_host = Host(network, "dep0")
+    dep_injector = None
+    if config.fault == "dependency":
+        dep_injector = StepInjector(extra=config.fault_extra, start=config.fault_at)
+    dep_config = ServerConfig(
+        port=config.dep_port,
+        workers=4,
+        service_model=Deterministic(20 * MICROSECONDS),
+    )
+    if dep_injector is not None:
+        dep_config.injector = dep_injector
+    dependency = ServerApp(
+        dep_host, dep_config, streams.get("dep.service")
+    )
+
+    # Frontends.
+    frontends: List[TieredServerApp] = []
+    for name in frontend_names:
+        host = Host(network, name)
+        network.add_alias("vip", name)
+        network.connect("lb", name, prop_delay=40 * MICROSECONDS, bandwidth_bps=bw)
+        network.connect(name, "dep0", prop_delay=20 * MICROSECONDS, bandwidth_bps=bw)
+        network.connect("dep0", name, prop_delay=20 * MICROSECONDS, bandwidth_bps=bw)
+        network.add_route(name, "dep0", "dep0")
+        frontends.append(
+            TieredServerApp(
+                host,
+                TieredServerConfig(
+                    port=config.vip_port,
+                    dependency=Endpoint("dep0", config.dep_port),
+                ),
+                streams.get("frontend.%s" % name),
+                service_endpoint=Endpoint("vip", config.vip_port),
+            )
+        )
+
+    # Client.
+    client_host = Host(network, "client0")
+    network.connect("client0", "lb", prop_delay=10 * MICROSECONDS, bandwidth_bps=bw)
+    network.set_default_route("client0", "lb")
+    for name in frontend_names:
+        network.connect(name, "client0", prop_delay=50 * MICROSECONDS, bandwidth_bps=bw)
+    client = MemtierClient(
+        client_host,
+        Endpoint("vip", config.vip_port),
+        config.memtier,
+        streams.get("client.workload"),
+    )
+
+    # Frontend-side fault, if requested.
+    if config.fault == "frontend":
+        pipe = network.pipe("lb", frontend_names[0])
+        sim.schedule_at(
+            config.fault_at, lambda: pipe.set_extra_delay(config.fault_extra)
+        )
+
+    client.start()
+    sim.run_until(config.duration)
+    client.stop()
+
+    return TieredResult(
+        config=config,
+        client=client,
+        feedback=feedback,
+        pool=pool,
+        frontends=frontends,
+        dependency=dependency,
+    )

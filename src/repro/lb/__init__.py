@@ -1,0 +1,53 @@
+"""Load-balancer dataplane substrate.
+
+Reproduces the dataplane the paper built on: a Maglev-hashing L4 load
+balancer with connection tracking and Direct Server Return.  The
+dataplane sees **only client→server packets**; responses take the
+server→client pipes and never traverse it.  Measurement and control
+(``repro.core``) attach via packet taps.
+
+* :mod:`~repro.lb.maglev` — Maglev lookup table (NSDI '16), including
+  the weighted variant the feedback controller drives.
+* :mod:`~repro.lb.backend` — backend descriptors and the pool.
+* :mod:`~repro.lb.conntrack` — flow→backend affinity with idle expiry.
+* :mod:`~repro.lb.policies` — baseline routing policies (round-robin,
+  random, weighted-random, least-connections, power-of-two-choices).
+* :mod:`~repro.lb.dataplane` — the VIP packet processor.
+"""
+
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.conntrack import ConnTrack
+from repro.lb.dataplane import LoadBalancer
+from repro.lb.health import HealthCheckConfig, HealthChecker
+from repro.lb.maglev import MaglevTable, next_prime
+
+# NOTE: repro.lb.oracle is intentionally not re-exported here — it
+# depends on repro.core (the controller it drives), which depends on
+# this package; import it as `from repro.lb.oracle import OracleFeedback`.
+from repro.lb.policies import (
+    LeastConnections,
+    MaglevPolicy,
+    PowerOfTwoChoices,
+    RandomPolicy,
+    RoundRobin,
+    RoutingPolicy,
+    WeightedRandom,
+)
+
+__all__ = [
+    "Backend",
+    "BackendPool",
+    "ConnTrack",
+    "HealthChecker",
+    "HealthCheckConfig",
+    "LoadBalancer",
+    "MaglevTable",
+    "next_prime",
+    "RoutingPolicy",
+    "MaglevPolicy",
+    "RoundRobin",
+    "RandomPolicy",
+    "WeightedRandom",
+    "LeastConnections",
+    "PowerOfTwoChoices",
+]

@@ -1,0 +1,134 @@
+"""Connection tracking: flow → backend affinity.
+
+The paper's §2.5 requirements include connection-to-server affinity: a
+flow must keep hitting the backend it was first assigned, even as the
+routing table changes underneath (otherwise mid-connection re-routing
+breaks TCP).  The table also drives least-connections policies via
+per-backend active-flow counts.
+
+Expiry: an entry dies when the LB sees the client's FIN or RST (after a
+linger so retransmissions still match), or after an idle timeout.  The
+sweep is amortized — every ``sweep_every`` operations — so the per-packet
+path stays O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.addr import FlowKey
+from repro.units import MILLISECONDS, SECONDS
+
+
+@dataclass
+class _Entry:
+    backend: str
+    last_seen: int
+    closing_at: Optional[int] = None  # time FIN/RST observed
+
+
+@dataclass
+class ConnTrackStats:
+    """Lifetime counters."""
+
+    inserts: int = 0
+    hits: int = 0
+    misses: int = 0
+    expired_idle: int = 0
+    expired_fin: int = 0
+
+
+class ConnTrack:
+    """Flow-affinity table with idle and FIN-driven expiry."""
+
+    def __init__(
+        self,
+        idle_timeout: int = 10 * SECONDS,
+        fin_linger: int = 50 * MILLISECONDS,
+        sweep_every: int = 1024,
+    ):
+        if idle_timeout <= 0 or fin_linger < 0:
+            raise ValueError("bad conntrack timeouts")
+        self._idle_timeout = idle_timeout
+        self._fin_linger = fin_linger
+        self._sweep_every = max(1, sweep_every)
+        self._entries: Dict[FlowKey, _Entry] = {}
+        self._flow_counts: Dict[str, int] = {}
+        self._ops = 0
+        self.stats = ConnTrackStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, flow: FlowKey, now: int) -> Optional[str]:
+        """Backend for ``flow``, refreshing its idle clock; None if absent."""
+        self._maybe_sweep(now)
+        entry = self._entries.get(flow)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if now - entry.last_seen > self._idle_timeout:
+            self._remove(flow, idle=True)
+            self.stats.misses += 1
+            return None
+        entry.last_seen = now
+        self.stats.hits += 1
+        return entry.backend
+
+    def insert(self, flow: FlowKey, backend: str, now: int) -> None:
+        """Pin ``flow`` to ``backend``."""
+        old = self._entries.get(flow)
+        if old is not None:
+            self._decrement(old.backend)
+        self._entries[flow] = _Entry(backend=backend, last_seen=now)
+        self._flow_counts[backend] = self._flow_counts.get(backend, 0) + 1
+        self.stats.inserts += 1
+
+    def mark_closing(self, flow: FlowKey, now: int) -> None:
+        """Note a FIN/RST from the client; entry lingers briefly."""
+        entry = self._entries.get(flow)
+        if entry is not None and entry.closing_at is None:
+            entry.closing_at = now
+
+    def active_flows(self, backend: str) -> int:
+        """Tracked flows currently pinned to ``backend`` (incl. closing)."""
+        return self._flow_counts.get(backend, 0)
+
+    def live_flows(self, backend: str) -> int:
+        """Pinned flows with no FIN/RST observed yet (O(n) scan)."""
+        return sum(
+            1
+            for entry in self._entries.values()
+            if entry.backend == backend and entry.closing_at is None
+        )
+
+    def _maybe_sweep(self, now: int) -> None:
+        self._ops += 1
+        if self._ops % self._sweep_every:
+            return
+        dead = []
+        for flow, entry in self._entries.items():
+            if entry.closing_at is not None and now - entry.closing_at > self._fin_linger:
+                dead.append((flow, False))
+            elif now - entry.last_seen > self._idle_timeout:
+                dead.append((flow, True))
+        for flow, idle in dead:
+            self._remove(flow, idle=idle)
+
+    def _remove(self, flow: FlowKey, idle: bool) -> None:
+        entry = self._entries.pop(flow, None)
+        if entry is None:
+            return
+        self._decrement(entry.backend)
+        if idle:
+            self.stats.expired_idle += 1
+        else:
+            self.stats.expired_fin += 1
+
+    def _decrement(self, backend: str) -> None:
+        count = self._flow_counts.get(backend, 0)
+        if count <= 1:
+            self._flow_counts.pop(backend, None)
+        else:
+            self._flow_counts[backend] = count - 1

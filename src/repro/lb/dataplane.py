@@ -1,0 +1,141 @@
+"""The load-balancer packet processor.
+
+A :class:`LoadBalancer` is a network node owning a VIP.  For each
+client→server packet it:
+
+1. looks the flow up in connection tracking (affinity first — §2.5);
+2. otherwise asks the routing policy for a backend (SYN = new flow;
+   a non-SYN miss falls back to the policy too, mimicking an LB that
+   lost state but still routes consistently via hashing);
+3. forwards the packet to the chosen backend over the direct pipe,
+   leaving the VIP destination intact (DSR: the backend owns the VIP as
+   an alias and answers the client directly);
+4. feeds its **taps** — the measurement plane's only input.  A tap sees
+   ``(now, flow, backend, packet)`` — exactly the information an XDP
+   program would have, and *never* any response traffic.
+
+Per-backend forwarding statistics come for free and let experiments
+verify how traffic actually shifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.lb.backend import BackendPool
+from repro.lb.conntrack import ConnTrack
+from repro.lb.policies import RoutingPolicy
+from repro.net.addr import Endpoint, FlowKey
+from repro.net.network import Network
+from repro.net.packet import Packet
+
+#: Signature of a measurement tap.
+PacketTap = Callable[[int, FlowKey, str, Packet], None]
+
+
+@dataclass
+class LoadBalancerStats:
+    """Forwarding counters."""
+
+    packets_in: int = 0
+    packets_forwarded: int = 0
+    packets_dropped_no_backend: int = 0
+    new_flows: int = 0
+    conntrack_fallbacks: int = 0
+    draining_packets: int = 0
+    per_backend_packets: Dict[str, int] = field(default_factory=dict)
+    per_backend_new_flows: Dict[str, int] = field(default_factory=dict)
+
+
+class LoadBalancer:
+    """L4 load balancer node with DSR forwarding.
+
+    Parameters
+    ----------
+    network:
+        Fabric to attach to (the LB registers itself as a node).
+    name:
+        Node name (e.g. ``"lb"``).
+    vip:
+        The virtual endpoint clients address.
+    pool, policy, conntrack:
+        Backend set, new-flow routing policy, and affinity table.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        vip: Endpoint,
+        pool: BackendPool,
+        policy: RoutingPolicy,
+        conntrack: Optional[ConnTrack] = None,
+    ):
+        self.network = network
+        self.name = name
+        self.vip = vip
+        self.pool = pool
+        self.policy = policy
+        self.conntrack = conntrack or ConnTrack()
+        self.stats = LoadBalancerStats()
+        self._taps: List[PacketTap] = []
+        network.add_node(self)
+
+    def add_tap(self, tap: PacketTap) -> None:
+        """Attach a measurement tap (called per forwarded packet)."""
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Node interface
+    # ------------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        """Process one client→server packet."""
+        self.stats.packets_in += 1
+        if packet.dst.host != self.vip.host:
+            # Not for our VIP: a misrouted packet; drop.
+            self.stats.packets_dropped_no_backend += 1
+            return
+
+        now = self.network.sim.now
+        flow = packet.flow
+        backend = self.conntrack.lookup(flow, now)
+        if backend is not None and backend not in self.pool:
+            # The backend left the pool but the flow is pinned: keep
+            # draining it (§2.5 — membership churn must not break
+            # established connections).  Only new flows avoid it.
+            self.stats.draining_packets += 1
+        if backend is None:
+            is_new = packet.is_syn and not packet.is_ack
+            backend = self.policy.select(flow, now)
+            self.conntrack.insert(flow, backend, now)
+            if is_new:
+                self.stats.new_flows += 1
+                self.stats.per_backend_new_flows[backend] = (
+                    self.stats.per_backend_new_flows.get(backend, 0) + 1
+                )
+            else:
+                self.stats.conntrack_fallbacks += 1
+
+        if packet.is_fin or packet.is_rst:
+            self.conntrack.mark_closing(flow, now)
+
+        for tap in self._taps:
+            tap(now, flow, backend, packet)
+
+        self.stats.packets_forwarded += 1
+        self.stats.per_backend_packets[backend] = (
+            self.stats.per_backend_packets.get(backend, 0) + 1
+        )
+        self.network.send_via(self.name, backend, packet)
+
+    def backend_share(self) -> Dict[str, float]:
+        """Fraction of forwarded packets per backend (for reports)."""
+        total = sum(self.stats.per_backend_packets.values())
+        if total == 0:
+            return {}
+        return {
+            name: count / total
+            for name, count in sorted(self.stats.per_backend_packets.items())
+        }

@@ -1,0 +1,156 @@
+"""Active health checking for the backend pool.
+
+A standard load-balancer subsystem (§2.5 expects LBs to tolerate churn
+in the server set): each backend is probed with a real TCP connect on a
+fixed interval; ``fall`` consecutive failures mark it unhealthy (the
+Maglev table rebuilds without it), ``rise`` consecutive successes bring
+it back.  Probes are full transport handshakes over the same pipes data
+uses, so a dark server (no listener) or a dead path fails probes
+naturally.
+
+Note the contrast with the feedback plane: health checking is *binary*
+and *active* (it injects probe traffic); the paper's contribution is
+*continuous* and *passive*.  The two compose — health checks gate
+membership, feedback tunes weights among the live members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.lb.backend import BackendPool
+from repro.net.addr import Endpoint
+from repro.sim.engine import Timer
+from repro.transport.connection import Connection, TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import MILLISECONDS
+
+
+@dataclass
+class HealthCheckConfig:
+    """Prober tunables (HAProxy-flavoured fall/rise semantics)."""
+
+    interval: int = 100 * MILLISECONDS
+    timeout: int = 50 * MILLISECONDS
+    fall: int = 3
+    rise: int = 2
+
+    def validate(self) -> None:
+        """Raise ValueError on malformed values."""
+        if self.interval <= 0 or self.timeout <= 0:
+            raise ValueError("interval and timeout must be positive")
+        if self.fall < 1 or self.rise < 1:
+            raise ValueError("fall and rise must be >= 1")
+
+
+@dataclass
+class ProbeStats:
+    """Per-backend probe counters."""
+
+    probes: int = 0
+    successes: int = 0
+    failures: int = 0
+    transitions: int = 0
+
+
+class _BackendProbe:
+    """The probe loop for one backend."""
+
+    def __init__(self, checker: "HealthChecker", name: str, target: Endpoint):
+        self.checker = checker
+        self.name = name
+        self.target = target
+        self.consecutive_fail = 0
+        self.consecutive_ok = 0
+        self.stats = ProbeStats()
+        self._conn: Optional[Connection] = None
+        self._interval_timer = Timer(checker.host.sim, self._probe)
+        self._timeout_timer = Timer(checker.host.sim, self._on_timeout)
+        self._interval_timer.start(checker.config.interval)
+
+    def _probe(self) -> None:
+        self.stats.probes += 1
+        # A short initial RTO keeps a lost SYN from stalling the probe
+        # beyond its own timeout window.
+        transport = TransportConfig(initial_rto=self.checker.config.timeout)
+        self._conn = self.checker.host.connect(self.target, transport)
+        self._conn.on_established = lambda conn: self._on_success()
+        self._timeout_timer.start(self.checker.config.timeout)
+
+    def _on_success(self) -> None:
+        self._timeout_timer.stop()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self.stats.successes += 1
+        self.consecutive_ok += 1
+        self.consecutive_fail = 0
+        if (
+            not self.checker.pool.get(self.name).healthy
+            and self.consecutive_ok >= self.checker.config.rise
+        ):
+            self.stats.transitions += 1
+            self.checker.pool.set_healthy(self.name, True)
+        self._interval_timer.start(self.checker.config.interval)
+
+    def _on_timeout(self) -> None:
+        if self._conn is not None:
+            self._conn.abort()
+            self._conn = None
+        self.stats.failures += 1
+        self.consecutive_fail += 1
+        self.consecutive_ok = 0
+        if (
+            self.checker.pool.get(self.name).healthy
+            and self.consecutive_fail >= self.checker.config.fall
+        ):
+            self.stats.transitions += 1
+            self.checker.pool.set_healthy(self.name, False)
+        self._interval_timer.start(self.checker.config.interval)
+
+    def stop(self) -> None:
+        self._interval_timer.stop()
+        self._timeout_timer.stop()
+
+
+class HealthChecker:
+    """Probes every backend and drives the pool's health flags.
+
+    Parameters
+    ----------
+    host:
+        The transport host probes originate from (needs pipes to each
+        backend; in scenarios this is a host colocated with the LB).
+    pool:
+        The pool whose ``healthy`` flags this checker owns.
+    targets:
+        Backend name → the concrete endpoint to probe (usually the
+        backend's own host and service port, not the VIP).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        pool: BackendPool,
+        targets: Dict[str, Endpoint],
+        config: Optional[HealthCheckConfig] = None,
+    ):
+        self.host = host
+        self.pool = pool
+        self.config = config or HealthCheckConfig()
+        self.config.validate()
+        self._probes: Dict[str, _BackendProbe] = {}
+        for name, target in targets.items():
+            if name not in pool:
+                raise ValueError("health target %r not in pool" % name)
+            self._probes[name] = _BackendProbe(self, name, target)
+
+    def stats(self, backend: str) -> ProbeStats:
+        """Probe counters for one backend."""
+        return self._probes[backend].stats
+
+    def stop(self) -> None:
+        """Stop all probe loops."""
+        for probe in self._probes.values():
+            probe.stop()

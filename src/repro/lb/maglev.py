@@ -1,0 +1,194 @@
+"""Maglev consistent hashing (Eisenbud et al., NSDI '16), plus weights.
+
+Each backend gets a permutation of the table slots derived from two
+hashes (*offset* and *skip*); backends take turns claiming their next
+unclaimed slot until the table fills.  The construction gives near-equal
+slot shares and minimal disruption when membership changes.
+
+The **weighted** extension mirrors what Cilium and Google deploy: each
+backend's share of slots is made proportional to its weight.  We compute
+exact per-backend slot targets by largest-remainder apportionment and
+stop a backend's turns once it reaches its target.  The feedback
+controller adjusts weights and rebuilds; existing connections are
+unaffected because the dataplane consults connection tracking first.
+
+Hashes are keyed BLAKE2b digests — deterministic across processes (no
+``PYTHONHASHSEED`` dependence), which the reproducibility story needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BalancerError
+
+
+def is_prime(n: int) -> bool:
+    """Trial-division primality (table sizes are small enough)."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n."""
+    while not is_prime(n):
+        n += 1
+    return n
+
+
+def _stable_hash(value: str, salt: bytes) -> int:
+    digest = hashlib.blake2b(value.encode("utf-8"), key=salt, digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class MaglevTable:
+    """A Maglev lookup table over a set of (possibly weighted) backends.
+
+    Parameters
+    ----------
+    size:
+        Table size; must be prime and comfortably larger than the
+        backend count (the paper's LB uses Maglev's default 65537; tests
+        use small primes).
+    """
+
+    def __init__(self, size: int = 65_537):
+        if not is_prime(size):
+            raise BalancerError("Maglev table size must be prime, got %d" % size)
+        self._size = size
+        self._table: List[Optional[str]] = [None] * size
+        self._backends: List[str] = []
+        self._slot_counts: Dict[str, int] = {}
+        self.builds = 0
+
+    @property
+    def size(self) -> int:
+        """Number of slots."""
+        return self._size
+
+    @property
+    def backends(self) -> List[str]:
+        """Backends in the current table."""
+        return list(self._backends)
+
+    def slot_counts(self) -> Dict[str, int]:
+        """Slots owned by each backend (proportional to weight)."""
+        return dict(self._slot_counts)
+
+    def build(self, weights: Dict[str, float]) -> None:
+        """(Re)build the table for ``weights`` (name → weight > 0).
+
+        Zero-weight backends are excluded entirely (but a feedback
+        controller normally keeps a weight floor so every backend keeps
+        receiving probe traffic).
+        """
+        active = {name: w for name, w in weights.items() if w > 0}
+        if not active:
+            raise BalancerError("cannot build Maglev table with no backends")
+        if len(active) > self._size:
+            raise BalancerError(
+                "more backends (%d) than table slots (%d)"
+                % (len(active), self._size)
+            )
+
+        names = sorted(active)  # stable order, independent of dict order
+        targets = self._apportion(names, active)
+        offsets = {}
+        skips = {}
+        for name in names:
+            offsets[name] = _stable_hash(name, b"maglev-offset") % self._size
+            skips[name] = _stable_hash(name, b"maglev-skip") % (self._size - 1) + 1
+
+        table: List[Optional[str]] = [None] * self._size
+        next_index = {name: 0 for name in names}
+        counts = {name: 0 for name in names}
+        filled = 0
+        # Round-robin turns; a backend stops once it hits its slot target.
+        while filled < self._size:
+            progressed = False
+            for name in names:
+                if counts[name] >= targets[name]:
+                    continue
+                progressed = True
+                offset, skip = offsets[name], skips[name]
+                j = next_index[name]
+                while True:
+                    slot = (offset + j * skip) % self._size
+                    j += 1
+                    if table[slot] is None:
+                        table[slot] = name
+                        counts[name] += 1
+                        filled += 1
+                        break
+                next_index[name] = j
+                if filled == self._size:
+                    break
+            if not progressed:  # all targets met (can't happen: targets sum to size)
+                break
+
+        self._table = table
+        self._backends = names
+        self._slot_counts = counts
+        self.builds += 1
+
+    def _apportion(
+        self, names: Sequence[str], weights: Dict[str, float]
+    ) -> Dict[str, int]:
+        """Largest-remainder apportionment of slots to weights.
+
+        Every active backend is guaranteed at least one slot, so a
+        low-weight backend never silently vanishes from the table.
+        """
+        total = sum(weights[name] for name in names)
+        raw = {name: self._size * weights[name] / total for name in names}
+        floors = {name: max(1, int(raw[name])) for name in names}
+        allocated = sum(floors.values())
+        remainder = self._size - allocated
+        if remainder > 0:
+            by_frac = sorted(
+                names, key=lambda n: (raw[n] - int(raw[n]), n), reverse=True
+            )
+            for name in (by_frac * (remainder // len(names) + 1))[:remainder]:
+                floors[name] += 1
+        elif remainder < 0:
+            # Over-allocation can only come from the >=1 guarantee; take
+            # slots back from the largest holders.
+            by_size = sorted(names, key=lambda n: (floors[n], n), reverse=True)
+            index = 0
+            while remainder < 0:
+                name = by_size[index % len(by_size)]
+                if floors[name] > 1:
+                    floors[name] -= 1
+                    remainder += 1
+                index += 1
+        return floors
+
+    def lookup(self, flow_hash: int) -> str:
+        """Map a flow hash to a backend name."""
+        if not self._backends:
+            raise BalancerError("Maglev table not built")
+        backend = self._table[flow_hash % self._size]
+        assert backend is not None  # build() fills every slot
+        return backend
+
+    def lookup_flow(self, flow_str: str) -> str:
+        """Hash an opaque flow identity string and look it up."""
+        return self.lookup(_stable_hash(flow_str, b"maglev-flow"))
+
+    def disruption(self, other: "MaglevTable") -> float:
+        """Fraction of slots mapped differently vs ``other`` (same size)."""
+        if other.size != self._size:
+            raise BalancerError("cannot compare tables of different sizes")
+        changed = sum(
+            1 for a, b in zip(self._table, other._table) if a != b
+        )
+        return changed / self._size

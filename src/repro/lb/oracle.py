@@ -1,0 +1,52 @@
+"""Oracle baseline: feedback control fed by *true* response latencies.
+
+§2.4 notes that LBs which terminate TCP on both sides see requests and
+responses and can measure latency exactly — at a cost that rules them
+out at the layer this paper targets.  :class:`OracleFeedback` models
+that upper bound without changing the topology: it receives each
+completed request's ground-truth latency (from the client's record
+stream, attributed by the responding server) and drives the same
+estimator + α-shift controller as the in-band design.
+
+Comparing the in-band loop against this oracle isolates the cost of the
+paper's *measurement* substitution (T_LB vs T_client) from the cost of
+its *control* strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.app.client import RequestRecord
+from repro.core.controller import AlphaShiftController, ControllerConfig
+from repro.core.estimator import BackendLatencyEstimator, EstimatorConfig
+from repro.lb.backend import BackendPool
+
+
+class OracleFeedback:
+    """Controller driven by exact per-request latencies.
+
+    Wire it to a client with ``client.on_record = oracle.on_record``.
+    """
+
+    def __init__(
+        self,
+        pool: BackendPool,
+        estimator_config: Optional[EstimatorConfig] = None,
+        controller_config: Optional[ControllerConfig] = None,
+        control: bool = True,
+    ):
+        self.estimator = BackendLatencyEstimator(estimator_config)
+        self.controller: Optional[AlphaShiftController] = None
+        if control:
+            self.controller = AlphaShiftController(
+                pool, self.estimator, controller_config
+            )
+
+    def on_record(self, record: RequestRecord) -> None:
+        """Consume one completed-request record from a client."""
+        if record.server is None:
+            return
+        self.estimator.observe(record.server, record.completed_at, record.latency)
+        if self.controller is not None:
+            self.controller.maybe_shift(record.completed_at)

@@ -1,0 +1,159 @@
+"""Routing policies: how the LB picks a backend for a *new* flow.
+
+The paper's baseline is Maglev hashing; the feedback design is Maglev
+with controller-driven weights.  The rest are classic alternatives used
+as comparison points in the policy-ablation bench: round-robin, uniform
+random, weighted random, least-connections, and power-of-two-choices
+(with an optional latency signal, approximating C3-style replica
+ranking).
+
+A policy only decides *new* flows; affinity for established flows is the
+dataplane's job (conntrack).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Protocol
+
+from repro.errors import BalancerError
+from repro.lb.backend import BackendPool
+from repro.lb.conntrack import ConnTrack
+from repro.lb.maglev import MaglevTable
+from repro.net.addr import FlowKey
+
+
+class RoutingPolicy(Protocol):
+    """Chooses a backend name for a new flow."""
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        """Pick a backend for ``flow`` arriving at time ``now``."""
+        ...
+
+
+def _require_backends(pool: BackendPool) -> list:
+    healthy = pool.healthy()
+    if not healthy:
+        raise BalancerError("no healthy backends available")
+    return healthy
+
+
+class MaglevPolicy:
+    """Consistent hashing over the (weighted) Maglev table.
+
+    Rebuilds the table whenever the pool's weights or membership change;
+    the ``builds`` counter on the table lets tests assert rebuild
+    behaviour.
+    """
+
+    def __init__(self, pool: BackendPool, table_size: int = 65_537):
+        self.pool = pool
+        self.table = MaglevTable(table_size)
+        self._rebuild()
+        pool.on_change(self._rebuild)
+
+    def _rebuild(self) -> None:
+        weights = {
+            b.name: b.weight for b in self.pool.healthy()
+        }
+        if weights:
+            self.table.build(weights)
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        _require_backends(self.pool)
+        return self.table.lookup_flow(str(flow))
+
+
+class RoundRobin:
+    """Cycle through healthy backends."""
+
+    def __init__(self, pool: BackendPool):
+        self.pool = pool
+        self._next = 0
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        healthy = _require_backends(self.pool)
+        backend = healthy[self._next % len(healthy)]
+        self._next += 1
+        return backend.name
+
+
+class RandomPolicy:
+    """Uniform random choice."""
+
+    def __init__(self, pool: BackendPool, rng: random.Random):
+        self.pool = pool
+        self.rng = rng
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        healthy = _require_backends(self.pool)
+        return self.rng.choice(healthy).name
+
+
+class WeightedRandom:
+    """Random choice proportional to backend weights."""
+
+    def __init__(self, pool: BackendPool, rng: random.Random):
+        self.pool = pool
+        self.rng = rng
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        healthy = _require_backends(self.pool)
+        total = sum(b.weight for b in healthy)
+        if total <= 0:
+            return self.rng.choice(healthy).name
+        point = self.rng.random() * total
+        cumulative = 0.0
+        for backend in healthy:
+            cumulative += backend.weight
+            if point <= cumulative:
+                return backend.name
+        return healthy[-1].name
+
+
+class LeastConnections:
+    """Send new flows to the backend with the fewest tracked flows."""
+
+    def __init__(self, pool: BackendPool, conntrack: ConnTrack):
+        self.pool = pool
+        self.conntrack = conntrack
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        healthy = _require_backends(self.pool)
+        return min(
+            healthy, key=lambda b: (self.conntrack.active_flows(b.name), b.name)
+        ).name
+
+
+class PowerOfTwoChoices:
+    """Sample two backends, keep the better one.
+
+    "Better" is lower latency when a latency source is provided (and has
+    an estimate for both candidates); otherwise fewer active flows.
+    """
+
+    def __init__(
+        self,
+        pool: BackendPool,
+        conntrack: ConnTrack,
+        rng: random.Random,
+        latency_source: Optional[Callable[[str], Optional[float]]] = None,
+    ):
+        self.pool = pool
+        self.conntrack = conntrack
+        self.rng = rng
+        self.latency_source = latency_source
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        healthy = _require_backends(self.pool)
+        if len(healthy) == 1:
+            return healthy[0].name
+        first, second = self.rng.sample(healthy, 2)
+        if self.latency_source is not None:
+            lat_a = self.latency_source(first.name)
+            lat_b = self.latency_source(second.name)
+            if lat_a is not None and lat_b is not None:
+                return first.name if lat_a <= lat_b else second.name
+        conns_a = self.conntrack.active_flows(first.name)
+        conns_b = self.conntrack.active_flows(second.name)
+        return first.name if conns_a <= conns_b else second.name

@@ -1,0 +1,34 @@
+"""Network model substrate.
+
+A :class:`~repro.net.network.Network` is a fabric of named nodes joined
+by unidirectional :class:`~repro.net.pipe.Pipe` links.  Nodes route
+hop-by-hop using static per-node route tables, which is how the
+asymmetric paths of Direct Server Return are expressed: client→server
+traffic routes through the load balancer, server→client traffic takes a
+direct pipe that bypasses it.
+
+Pipes model propagation delay, serialization at a configurable bandwidth,
+a bounded FIFO queue, and a run-time adjustable *extra delay* — the knob
+the Fig 3 experiment turns to inject 1 ms on an LB→server path.
+"""
+
+from repro.net.addr import Endpoint, FlowKey
+from repro.net.packet import Packet, TcpFlags, MessageBoundary
+from repro.net.pipe import Pipe, PipeStats
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.trace import PacketTrace, TraceRecord
+
+__all__ = [
+    "Endpoint",
+    "FlowKey",
+    "Packet",
+    "TcpFlags",
+    "MessageBoundary",
+    "Pipe",
+    "PipeStats",
+    "Network",
+    "Node",
+    "PacketTrace",
+    "TraceRecord",
+]

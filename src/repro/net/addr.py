@@ -1,0 +1,59 @@
+"""Addresses and connection identifiers.
+
+Hosts are identified by name (a string such as ``"client0"`` or a
+virtual IP like ``"vip"``); an :class:`Endpoint` pairs a host with a
+port.  A :class:`FlowKey` is the classic connection 4-tuple as seen in
+one direction; the load balancer keys its per-flow measurement state and
+its connection-tracking table on it, exactly as an L4 LB hashes the
+4-tuple.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Endpoint(NamedTuple):
+    """A (host, port) pair."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+
+class FlowKey(NamedTuple):
+    """Directed connection 4-tuple: packets from ``src`` toward ``dst``."""
+
+    src_host: str
+    src_port: int
+    dst_host: str
+    dst_port: int
+
+    @classmethod
+    def for_packet(cls, src: Endpoint, dst: Endpoint) -> "FlowKey":
+        """Build the key for a packet travelling src → dst."""
+        return cls(src.host, src.port, dst.host, dst.port)
+
+    def reversed(self) -> "FlowKey":
+        """The same connection seen in the opposite direction."""
+        return FlowKey(self.dst_host, self.dst_port, self.src_host, self.src_port)
+
+    @property
+    def src(self) -> Endpoint:
+        """Source endpoint."""
+        return Endpoint(self.src_host, self.src_port)
+
+    @property
+    def dst(self) -> Endpoint:
+        """Destination endpoint."""
+        return Endpoint(self.dst_host, self.dst_port)
+
+    def __str__(self) -> str:
+        return "%s:%d->%s:%d" % (
+            self.src_host,
+            self.src_port,
+            self.dst_host,
+            self.dst_port,
+        )

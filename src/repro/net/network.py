@@ -1,0 +1,205 @@
+"""The network fabric: nodes, pipes, and hop-by-hop routing.
+
+Routing is deliberately static and explicit.  Each node has a route
+table mapping *destination host* → *next-hop node name*, plus an
+optional default route.  That is all the reproduction needs, and it
+makes Direct Server Return a first-class configuration rather than a
+special case:
+
+* clients route the VIP (and, by default route, everything) to the LB;
+* the LB routes each backend host to a direct pipe;
+* servers route each client host to a direct pipe — the return path
+  never touches the LB.
+
+``make_dsr_topology`` builds exactly that shape for N clients and M
+servers and is what the experiment harness uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.pipe import Pipe
+from repro.net.trace import PacketTrace
+from repro.sim.engine import Simulator
+
+
+class Network:
+    """Registry of nodes, pipes between them, and per-node routes."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._nodes: Dict[str, Node] = {}
+        self._pipes: Dict[Tuple[str, str], Pipe] = {}
+        self._routes: Dict[str, Dict[str, str]] = {}
+        self._default_routes: Dict[str, str] = {}
+        self._aliases: Dict[str, str] = {}
+        self._taps: List[Callable[[str, Packet], None]] = []
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine this network schedules on."""
+        return self._sim
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Register a node; names must be unique."""
+        if node.name in self._nodes:
+            raise NetworkError("duplicate node name %r" % node.name)
+        self._nodes[node.name] = node
+        self._routes.setdefault(node.name, {})
+
+    def get_node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError("unknown node %r" % name) from None
+
+    def add_alias(self, alias: str, node_name: str) -> None:
+        """Make ``alias`` (e.g. a VIP) deliverable to ``node_name``.
+
+        Used for DSR: each backend server owns the VIP as an alias so it
+        can receive packets the LB forwards without rewriting their
+        destination, and can source responses from the VIP.
+        """
+        if node_name not in self._nodes:
+            raise NetworkError("alias target %r not a node" % node_name)
+        self._aliases[alias] = node_name
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        prop_delay: int,
+        bandwidth_bps: Optional[int] = None,
+        queue_capacity: int = 1024,
+        jitter: Optional[Callable[[], int]] = None,
+        name: Optional[str] = None,
+    ) -> Pipe:
+        """Create a unidirectional pipe ``src → dst``."""
+        if src not in self._nodes:
+            raise NetworkError("unknown source node %r" % src)
+        if dst not in self._nodes:
+            raise NetworkError("unknown destination node %r" % dst)
+        key = (src, dst)
+        if key in self._pipes:
+            raise NetworkError("pipe %s->%s already exists" % key)
+        pipe = Pipe(
+            self._sim,
+            name or "%s->%s" % key,
+            prop_delay,
+            bandwidth_bps,
+            queue_capacity,
+            jitter,
+        )
+        node = self._nodes[dst]
+        pipe.connect(lambda packet, node=node, pname=pipe.name: self._deliver(node, pname, packet))
+        self._pipes[key] = pipe
+        return pipe
+
+    def connect_bidirectional(
+        self,
+        a: str,
+        b: str,
+        prop_delay: int,
+        bandwidth_bps: Optional[int] = None,
+        queue_capacity: int = 1024,
+    ) -> Tuple[Pipe, Pipe]:
+        """Convenience: a symmetric pair of pipes."""
+        forward = self.connect(a, b, prop_delay, bandwidth_bps, queue_capacity)
+        backward = self.connect(b, a, prop_delay, bandwidth_bps, queue_capacity)
+        return forward, backward
+
+    def pipe(self, src: str, dst: str) -> Pipe:
+        """Look up the pipe ``src → dst``."""
+        try:
+            return self._pipes[(src, dst)]
+        except KeyError:
+            raise NetworkError("no pipe %s->%s" % (src, dst)) from None
+
+    def add_route(self, node: str, dst_host: str, next_hop: str) -> None:
+        """Route traffic from ``node`` toward ``dst_host`` via ``next_hop``."""
+        if node not in self._nodes:
+            raise NetworkError("unknown node %r" % node)
+        self._routes[node][dst_host] = next_hop
+
+    def set_default_route(self, node: str, next_hop: str) -> None:
+        """Fallback next hop for destinations with no explicit route."""
+        if node not in self._nodes:
+            raise NetworkError("unknown node %r" % node)
+        self._default_routes[node] = next_hop
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def send_from(self, node_name: str, packet: Packet) -> bool:
+        """Route ``packet`` out of ``node_name`` toward its destination.
+
+        Resolves the next hop (explicit route, then default route, then —
+        if the destination resolves to a directly-pipe-connected node —
+        that node).  Returns False if the pipe tail-dropped the packet.
+        """
+        dst_host = packet.dst.host
+        next_hop = self._resolve_next_hop(node_name, dst_host)
+        pipe = self._pipes.get((node_name, next_hop))
+        if pipe is None:
+            raise NetworkError(
+                "no pipe from %s to next hop %s (for dst %s)"
+                % (node_name, next_hop, dst_host)
+            )
+        for tap in self._taps:
+            tap(pipe.name, packet)
+        return pipe.send(packet)
+
+    def send_via(self, src_node: str, next_hop: str, packet: Packet) -> bool:
+        """Send over an explicit hop, ignoring route tables.
+
+        The load balancer uses this to forward a VIP-addressed packet to
+        the backend it selected — the DSR forwarding step.
+        """
+        pipe = self._pipes.get((src_node, next_hop))
+        if pipe is None:
+            raise NetworkError("no pipe %s->%s" % (src_node, next_hop))
+        for tap in self._taps:
+            tap(pipe.name, packet)
+        return pipe.send(packet)
+
+    def _resolve_next_hop(self, node_name: str, dst_host: str) -> str:
+        routes = self._routes.get(node_name, {})
+        if dst_host in routes:
+            return routes[dst_host]
+        resolved = self._aliases.get(dst_host, dst_host)
+        if resolved in routes:
+            return routes[resolved]
+        if node_name in self._default_routes:
+            return self._default_routes[node_name]
+        if (node_name, resolved) in self._pipes:
+            return resolved
+        raise NetworkError("node %s has no route to %s" % (node_name, dst_host))
+
+    def _deliver(self, node: Node, pipe_name: str, packet: Packet) -> None:
+        node.on_packet(packet)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def add_tap(self, tap: Callable[[str, Packet], None]) -> None:
+        """Observe every packet at transmission time (pipe name, packet)."""
+        self._taps.append(tap)
+
+    def attach_trace(self, trace: PacketTrace) -> None:
+        """Record every transmission into ``trace``."""
+        self.add_tap(
+            lambda pipe_name, packet: trace.record(
+                self._sim.now, pipe_name, packet
+            )
+        )

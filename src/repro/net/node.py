@@ -1,0 +1,22 @@
+"""The node interface every network participant implements."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.net.packet import Packet
+
+
+class Node(Protocol):
+    """Anything attachable to a :class:`~repro.net.network.Network`.
+
+    Hosts (client/server transport endpoints) and the load balancer are
+    nodes.  The network calls :meth:`on_packet` when a packet arrives on
+    any pipe whose receiving end is this node.
+    """
+
+    name: str
+
+    def on_packet(self, packet: Packet) -> None:
+        """Handle a packet delivered to this node."""
+        ...

@@ -1,0 +1,128 @@
+"""The packet model.
+
+Packets are TCP-segment-shaped: a flow 4-tuple, flags, 32-bit-style
+sequence/ack numbers (we use unbounded ints — wraparound adds nothing to
+the reproduction), a payload length, and *message boundaries*.
+
+Message boundaries are how the byte-stream transport carries
+application-message framing without simulating actual bytes: a boundary
+``(end_offset, message)`` rides on the segment that contains the last
+byte of the message, and the receiver delivers ``message`` to the
+application once its cumulative in-order offset passes ``end_offset``.
+Retransmissions re-carry boundaries; receivers de-duplicate by offset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, NamedTuple
+
+from repro.net.addr import Endpoint, FlowKey
+
+#: Bytes of header overhead charged to every packet (Ethernet+IP+TCP-ish).
+HEADER_BYTES = 66
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP-style control flags."""
+
+    NONE = 0
+    SYN = 1
+    ACK = 2
+    FIN = 4
+    PSH = 8
+    RST = 16
+
+
+class MessageBoundary(NamedTuple):
+    """End offset of an application message within the byte stream."""
+
+    end_offset: int
+    message: Any
+
+
+_packet_counter = 0
+
+
+def _next_packet_id() -> int:
+    global _packet_counter
+    _packet_counter += 1
+    return _packet_counter
+
+
+@dataclass
+class Packet:
+    """A simulated TCP segment.
+
+    ``size_bytes`` (header + payload) is what links charge for
+    serialization.  ``sent_at`` is stamped by the sender for tracing and
+    ground-truth bookkeeping; the measurement plane at the LB must *not*
+    read it (it only uses arrival times at the LB, as the paper requires).
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    flags: TcpFlags = TcpFlags.NONE
+    seq: int = 0
+    ack: int = 0
+    payload_len: int = 0
+    boundaries: List[MessageBoundary] = field(default_factory=list)
+    sent_at: int = 0
+    packet_id: int = field(default_factory=_next_packet_id)
+    retransmit: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size charged to links."""
+        return HEADER_BYTES + self.payload_len
+
+    @property
+    def flow(self) -> FlowKey:
+        """Directed 4-tuple of this packet."""
+        return FlowKey.for_packet(self.src, self.dst)
+
+    @property
+    def is_syn(self) -> bool:
+        """True for SYN (including SYN-ACK) segments."""
+        return bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        """True when the ACK flag is set."""
+        return bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        """True for FIN segments."""
+        return bool(self.flags & TcpFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        """True for RST segments."""
+        return bool(self.flags & TcpFlags.RST)
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this segment's payload (SYN/FIN
+        consume one sequence number, as in TCP)."""
+        length = self.payload_len
+        if self.flags & (TcpFlags.SYN | TcpFlags.FIN):
+            length += 1
+        return self.seq + length
+
+    def describe(self) -> str:
+        """Terse human-readable summary for traces."""
+        names = []
+        for flag in (TcpFlags.SYN, TcpFlags.ACK, TcpFlags.FIN, TcpFlags.PSH, TcpFlags.RST):
+            if self.flags & flag:
+                names.append(flag.name or "?")
+        flag_str = "|".join(names) if names else "-"
+        return "#%d %s %s seq=%d ack=%d len=%d" % (
+            self.packet_id,
+            self.flow,
+            flag_str,
+            self.seq,
+            self.ack,
+            self.payload_len,
+        )

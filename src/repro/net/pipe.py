@@ -1,0 +1,158 @@
+"""Unidirectional network path between two nodes.
+
+A :class:`Pipe` models, in order:
+
+1. **Serialization** — the sender's NIC puts the packet on the wire at
+   ``bandwidth_bps``; packets queue FIFO while the wire is busy.
+2. **Bounded queue** — if more than ``queue_capacity`` packets are
+   waiting for the wire, the new packet is dropped (tail drop).
+3. **Propagation** — a fixed ``prop_delay`` plus an adjustable
+   ``extra_delay`` (the Fig 3 injection knob) plus optional random
+   jitter.
+
+Delivery order is preserved: the arrival time is clamped to be no
+earlier than the previous packet's arrival, so jitter never reorders a
+path.  (The paper's techniques do not depend on reordering, and in-order
+delivery keeps the TCP model honest about what triggers transmissions.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.units import serialization_delay
+
+
+@dataclass
+class PipeStats:
+    """Counters a pipe accumulates over its lifetime."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+
+class Pipe:
+    """One-way link with delay, bandwidth, queueing, and injection knobs.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine used to schedule deliveries.
+    name:
+        Label used in traces and error messages.
+    prop_delay:
+        One-way propagation delay in ns.
+    bandwidth_bps:
+        Wire speed in bits/s; ``None`` disables serialization delay and
+        queueing entirely (an ideal link).
+    queue_capacity:
+        Maximum packets waiting for the wire before tail drop (only
+        meaningful with finite bandwidth).
+    jitter:
+        Optional callable returning a non-negative ns jitter to add to
+        each packet's propagation (e.g. ``lambda: rng.randrange(5_000)``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        prop_delay: int,
+        bandwidth_bps: Optional[int] = None,
+        queue_capacity: int = 1024,
+        jitter: Optional[Callable[[], int]] = None,
+    ):
+        if prop_delay < 0:
+            raise NetworkError("negative propagation delay on pipe %s" % name)
+        if queue_capacity < 1:
+            raise NetworkError("queue capacity must be >= 1 on pipe %s" % name)
+        self._sim = sim
+        self.name = name
+        self._prop_delay = prop_delay
+        self._bandwidth_bps = bandwidth_bps
+        self._queue_capacity = queue_capacity
+        self._jitter = jitter
+        self._extra_delay = 0
+        self._wire_free_at = 0
+        self._last_arrival = 0
+        # Departure times of packets still occupying the queue/wire;
+        # drained lazily in send() instead of with per-packet events.
+        self._departures: Deque[int] = deque()
+        self.stats = PipeStats()
+        self._deliver: Optional[Callable[[Packet], None]] = None
+
+    @property
+    def prop_delay(self) -> int:
+        """Configured propagation delay (ns), excluding extra delay."""
+        return self._prop_delay
+
+    @property
+    def extra_delay(self) -> int:
+        """Currently injected extra one-way delay (ns)."""
+        return self._extra_delay
+
+    def set_extra_delay(self, extra: int) -> None:
+        """Inject (or clear, with 0) additional one-way delay.
+
+        This is the experiment's fault-injection knob: Fig 3 sets 1 ms of
+        extra delay on one LB→server pipe mid-run.
+        """
+        if extra < 0:
+            raise NetworkError("extra delay must be >= 0, got %d" % extra)
+        self._extra_delay = extra
+
+    def connect(self, deliver: Callable[[Packet], None]) -> None:
+        """Attach the receiving side's delivery callback."""
+        self._deliver = deliver
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet``; returns False if it was tail-dropped."""
+        if self._deliver is None:
+            raise NetworkError("pipe %s has no receiver connected" % self.name)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+
+        now = self._sim.now
+        if self._bandwidth_bps is None:
+            departure = now
+        else:
+            departures = self._departures
+            while departures and departures[0] <= now:
+                departures.popleft()
+            if len(departures) >= self._queue_capacity:
+                self.stats.packets_dropped += 1
+                return False
+            start = max(now, self._wire_free_at)
+            departure = start + serialization_delay(
+                packet.size_bytes, self._bandwidth_bps
+            )
+            self._wire_free_at = departure
+            departures.append(departure)
+
+        arrival = departure + self._prop_delay + self._extra_delay
+        if self._jitter is not None:
+            jitter = self._jitter()
+            if jitter < 0:
+                raise NetworkError("jitter must be non-negative on %s" % self.name)
+            arrival += jitter
+        # Never reorder: clamp to the previous arrival instant.
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+
+        self._sim.schedule_at(arrival, lambda p=packet: self._arrive(p))
+        return True
+
+    def _arrive(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size_bytes
+        assert self._deliver is not None
+        self._deliver(packet)

@@ -1,0 +1,60 @@
+"""In-memory packet traces (a pcap stand-in) for tests and debugging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured transmission."""
+
+    time: int
+    pipe: str
+    packet: Packet
+
+    def format(self) -> str:
+        """One-line rendering, tcpdump-flavoured."""
+        return "%12d %-24s %s" % (self.time, self.pipe, self.packet.describe())
+
+
+class PacketTrace:
+    """Append-only capture of transmissions, filterable after the fact."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self._records: List[TraceRecord] = []
+        self._limit = limit
+        self.truncated = False
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: int, pipe: str, packet: Packet) -> None:
+        """Capture one transmission (drops silently past ``limit``)."""
+        if self._limit is not None and len(self._records) >= self._limit:
+            self.truncated = True
+            return
+        self._records.append(TraceRecord(time, pipe, packet))
+
+    def filter(
+        self, predicate: Callable[[TraceRecord], bool]
+    ) -> List[TraceRecord]:
+        """Records satisfying ``predicate``."""
+        return [r for r in self._records if predicate(r)]
+
+    def on_pipe(self, pipe: str) -> List[TraceRecord]:
+        """Records captured on a given pipe."""
+        return self.filter(lambda r: r.pipe == pipe)
+
+    def dump(self, limit: int = 100) -> str:
+        """Multi-line rendering of up to ``limit`` records."""
+        lines = [r.format() for r in self._records[:limit]]
+        if len(self._records) > limit:
+            lines.append("... (%d more)" % (len(self._records) - limit))
+        return "\n".join(lines)

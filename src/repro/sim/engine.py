@@ -1,0 +1,211 @@
+"""Discrete-event simulation engine.
+
+A :class:`Simulator` owns the virtual clock (integer nanoseconds) and a
+binary-heap event queue.  Events are ``(time, sequence, callback)`` tuples;
+the monotonically increasing sequence number breaks ties so that two events
+scheduled for the same instant fire in scheduling order, which keeps runs
+deterministic.
+
+Cancellation is handled with tombstones: :meth:`EventHandle.cancel` marks
+the entry dead and the main loop skips it, avoiding O(n) heap surgery.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1000, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[1000]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires.
+
+    Returned by :meth:`Simulator.schedule` and :meth:`Simulator.schedule_at`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "_cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+        self.callback = _NOOP  # free closure references promptly
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return "EventHandle(t=%d, seq=%d, %s)" % (self.time, self.seq, state)
+
+
+def _NOOP() -> None:
+    return None
+
+
+class Simulator:
+    """Deterministic discrete-event loop with an integer-nanosecond clock.
+
+    The simulator never advances time on its own: it jumps from event to
+    event.  ``run_until`` bounds the clock, which is how experiment
+    durations are expressed.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[tuple] = []  # (time, seq, EventHandle)
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired so far (for throughput benchmarks)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued, including cancelled tombstones."""
+        return len(self._queue)
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` ns from now.
+
+        ``delay`` must be non-negative; zero-delay events fire after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule %d ns in the past" % delay)
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at t=%d, already at t=%d" % (time, self._now)
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, callback)
+        heapq.heappush(self._queue, (time, self._seq, handle))
+        return handle
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events processed by this call.
+        """
+        return self._drain(until=None, max_events=max_events)
+
+    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps ``<= time``; clock ends at ``time``.
+
+        Events scheduled beyond ``time`` stay queued, so simulations can be
+        resumed with further ``run_until`` calls.
+        """
+        processed = self._drain(until=time, max_events=max_events)
+        if self._now < time:
+            self._now = time
+        return processed
+
+    def step(self) -> bool:
+        """Fire the single next live event.  Returns False if none remain."""
+        while self._queue:
+            time, _seq, handle = heapq.heappop(self._queue)
+            if handle._cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            handle.callback()
+            return True
+        return False
+
+    def _drain(self, until: Optional[int], max_events: Optional[int]) -> int:
+        if self._running:
+            raise SimulationError("re-entrant run() call")
+        self._running = True
+        processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        try:
+            while queue:
+                entry = queue[0]
+                handle = entry[2]
+                if handle._cancelled:
+                    heappop(queue)
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heappop(queue)
+                self._now = entry[0]
+                handle.callback()
+                processed += 1
+        finally:
+            self._running = False
+            self._events_processed += processed
+        return processed
+
+
+class Timer:
+    """A restartable one-shot timer, the building block for protocol timers.
+
+    Wraps scheduling/cancellation so client code (retransmission, delayed
+    ACKs, epoch boundaries) doesn't juggle raw handles.  ``start`` on a
+    running timer reschedules it.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        """True if the timer is armed and has not yet fired."""
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """Absolute fire time, or None when idle."""
+        if self.running:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def start(self, delay: int) -> None:
+        """Arm (or re-arm) the timer ``delay`` ns from now."""
+        self.stop()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

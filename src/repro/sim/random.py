@@ -1,0 +1,52 @@
+"""Named, independently-seeded random streams.
+
+Experiments need both reproducibility (same seed ⇒ same trace) and
+*isolation*: adding a draw to one component must not perturb another
+component's sequence.  :class:`RandomStreams` hands each named component
+its own ``random.Random`` seeded from the root seed and the stream name,
+so streams are stable under code evolution elsewhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """Factory of per-component deterministic RNGs.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.get("client.arrivals")
+    >>> b = streams.get("server.service")
+    >>> a is streams.get("client.arrivals")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed all streams derive from."""
+        return self._seed
+
+    def get(self, name: str) -> random.Random:
+        """Return the RNG for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(
+                ("%d/%s" % (self._seed, name)).encode("utf-8")
+            ).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, salt: str) -> "RandomStreams":
+        """Derive an independent stream family (e.g. per-client)."""
+        digest = hashlib.sha256(
+            ("%d/fork/%s" % (self._seed, salt)).encode("utf-8")
+        ).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

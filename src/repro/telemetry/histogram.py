@@ -1,0 +1,137 @@
+"""Log-bucketed histogram for latency distributions.
+
+Latencies in this system span ~1 µs to ~100 ms — four orders of
+magnitude — so linear buckets are useless.  :class:`LogHistogram` buckets
+by powers of ``base`` with ``sub`` sub-buckets per octave (HdrHistogram's
+idea, simplified), giving bounded relative error at every scale with a
+few hundred integer counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class LogHistogram:
+    """Histogram over positive values with logarithmic buckets.
+
+    Parameters
+    ----------
+    base:
+        Growth factor between octaves (default 2.0).
+    sub:
+        Sub-buckets per octave; higher means finer relative resolution
+        (default 8 ⇒ ~9 % worst-case relative error with base 2).
+    """
+
+    def __init__(self, base: float = 2.0, sub: int = 8):
+        if base <= 1.0:
+            raise ValueError("base must exceed 1, got %r" % base)
+        if sub < 1:
+            raise ValueError("sub must be >= 1, got %r" % sub)
+        self._log_base = math.log(base)
+        self._sub = sub
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded values."""
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded values (for exact means)."""
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest recorded value."""
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest recorded value."""
+        return self._max
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value`` (must be > 0) ``count`` times."""
+        if value <= 0:
+            raise ValueError("LogHistogram takes positive values, got %r" % value)
+        if count <= 0:
+            raise ValueError("count must be positive, got %r" % count)
+        index = self._index(value)
+        self._counts[index] = self._counts.get(index, 0) + count
+        self._total += count
+        self._sum += value * count
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def mean(self) -> Optional[float]:
+        """Exact mean of recorded values, or None when empty."""
+        if self._total == 0:
+            return None
+        return self._sum / self._total
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile (bucket midpoint), or None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % q)
+        if self._total == 0:
+            return None
+        target = q * self._total
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= target:
+                lo, hi = self._bounds(index)
+                return (lo + hi) / 2.0
+        lo, hi = self._bounds(max(self._counts))
+        return (lo + hi) / 2.0
+
+    def buckets(self) -> Iterator[Tuple[float, float, int]]:
+        """Yield ``(low, high, count)`` for each non-empty bucket, ordered."""
+        for index in sorted(self._counts):
+            lo, hi = self._bounds(index)
+            yield lo, hi, self._counts[index]
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (same parameters) into this one."""
+        if other._log_base != self._log_base or other._sub != self._sub:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._total += other._total
+        self._sum += other._sum
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+
+    def to_ascii(self, width: int = 50) -> str:
+        """Render a fixed-width ASCII bar chart of the distribution."""
+        if self._total == 0:
+            return "(empty histogram)"
+        rows: List[str] = []
+        peak = max(self._counts.values())
+        for lo, hi, count in self.buckets():
+            bar = "#" * max(1, round(width * count / peak))
+            rows.append("[%12.3f, %12.3f) %8d %s" % (lo, hi, count, bar))
+        return "\n".join(rows)
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value) / self._log_base * self._sub)
+
+    def _bounds(self, index: int) -> Tuple[float, float]:
+        lo = math.exp(index / self._sub * self._log_base)
+        hi = math.exp((index + 1) / self._sub * self._log_base)
+        return lo, hi

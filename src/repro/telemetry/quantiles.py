@@ -1,0 +1,180 @@
+"""Streaming and windowed quantile estimators.
+
+The harness reports tail latency (the paper's Fig 3 plots p95), so we
+need quantiles both over sliding windows (recent behaviour, used by the
+controller's per-backend estimator) and over full runs (reporting).
+
+* :func:`exact_quantile` — exact quantile of a sequence, linear
+  interpolation between order statistics (same convention as
+  ``numpy.percentile(..., method="linear")``).
+* :class:`WindowedQuantile` — exact quantile over the last N samples,
+  maintained with a sorted list (O(log n) insert/remove via bisect).
+* :class:`P2Quantile` — the Jain & Chlamtac P² algorithm: O(1) memory
+  streaming estimate, used where windows would be too costly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+
+def exact_quantile(values: Sequence[float], q: float) -> float:
+    """Exact ``q``-quantile (0 ≤ q ≤ 1) with linear interpolation.
+
+    Raises ValueError on an empty sequence — callers decide what an
+    absent distribution means; silently returning 0 would corrupt
+    latency reports.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1], got %r" % q)
+    if not values:
+        raise ValueError("cannot take quantile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    # `a + f*(b-a)` (not `a*(1-f) + b*f`): exact when a == b, and always
+    # within [a, b], which keeps quantiles monotone in q.
+    return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+
+class WindowedQuantile:
+    """Exact quantile over a sliding window of the last ``window`` samples.
+
+    Keeps the window in arrival order (deque) plus a parallel sorted list,
+    so insertion and eviction are O(log n) + O(n) shift — fine for the
+    window sizes the estimator uses (tens to hundreds of samples).
+    """
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ValueError("window must be positive, got %r" % window)
+        self._window = window
+        self._arrivals: Deque[float] = deque()
+        self._sorted: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    @property
+    def window(self) -> int:
+        """Maximum number of retained samples."""
+        return self._window
+
+    def observe(self, sample: float) -> None:
+        """Add a sample, evicting the oldest when the window is full."""
+        sample = float(sample)
+        if len(self._arrivals) == self._window:
+            oldest = self._arrivals.popleft()
+            idx = bisect.bisect_left(self._sorted, oldest)
+            del self._sorted[idx]
+        self._arrivals.append(sample)
+        bisect.insort(self._sorted, sample)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Current ``q``-quantile, or None while empty."""
+        if not self._sorted:
+            return None
+        return exact_quantile(self._sorted, q)
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._arrivals.clear()
+        self._sorted.clear()
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² streaming quantile estimator (1985).
+
+    Tracks five markers whose heights approximate the q-quantile with
+    O(1) memory.  Before five samples arrive, falls back to the exact
+    quantile of what it has.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1), got %r" % q)
+        self._q = q
+        self._heights: List[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * q,
+            1.0 + 4.0 * q,
+            3.0 + 2.0 * q,
+            5.0,
+        ]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return self._count
+
+    def observe(self, sample: float) -> None:
+        """Fold one sample into the estimator."""
+        sample = float(sample)
+        self._count += 1
+        if len(self._heights) < 5:
+            bisect.insort(self._heights, sample)
+            return
+
+        heights = self._heights
+        positions = self._positions
+
+        if sample < heights[0]:
+            heights[0] = sample
+            cell = 0
+        elif sample >= heights[4]:
+            heights[4] = sample
+            cell = 3
+        else:
+            # Find k with heights[k] <= sample < heights[k+1].
+            cell = 3
+            for i in range(1, 5):
+                if sample < heights[i]:
+                    cell = i - 1
+                    break
+
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in range(1, 4):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1 and positions[i + 1] - positions[i] > 1) or (
+                delta <= -1 and positions[i - 1] - positions[i] < -1
+            ):
+                step = 1 if delta >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def value(self) -> Optional[float]:
+        """Current estimate, or None before any observation."""
+        if self._count == 0:
+            return None
+        if len(self._heights) < 5 or self._count < 5:
+            return exact_quantile(self._heights, self._q)
+        return self._heights[2]
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step * (h[i + step] - h[i]) / (n[i + step] - n[i])

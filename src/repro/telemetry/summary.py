@@ -1,0 +1,56 @@
+"""One-shot distribution summaries for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.telemetry.quantiles import exact_quantile
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Mean and standard percentiles of a sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    def format(self, scale: float = 1.0, unit: str = "") -> str:
+        """Render one line, values divided by ``scale`` (e.g. to ms)."""
+        return (
+            "n=%d mean=%.3f%s p50=%.3f%s p90=%.3f%s p95=%.3f%s "
+            "p99=%.3f%s min=%.3f%s max=%.3f%s"
+            % (
+                self.count,
+                self.mean / scale, unit,
+                self.p50 / scale, unit,
+                self.p90 / scale, unit,
+                self.p95 / scale, unit,
+                self.p99 / scale, unit,
+                self.min / scale, unit,
+                self.max / scale, unit,
+            )
+        )
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Compute a :class:`DistributionSummary`; raises on empty input."""
+    if not values:
+        raise ValueError("cannot summarize empty sample set")
+    ordered = sorted(values)
+    return DistributionSummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=exact_quantile(ordered, 0.50),
+        p90=exact_quantile(ordered, 0.90),
+        p95=exact_quantile(ordered, 0.95),
+        p99=exact_quantile(ordered, 0.99),
+        min=ordered[0],
+        max=ordered[-1],
+    )

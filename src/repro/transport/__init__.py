@@ -1,0 +1,38 @@
+"""TCP-like reliable byte-stream transport.
+
+This package provides the flow-controlled transport whose *packet
+timing* the paper's measurement technique exploits: window-limited
+senders transmit in bursts, pause when the window fills, and resume when
+an ACK (or an application-level response) re-opens their quota — the
+causally-triggered transmissions of §3.
+
+Components:
+
+* :class:`~repro.transport.connection.Connection` — handshake, sliding
+  window, cumulative ACKs, retransmission, FIN teardown.
+* :class:`~repro.transport.connection.TransportConfig` — every knob
+  (MSS, window, ACK policy, RTO bounds, pacing).
+* :class:`~repro.transport.endpoint.Host` — a network node that demuxes
+  packets to connections and listeners.
+* ACK policies (immediate / delayed) and pacing model the "general
+  packet timing behaviors" of the paper's open question #2.
+"""
+
+from repro.transport.ack_policy import AckPolicy, DelayedAck, ImmediateAck
+from repro.transport.connection import Connection, ConnectionState, TransportConfig
+from repro.transport.endpoint import Host, Listener
+from repro.transport.pacing import Pacer
+from repro.transport.retransmit import RttEstimator
+
+__all__ = [
+    "AckPolicy",
+    "ImmediateAck",
+    "DelayedAck",
+    "Connection",
+    "ConnectionState",
+    "TransportConfig",
+    "Host",
+    "Listener",
+    "Pacer",
+    "RttEstimator",
+]

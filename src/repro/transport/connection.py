@@ -1,0 +1,632 @@
+"""TCP-like connection: handshake, sliding window, ACKs, retransmission.
+
+The model is a byte-stream TCP reduced to what the reproduction needs,
+while keeping the *timing* mechanics faithful:
+
+* 3-way handshake (SYN / SYN-ACK / ACK); SYN and FIN consume a sequence
+  number.
+* A fixed flow-control window (``TransportConfig.window``): the sender
+  may have at most ``window`` un-acked bytes outstanding.  A backlogged
+  sender therefore transmits a *burst* per RTT and pauses — exactly the
+  pause structure Algorithms 1–2 segment into batches.
+* Cumulative ACKs with pluggable generation policy (immediate/delayed);
+  outgoing data piggybacks the current ACK.
+* Go-back-N-flavoured retransmission with RFC 6298 RTO estimation and
+  Karn's rule.  (Loss is rare in these experiments — queues are deep —
+  but queue overflow can drop, and correctness must survive it.)
+* Application *messages*: ``send_message`` enqueues an opaque message of
+  a given byte size; the receiver's ``on_message`` fires when the
+  message's last byte is delivered in order.  Framing travels as
+  :class:`~repro.net.packet.MessageBoundary` records on segments.
+
+The connection knows nothing about the load balancer; it just sends
+packets out of its :class:`~repro.transport.endpoint.Host`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import TransportError
+from repro.net.addr import Endpoint
+from repro.net.packet import MessageBoundary, Packet, TcpFlags
+from repro.sim.engine import Simulator, Timer
+from repro.transport.ack_policy import AckPolicy, ImmediateAck
+from repro.transport.pacing import Pacer
+from repro.transport.retransmit import RttEstimator
+from repro.units import MILLISECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.transport.endpoint import Host
+
+
+class ConnectionState(enum.Enum):
+    """Reduced TCP state machine."""
+
+    CLOSED = "closed"
+    SYN_SENT = "syn_sent"
+    SYN_RCVD = "syn_rcvd"
+    ESTABLISHED = "established"
+    FIN_SENT = "fin_sent"
+    FIN_WAIT = "fin_wait"          # we sent FIN, waiting for peer FIN/ACK
+    CLOSE_WAIT = "close_wait"      # peer sent FIN, we may still send
+
+
+@dataclass
+class TransportConfig:
+    """Tunable transport parameters.
+
+    ``ack_policy_factory`` builds a fresh policy per connection so that
+    per-connection timers are not shared.
+    """
+
+    mss: int = 1448
+    window: int = 65_535
+    ack_policy_factory: Callable[[], AckPolicy] = ImmediateAck
+    initial_rto: int = 100 * MILLISECONDS
+    rto_min: int = 5 * MILLISECONDS
+    pacing_rate_bps: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise TransportError on nonsensical parameters."""
+        if self.mss <= 0:
+            raise TransportError("mss must be positive, got %r" % self.mss)
+        if self.window < self.mss:
+            raise TransportError(
+                "window (%d) must be at least one MSS (%d)" % (self.window, self.mss)
+            )
+
+    def copy(self) -> "TransportConfig":
+        """A shallow copy safe to tweak per connection."""
+        return replace(self)
+
+
+@dataclass
+class _SentSegment:
+    """Book-keeping for an in-flight segment."""
+
+    seq: int
+    end_seq: int
+    payload_len: int
+    flags: TcpFlags
+    boundaries: List[MessageBoundary]
+    sent_at: int
+    retransmitted: bool = False
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters (tests and reports read these)."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    pure_acks_sent: int = 0
+    retransmissions: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+
+
+class Connection:
+    """One endpoint of a reliable byte-stream connection.
+
+    Constructed by :class:`~repro.transport.endpoint.Host` — via
+    ``host.connect(...)`` on the client side, or by a listener on SYN
+    arrival on the server side.  Applications interact through:
+
+    * :meth:`send_message` — queue an application message.
+    * ``on_established`` / ``on_message`` / ``on_closed`` callbacks.
+    * :meth:`close` — graceful FIN after queued data drains.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        local: Endpoint,
+        remote: Endpoint,
+        config: TransportConfig,
+        is_client: bool,
+    ):
+        config.validate()
+        self._host = host
+        self._sim: Simulator = host.sim
+        self.local = local
+        self.remote = remote
+        self.config = config
+        self.is_client = is_client
+        self.state = ConnectionState.CLOSED
+        self.stats = ConnectionStats()
+
+        # --- send side -------------------------------------------------
+        self._iss = 0                 # initial send sequence number
+        self._snd_una = 0             # oldest unacknowledged seq
+        self._snd_nxt = 0             # next seq to send
+        self._stream_len = 0          # total bytes written by the app
+        self._unsent_offset = 0       # next stream byte not yet segmented
+        self._pending_boundaries: List[MessageBoundary] = []
+        self._inflight: List[_SentSegment] = []
+        self._fin_queued = False
+        self._fin_sent = False
+
+        # --- receive side ----------------------------------------------
+        self._irs: Optional[int] = None  # peer's initial sequence number
+        self._rcv_nxt = 0
+        self._ooo: Dict[int, Packet] = {}
+        self._rx_boundaries: Dict[int, Any] = {}
+        self._delivered_offset = 0
+
+        # --- machinery ---------------------------------------------------
+        self._rtt = RttEstimator(
+            initial_rto=config.initial_rto, rto_min=config.rto_min
+        )
+        self._rto_timer = Timer(self._sim, self._on_rto)
+        self._ack_policy = config.ack_policy_factory()
+        self._ack_policy.attach(self._sim, self._send_pure_ack)
+        self._pacer = (
+            Pacer(config.pacing_rate_bps)
+            if config.pacing_rate_bps is not None
+            else None
+        )
+
+        # --- application callbacks ---------------------------------------
+        self.on_established: Optional[Callable[["Connection"], None]] = None
+        self.on_message: Optional[Callable[["Connection", Any], None]] = None
+        self.on_closed: Optional[Callable[["Connection"], None]] = None
+        #: Fires when the peer half-closes (FIN received while we are
+        #: still open).  Servers typically respond by calling close().
+        self.on_peer_close: Optional[Callable[["Connection"], None]] = None
+        #: Fires with each transport-level RTT sample (ns).  This is the
+        #: *ground truth* the paper's Fig 2 compares T_LB against.
+        self.on_rtt_sample: Optional[Callable[["Connection", int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def established(self) -> bool:
+        """True once the handshake completed."""
+        return self.state in (
+            ConnectionState.ESTABLISHED,
+            ConnectionState.CLOSE_WAIT,
+        )
+
+    @property
+    def bytes_in_flight(self) -> int:
+        """Unacknowledged bytes currently outstanding."""
+        return self._snd_nxt - self._snd_una
+
+    @property
+    def unsent_bytes(self) -> int:
+        """Bytes written by the app but not yet segmented onto the wire."""
+        return self._stream_len - self._unsent_offset
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Transport's own smoothed RTT estimate (ns)."""
+        return self._rtt.srtt
+
+    def open(self) -> None:
+        """Client side: start the 3-way handshake (sends SYN)."""
+        if self.state is not ConnectionState.CLOSED:
+            raise TransportError("open() on %s connection" % self.state.value)
+        if not self.is_client:
+            raise TransportError("open() is client-side only")
+        self.state = ConnectionState.SYN_SENT
+        self._snd_nxt = self._iss + 1  # SYN consumes one sequence number
+        self._transmit(
+            flags=TcpFlags.SYN, seq=self._iss, payload_len=0, boundaries=[]
+        )
+        self._arm_rto()
+
+    def send_message(self, message: Any, size: int) -> None:
+        """Queue an application message of ``size`` bytes for delivery.
+
+        May be called before the handshake completes; data flows once
+        established.  Raises after :meth:`close`.
+        """
+        if size <= 0:
+            raise TransportError("message size must be positive, got %r" % size)
+        if self._fin_queued:
+            raise TransportError("send_message after close()")
+        if self.state is ConnectionState.CLOSED and not self.is_client:
+            raise TransportError("send on closed connection")
+        self._stream_len += size
+        self._pending_boundaries.append(
+            MessageBoundary(end_offset=self._stream_len, message=message)
+        )
+        self.stats.messages_sent += 1
+        if self.established:
+            self._try_send()
+
+    def close(self) -> None:
+        """Graceful close: FIN goes out after all queued data is sent."""
+        if self._fin_queued or self.state is ConnectionState.CLOSED:
+            return
+        self._fin_queued = True
+        if self.established or self.state is ConnectionState.SYN_SENT:
+            self._try_send()
+
+    def abort(self) -> None:
+        """Send RST and drop all state immediately."""
+        if self.state is ConnectionState.CLOSED:
+            return
+        self._transmit(
+            flags=TcpFlags.RST | TcpFlags.ACK,
+            seq=self._snd_nxt,
+            payload_len=0,
+            boundaries=[],
+        )
+        self._teardown()
+
+    # ------------------------------------------------------------------
+    # Packet input (called by the Host demux)
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process one inbound segment for this connection."""
+        self.stats.segments_received += 1
+
+        if packet.is_rst:
+            self._teardown()
+            return
+
+        if packet.is_syn:
+            self._handle_syn(packet)
+            return
+
+        if packet.is_ack:
+            self._handle_ack(packet.ack)
+
+        if self.state in (ConnectionState.CLOSED,):
+            return
+
+        if packet.payload_len > 0 or packet.is_fin:
+            self._handle_data(packet)
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+
+    def _handle_syn(self, packet: Packet) -> None:
+        if not self.is_client and self.state is ConnectionState.CLOSED:
+            # Passive open: record peer ISN, send SYN-ACK.
+            self._irs = packet.seq
+            self._rcv_nxt = packet.seq + 1
+            self.state = ConnectionState.SYN_RCVD
+            self._snd_nxt = self._iss + 1
+            self._transmit(
+                flags=TcpFlags.SYN | TcpFlags.ACK,
+                seq=self._iss,
+                payload_len=0,
+                boundaries=[],
+            )
+            self._arm_rto()
+            return
+
+        if self.is_client and self.state is ConnectionState.SYN_SENT:
+            if packet.is_ack and packet.ack == self._iss + 1:
+                self._irs = packet.seq
+                self._rcv_nxt = packet.seq + 1
+                self._snd_una = self._iss + 1
+                self._inflight.clear()
+                self._rto_timer.stop()
+                self.state = ConnectionState.ESTABLISHED
+                # Complete the handshake.  If the app already queued data,
+                # the first data segment carries this ACK implicitly;
+                # otherwise send a pure ACK.
+                if self._has_sendable_data():
+                    self._notify_established()
+                    self._try_send()
+                else:
+                    self._send_pure_ack()
+                    self._notify_established()
+                return
+
+        if not self.is_client and self.state is ConnectionState.SYN_RCVD:
+            # Duplicate SYN from the peer (our SYN-ACK was lost): resend.
+            self._transmit(
+                flags=TcpFlags.SYN | TcpFlags.ACK,
+                seq=self._iss,
+                payload_len=0,
+                boundaries=[],
+            )
+
+    def _notify_established(self) -> None:
+        if self.on_established is not None:
+            self.on_established(self)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def _handle_data(self, packet: Packet) -> None:
+        if self._irs is None:
+            return  # data before SYN: drop
+
+        if packet.seq == self._rcv_nxt:
+            self._accept_segment(packet)
+            # Drain any buffered out-of-order continuation.
+            while self._rcv_nxt in self._ooo:
+                self._accept_segment(self._ooo.pop(self._rcv_nxt))
+            self._ack_policy.on_data(in_order=True)
+        elif packet.seq > self._rcv_nxt:
+            self._ooo[packet.seq] = packet
+            self._ack_policy.on_data(in_order=False)
+        else:
+            # Entirely duplicate segment: re-ack so the sender advances.
+            self._ack_policy.on_data(in_order=False)
+
+    def _accept_segment(self, packet: Packet) -> None:
+        self._rcv_nxt = packet.end_seq
+        self.stats.bytes_delivered += packet.payload_len
+        for boundary in packet.boundaries:
+            self._rx_boundaries.setdefault(boundary.end_offset, boundary.message)
+        assert self._irs is not None
+        in_order_offset = self._rcv_nxt - (self._irs + 1)
+        if packet.is_fin:
+            in_order_offset -= 1  # FIN consumed a sequence number
+            self._handle_peer_fin()
+        self._deliver_messages(in_order_offset)
+
+    def _deliver_messages(self, in_order_offset: int) -> None:
+        if not self._rx_boundaries:
+            return
+        ready = sorted(
+            offset
+            for offset in self._rx_boundaries
+            if offset <= in_order_offset
+        )
+        for offset in ready:
+            message = self._rx_boundaries.pop(offset)
+            self.stats.messages_delivered += 1
+            if self.on_message is not None:
+                self.on_message(self, message)
+
+    def _handle_peer_fin(self) -> None:
+        if self.state is ConnectionState.ESTABLISHED:
+            self.state = ConnectionState.CLOSE_WAIT
+            if self.on_peer_close is not None:
+                self.on_peer_close(self)
+        elif self.state is ConnectionState.FIN_WAIT:
+            # Both sides closed.
+            self._send_pure_ack()
+            self._teardown()
+            return
+        # ACK the FIN promptly.
+        self._ack_policy.on_data(in_order=False)
+
+    # ------------------------------------------------------------------
+    # ACK processing (sender side)
+    # ------------------------------------------------------------------
+
+    def _handle_ack(self, ack: int) -> None:
+        if self.state is ConnectionState.SYN_RCVD and ack == self._iss + 1:
+            self._snd_una = ack
+            self._inflight.clear()
+            self._rto_timer.stop()
+            self.state = ConnectionState.ESTABLISHED
+            self._notify_established()
+            self._try_send()
+            return
+
+        if ack <= self._snd_una:
+            return  # duplicate ACK; no fast retransmit modelled
+
+        self._snd_una = ack
+        self._rtt.reset_backoff()
+
+        # Retire fully acked segments; sample RTT per Karn's rule.
+        now = self._sim.now
+        remaining: List[_SentSegment] = []
+        for segment in self._inflight:
+            if segment.end_seq <= ack:
+                if not segment.retransmitted:
+                    rtt = now - segment.sent_at
+                    self._rtt.sample(rtt)
+                    if self.on_rtt_sample is not None:
+                        self.on_rtt_sample(self, rtt)
+            else:
+                remaining.append(segment)
+        self._inflight = remaining
+
+        if self._inflight:
+            self._arm_rto()
+        else:
+            self._rto_timer.stop()
+
+        if self._fin_sent and ack >= self._snd_nxt:
+            if self.state is ConnectionState.CLOSE_WAIT or not self._peer_open():
+                self._teardown()
+                return
+            self.state = ConnectionState.FIN_WAIT
+
+        # The window just opened: this is where ACK-clocked (causally
+        # triggered) transmissions happen.
+        self._try_send()
+
+    def _peer_open(self) -> bool:
+        return self.state not in (ConnectionState.CLOSE_WAIT,)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+
+    def _has_sendable_data(self) -> bool:
+        return self._unsent_offset < self._stream_len or (
+            self._fin_queued and not self._fin_sent
+        )
+
+    def _try_send(self) -> None:
+        if not (self.established or self.state is ConnectionState.FIN_WAIT):
+            return
+        while self._unsent_offset < self._stream_len:
+            window_left = self.config.window - self.bytes_in_flight
+            if window_left <= 0:
+                break
+            chunk = min(
+                self.config.mss,
+                self._stream_len - self._unsent_offset,
+                window_left,
+            )
+            start = self._unsent_offset
+            end = start + chunk
+            boundaries = [
+                b for b in self._pending_boundaries if start < b.end_offset <= end
+            ]
+            self._pending_boundaries = [
+                b for b in self._pending_boundaries if b.end_offset > end
+            ]
+            seq = self._data_seq(start)
+            self._unsent_offset = end
+            self._snd_nxt = self._data_seq(end)
+            self._send_data_segment(seq, chunk, boundaries, TcpFlags.ACK | TcpFlags.PSH)
+
+        if (
+            self._fin_queued
+            and not self._fin_sent
+            and self._unsent_offset == self._stream_len
+        ):
+            fin_seq = self._snd_nxt
+            self._snd_nxt += 1
+            self._fin_sent = True
+            if self.state is ConnectionState.ESTABLISHED:
+                self.state = ConnectionState.FIN_WAIT
+            self._send_data_segment(fin_seq, 0, [], TcpFlags.FIN | TcpFlags.ACK)
+
+    def _data_seq(self, stream_offset: int) -> int:
+        return self._iss + 1 + stream_offset
+
+    def _send_data_segment(
+        self,
+        seq: int,
+        payload_len: int,
+        boundaries: List[MessageBoundary],
+        flags: TcpFlags,
+    ) -> None:
+        segment = _SentSegment(
+            seq=seq,
+            end_seq=seq + payload_len + (1 if flags & TcpFlags.FIN else 0),
+            payload_len=payload_len,
+            flags=flags,
+            boundaries=boundaries,
+            sent_at=self._sim.now,
+        )
+        self._inflight.append(segment)
+        self._ack_policy.on_piggyback()  # this segment carries our ACK
+
+        if self._pacer is not None and payload_len > 0:
+            send_at = self._pacer.allocate(self._sim.now, payload_len)
+            if send_at > self._sim.now:
+                self._sim.schedule_at(
+                    send_at, lambda s=segment: self._emit_segment(s)
+                )
+                return
+        self._emit_segment(segment)
+
+    def _emit_segment(self, segment: _SentSegment) -> None:
+        segment.sent_at = self._sim.now
+        self._transmit(
+            flags=segment.flags,
+            seq=segment.seq,
+            payload_len=segment.payload_len,
+            boundaries=segment.boundaries,
+        )
+        self.stats.bytes_sent += segment.payload_len
+        if not self._rto_timer.running:
+            self._arm_rto()
+
+    def _send_pure_ack(self) -> None:
+        if self._irs is None:
+            return
+        self.stats.pure_acks_sent += 1
+        self._transmit(
+            flags=TcpFlags.ACK, seq=self._snd_nxt, payload_len=0, boundaries=[]
+        )
+
+    def _transmit(
+        self,
+        flags: TcpFlags,
+        seq: int,
+        payload_len: int,
+        boundaries: List[MessageBoundary],
+    ) -> None:
+        packet = Packet(
+            src=self.local,
+            dst=self.remote,
+            flags=flags,
+            seq=seq,
+            ack=self._rcv_nxt,
+            payload_len=payload_len,
+            boundaries=list(boundaries),
+            sent_at=self._sim.now,
+        )
+        self.stats.segments_sent += 1
+        self._host.transmit(packet)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._rto_timer.start(self._rtt.rto)
+
+    def _on_rto(self) -> None:
+        self._rtt.on_timeout()
+
+        if self.state is ConnectionState.SYN_SENT:
+            self._transmit(
+                flags=TcpFlags.SYN, seq=self._iss, payload_len=0, boundaries=[]
+            )
+            self._arm_rto()
+            return
+        if self.state is ConnectionState.SYN_RCVD:
+            self._transmit(
+                flags=TcpFlags.SYN | TcpFlags.ACK,
+                seq=self._iss,
+                payload_len=0,
+                boundaries=[],
+            )
+            self._arm_rto()
+            return
+
+        if not self._inflight:
+            return
+        # Go-back-N flavour: retransmit the earliest unacked segment.
+        segment = self._inflight[0]
+        segment.retransmitted = True
+        segment.sent_at = self._sim.now
+        self.stats.retransmissions += 1
+        packet = Packet(
+            src=self.local,
+            dst=self.remote,
+            flags=segment.flags,
+            seq=segment.seq,
+            ack=self._rcv_nxt,
+            payload_len=segment.payload_len,
+            boundaries=list(segment.boundaries),
+            sent_at=self._sim.now,
+            retransmit=True,
+        )
+        self.stats.segments_sent += 1
+        self._host.transmit(packet)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        already_closed = self.state is ConnectionState.CLOSED
+        self.state = ConnectionState.CLOSED
+        self._rto_timer.stop()
+        self._ack_policy.cancel()
+        self._host.forget_connection(self)
+        if not already_closed and self.on_closed is not None:
+            self.on_closed(self)
+
+    def __repr__(self) -> str:
+        return "Connection(%s->%s, %s)" % (self.local, self.remote, self.state.value)

@@ -1,0 +1,41 @@
+"""Packet pacing.
+
+Pacing spreads a window of segments over the RTT instead of sending them
+back-to-back.  The paper (open question #2) notes pacing as a behaviour
+that erodes the inter-packet-gap signal its measurement relies on; a
+:class:`Pacer` lets experiments turn that erosion on and measure it.
+"""
+
+from __future__ import annotations
+
+from repro.units import BITS_PER_BYTE, SECONDS
+
+
+class Pacer:
+    """Allocates transmission instants at a fixed byte rate.
+
+    ``allocate(now, size_bytes)`` returns the earliest time the segment
+    may leave, spacing consecutive segments by ``size / rate``.
+    """
+
+    def __init__(self, rate_bps: int):
+        if rate_bps <= 0:
+            raise ValueError("pacing rate must be positive, got %r" % rate_bps)
+        self._rate_bps = rate_bps
+        self._next_free = 0
+
+    @property
+    def rate_bps(self) -> int:
+        """Configured pacing rate in bits/s."""
+        return self._rate_bps
+
+    def allocate(self, now: int, size_bytes: int) -> int:
+        """Reserve a send slot; returns the absolute send time (ns)."""
+        send_at = max(now, self._next_free)
+        gap = size_bytes * BITS_PER_BYTE * SECONDS // self._rate_bps
+        self._next_free = send_at + gap
+        return send_at
+
+    def reset(self) -> None:
+        """Forget the reservation state (e.g. after idle)."""
+        self._next_free = 0

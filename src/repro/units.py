@@ -1,0 +1,81 @@
+"""Time and size units.
+
+All simulation timestamps and durations in this project are integer
+nanoseconds.  Using integers keeps event ordering exact (no floating-point
+comparison surprises at microsecond scales) and makes traces reproducible
+bit-for-bit.  This module provides the multipliers and a few conversion
+helpers so call sites read naturally, e.g. ``delay=1 * MILLISECONDS``.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NANOSECONDS = 1
+#: Nanoseconds in one microsecond.
+MICROSECONDS = 1_000
+#: Nanoseconds in one millisecond.
+MILLISECONDS = 1_000_000
+#: Nanoseconds in one second.
+SECONDS = 1_000_000_000
+
+#: Bits in one byte, for bandwidth math.
+BITS_PER_BYTE = 8
+
+#: Bandwidth units expressed in bits per second.
+KILOBITS_PER_SECOND = 1_000
+MEGABITS_PER_SECOND = 1_000_000
+GIGABITS_PER_SECOND = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert a float second count to integer nanoseconds."""
+    return round(value * SECONDS)
+
+
+def milliseconds(value: float) -> int:
+    """Convert a float millisecond count to integer nanoseconds."""
+    return round(value * MILLISECONDS)
+
+
+def microseconds(value: float) -> int:
+    """Convert a float microsecond count to integer nanoseconds."""
+    return round(value * MICROSECONDS)
+
+
+def to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return ns / SECONDS
+
+
+def to_millis(ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds (reporting only)."""
+    return ns / MILLISECONDS
+
+
+def to_micros(ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds (reporting only)."""
+    return ns / MICROSECONDS
+
+
+def serialization_delay(size_bytes: int, bandwidth_bps: int) -> int:
+    """Time to put ``size_bytes`` on a wire of ``bandwidth_bps``, in ns.
+
+    Rounds up so that back-to-back packets never occupy the link for zero
+    time, which would let an infinite number of packets through at one
+    instant.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive, got %r" % bandwidth_bps)
+    bits = size_bytes * BITS_PER_BYTE
+    return -(-bits * SECONDS // bandwidth_bps)  # ceiling division
+
+
+def format_ns(ns: int) -> str:
+    """Human-readable rendering of a nanosecond duration for reports."""
+    if ns >= SECONDS:
+        return "%.3fs" % (ns / SECONDS)
+    if ns >= MILLISECONDS:
+        return "%.3fms" % (ns / MILLISECONDS)
+    if ns >= MICROSECONDS:
+        return "%.1fus" % (ns / MICROSECONDS)
+    return "%dns" % ns

@@ -1,0 +1,68 @@
+"""Shared fixtures: simulators, mini-topologies, tiny scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.transport.connection import TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import GIGABITS_PER_SECOND, MICROSECONDS
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    return Network(sim)
+
+
+class PairTopology:
+    """client ⇄ server over symmetric 100 µs pipes at 10 Gb/s."""
+
+    def __init__(self, sim: Simulator, one_way: int = 100 * MICROSECONDS):
+        self.sim = sim
+        self.network = Network(sim)
+        self.client = Host(self.network, "client")
+        self.server = Host(self.network, "server")
+        self.network.connect_bidirectional(
+            "client",
+            "server",
+            prop_delay=one_way,
+            bandwidth_bps=10 * GIGABITS_PER_SECOND,
+        )
+        self.one_way = one_way
+
+    def server_endpoint(self, port: int = 7000) -> Endpoint:
+        return Endpoint("server", port)
+
+
+@pytest.fixture
+def pair(sim: Simulator) -> PairTopology:
+    return PairTopology(sim)
+
+
+def make_echo_server(pair: PairTopology, port: int = 7000, reply_size: int = 256):
+    """Listen on the pair's server; echo every message back."""
+    received = []
+
+    def on_connection(conn):
+        def on_message(c, message):
+            received.append((pair.sim.now, message))
+            c.send_message(("echo", message), reply_size)
+
+        conn.on_message = on_message
+        conn.on_peer_close = lambda c: c.close()
+
+    pair.server.listen(port, on_connection)
+    return received
+
+
+@pytest.fixture
+def transport_config() -> TransportConfig:
+    return TransportConfig()

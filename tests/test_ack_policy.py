@@ -1,0 +1,82 @@
+"""ACK generation policies."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.transport.ack_policy import DelayedAck, ImmediateAck
+from repro.units import MILLISECONDS
+
+
+class TestImmediateAck:
+    def test_acks_every_segment(self, sim):
+        acks = []
+        policy = ImmediateAck()
+        policy.attach(sim, lambda: acks.append(sim.now))
+        policy.on_data(in_order=True)
+        policy.on_data(in_order=True)
+        assert len(acks) == 2
+
+    def test_acks_out_of_order_too(self, sim):
+        acks = []
+        policy = ImmediateAck()
+        policy.attach(sim, lambda: acks.append(sim.now))
+        policy.on_data(in_order=False)
+        assert len(acks) == 1
+
+
+class TestDelayedAck:
+    def make(self, sim, timeout=40 * MILLISECONDS, every=2):
+        acks = []
+        policy = DelayedAck(timeout=timeout, every=every)
+        policy.attach(sim, lambda: acks.append(sim.now))
+        return policy, acks
+
+    def test_single_segment_waits_for_timer(self, sim):
+        policy, acks = self.make(sim, timeout=10 * MILLISECONDS)
+        policy.on_data(in_order=True)
+        assert acks == []
+        sim.run()
+        assert acks == [10 * MILLISECONDS]
+
+    def test_second_segment_flushes_immediately(self, sim):
+        policy, acks = self.make(sim)
+        policy.on_data(in_order=True)
+        policy.on_data(in_order=True)
+        assert len(acks) == 1
+        sim.run()
+        assert len(acks) == 1  # timer was cancelled
+
+    def test_out_of_order_flushes(self, sim):
+        policy, acks = self.make(sim)
+        policy.on_data(in_order=False)
+        assert len(acks) == 1
+
+    def test_piggyback_cancels_pending(self, sim):
+        policy, acks = self.make(sim)
+        policy.on_data(in_order=True)
+        policy.on_piggyback()
+        sim.run()
+        assert acks == []
+
+    def test_cancel_stops_timer(self, sim):
+        policy, acks = self.make(sim)
+        policy.on_data(in_order=True)
+        policy.cancel()
+        sim.run()
+        assert acks == []
+
+    def test_counter_resets_after_flush(self, sim):
+        policy, acks = self.make(sim, every=2)
+        for _ in range(4):
+            policy.on_data(in_order=True)
+        assert len(acks) == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DelayedAck(timeout=0)
+        with pytest.raises(ValueError):
+            DelayedAck(every=1)
+
+
+class TestRetransmitEstimator:
+    pass  # RTO math covered in test_retransmit.py

@@ -1,0 +1,41 @@
+"""Endpoints and flow keys."""
+
+from repro.net.addr import Endpoint, FlowKey
+
+
+class TestEndpoint:
+    def test_fields(self):
+        ep = Endpoint("hostA", 80)
+        assert ep.host == "hostA"
+        assert ep.port == 80
+
+    def test_str(self):
+        assert str(Endpoint("h", 8080)) == "h:8080"
+
+    def test_equality_and_hash(self):
+        assert Endpoint("h", 1) == Endpoint("h", 1)
+        assert hash(Endpoint("h", 1)) == hash(Endpoint("h", 1))
+        assert Endpoint("h", 1) != Endpoint("h", 2)
+
+
+class TestFlowKey:
+    def test_for_packet(self):
+        key = FlowKey.for_packet(Endpoint("c", 1000), Endpoint("s", 80))
+        assert key == FlowKey("c", 1000, "s", 80)
+
+    def test_reversed_round_trip(self):
+        key = FlowKey("c", 1000, "s", 80)
+        assert key.reversed() == FlowKey("s", 80, "c", 1000)
+        assert key.reversed().reversed() == key
+
+    def test_src_dst_accessors(self):
+        key = FlowKey("c", 1000, "s", 80)
+        assert key.src == Endpoint("c", 1000)
+        assert key.dst == Endpoint("s", 80)
+
+    def test_usable_as_dict_key(self):
+        table = {FlowKey("c", 1, "s", 2): "backend0"}
+        assert table[FlowKey("c", 1, "s", 2)] == "backend0"
+
+    def test_str(self):
+        assert str(FlowKey("c", 1, "s", 2)) == "c:1->s:2"

@@ -1,0 +1,82 @@
+"""Backend pool."""
+
+import pytest
+
+from repro.errors import BalancerError
+from repro.lb.backend import Backend, BackendPool
+
+
+class TestBackend:
+    def test_defaults(self):
+        backend = Backend("s0")
+        assert backend.weight == 1.0
+        assert backend.healthy
+
+    def test_validation(self):
+        with pytest.raises(BalancerError):
+            Backend("")
+        with pytest.raises(BalancerError):
+            Backend("s0", weight=-1)
+
+
+class TestPoolMembership:
+    def test_add_and_get(self):
+        pool = BackendPool([Backend("a"), Backend("b")])
+        assert len(pool) == 2
+        assert pool.get("a").name == "a"
+        assert "a" in pool
+        assert "z" not in pool
+
+    def test_duplicate_rejected(self):
+        pool = BackendPool([Backend("a")])
+        with pytest.raises(BalancerError):
+            pool.add(Backend("a"))
+
+    def test_remove(self):
+        pool = BackendPool([Backend("a"), Backend("b")])
+        pool.remove("a")
+        assert "a" not in pool
+        with pytest.raises(BalancerError):
+            pool.remove("a")
+
+    def test_names_insertion_ordered(self):
+        pool = BackendPool([Backend("z"), Backend("a"), Backend("m")])
+        assert pool.names() == ["z", "a", "m"]
+
+    def test_unknown_get_rejected(self):
+        with pytest.raises(BalancerError):
+            BackendPool().get("ghost")
+
+
+class TestWeightsAndHealth:
+    def test_set_weight(self):
+        pool = BackendPool([Backend("a")])
+        pool.set_weight("a", 2.5)
+        assert pool.weights() == {"a": 2.5}
+
+    def test_negative_weight_rejected(self):
+        pool = BackendPool([Backend("a")])
+        with pytest.raises(BalancerError):
+            pool.set_weight("a", -0.1)
+        with pytest.raises(BalancerError):
+            pool.set_weights({"a": -1.0})
+
+    def test_healthy_filters(self):
+        pool = BackendPool([Backend("a"), Backend("b"), Backend("c", weight=0)])
+        pool.set_healthy("b", False)
+        assert [b.name for b in pool.healthy()] == ["a"]
+
+    def test_set_weights_atomic_notification(self):
+        pool = BackendPool([Backend("a"), Backend("b")])
+        calls = []
+        pool.on_change(lambda: calls.append(1))
+        pool.set_weights({"a": 0.5, "b": 1.5})
+        assert len(calls) == 1
+
+    def test_listeners_fire_on_membership_change(self):
+        pool = BackendPool()
+        calls = []
+        pool.on_change(lambda: calls.append(1))
+        pool.add(Backend("a"))
+        pool.remove("a")
+        assert len(calls) == 2

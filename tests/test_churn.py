@@ -1,0 +1,56 @@
+"""Backend churn: scale-out and drain (§2.5)."""
+
+import pytest
+
+from repro.harness.churn import ChurnConfig, run_churn
+from repro.units import MILLISECONDS
+
+
+_result = None
+
+
+def result():
+    global _result
+    if _result is None:
+        from repro.app.client import MemtierConfig
+
+        # Short-lived connections so plenty of *new* flows form in each
+        # phase of the small test run (the bench uses long-lived ones to
+        # exercise draining).
+        _result = run_churn(
+            ChurnConfig(
+                duration=900 * MILLISECONDS,
+                memtier=MemtierConfig(
+                    connections=4, pipeline=2, requests_per_connection=150
+                ),
+            )
+        )
+    return _result
+
+
+class TestChurn:
+    def test_no_affinity_violations_across_membership_changes(self):
+        assert result().affinity_violations == []
+
+    def test_newcomer_absent_before_scale_out(self):
+        assert "server2" not in result().new_flows_before
+
+    def test_newcomer_gets_fair_share_after_scale_out(self):
+        share = result().newcomer_share_after_scale_out()
+        assert 0.15 < share < 0.55  # fair share is 1/3
+
+    def test_drained_backend_gets_no_new_flows(self):
+        assert "server0" not in result().new_flows_after_drain
+
+    def test_drained_backend_finishes_in_flight_work(self):
+        # Flows pinned to server0 when it left the pool keep flowing to
+        # it (the dataplane's draining counter), never re-routed.
+        if result().pinned_at_drain:
+            assert result().scenario.lb.stats.draining_packets > 0
+        else:  # no connection happened to be on server0 at that instant
+            assert result().scenario.lb.stats.draining_packets == 0
+
+    def test_remaining_backends_split_new_flows_after_drain(self):
+        counts = result().new_flows_after_drain
+        assert set(counts) <= {"server1", "server2"}
+        assert len(counts) == 2

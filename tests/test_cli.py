@@ -1,0 +1,47 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "feedback"
+        assert args.servers == 2
+
+    def test_ablation_choices(self):
+        args = build_parser().parse_args(["ablation", "epoch"])
+        assert args.sweep == "epoch"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nonsense"])
+
+
+class TestCommands:
+    def test_run_prints_report(self, capsys):
+        code = main(["--duration", "0.2", "run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed requests" in out
+
+    def test_fig2b_prints_tracking(self, capsys):
+        code = main(["--duration", "0.5", "fig2b"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pre-step" in out and "post-step" in out
+
+    def test_error_identity_table(self, capsys):
+        code = main(["--duration", "0.3", "error"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_LB" in out
+
+    def test_reaction(self, capsys):
+        code = main(["--duration", "1.2", "reaction"])
+        assert code == 0
+        assert "first shift" in capsys.readouterr().out

@@ -1,0 +1,310 @@
+"""TCP-like connection: handshake, data, windows, close, loss recovery."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.net.packet import TcpFlags
+from repro.sim.engine import Simulator
+from repro.transport.ack_policy import DelayedAck
+from repro.transport.connection import ConnectionState, TransportConfig
+from repro.transport.endpoint import Host
+from repro.units import GIGABITS_PER_SECOND, MICROSECONDS, MILLISECONDS, SECONDS
+
+from tests.conftest import PairTopology, make_echo_server
+
+ONE_WAY = 100 * MICROSECONDS
+
+
+def run_pair(sim, duration=1 * SECONDS):
+    sim.run_until(duration)
+
+
+class TestHandshake:
+    def test_establishes_in_one_rtt(self, sim, pair):
+        make_echo_server(pair)
+        established = []
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.on_established = lambda c: established.append(sim.now)
+        run_pair(sim)
+        # SYN (1 way) + SYN-ACK (1 way) ≈ RTT plus serialization.
+        assert len(established) == 1
+        assert established[0] == pytest.approx(2 * ONE_WAY, rel=0.05)
+        assert conn.established
+
+    def test_server_side_established_on_final_ack(self, sim, pair):
+        server_conns = []
+
+        def on_connection(conn):
+            conn.on_established = lambda c: server_conns.append(sim.now)
+
+        pair.server.listen(7000, on_connection)
+        pair.client.connect(pair.server_endpoint())
+        run_pair(sim)
+        assert len(server_conns) == 1
+        # SYN + SYN-ACK + ACK: one and a half RTTs from the client's view.
+        assert server_conns[0] == pytest.approx(3 * ONE_WAY, rel=0.05)
+
+    def test_open_twice_rejected(self, sim, pair):
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        with pytest.raises(TransportError):
+            conn.open()
+
+    def test_data_queued_before_establishment_flows(self, sim, pair):
+        received = make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.send_message("early", 100)  # handshake hasn't finished
+        run_pair(sim)
+        assert [m for _t, m in received] == ["early"]
+
+    def test_syn_retransmitted_if_lost(self, sim):
+        # Server attached only after the first SYN would have died on a
+        # full queue: emulate loss with a 1-capacity pipe jammed by a
+        # filler packet is brittle; instead drop via tiny queue and very
+        # slow first link... simpler: connect with no listener and check
+        # SYN retransmission counter grows.
+        network = Network(sim)
+        client = Host(network, "client")
+        server = Host(network, "server")
+        network.connect_bidirectional("client", "server", prop_delay=1000)
+        conn = client.connect(
+            Endpoint("server", 7000),
+            TransportConfig(initial_rto=10 * MILLISECONDS),
+        )
+        sim.run_until(35 * MILLISECONDS)
+        # No listener: SYN never answered; 10ms, 20ms backoff -> >= 2 resends.
+        assert conn.stats.segments_sent >= 3
+        assert conn.state is ConnectionState.SYN_SENT
+
+
+class TestDataTransfer:
+    def test_small_message_round_trip(self, sim, pair):
+        make_echo_server(pair)
+        replies = []
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.on_message = lambda c, m: replies.append(m)
+        conn.send_message("ping", 64)
+        run_pair(sim)
+        assert replies == [("echo", "ping")]
+
+    def test_many_messages_in_order(self, sim, pair):
+        received = make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        for i in range(50):
+            conn.send_message(i, 100)
+        run_pair(sim)
+        assert [m for _t, m in received] == list(range(50))
+
+    def test_large_message_spans_segments(self, sim, pair):
+        received = make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.send_message("big", 10_000)  # ~7 segments at MSS 1448
+        run_pair(sim)
+        assert [m for _t, m in received] == ["big"]
+        assert conn.stats.segments_sent > 7  # SYN + data segments
+
+    def test_message_sizes_validated(self, sim, pair):
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        with pytest.raises(TransportError):
+            conn.send_message("x", 0)
+
+    def test_interleaved_sizes_all_delivered(self, sim, pair):
+        received = make_echo_server(pair, reply_size=16)
+        conn = pair.client.connect(pair.server_endpoint())
+        sizes = [1, 5000, 3, 1448, 2897, 10]
+        for index, size in enumerate(sizes):
+            conn.send_message(index, size)
+        run_pair(sim)
+        assert [m for _t, m in received] == list(range(len(sizes)))
+
+    def test_bytes_accounting(self, sim, pair):
+        received = make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.send_message("a", 500)
+        run_pair(sim)
+        assert conn.stats.bytes_sent == 500
+        assert conn.stats.messages_sent == 1
+
+
+class TestFlowControl:
+    def test_window_limits_inflight_bytes(self, sim, pair):
+        make_echo_server(pair)
+        config = TransportConfig(window=4096, mss=1024)
+        conn = pair.client.connect(pair.server_endpoint(), config)
+        conn.send_message("bulk", 100_000)
+        # Run just past establishment + first burst; no ACKs yet.
+        sim.run_until(2 * ONE_WAY + 20 * MICROSECONDS)
+        assert 0 < conn.bytes_in_flight <= 4096
+
+    def test_backlogged_sender_transmits_in_rtt_bursts(self, sim, pair):
+        """The paper's core timing assumption: window bursts per RTT."""
+        make_echo_server(pair)
+        config = TransportConfig(window=4096, mss=1024)
+        conn = pair.client.connect(pair.server_endpoint(), config)
+        conn.send_message("bulk", 200_000)
+        run_pair(sim, duration=20 * 2 * ONE_WAY)
+        # Roughly window/RTT throughput: delivered ≈ 4096 * elapsed/RTT.
+        rtt = 2 * ONE_WAY
+        expected = 4096 * 20
+        assert conn.stats.bytes_sent == pytest.approx(expected, rel=0.3)
+
+    def test_window_opens_on_ack(self, sim, pair):
+        make_echo_server(pair)
+        config = TransportConfig(window=2048, mss=1024)
+        conn = pair.client.connect(pair.server_endpoint(), config)
+        conn.send_message("bulk", 8192)
+        run_pair(sim)
+        assert conn.bytes_in_flight == 0
+        assert conn.unsent_bytes == 0
+
+    def test_config_window_below_mss_rejected(self):
+        with pytest.raises(TransportError):
+            TransportConfig(window=100, mss=1448).validate()
+
+
+class TestClose:
+    def test_graceful_close_both_sides(self, sim, pair):
+        make_echo_server(pair)
+        closed = []
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.on_closed = lambda c: closed.append(sim.now)
+        run_pair(sim, duration=10 * MILLISECONDS)
+        conn.close()
+        run_pair(sim, duration=20 * MILLISECONDS)
+        assert len(closed) == 1
+        assert pair.client.connection_count == 0
+        assert pair.server.connection_count == 0
+
+    def test_close_flushes_pending_data_first(self, sim, pair):
+        received = make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.send_message("final", 5000)
+        conn.close()
+        run_pair(sim)
+        assert [m for _t, m in received] == ["final"]
+        assert conn.state is ConnectionState.CLOSED
+
+    def test_send_after_close_rejected(self, sim, pair):
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.close()
+        with pytest.raises(TransportError):
+            conn.send_message("late", 10)
+
+    def test_close_idempotent(self, sim, pair):
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.close()
+        conn.close()
+        run_pair(sim)
+        assert conn.state is ConnectionState.CLOSED
+
+    def test_abort_sends_rst_and_tears_down(self, sim, pair):
+        server_conns = []
+        pair.server.listen(7000, lambda c: server_conns.append(c))
+        conn = pair.client.connect(pair.server_endpoint())
+        run_pair(sim, duration=5 * MILLISECONDS)
+        conn.abort()
+        run_pair(sim, duration=10 * MILLISECONDS)
+        assert conn.state is ConnectionState.CLOSED
+        assert server_conns[0].state is ConnectionState.CLOSED
+        assert pair.client.connection_count == 0
+
+    def test_peer_close_callback_fires(self, sim, pair):
+        peer_closed = []
+
+        def on_connection(server_conn):
+            server_conn.on_peer_close = lambda c: peer_closed.append(sim.now)
+
+        pair.server.listen(7000, on_connection)
+        conn = pair.client.connect(pair.server_endpoint())
+        run_pair(sim, duration=5 * MILLISECONDS)
+        conn.close()
+        run_pair(sim, duration=10 * MILLISECONDS)
+        assert len(peer_closed) == 1
+
+
+class TestLossRecovery:
+    def _lossy_pair(self, sim, capacity=4):
+        network = Network(sim)
+        client = Host(network, "client")
+        server = Host(network, "server")
+        # Tiny queue at modest bandwidth: bursts overflow and drop.
+        network.connect(
+            "client",
+            "server",
+            prop_delay=ONE_WAY,
+            bandwidth_bps=100_000_000,
+            queue_capacity=capacity,
+        )
+        network.connect("server", "client", prop_delay=ONE_WAY)
+        return network, client, server
+
+    def test_drops_recovered_by_retransmission(self, sim):
+        network, client, server = self._lossy_pair(sim)
+        received = []
+
+        def on_connection(conn):
+            conn.on_message = lambda c, m: received.append(m)
+
+        server.listen(7000, on_connection)
+        config = TransportConfig(
+            window=32 * 1024, mss=1024, initial_rto=20 * MILLISECONDS
+        )
+        conn = client.connect(Endpoint("server", 7000), config)
+        for i in range(30):
+            conn.send_message(i, 1024)
+        sim.run_until(2 * SECONDS)
+        assert network.pipe("client", "server").stats.packets_dropped > 0
+        assert received == list(range(30))
+        assert conn.stats.retransmissions > 0
+
+    def test_rtt_estimator_ignores_retransmits(self, sim):
+        network, client, server = self._lossy_pair(sim)
+        server.listen(7000, lambda conn: None)
+        samples = []
+        config = TransportConfig(window=32 * 1024, mss=1024, initial_rto=20 * MILLISECONDS)
+        conn = client.connect(Endpoint("server", 7000), config)
+        conn.on_rtt_sample = lambda c, rtt: samples.append(rtt)
+        for i in range(30):
+            conn.send_message(i, 1024)
+        sim.run_until(2 * SECONDS)
+        # All recorded samples must be plausible RTTs (no t0-based
+        # garbage from retransmitted segments).
+        assert samples
+        assert all(s >= 2 * ONE_WAY for s in samples)
+
+
+class TestRttSamples:
+    def test_handshake_plus_data_samples(self, sim, pair):
+        make_echo_server(pair)
+        samples = []
+        conn = pair.client.connect(pair.server_endpoint())
+        conn.on_rtt_sample = lambda c, rtt: samples.append(rtt)
+        conn.send_message("x", 100)
+        run_pair(sim)
+        assert samples
+        for sample in samples:
+            assert sample == pytest.approx(2 * ONE_WAY, rel=0.1)
+        assert conn.srtt == pytest.approx(2 * ONE_WAY, rel=0.1)
+
+
+class TestDelayedAckIntegration:
+    def test_single_segment_acked_after_delay(self, sim, pair):
+        received = make_echo_server(pair, reply_size=64)
+        config = TransportConfig(
+            ack_policy_factory=lambda: DelayedAck(timeout=5 * MILLISECONDS)
+        )
+        # Server side gets delayed acks too via listener config.
+        samples = []
+        conn = pair.client.connect(pair.server_endpoint(), config)
+        conn.on_rtt_sample = lambda c, rtt: samples.append(rtt)
+        conn.send_message("only", 100)
+        run_pair(sim, duration=50 * MILLISECONDS)
+        assert [m for _t, m in received] == ["only"]
+        # The data RTT sample reflects the server's immediate-ack policy
+        # (default listener config), so the reply still flowed promptly.
+        assert conn.stats.messages_delivered == 1

@@ -1,0 +1,100 @@
+"""Connection-tracking table."""
+
+import pytest
+
+from repro.lb.conntrack import ConnTrack
+from repro.net.addr import FlowKey
+from repro.units import MILLISECONDS, SECONDS
+
+
+def flow(index=0):
+    return FlowKey("client", 40_000 + index, "vip", 11211)
+
+
+class TestAffinity:
+    def test_lookup_miss_then_insert_then_hit(self):
+        track = ConnTrack()
+        assert track.lookup(flow(), now=0) is None
+        track.insert(flow(), "server0", now=0)
+        assert track.lookup(flow(), now=100) == "server0"
+
+    def test_reinsert_moves_flow(self):
+        track = ConnTrack()
+        track.insert(flow(), "server0", now=0)
+        track.insert(flow(), "server1", now=10)
+        assert track.lookup(flow(), now=20) == "server1"
+        assert track.active_flows("server0") == 0
+        assert track.active_flows("server1") == 1
+
+    def test_counts_per_backend(self):
+        track = ConnTrack()
+        for i in range(3):
+            track.insert(flow(i), "server0", now=0)
+        track.insert(flow(9), "server1", now=0)
+        assert track.active_flows("server0") == 3
+        assert track.active_flows("server1") == 1
+        assert track.active_flows("unknown") == 0
+
+    def test_len(self):
+        track = ConnTrack()
+        track.insert(flow(0), "s", now=0)
+        track.insert(flow(1), "s", now=0)
+        assert len(track) == 2
+
+
+class TestIdleExpiry:
+    def test_idle_flow_expires_on_lookup(self):
+        track = ConnTrack(idle_timeout=1 * SECONDS)
+        track.insert(flow(), "server0", now=0)
+        assert track.lookup(flow(), now=2 * SECONDS) is None
+        assert track.stats.expired_idle == 1
+        assert track.active_flows("server0") == 0
+
+    def test_activity_refreshes_idle_clock(self):
+        track = ConnTrack(idle_timeout=1 * SECONDS)
+        track.insert(flow(), "server0", now=0)
+        for t in range(1, 5):
+            assert track.lookup(flow(), now=t * 800 * MILLISECONDS) == "server0"
+
+    def test_sweep_removes_idle_entries(self):
+        track = ConnTrack(idle_timeout=1 * SECONDS, sweep_every=10)
+        for i in range(5):
+            track.insert(flow(i), "server0", now=0)
+        # Touch a different flow enough times to trigger a sweep later.
+        for op in range(25):
+            track.lookup(flow(100), now=3 * SECONDS)
+        assert len(track) == 0
+
+
+class TestFinExpiry:
+    def test_closing_flow_lingers_then_dies(self):
+        track = ConnTrack(fin_linger=10 * MILLISECONDS, sweep_every=1)
+        track.insert(flow(), "server0", now=0)
+        track.mark_closing(flow(), now=0)
+        # Within linger: still routable (retransmitted FIN, stray ACK).
+        assert track.lookup(flow(), now=5 * MILLISECONDS) == "server0"
+        # After linger, a sweep reaps it.
+        track.lookup(flow(1), now=20 * MILLISECONDS)
+        assert track.lookup(flow(), now=21 * MILLISECONDS) is None
+        assert track.stats.expired_fin == 1
+
+    def test_mark_closing_unknown_flow_is_noop(self):
+        track = ConnTrack()
+        track.mark_closing(flow(), now=0)  # must not raise
+
+
+class TestValidation:
+    def test_bad_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            ConnTrack(idle_timeout=0)
+        with pytest.raises(ValueError):
+            ConnTrack(fin_linger=-1)
+
+    def test_stats_counters(self):
+        track = ConnTrack()
+        track.lookup(flow(), now=0)
+        track.insert(flow(), "s", now=0)
+        track.lookup(flow(), now=1)
+        assert track.stats.misses == 1
+        assert track.stats.inserts == 1
+        assert track.stats.hits == 1

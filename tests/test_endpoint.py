@@ -1,0 +1,118 @@
+"""Host demux, listeners, port allocation."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.transport.endpoint import Host
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS
+
+from tests.conftest import make_echo_server
+
+
+class TestListeners:
+    def test_duplicate_listen_rejected(self, pair):
+        pair.server.listen(7000, lambda c: None)
+        with pytest.raises(TransportError):
+            pair.server.listen(7000, lambda c: None)
+
+    def test_syn_to_non_listening_port_ignored(self, sim, pair):
+        conn = pair.client.connect(Endpoint("server", 9999))
+        sim.run_until(50 * MILLISECONDS)
+        assert not conn.established
+        assert pair.server.connection_count == 0
+
+    def test_listener_fires_per_connection(self, sim, pair):
+        conns = []
+        pair.server.listen(7000, lambda c: conns.append(c))
+        pair.client.connect(pair.server_endpoint())
+        pair.client.connect(pair.server_endpoint())
+        sim.run_until(10 * MILLISECONDS)
+        assert len(conns) == 2
+
+
+class TestPortAllocation:
+    def test_ephemeral_ports_unique(self, sim, pair):
+        make_echo_server(pair)
+        ports = {
+            pair.client.connect(pair.server_endpoint()).local.port
+            for _ in range(20)
+        }
+        assert len(ports) == 20
+        assert all(p >= 49_152 for p in ports)
+
+    def test_explicit_local_port(self, sim, pair):
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint(), local_port=55_555)
+        assert conn.local.port == 55_555
+
+    def test_duplicate_explicit_port_rejected(self, sim, pair):
+        make_echo_server(pair)
+        pair.client.connect(pair.server_endpoint(), local_port=55_555)
+        with pytest.raises(TransportError):
+            pair.client.connect(pair.server_endpoint(), local_port=55_555)
+
+
+class TestDemux:
+    def test_connections_isolated(self, sim, pair):
+        received = make_echo_server(pair)
+        a = pair.client.connect(pair.server_endpoint())
+        b = pair.client.connect(pair.server_endpoint())
+        replies_a, replies_b = [], []
+        a.on_message = lambda c, m: replies_a.append(m)
+        b.on_message = lambda c, m: replies_b.append(m)
+        a.send_message("from-a", 64)
+        b.send_message("from-b", 64)
+        sim.run_until(10 * MILLISECONDS)
+        assert replies_a == [("echo", "from-a")]
+        assert replies_b == [("echo", "from-b")]
+
+    def test_connection_count_tracks_lifecycle(self, sim, pair):
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        sim.run_until(5 * MILLISECONDS)
+        assert pair.client.connection_count == 1
+        conn.close()
+        sim.run_until(20 * MILLISECONDS)
+        assert pair.client.connection_count == 0
+
+    def test_stray_packet_after_teardown_ignored(self, sim, pair):
+        # Close, then deliver a crafted stale packet: no crash, no state.
+        make_echo_server(pair)
+        conn = pair.client.connect(pair.server_endpoint())
+        sim.run_until(5 * MILLISECONDS)
+        conn.close()
+        sim.run_until(20 * MILLISECONDS)
+        from repro.net.packet import Packet, TcpFlags
+
+        stale = Packet(
+            src=conn.remote, dst=conn.local, flags=TcpFlags.ACK, seq=1, ack=1
+        )
+        pair.client.on_packet(stale)  # must not raise
+        assert pair.client.connection_count == 0
+
+
+class TestVipAlias:
+    def test_server_accepts_vip_addressed_connection(self, sim):
+        """DSR shape: server owns the VIP; LB-less shortcut version."""
+        network = Network(sim)
+        client = Host(network, "client")
+        server = Host(network, "server")
+        network.add_alias("vip", "server")
+        network.connect_bidirectional("client", "server", prop_delay=1000)
+        # Client routes the VIP toward the server pipe.
+        network.add_route("client", "vip", "server")
+
+        received = []
+
+        def on_connection(conn):
+            conn.on_message = lambda c, m: received.append(m)
+
+        server.listen(7000, on_connection)
+        conn = client.connect(Endpoint("vip", 7000))
+        conn.send_message("hello-vip", 64)
+        sim.run_until(10 * MILLISECONDS)
+        assert received == ["hello-vip"]
+        # The server-side connection is keyed on the VIP endpoint.
+        assert conn.established

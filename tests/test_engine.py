@@ -1,0 +1,222 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator, Timer
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_event_fires_at_scheduled_time(self, sim):
+        fired = []
+        sim.schedule(1000, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1000]
+
+    def test_absolute_scheduling(self, sim):
+        fired = []
+        sim.schedule_at(5_000, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5000]
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(300, lambda: order.append("c"))
+        sim.schedule(100, lambda: order.append("a"))
+        sim.schedule(200, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self, sim):
+        order = []
+        for label in "abcde":
+            sim.schedule(42, lambda l=label: order.append(l))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_zero_delay_fires_after_current_instant_events(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0, lambda: order.append("nested"))
+
+        sim.schedule(10, first)
+        sim.schedule(10, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_scheduling_in_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        fired = []
+
+        def outer():
+            sim.schedule(50, lambda: fired.append(sim.now))
+
+        sim.schedule(100, outer)
+        sim.run()
+        assert fired == [150]
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append("early"))
+        sim.schedule(5000, lambda: fired.append("late"))
+        sim.run_until(1000)
+        assert fired == ["early"]
+        assert sim.now == 1000
+
+    def test_boundary_inclusive(self, sim):
+        fired = []
+        sim.schedule(1000, lambda: fired.append(sim.now))
+        sim.run_until(1000)
+        assert fired == [1000]
+
+    def test_clock_advances_to_bound_even_if_idle(self, sim):
+        sim.run_until(777)
+        assert sim.now == 777
+
+    def test_resume_after_run_until(self, sim):
+        fired = []
+        sim.schedule(2000, lambda: fired.append(sim.now))
+        sim.run_until(1000)
+        assert fired == []
+        sim.run_until(3000)
+        assert fired == [2000]
+
+    def test_max_events_bound(self, sim):
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        processed = sim.run_until(100, max_events=3)
+        assert processed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(100, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(100, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        keep = sim.schedule(100, lambda: fired.append("keep"))
+        drop = sim.schedule(100, lambda: fired.append("drop"))
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_events_processed_counts_only_fired(self, sim):
+        sim.schedule(1, lambda: None)
+        dropped = sim.schedule(2, lambda: None)
+        dropped.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class TestStep:
+    def test_step_fires_single_event(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append("a"))
+        sim.schedule(20, lambda: fired.append("b"))
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.now == 10
+
+    def test_step_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_step_skips_cancelled(self, sim):
+        fired = []
+        sim.schedule(10, lambda: None).cancel()
+        sim.schedule(20, lambda: fired.append("b"))
+        assert sim.step() is True
+        assert fired == ["b"]
+
+
+class TestReentrancy:
+    def test_reentrant_run_rejected(self, sim):
+        def evil():
+            sim.run()
+
+        sim.schedule(10, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(500)
+        sim.run()
+        assert fired == [500]
+
+    def test_restart_supersedes(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(500)
+        timer.start(900)
+        sim.run()
+        assert fired == [900]
+
+    def test_stop_prevents_fire(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(500)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_running_and_deadline(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        assert timer.deadline is None
+        timer.start(100)
+        assert timer.running
+        assert timer.deadline == 100
+        sim.run()
+        assert not timer.running
+
+    def test_timer_can_rearm_from_callback(self, sim):
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(100)
+
+        timer = Timer(sim, tick)
+        timer.start(100)
+        sim.run()
+        assert fired == [100, 200, 300]
+
+    def test_stop_idempotent(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.stop()
+        timer.start(10)
+        timer.stop()
+        timer.stop()
+        sim.run()
+        assert not timer.running

@@ -1,0 +1,181 @@
+"""Algorithm 2 — ENSEMBLETIMEOUT: ensembles, epochs, sample cliffs."""
+
+import pytest
+
+from repro.core.ensemble import EnsembleConfig, EnsembleTimeout, default_timeouts
+from repro.units import MICROSECONDS, MILLISECONDS
+
+
+def feed_regular_batches(ensemble, rtt, duration, burst=4, intra_gap=2 * MICROSECONDS):
+    """Feed batch arrivals: `burst` packets, then silence until next RTT."""
+    samples = []
+    t = 0
+    while t < duration:
+        for i in range(burst):
+            sample = ensemble.observe(t + i * intra_gap)
+            if sample is not None:
+                samples.append((t + i * intra_gap, sample))
+        t += rtt
+    return samples
+
+
+class TestDefaults:
+    def test_paper_timeout_ladder(self):
+        timeouts = default_timeouts()
+        assert timeouts[0] == 64 * MICROSECONDS
+        # Doubling from 64 us seven times ends at 4096 us — the paper's
+        # "delta_7 = 4 ms" ladder.
+        assert timeouts[-1] == 4096 * MICROSECONDS
+        assert len(timeouts) == 7
+        for a, b in zip(timeouts, timeouts[1:]):
+            assert b == 2 * a
+
+    def test_paper_epoch(self):
+        assert EnsembleConfig().epoch == 64 * MILLISECONDS
+
+
+class TestValidation:
+    def test_needs_two_timeouts(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(timeouts=[100]).validate()
+
+    def test_sorted_required(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(timeouts=[200, 100]).validate()
+
+    def test_distinct_required(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(timeouts=[100, 100]).validate()
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(timeouts=[0, 100]).validate()
+
+    def test_epoch_positive(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(epoch=0).validate()
+
+    def test_initial_index_in_range(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(initial_index=7).validate()
+
+
+class TestSampleCounting:
+    def test_counts_per_timeout_within_epoch(self):
+        config = EnsembleConfig(
+            timeouts=[64 * MICROSECONDS, 128 * MICROSECONDS, 256 * MICROSECONDS],
+            epoch=100 * MILLISECONDS,
+        )
+        ensemble = EnsembleTimeout(config)
+        # Batches 200us apart: timeouts 64 and 128 split them; 256 never.
+        feed_regular_batches(ensemble, rtt=200 * MICROSECONDS, duration=50 * MILLISECONDS)
+        counts = ensemble.sample_counts()
+        assert counts[0] > 0
+        assert counts[1] > 0
+        assert counts[2] == 0
+        assert counts[0] == counts[1]  # same true batches, no false splits
+
+    def test_counts_reset_at_epoch(self):
+        config = EnsembleConfig(epoch=10 * MILLISECONDS)
+        ensemble = EnsembleTimeout(config)
+        feed_regular_batches(ensemble, rtt=500 * MICROSECONDS, duration=11 * MILLISECONDS)
+        # After crossing the epoch boundary the counters restarted.
+        assert ensemble.epochs_completed >= 1
+        assert max(ensemble.sample_counts()) < 25
+
+
+class TestCliffDetection:
+    def test_cliff_picks_largest_adjacent_drop(self):
+        ensemble = EnsembleTimeout(EnsembleConfig(timeouts=[10, 20, 40, 80]))
+        ensemble._counts = [50, 40, 38, 1]
+        assert ensemble._detect_cliff() == 2  # 38/1 is the cliff
+
+    def test_cliff_handles_zero_next_count(self):
+        ensemble = EnsembleTimeout(EnsembleConfig(timeouts=[10, 20, 40]))
+        ensemble._counts = [50, 45, 0]
+        assert ensemble._detect_cliff() == 1  # 45/max(0,1)=45
+
+    def test_idle_epoch_returns_none(self):
+        ensemble = EnsembleTimeout(EnsembleConfig(timeouts=[10, 20]))
+        ensemble._counts = [0, 0]
+        assert ensemble._detect_cliff() is None
+
+    def test_idle_epoch_keeps_previous_selection(self):
+        config = EnsembleConfig(
+            timeouts=[64 * MICROSECONDS, 128 * MICROSECONDS],
+            epoch=1 * MILLISECONDS,
+            initial_index=1,
+        )
+        ensemble = EnsembleTimeout(config)
+        ensemble.observe(0)
+        # Nothing for many epochs, then one packet: selection unchanged.
+        ensemble.observe(10 * MILLISECONDS)
+        assert ensemble.current_index == 1
+
+
+class TestTimeoutAdaptation:
+    def test_selects_timeout_below_batch_pause(self):
+        """For clean 500us batches, the cliff sits at the largest timeout
+        still below the pause — 256us in the paper ladder."""
+        config = EnsembleConfig(epoch=20 * MILLISECONDS)
+        ensemble = EnsembleTimeout(config)
+        feed_regular_batches(
+            ensemble, rtt=500 * MICROSECONDS, duration=45 * MILLISECONDS
+        )
+        assert ensemble.epochs_completed >= 2
+        assert ensemble.current_timeout == 256 * MICROSECONDS
+
+    def test_tracks_rtt_increase(self):
+        config = EnsembleConfig(epoch=20 * MILLISECONDS)
+        ensemble = EnsembleTimeout(config)
+        feed_regular_batches(ensemble, rtt=500 * MICROSECONDS, duration=40 * MILLISECONDS)
+        first_choice = ensemble.current_timeout
+        # RTT grows to 3 ms; re-feed from t=40ms onward.
+        t = 40 * MILLISECONDS
+        while t < 150 * MILLISECONDS:
+            ensemble.observe(t)
+            ensemble.observe(t + 2 * MICROSECONDS)
+            t += 3 * MILLISECONDS
+        assert ensemble.current_timeout > first_choice
+        assert ensemble.current_timeout >= 1 * MILLISECONDS
+
+    def test_samples_come_from_selected_timeout(self):
+        config = EnsembleConfig(epoch=20 * MILLISECONDS)
+        ensemble = EnsembleTimeout(config)
+        samples = feed_regular_batches(
+            ensemble, rtt=500 * MICROSECONDS, duration=100 * MILLISECONDS
+        )
+        late = [s for t, s in samples if t > 50 * MILLISECONDS]
+        assert late
+        for sample in late:
+            assert sample == pytest.approx(500 * MICROSECONDS, rel=0.05)
+
+    def test_cliff_history_records_choices(self):
+        config = EnsembleConfig(epoch=10 * MILLISECONDS)
+        ensemble = EnsembleTimeout(config)
+        feed_regular_batches(ensemble, rtt=500 * MICROSECONDS, duration=35 * MILLISECONDS)
+        assert len(ensemble.cliff_history) == ensemble.epochs_completed
+        for _time, index in ensemble.cliff_history:
+            assert 0 <= index < len(config.timeouts)
+
+
+class TestEpochBoundaries:
+    def test_epoch_boundary_detected_before_processing(self):
+        """The packet that opens an epoch is measured with the new δ."""
+        config = EnsembleConfig(
+            timeouts=[64 * MICROSECONDS, 128 * MICROSECONDS, 256 * MICROSECONDS],
+            epoch=10 * MILLISECONDS,
+            initial_index=0,
+        )
+        ensemble = EnsembleTimeout(config)
+        feed_regular_batches(ensemble, rtt=500 * MICROSECONDS, duration=10 * MILLISECONDS)
+        before = ensemble.epochs_completed
+        ensemble.observe(10 * MILLISECONDS + 1)
+        assert ensemble.epochs_completed == before + 1
+
+    def test_multi_epoch_gap_resets_once(self):
+        config = EnsembleConfig(epoch=10 * MILLISECONDS)
+        ensemble = EnsembleTimeout(config)
+        ensemble.observe(0)
+        ensemble.observe(100 * MILLISECONDS)  # 10 epochs later
+        assert ensemble.epochs_completed == 1

@@ -1,0 +1,107 @@
+"""Per-backend latency estimation."""
+
+import pytest
+
+from repro.core.estimator import BackendLatencyEstimator, EstimatorConfig
+from repro.units import MICROSECONDS, MILLISECONDS
+
+
+US = MICROSECONDS
+
+
+class TestObservation:
+    def test_unknown_backend_estimate_none(self):
+        assert BackendLatencyEstimator().estimate("ghost") is None
+
+    def test_single_sample_sets_estimate(self):
+        est = BackendLatencyEstimator()
+        est.observe("s0", now=0, t_lb=500 * US)
+        assert est.estimate("s0") == 500 * US
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            BackendLatencyEstimator().observe("s0", 0, -1)
+
+    def test_total_samples(self):
+        est = BackendLatencyEstimator()
+        for i in range(5):
+            est.observe("s0", i, 100)
+        assert est.total_samples == 5
+
+
+class TestMetrics:
+    def _loaded(self, metric):
+        est = BackendLatencyEstimator(EstimatorConfig(metric=metric, min_samples=1))
+        for i in range(20):
+            value = 100 * US if i < 19 else 10 * MILLISECONDS  # one outlier
+            est.observe("s0", now=i * MILLISECONDS, t_lb=value)
+        return est
+
+    def test_p95_sees_tail(self):
+        est = self._loaded("p95")
+        assert est.estimate("s0") > 100 * US
+
+    def test_p50_robust_to_outlier(self):
+        est = self._loaded("p50")
+        assert est.estimate("s0") == pytest.approx(100 * US)
+
+    def test_ewma_between(self):
+        est = self._loaded("ewma")
+        value = est.estimate("s0")
+        assert 100 * US < value < 10 * MILLISECONDS
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(metric="mode").validate()
+
+
+class TestSnapshotAndRanking:
+    def make(self, min_samples=3):
+        return BackendLatencyEstimator(EstimatorConfig(min_samples=min_samples))
+
+    def test_min_samples_gate(self):
+        est = self.make(min_samples=3)
+        est.observe("s0", 0, 100)
+        est.observe("s0", 1, 100)
+        assert est.snapshot() == []
+        est.observe("s0", 2, 100)
+        snap = est.snapshot()
+        assert len(snap) == 1
+        assert snap[0].backend == "s0"
+        assert snap[0].samples == 3
+
+    def test_worst_and_best(self):
+        est = self.make(min_samples=1)
+        for i in range(3):
+            est.observe("slow", i, 900 * US)
+            est.observe("fast", i, 100 * US)
+        worst, best = est.worst_and_best()
+        assert worst.backend == "slow"
+        assert best.backend == "fast"
+
+    def test_worst_and_best_needs_two(self):
+        est = self.make(min_samples=1)
+        est.observe("only", 0, 100)
+        assert est.worst_and_best() is None
+
+    def test_forget(self):
+        est = self.make(min_samples=1)
+        est.observe("s0", 0, 100)
+        est.forget("s0")
+        assert est.estimate("s0") is None
+
+    def test_snapshot_sorted_by_name(self):
+        est = self.make(min_samples=1)
+        est.observe("zeta", 0, 100)
+        est.observe("alpha", 0, 100)
+        assert [e.backend for e in est.snapshot()] == ["alpha", "zeta"]
+
+
+class TestTimeDecay:
+    def test_stale_estimate_updates_quickly_after_change(self):
+        config = EstimatorConfig(metric="ewma", tau=1 * MILLISECONDS, min_samples=1)
+        est = BackendLatencyEstimator(config)
+        est.observe("s0", now=0, t_lb=100 * US)
+        # 10 tau later, one new sample dominates.
+        est.observe("s0", now=10 * MILLISECONDS, t_lb=2 * MILLISECONDS)
+        assert est.estimate("s0") == pytest.approx(2 * MILLISECONDS, rel=0.01)

@@ -1,0 +1,95 @@
+"""EWMA estimators."""
+
+import math
+
+import pytest
+
+from repro.telemetry.ewma import Ewma, TimeDecayEwma
+
+
+class TestEwma:
+    def test_starts_empty(self):
+        assert Ewma().value is None
+        assert Ewma().count == 0
+
+    def test_first_sample_initializes(self):
+        ewma = Ewma(gain=0.5)
+        assert ewma.observe(100.0) == 100.0
+
+    def test_moves_toward_samples(self):
+        ewma = Ewma(gain=0.5)
+        ewma.observe(100.0)
+        assert ewma.observe(200.0) == 150.0
+
+    def test_constant_input_is_fixed_point(self):
+        ewma = Ewma(gain=0.3)
+        for _ in range(20):
+            ewma.observe(42.0)
+        assert ewma.value == pytest.approx(42.0)
+
+    def test_converges_to_new_level(self):
+        ewma = Ewma(gain=0.5)
+        ewma.observe(0.0)
+        for _ in range(30):
+            ewma.observe(1000.0)
+        assert ewma.value == pytest.approx(1000.0, rel=1e-6)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(gain=0.0)
+        with pytest.raises(ValueError):
+            Ewma(gain=1.5)
+        Ewma(gain=1.0)  # boundary allowed: latest-sample tracker
+
+    def test_reset(self):
+        ewma = Ewma()
+        ewma.observe(5.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.count == 0
+
+    def test_count_increments(self):
+        ewma = Ewma()
+        for i in range(5):
+            ewma.observe(float(i))
+        assert ewma.count == 5
+
+
+class TestTimeDecayEwma:
+    def test_first_sample_initializes(self):
+        ewma = TimeDecayEwma(tau=1000)
+        assert ewma.observe(0, 50.0) == 50.0
+
+    def test_decay_depends_on_elapsed_time(self):
+        fast = TimeDecayEwma(tau=1000)
+        fast.observe(0, 0.0)
+        fast.observe(10_000, 100.0)  # 10 tau elapsed: nearly full weight
+        assert fast.value == pytest.approx(100.0, abs=0.1)
+
+        slow = TimeDecayEwma(tau=1000)
+        slow.observe(0, 0.0)
+        slow.observe(10, 100.0)  # 0.01 tau elapsed: barely moves
+        assert slow.value < 2.0
+
+    def test_exact_one_tau_weight(self):
+        ewma = TimeDecayEwma(tau=1000)
+        ewma.observe(0, 0.0)
+        ewma.observe(1000, 100.0)
+        assert ewma.value == pytest.approx(100.0 * (1 - math.exp(-1)))
+
+    def test_same_timestamp_keeps_value(self):
+        ewma = TimeDecayEwma(tau=1000)
+        ewma.observe(500, 10.0)
+        ewma.observe(500, 99.0)  # dt=0 -> zero weight
+        assert ewma.value == pytest.approx(10.0)
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError):
+            TimeDecayEwma(tau=0)
+
+    def test_reset(self):
+        ewma = TimeDecayEwma(tau=10)
+        ewma.observe(0, 1.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.count == 0

@@ -1,0 +1,75 @@
+"""CSV export helpers."""
+
+import csv
+
+from repro.app.client import RequestRecord
+from repro.app.protocol import Op
+from repro.harness.export import (
+    export_latency_series,
+    export_records,
+    export_timeseries,
+    write_csv,
+)
+from repro.telemetry.timeseries import TimeSeries
+
+
+class TestWriteCsv:
+    def test_headers_and_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        count = write_csv(path, ("a", "b"), [(1, 2), (3, 4)])
+        assert count == 2
+        rows = list(csv.reader(path.open()))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.csv"
+        write_csv(path, ("x",), [(1,)])
+        assert path.exists()
+
+
+class TestExporters:
+    def test_timeseries(self, tmp_path):
+        series = TimeSeries(name="t_lb")
+        series.append(10, 1.5)
+        series.append(20, 2.5)
+        path = tmp_path / "series.csv"
+        assert export_timeseries(path, series) == 2
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["time_ns", "t_lb"]
+        assert rows[1] == ["10", "1.5"]
+
+    def test_latency_series(self, tmp_path):
+        path = tmp_path / "p95.csv"
+        assert export_latency_series(path, [(0, 100.0), (1000, 200.0)]) == 2
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["bucket_start_ns", "p95_ns"]
+
+    def test_records(self, tmp_path):
+        record = RequestRecord(
+            request_id=7,
+            op=Op.GET,
+            sent_at=100,
+            completed_at=300,
+            latency=200,
+            server="server1",
+            local_port=50_000,
+        )
+        path = tmp_path / "records.csv"
+        assert export_records(path, [record]) == 1
+        rows = list(csv.reader(path.open()))
+        assert rows[1] == ["7", "get", "100", "300", "200", "server1", "50000"]
+
+    def test_records_without_server(self, tmp_path):
+        record = RequestRecord(
+            request_id=1,
+            op=Op.SET,
+            sent_at=0,
+            completed_at=1,
+            latency=1,
+            server=None,
+            local_port=1,
+        )
+        path = tmp_path / "records.csv"
+        export_records(path, [record])
+        rows = list(csv.reader(path.open()))
+        assert rows[1][5] == ""

@@ -1,0 +1,216 @@
+"""The in-band feedback loop wired onto a load balancer."""
+
+import pytest
+
+from repro.core.ensemble import EnsembleConfig
+from repro.core.estimator import EstimatorConfig
+from repro.core.feedback import FeedbackConfig, InbandFeedback
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.dataplane import LoadBalancer
+from repro.lb.policies import MaglevPolicy
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.net.packet import Packet, TcpFlags
+from repro.units import MICROSECONDS, MILLISECONDS
+
+
+class RecorderNode:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def on_packet(self, packet):
+        self.received.append(packet)
+
+
+def build(sim, control=True, min_samples=1):
+    network = Network(sim)
+    client = RecorderNode("client")
+    network.add_node(client)
+    pool = BackendPool([Backend("s0"), Backend("s1")])
+    lb = LoadBalancer(
+        network, "lb", Endpoint("vip", 80), pool, MaglevPolicy(pool, 251)
+    )
+    for name in ("s0", "s1"):
+        node = RecorderNode(name)
+        network.add_node(node)
+        network.connect("lb", name, prop_delay=10)
+    network.connect("client", "lb", prop_delay=10)
+    network.set_default_route("client", "lb")
+    config = FeedbackConfig(
+        estimator=EstimatorConfig(min_samples=min_samples),
+        control=control,
+    )
+    feedback = InbandFeedback(lb, config)
+    return network, lb, pool, feedback
+
+
+def drive_flow(sim, network, port, batch_times, burst=3,
+               intra_gap=2 * MICROSECONDS):
+    """Inject client→VIP packets in batches at the given times."""
+    for batch_start in batch_times:
+        for i in range(burst):
+            when = batch_start + i * intra_gap
+            flags = TcpFlags.SYN if (batch_start == batch_times[0] and i == 0) else TcpFlags.ACK
+
+            def fire(w=when, f=flags, p=port):
+                network.send_from(
+                    "client",
+                    Packet(
+                        src=Endpoint("client", p),
+                        dst=Endpoint("vip", 80),
+                        flags=f,
+                        payload_len=100,
+                    ),
+                )
+
+            sim.schedule_at(when, fire)
+
+
+class TestMeasurement:
+    def test_produces_samples_from_batches(self, sim):
+        network, lb, pool, feedback = build(sim, control=False)
+        batches = [i * 500 * MICROSECONDS for i in range(400)]
+        drive_flow(sim, network, 40_000, batches)
+        sim.run()
+        assert feedback.sample_count > 50
+        # Samples approximate the 500us batch interval.
+        values = [s.t_lb for s in feedback.samples]
+        median = sorted(values)[len(values) // 2]
+        assert median == pytest.approx(500 * MICROSECONDS, rel=0.1)
+
+    def test_samples_attributed_to_flow_backend(self, sim):
+        network, lb, pool, feedback = build(sim, control=False)
+        batches = [i * 500 * MICROSECONDS for i in range(300)]
+        drive_flow(sim, network, 40_000, batches)
+        sim.run()
+        backends = {s.backend for s in feedback.samples}
+        assert len(backends) == 1  # one flow, one backend
+        assert backends <= {"s0", "s1"}
+
+    def test_sample_series_recorded(self, sim):
+        network, lb, pool, feedback = build(sim, control=False)
+        drive_flow(sim, network, 40_000, [i * 500 * MICROSECONDS for i in range(200)])
+        sim.run()
+        (backend,) = feedback.sample_series
+        series = feedback.sample_series[backend]
+        assert len(series) == feedback.sample_count
+
+    def test_record_samples_can_be_disabled(self, sim):
+        network, lb, pool, _ = build(sim)
+        config = FeedbackConfig(control=False, record_samples=False)
+        feedback = InbandFeedback(lb, config)
+        drive_flow(sim, network, 41_000, [i * 500 * MICROSECONDS for i in range(100)])
+        sim.run()
+        assert feedback.sample_count > 0
+        assert feedback.samples == []
+
+    def test_fin_clears_flow_state(self, sim):
+        network, lb, pool, feedback = build(sim, control=False)
+        drive_flow(sim, network, 40_000, [i * 500 * MICROSECONDS for i in range(10)])
+        sim.run()
+        assert len(feedback.flows) == 1
+        network.send_from(
+            "client",
+            Packet(
+                src=Endpoint("client", 40_000),
+                dst=Endpoint("vip", 80),
+                flags=TcpFlags.FIN | TcpFlags.ACK,
+            ),
+        )
+        sim.run()
+        assert len(feedback.flows) == 0
+
+
+class TestRetransmissionDetection:
+    def test_duplicate_sequence_taints_next_sample(self, sim):
+        network, lb, pool, _ = build(sim)
+        config = FeedbackConfig(control=False, censor_retransmissions=True)
+        feedback = InbandFeedback(lb, config)
+
+        def send(seq, when, flags=TcpFlags.ACK):
+            sim.schedule_at(
+                when,
+                lambda: network.send_from(
+                    "client",
+                    Packet(
+                        src=Endpoint("client", 42_000),
+                        dst=Endpoint("vip", 80),
+                        flags=flags,
+                        seq=seq,
+                        payload_len=100,
+                    ),
+                ),
+            )
+
+        # Batch 1, then a retransmission of its segment, then batch 2.
+        send(0, 0, flags=TcpFlags.SYN)
+        send(1, 500 * MICROSECONDS)
+        send(1, 1000 * MICROSECONDS)          # duplicate: retransmission
+        send(101, 1500 * MICROSECONDS)        # fresh data, new batch
+        sim.run()
+        assert feedback.censored_samples > 0
+
+    def test_monotone_flow_produces_uncensored_samples(self, sim):
+        network, lb, pool, _ = build(sim)
+        config = FeedbackConfig(control=False, censor_retransmissions=True)
+        feedback = InbandFeedback(lb, config)
+        seq = 0
+        for batch in range(200):
+            when = batch * 500 * MICROSECONDS
+            flags = TcpFlags.SYN if batch == 0 else TcpFlags.ACK
+            current = seq
+
+            def fire(s=current, w=when, f=flags):
+                network.send_from(
+                    "client",
+                    Packet(
+                        src=Endpoint("client", 44_000),
+                        dst=Endpoint("vip", 80),
+                        flags=f,
+                        seq=s,
+                        payload_len=100,
+                    ),
+                )
+
+            sim.schedule_at(when, fire)
+            seq += 101 if batch == 0 else 100
+        sim.run()
+        assert feedback.censored_samples == 0
+        assert feedback.sample_count > 50
+
+
+class TestControl:
+    def test_no_shifts_in_measure_only_mode(self, sim):
+        network, lb, pool, feedback = build(sim, control=False)
+        drive_flow(sim, network, 40_000, [i * 500 * MICROSECONDS for i in range(200)])
+        sim.run()
+        assert feedback.controller is None
+        assert feedback.shift_events() == []
+        assert pool.weights() == {"s0": 1.0, "s1": 1.0}
+
+    def test_shifts_away_from_slow_backend(self, sim):
+        network, lb, pool, feedback = build(sim, control=True)
+        # Two flows pinned to different backends with different batch
+        # intervals (one 'slow', one 'fast').  Find ports that Maglev
+        # maps to distinct backends.
+        table = lb.policy.table
+        port_fast = next(
+            p for p in range(40_000, 41_000)
+            if table.lookup_flow(str(Packet(
+                src=Endpoint("client", p), dst=Endpoint("vip", 80)).flow)) == "s0"
+        )
+        port_slow = next(
+            p for p in range(40_000, 41_000)
+            if table.lookup_flow(str(Packet(
+                src=Endpoint("client", p), dst=Endpoint("vip", 80)).flow)) == "s1"
+        )
+        drive_flow(sim, network, port_fast,
+                   [i * 500 * MICROSECONDS for i in range(400)])
+        drive_flow(sim, network, port_slow,
+                   [i * 2 * MILLISECONDS for i in range(100)])
+        sim.run()
+        weights = pool.weights()
+        assert weights["s1"] < weights["s0"]
+        assert feedback.shift_events()
+        assert feedback.shift_events()[0].from_backend == "s1"

@@ -1,0 +1,98 @@
+"""Algorithm 1 — FIXEDTIMEOUT, exactly per the paper's pseudocode."""
+
+import pytest
+
+from repro.core.fixed_timeout import FixedTimeout
+from repro.units import MICROSECONDS
+
+
+DELTA = 64 * MICROSECONDS
+RTT = 500 * MICROSECONDS
+
+
+class TestFirstPacket:
+    def test_first_packet_produces_no_sample(self):
+        ft = FixedTimeout(DELTA)
+        assert ft.observe(1000) is None
+
+    def test_first_packet_initializes_state(self):
+        ft = FixedTimeout(DELTA)
+        ft.observe(1000)
+        assert ft.time_last_batch == 1000
+        assert ft.time_last_pkt == 1000
+
+
+class TestBatchDetection:
+    def test_gap_below_delta_keeps_batch(self):
+        ft = FixedTimeout(DELTA)
+        ft.observe(0)
+        assert ft.observe(DELTA) is None          # gap == delta: NOT a new batch
+        assert ft.observe(2 * DELTA) is None      # still within
+
+    def test_gap_above_delta_emits_batch_gap(self):
+        ft = FixedTimeout(DELTA)
+        ft.observe(0)
+        sample = ft.observe(RTT)
+        assert sample == RTT                      # gap from batch head
+
+    def test_sample_measures_head_to_head_not_gap(self):
+        """T_LB is last-batch-head -> new-batch-head, not the idle gap."""
+        ft = FixedTimeout(DELTA)
+        ft.observe(0)          # batch 1 head
+        ft.observe(10_000)     # batch 1, +10us (intra-batch)
+        ft.observe(20_000)     # batch 1, +10us
+        sample = ft.observe(RTT)  # idle gap is RTT-20us, but T_LB = RTT
+        assert sample == RTT
+
+    def test_consecutive_batches_measure_each_interval(self):
+        ft = FixedTimeout(DELTA)
+        ft.observe(0)
+        assert ft.observe(RTT) == RTT
+        assert ft.observe(3 * RTT) == 2 * RTT
+
+    def test_strictly_greater_comparison(self):
+        """Paper: `now - time_last_pkt > delta`, strict."""
+        ft = FixedTimeout(DELTA)
+        ft.observe(0)
+        assert ft.observe(DELTA) is None
+        assert ft.observe(2 * DELTA + 1) == 2 * DELTA + 1
+
+
+class TestErrorModes:
+    def test_too_small_delta_splits_one_batch(self):
+        """Low δ: intra-batch gaps become (false) batch boundaries."""
+        ft = FixedTimeout(10 * MICROSECONDS)
+        ft.observe(0)
+        # Packets 20us apart in what is really one batch:
+        samples = [ft.observe(t * 20_000) for t in range(1, 5)]
+        assert all(s is not None for s in samples)
+        assert samples[0] == 20_000  # erroneously low vs true RTT
+
+    def test_too_large_delta_merges_batches(self):
+        """High δ: true batch pauses never exceed it; samples rare/huge."""
+        ft = FixedTimeout(2 * RTT)
+        ft.observe(0)
+        # Ten true batches, RTT apart: never a sample.
+        for batch in range(1, 10):
+            assert ft.observe(batch * RTT) is None
+        # One long stall finally splits, spanning all merged batches.
+        sample = ft.observe(9 * RTT + 3 * RTT)
+        assert sample == 12 * RTT
+
+    def test_sample_counter(self):
+        ft = FixedTimeout(DELTA)
+        ft.observe(0)
+        ft.observe(RTT)
+        ft.observe(2 * RTT)
+        assert ft.samples_produced == 2
+
+
+class TestValidation:
+    def test_delta_positive(self):
+        with pytest.raises(ValueError):
+            FixedTimeout(0)
+        with pytest.raises(ValueError):
+            FixedTimeout(-5)
+
+    def test_repr(self):
+        assert "samples=0" in repr(FixedTimeout(100))

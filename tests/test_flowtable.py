@@ -1,0 +1,96 @@
+"""Per-flow measurement state table."""
+
+import pytest
+
+from repro.core.flowtable import FlowTable
+from repro.net.addr import FlowKey
+from repro.units import SECONDS
+
+
+def flow(index):
+    return FlowKey("c", 40_000 + index, "vip", 80)
+
+
+def make_table(**kwargs):
+    created = []
+
+    def factory(key):
+        created.append(key)
+        return {"flow": key}
+
+    defaults = dict(capacity=4, idle_timeout=1 * SECONDS, sweep_every=2)
+    defaults.update(kwargs)
+    return FlowTable(factory, **defaults), created
+
+
+class TestLifecycle:
+    def test_creates_on_first_sight(self):
+        table, created = make_table()
+        state = table.get_or_create(flow(0), now=0)
+        assert state["flow"] == flow(0)
+        assert created == [flow(0)]
+        assert table.stats.created == 1
+
+    def test_returns_same_state_on_revisit(self):
+        table, created = make_table()
+        first = table.get_or_create(flow(0), now=0)
+        second = table.get_or_create(flow(0), now=100)
+        assert first is second
+        assert len(created) == 1
+
+    def test_peek_does_not_create(self):
+        table, created = make_table()
+        assert table.peek(flow(0)) is None
+        assert created == []
+
+    def test_remove(self):
+        table, _ = make_table()
+        table.get_or_create(flow(0), now=0)
+        table.remove(flow(0))
+        assert flow(0) not in table
+        assert table.stats.removed == 1
+        table.remove(flow(0))  # idempotent
+        assert table.stats.removed == 1
+
+    def test_contains_and_len(self):
+        table, _ = make_table()
+        table.get_or_create(flow(0), now=0)
+        assert flow(0) in table
+        assert len(table) == 1
+
+
+class TestCapacity:
+    def test_capacity_evicts_least_recently_used(self):
+        table, _ = make_table(capacity=2)
+        table.get_or_create(flow(0), now=0)
+        table.get_or_create(flow(1), now=1)
+        table.get_or_create(flow(0), now=2)   # refresh 0
+        table.get_or_create(flow(2), now=3)   # evicts 1
+        assert flow(1) not in table
+        assert flow(0) in table
+        assert table.stats.evicted_capacity == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            make_table(capacity=0)
+
+
+class TestIdleEviction:
+    def test_sweep_reaps_idle_flows(self):
+        table, _ = make_table(idle_timeout=1 * SECONDS, sweep_every=2)
+        table.get_or_create(flow(0), now=0)
+        # Later activity on other flows triggers sweeps past the timeout.
+        table.get_or_create(flow(1), now=3 * SECONDS)
+        table.get_or_create(flow(2), now=3 * SECONDS)
+        assert flow(0) not in table
+        assert table.stats.evicted_idle == 1
+
+    def test_active_flow_survives_sweeps(self):
+        table, _ = make_table(idle_timeout=1 * SECONDS, sweep_every=1)
+        for step in range(10):
+            table.get_or_create(flow(0), now=step * SECONDS // 2)
+        assert flow(0) in table
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            make_table(idle_timeout=0)

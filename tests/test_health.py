@@ -1,0 +1,126 @@
+"""Active health checking."""
+
+import pytest
+
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.health import HealthCheckConfig, HealthChecker
+from repro.net.addr import Endpoint
+from repro.net.network import Network
+from repro.transport.endpoint import Host
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+def build(sim, n_servers=2):
+    network = Network(sim)
+    prober = Host(network, "prober")
+    servers = []
+    for index in range(n_servers):
+        name = "s%d" % index
+        host = Host(network, name)
+        network.connect_bidirectional("prober", name, prop_delay=50 * MICROSECONDS)
+        host.listen(7000, lambda conn: conn.__setattr__(
+            "on_peer_close", lambda c: c.close()))
+        servers.append(host)
+    pool = BackendPool([Backend("s%d" % i) for i in range(n_servers)])
+    targets = {"s%d" % i: Endpoint("s%d" % i, 7000) for i in range(n_servers)}
+    return network, prober, servers, pool, targets
+
+
+class TestProbing:
+    def test_healthy_servers_stay_healthy(self, sim):
+        network, prober, servers, pool, targets = build(sim)
+        checker = HealthChecker(prober, pool, targets)
+        sim.run_until(2 * SECONDS)
+        assert all(b.healthy for b in [pool.get("s0"), pool.get("s1")])
+        assert checker.stats("s0").successes > 10
+        assert checker.stats("s0").failures == 0
+
+    def test_dark_server_marked_down_after_fall(self, sim):
+        network, prober, servers, pool, targets = build(sim)
+        config = HealthCheckConfig(
+            interval=50 * MILLISECONDS, timeout=20 * MILLISECONDS, fall=3
+        )
+        checker = HealthChecker(prober, pool, targets, config)
+        sim.run_until(300 * MILLISECONDS)
+        servers[0].stop_listening(7000)
+        sim.run_until(1 * SECONDS)
+        assert not pool.get("s0").healthy
+        assert pool.get("s1").healthy
+        assert checker.stats("s0").failures >= 3
+
+    def test_recovered_server_marked_up_after_rise(self, sim):
+        network, prober, servers, pool, targets = build(sim)
+        config = HealthCheckConfig(
+            interval=50 * MILLISECONDS, timeout=20 * MILLISECONDS, fall=2, rise=2
+        )
+        HealthChecker(prober, pool, targets, config)
+        servers[0].stop_listening(7000)
+        sim.run_until(500 * MILLISECONDS)
+        assert not pool.get("s0").healthy
+        # Service returns.
+        servers[0].listen(7000, lambda conn: None)
+        sim.run_until(1 * SECONDS)
+        assert pool.get("s0").healthy
+
+    def test_flap_requires_consecutive_results(self, sim):
+        network, prober, servers, pool, targets = build(sim)
+        config = HealthCheckConfig(
+            interval=50 * MILLISECONDS, timeout=20 * MILLISECONDS, fall=5
+        )
+        checker = HealthChecker(prober, pool, targets, config)
+        # One transient outage shorter than fall x interval: no transition.
+        sim.run_until(200 * MILLISECONDS)
+        servers[0].stop_listening(7000)
+        sim.run_until(280 * MILLISECONDS)  # ~1-2 failed probes only
+        servers[0].listen(7000, lambda conn: None)
+        sim.run_until(1 * SECONDS)
+        assert pool.get("s0").healthy
+        assert checker.stats("s0").transitions == 0
+
+    def test_unknown_target_rejected(self, sim):
+        network, prober, servers, pool, targets = build(sim)
+        targets["ghost"] = Endpoint("ghost", 1)
+        with pytest.raises(ValueError):
+            HealthChecker(prober, pool, targets)
+
+    def test_stop_halts_probing(self, sim):
+        network, prober, servers, pool, targets = build(sim)
+        checker = HealthChecker(prober, pool, targets)
+        sim.run_until(300 * MILLISECONDS)
+        count = checker.stats("s0").probes
+        checker.stop()
+        sim.run_until(2 * SECONDS)
+        assert checker.stats("s0").probes == count
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HealthCheckConfig(interval=0).validate()
+        with pytest.raises(ValueError):
+            HealthCheckConfig(fall=0).validate()
+
+
+class TestMaglevIntegration:
+    def test_unhealthy_backend_leaves_table_and_returns(self, sim):
+        from repro.lb.policies import MaglevPolicy
+        from repro.net.addr import FlowKey
+
+        network, prober, servers, pool, targets = build(sim)
+        policy = MaglevPolicy(pool, table_size=251)
+        config = HealthCheckConfig(
+            interval=50 * MILLISECONDS, timeout=20 * MILLISECONDS, fall=2, rise=2
+        )
+        HealthChecker(prober, pool, targets, config)
+        servers[0].stop_listening(7000)
+        sim.run_until(500 * MILLISECONDS)
+        picks = {
+            policy.select(FlowKey("c", 40_000 + i, "vip", 80), 0)
+            for i in range(200)
+        }
+        assert picks == {"s1"}
+        servers[0].listen(7000, lambda conn: None)
+        sim.run_until(1500 * MILLISECONDS)
+        picks = {
+            policy.select(FlowKey("c", 40_000 + i, "vip", 80), 0)
+            for i in range(200)
+        }
+        assert picks == {"s0", "s1"}

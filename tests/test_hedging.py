@@ -1,0 +1,144 @@
+"""Hedging (request-duplication) client."""
+
+import pytest
+
+from repro.app.hedging import HedgingClient, HedgingConfig
+from repro.app.server import ServerApp, ServerConfig
+from repro.app.servicetime import Bimodal, Deterministic
+from repro.net.addr import Endpoint
+from repro.sim.random import RandomStreams
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+def attach_server(pair, service_model=None, workers=4):
+    streams = RandomStreams(0)
+    config = ServerConfig(
+        port=7000,
+        workers=workers,
+        service_model=service_model or Deterministic(50 * MICROSECONDS),
+    )
+    return ServerApp(pair.server, config, streams.get("svc"))
+
+
+def make_client(pair, **overrides):
+    defaults = dict(streams=2, hedge_timeout=1 * MILLISECONDS)
+    defaults.update(overrides)
+    config = HedgingConfig(**defaults)
+    return HedgingClient(
+        pair.client, Endpoint("server", 7000), config, RandomStreams(3).get("wl")
+    )
+
+
+class TestFastServer:
+    def test_no_hedges_when_responses_beat_timeout(self, sim, pair):
+        attach_server(pair)  # 50us service << 1ms hedge timeout
+        client = make_client(pair)
+        client.start()
+        sim.run_until(100 * MILLISECONDS)
+        client.stop()
+        assert client.records
+        assert client.stats.hedged == 0
+        assert client.stats.primary_wins == len(client.records)
+        assert client.hedge_rate == 0.0
+
+    def test_each_record_completed_once(self, sim, pair):
+        attach_server(pair)
+        client = make_client(pair)
+        client.start()
+        sim.run_until(100 * MILLISECONDS)
+        ids = [r.request_id for r in client.records]
+        assert len(ids) == len(set(ids))
+
+
+class TestSlowModes:
+    def test_hedges_fire_for_slow_requests(self, sim, pair):
+        # 30% of requests take 5 ms — beyond the 1 ms hedge timeout.
+        attach_server(
+            pair,
+            service_model=Bimodal(
+                fast_ns=50 * MICROSECONDS,
+                slow_ns=5 * MILLISECONDS,
+                slow_prob=0.3,
+            ),
+        )
+        client = make_client(pair)
+        client.start()
+        sim.run_until(500 * MILLISECONDS)
+        client.stop()
+        assert client.stats.hedged > 0
+        assert 0.1 < client.hedge_rate < 0.6
+
+    def test_backup_can_win(self, sim, pair):
+        attach_server(
+            pair,
+            service_model=Bimodal(
+                fast_ns=50 * MICROSECONDS,
+                slow_ns=20 * MILLISECONDS,
+                slow_prob=0.5,
+            ),
+        )
+        client = make_client(pair)
+        client.start()
+        sim.run_until(500 * MILLISECONDS)
+        client.stop()
+        assert client.stats.backup_wins > 0
+
+    def test_hedging_cuts_the_tail_vs_no_hedging(self, sim, pair):
+        """The technique works — at the cost the paper calls out."""
+        from repro.telemetry.quantiles import exact_quantile
+        from tests.conftest import PairTopology
+        from repro.sim.engine import Simulator
+
+        model = Bimodal(
+            fast_ns=50 * MICROSECONDS, slow_ns=10 * MILLISECONDS, slow_prob=0.2
+        )
+
+        def run(hedge_timeout):
+            sim2 = Simulator()
+            pair2 = PairTopology(sim2)
+            attach_server(pair2, service_model=model)
+            client = make_client(pair2, hedge_timeout=hedge_timeout)
+            client.start()
+            sim2.run_until(1 * SECONDS)
+            client.stop()
+            return exact_quantile(client.latencies(), 0.9), client
+
+        hedged_p90, hedged = run(500 * MICROSECONDS)
+        unhedged_p90, _ = run(10 * SECONDS // 10)  # timeout ≈ never fires
+        assert hedged_p90 < unhedged_p90 / 2
+        # But duplicated work is real: backup responses that lost count
+        # as waste (or the duplicate won and the primary's was wasted).
+        assert hedged.stats.wasted_responses > 0
+
+    def test_duplicate_adds_timeout_to_latency(self, sim, pair):
+        """§2.2: a duplicated request pays hedge_timeout + another trip."""
+        attach_server(
+            pair,
+            service_model=Bimodal(
+                fast_ns=50 * MICROSECONDS,
+                slow_ns=50 * MILLISECONDS,
+                slow_prob=0.5,
+            ),
+        )
+        client = make_client(pair, hedge_timeout=2 * MILLISECONDS)
+        client.start()
+        sim.run_until(500 * MILLISECONDS)
+        client.stop()
+        hedged_latencies = [
+            r.latency
+            for r in client.records
+            if r.latency > 2 * MILLISECONDS and r.latency < 50 * MILLISECONDS
+        ]
+        # Winners that needed a duplicate still paid >= the timeout.
+        assert hedged_latencies
+        assert min(hedged_latencies) >= 2 * MILLISECONDS
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HedgingConfig(streams=0).validate()
+        with pytest.raises(ValueError):
+            HedgingConfig(hedge_timeout=0).validate()
+        with pytest.raises(ValueError):
+            HedgingConfig(requests_per_stream=0).validate()

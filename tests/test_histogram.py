@@ -1,0 +1,137 @@
+"""Log-bucketed histogram."""
+
+import random
+
+import pytest
+
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.quantiles import exact_quantile
+
+
+class TestRecording:
+    def test_empty(self):
+        hist = LogHistogram()
+        assert hist.total == 0
+        assert hist.mean() is None
+        assert hist.quantile(0.5) is None
+        assert hist.min is None and hist.max is None
+
+    def test_counts_and_sum(self):
+        hist = LogHistogram()
+        hist.record(10.0)
+        hist.record(20.0, count=3)
+        assert hist.total == 4
+        assert hist.sum == pytest.approx(70.0)
+        assert hist.mean() == pytest.approx(17.5)
+
+    def test_min_max_exact(self):
+        hist = LogHistogram()
+        for value in (5.0, 1.0, 100.0):
+            hist.record(value)
+        assert hist.min == 1.0
+        assert hist.max == 100.0
+
+    def test_rejects_nonpositive_values(self):
+        hist = LogHistogram()
+        with pytest.raises(ValueError):
+            hist.record(0.0)
+        with pytest.raises(ValueError):
+            hist.record(-1.0)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            LogHistogram().record(1.0, count=0)
+
+    def test_len_is_total(self):
+        hist = LogHistogram()
+        hist.record(1.0, count=7)
+        assert len(hist) == 7
+
+
+class TestQuantiles:
+    def test_quantile_bounded_relative_error(self):
+        rng = random.Random(3)
+        hist = LogHistogram(base=2.0, sub=8)
+        data = [rng.lognormvariate(10, 1.0) for _ in range(20000)]
+        for value in data:
+            hist.record(value)
+        for q in (0.5, 0.9, 0.99):
+            approx = hist.quantile(q)
+            exact = exact_quantile(data, q)
+            assert approx == pytest.approx(exact, rel=0.10)
+
+    def test_quantile_range_validation(self):
+        hist = LogHistogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_quantile_single_bucket(self):
+        hist = LogHistogram()
+        hist.record(100.0, count=10)
+        q = hist.quantile(0.5)
+        lo, hi, count = next(iter(hist.buckets()))
+        assert lo <= 100.0 < hi
+        assert q == pytest.approx((lo + hi) / 2)
+
+
+class TestBuckets:
+    def test_buckets_ordered_and_adjacent_values_bucketed(self):
+        hist = LogHistogram(base=2.0, sub=1)
+        hist.record(1.5)
+        hist.record(3.0)
+        hist.record(100.0)
+        buckets = list(hist.buckets())
+        lows = [b[0] for b in buckets]
+        assert lows == sorted(lows)
+        assert sum(b[2] for b in buckets) == 3
+
+    def test_bucket_contains_its_values(self):
+        hist = LogHistogram()
+        hist.record(42.0)
+        (lo, hi, count), = hist.buckets()
+        assert lo <= 42.0 < hi
+        assert count == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogHistogram(base=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(sub=0)
+
+
+class TestMerge:
+    def test_merge_combines(self):
+        a = LogHistogram()
+        b = LogHistogram()
+        a.record(1.0)
+        b.record(1000.0, count=2)
+        a.merge(b)
+        assert a.total == 3
+        assert a.min == 1.0
+        assert a.max == 1000.0
+
+    def test_merge_mismatched_rejected(self):
+        a = LogHistogram(sub=8)
+        b = LogHistogram(sub=4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_empty_is_noop(self):
+        a = LogHistogram()
+        a.record(5.0)
+        a.merge(LogHistogram())
+        assert a.total == 1
+
+
+class TestAscii:
+    def test_empty_render(self):
+        assert "empty" in LogHistogram().to_ascii()
+
+    def test_render_has_rows(self):
+        hist = LogHistogram()
+        hist.record(1.0, count=10)
+        hist.record(1000.0)
+        out = hist.to_ascii()
+        assert out.count("\n") >= 1
+        assert "#" in out

@@ -1,0 +1,85 @@
+"""Key-value store with LRU eviction."""
+
+import pytest
+
+from repro.app.kvstore import KeyValueStore
+
+
+class TestBasics:
+    def test_get_miss(self):
+        store = KeyValueStore()
+        assert store.get("nope") is None
+        assert store.stats.misses == 1
+
+    def test_set_then_get(self):
+        store = KeyValueStore()
+        store.set("k", 100)
+        assert store.get("k") == 100
+        assert store.stats.hits == 1
+
+    def test_overwrite_updates_size(self):
+        store = KeyValueStore()
+        store.set("k", 100)
+        store.set("k", 250)
+        assert store.get("k") == 250
+        assert store.used_bytes == 250
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = KeyValueStore()
+        store.set("k", 10)
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert store.used_bytes == 0
+
+    def test_value_size_validation(self):
+        with pytest.raises(ValueError):
+            KeyValueStore().set("k", 0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            KeyValueStore(capacity_bytes=0)
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        store = KeyValueStore(capacity_bytes=100)
+        store.set("a", 40)
+        store.set("b", 40)
+        store.get("a")          # a is now most recent
+        store.set("c", 40)      # evicts b
+        assert store.get("b") is None
+        assert store.get("a") == 40
+        assert store.get("c") == 40
+        assert store.stats.evictions == 1
+
+    def test_used_bytes_respects_capacity(self):
+        store = KeyValueStore(capacity_bytes=100)
+        for i in range(10):
+            store.set("k%d" % i, 30)
+        assert store.used_bytes <= 100
+
+    def test_single_oversized_value_retained(self):
+        # A value bigger than capacity stays (never evict what was just set).
+        store = KeyValueStore(capacity_bytes=50)
+        store.set("big", 80)
+        assert store.get("big") == 80
+
+    def test_unbounded_without_capacity(self):
+        store = KeyValueStore()
+        for i in range(1000):
+            store.set("k%d" % i, 1000)
+        assert len(store) == 1000
+        assert store.stats.evictions == 0
+
+
+class TestStats:
+    def test_counters(self):
+        store = KeyValueStore()
+        store.set("a", 1)
+        store.get("a")
+        store.get("b")
+        assert store.stats.sets == 1
+        assert store.stats.gets == 2
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1

@@ -1,0 +1,125 @@
+"""Maglev table construction, weighting, consistency."""
+
+import pytest
+
+from repro.errors import BalancerError
+from repro.lb.maglev import MaglevTable, is_prime, next_prime
+
+
+class TestPrimes:
+    def test_is_prime(self):
+        assert is_prime(2) and is_prime(3) and is_prime(251) and is_prime(65_537)
+        assert not is_prime(1) and not is_prime(4) and not is_prime(65_536)
+
+    def test_next_prime(self):
+        assert next_prime(250) == 251
+        assert next_prime(251) == 251
+        assert next_prime(1000) == 1009
+
+
+class TestConstruction:
+    def test_size_must_be_prime(self):
+        with pytest.raises(BalancerError):
+            MaglevTable(100)
+
+    def test_every_slot_filled(self):
+        table = MaglevTable(251)
+        table.build({"a": 1.0, "b": 1.0, "c": 1.0})
+        assert sum(table.slot_counts().values()) == 251
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(BalancerError):
+            MaglevTable(251).build({})
+
+    def test_zero_weight_backends_excluded(self):
+        table = MaglevTable(251)
+        table.build({"a": 1.0, "b": 0.0})
+        assert table.backends == ["a"]
+
+    def test_lookup_before_build_rejected(self):
+        with pytest.raises(BalancerError):
+            MaglevTable(251).lookup(5)
+
+    def test_more_backends_than_slots_rejected(self):
+        table = MaglevTable(5)
+        with pytest.raises(BalancerError):
+            table.build({"b%d" % i: 1.0 for i in range(10)})
+
+    def test_builds_counter(self):
+        table = MaglevTable(251)
+        table.build({"a": 1.0})
+        table.build({"a": 1.0, "b": 1.0})
+        assert table.builds == 2
+
+
+class TestBalance:
+    def test_equal_weights_near_equal_slots(self):
+        table = MaglevTable(1021)
+        table.build({"a": 1.0, "b": 1.0, "c": 1.0})
+        counts = table.slot_counts()
+        for count in counts.values():
+            assert count == pytest.approx(1021 / 3, rel=0.02)
+
+    def test_weighted_slots_proportional(self):
+        table = MaglevTable(1021)
+        table.build({"a": 3.0, "b": 1.0})
+        counts = table.slot_counts()
+        assert counts["a"] == pytest.approx(3 * counts["b"], rel=0.02)
+
+    def test_tiny_weight_keeps_at_least_one_slot(self):
+        table = MaglevTable(251)
+        table.build({"a": 1.0, "b": 1e-9})
+        assert table.slot_counts()["b"] >= 1
+
+    def test_lookups_match_slot_distribution(self):
+        table = MaglevTable(251)
+        table.build({"a": 1.0, "b": 1.0})
+        hits = {"a": 0, "b": 0}
+        for flow in range(5000):
+            hits[table.lookup_flow("flow-%d" % flow)] += 1
+        assert hits["a"] == pytest.approx(2500, rel=0.1)
+
+
+class TestConsistency:
+    def test_deterministic_across_instances(self):
+        a = MaglevTable(251)
+        b = MaglevTable(251)
+        weights = {"x": 1.0, "y": 2.0}
+        a.build(weights)
+        b.build(weights)
+        assert a.slot_counts() == b.slot_counts()
+        for flow in range(100):
+            key = "f%d" % flow
+            assert a.lookup_flow(key) == b.lookup_flow(key)
+
+    def test_insertion_order_irrelevant(self):
+        a = MaglevTable(251)
+        b = MaglevTable(251)
+        a.build({"x": 1.0, "y": 1.0})
+        b.build({"y": 1.0, "x": 1.0})
+        assert a.disruption(b) == 0.0
+
+    def test_removing_backend_disrupts_only_its_slots(self):
+        before = MaglevTable(1021)
+        before.build({"a": 1.0, "b": 1.0, "c": 1.0})
+        after = MaglevTable(1021)
+        after.build({"a": 1.0, "b": 1.0})
+        # Ideal minimal disruption = c's share = 1/3; Maglev guarantees
+        # close to that.
+        assert before.disruption(after) == pytest.approx(1 / 3, abs=0.08)
+
+    def test_small_weight_change_small_disruption(self):
+        before = MaglevTable(1021)
+        before.build({"a": 1.0, "b": 1.0})
+        after = MaglevTable(1021)
+        after.build({"a": 0.9, "b": 1.1})
+        # Only ~5% of slots should move.
+        assert before.disruption(after) < 0.15
+
+    def test_disruption_size_mismatch_rejected(self):
+        a = MaglevTable(251)
+        b = MaglevTable(257)
+        a.build({"x": 1.0})
+        b.build({"x": 1.0})
+        with pytest.raises(BalancerError):
+            a.disruption(b)

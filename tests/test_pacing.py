@@ -1,0 +1,39 @@
+"""Pacer slot allocation."""
+
+import pytest
+
+from repro.transport.pacing import Pacer
+from repro.units import SECONDS
+
+
+class TestPacer:
+    def test_first_send_immediate(self):
+        pacer = Pacer(rate_bps=8_000)
+        assert pacer.allocate(now=0, size_bytes=100) == 0
+
+    def test_consecutive_sends_spaced_by_rate(self):
+        pacer = Pacer(rate_bps=8_000)  # 1000 bytes/s -> 1 byte per ms
+        first = pacer.allocate(0, 100)
+        second = pacer.allocate(0, 100)
+        # 100 bytes at 1000 B/s = 0.1 s gap.
+        assert second - first == SECONDS // 10
+
+    def test_idle_time_not_banked(self):
+        pacer = Pacer(rate_bps=8_000)
+        pacer.allocate(0, 100)
+        # Long after the gap expired, the next send goes out at `now`.
+        late = pacer.allocate(10 * SECONDS, 100)
+        assert late == 10 * SECONDS
+
+    def test_reset(self):
+        pacer = Pacer(rate_bps=8)
+        pacer.allocate(0, 1000)
+        pacer.reset()
+        assert pacer.allocate(0, 1) == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Pacer(rate_bps=0)
+
+    def test_rate_property(self):
+        assert Pacer(rate_bps=123).rate_bps == 123

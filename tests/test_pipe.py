@@ -1,0 +1,180 @@
+"""Pipe: delay, serialization, queueing, injection, ordering."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addr import Endpoint
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.net.pipe import Pipe
+from repro.units import MICROSECONDS, serialization_delay
+
+
+def make_packet(payload=0):
+    return Packet(src=Endpoint("a", 1), dst=Endpoint("b", 2), payload_len=payload)
+
+
+def connected_pipe(sim, **kwargs):
+    pipe = Pipe(sim, "a->b", **kwargs)
+    arrivals = []
+    pipe.connect(lambda pkt: arrivals.append((sim.now, pkt)))
+    return pipe, arrivals
+
+
+class TestPropagation:
+    def test_ideal_pipe_delivers_after_prop_delay(self, sim):
+        pipe, arrivals = connected_pipe(sim, prop_delay=500, bandwidth_bps=None)
+        pipe.send(make_packet())
+        sim.run()
+        assert [t for t, _ in arrivals] == [500]
+
+    def test_send_without_receiver_rejected(self, sim):
+        pipe = Pipe(sim, "x", prop_delay=0)
+        with pytest.raises(NetworkError):
+            pipe.send(make_packet())
+
+    def test_negative_prop_delay_rejected(self, sim):
+        with pytest.raises(NetworkError):
+            Pipe(sim, "x", prop_delay=-1)
+
+
+class TestSerialization:
+    def test_serialization_adds_to_latency(self, sim):
+        bw = 10**9
+        pipe, arrivals = connected_pipe(sim, prop_delay=1000, bandwidth_bps=bw)
+        pkt = make_packet(payload=934)  # 1000 bytes on the wire
+        pipe.send(pkt)
+        sim.run()
+        expect = serialization_delay(pkt.size_bytes, bw) + 1000
+        assert arrivals[0][0] == expect
+
+    def test_back_to_back_packets_queue_on_wire(self, sim):
+        bw = 10**9
+        pipe, arrivals = connected_pipe(sim, prop_delay=0, bandwidth_bps=bw)
+        pkt = make_packet(payload=934)
+        ser = serialization_delay(pkt.size_bytes, bw)
+        pipe.send(make_packet(payload=934))
+        pipe.send(make_packet(payload=934))
+        sim.run()
+        times = [t for t, _ in arrivals]
+        assert times == [ser, 2 * ser]
+
+    def test_wire_idles_between_spaced_sends(self, sim):
+        bw = 10**9
+        pipe, arrivals = connected_pipe(sim, prop_delay=0, bandwidth_bps=bw)
+        ser = serialization_delay(make_packet().size_bytes, bw)
+        pipe.send(make_packet())
+        sim.run()
+        assert arrivals[0][0] == ser
+        # A send long after the wire went idle serializes afresh from `now`.
+        sim.schedule_at(10 * ser, lambda: pipe.send(make_packet()))
+        sim.run()
+        assert arrivals[1][0] == 11 * ser
+
+
+class TestQueueing:
+    def test_tail_drop_beyond_capacity(self, sim):
+        pipe, arrivals = connected_pipe(
+            sim, prop_delay=0, bandwidth_bps=1000, queue_capacity=2
+        )
+        results = [pipe.send(make_packet()) for _ in range(4)]
+        assert results == [True, True, False, False]
+        assert pipe.stats.packets_dropped == 2
+        sim.run()
+        assert len(arrivals) == 2
+
+    def test_queue_drains_over_time(self, sim):
+        pipe, arrivals = connected_pipe(
+            sim, prop_delay=0, bandwidth_bps=10**9, queue_capacity=1
+        )
+        assert pipe.send(make_packet())
+        assert not pipe.send(make_packet())  # full
+        sim.run()
+        assert pipe.send(make_packet())  # drained
+        sim.run()
+        assert len(arrivals) == 2
+
+    def test_infinite_bandwidth_never_drops(self, sim):
+        pipe, arrivals = connected_pipe(
+            sim, prop_delay=10, bandwidth_bps=None, queue_capacity=1
+        )
+        for _ in range(100):
+            assert pipe.send(make_packet())
+        sim.run()
+        assert len(arrivals) == 100
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(NetworkError):
+            Pipe(sim, "x", prop_delay=0, queue_capacity=0)
+
+
+class TestExtraDelay:
+    def test_injection_applies_to_subsequent_packets(self, sim):
+        pipe, arrivals = connected_pipe(sim, prop_delay=100, bandwidth_bps=None)
+        pipe.send(make_packet())
+        sim.run()
+        pipe.set_extra_delay(1000)
+        pipe.send(make_packet())
+        sim.run()
+        assert arrivals[0][0] == 100
+        assert arrivals[1][0] - arrivals[0][0] == 1100
+
+    def test_injection_clears(self, sim):
+        pipe, arrivals = connected_pipe(sim, prop_delay=100, bandwidth_bps=None)
+        pipe.set_extra_delay(1000)
+        pipe.set_extra_delay(0)
+        pipe.send(make_packet())
+        sim.run()
+        assert arrivals[0][0] == 100
+
+    def test_negative_injection_rejected(self, sim):
+        pipe, _ = connected_pipe(sim, prop_delay=0)
+        with pytest.raises(NetworkError):
+            pipe.set_extra_delay(-5)
+
+    def test_extra_delay_property(self, sim):
+        pipe, _ = connected_pipe(sim, prop_delay=0)
+        pipe.set_extra_delay(123)
+        assert pipe.extra_delay == 123
+
+
+class TestJitterAndOrdering:
+    def test_jitter_added(self, sim):
+        pipe, arrivals = connected_pipe(
+            sim, prop_delay=100, bandwidth_bps=None, jitter=lambda: 50
+        )
+        pipe.send(make_packet())
+        sim.run()
+        assert arrivals[0][0] == 150
+
+    def test_jitter_never_reorders(self, sim):
+        jitters = iter([10_000, 0])
+        pipe, arrivals = connected_pipe(
+            sim, prop_delay=100, bandwidth_bps=None, jitter=lambda: next(jitters)
+        )
+        pipe.send(make_packet())
+        pipe.send(make_packet())
+        sim.run()
+        times = [t for t, _ in arrivals]
+        # Second packet clamped to the first's (jittered) arrival.
+        assert times[0] == 10_100
+        assert times[1] == 10_100
+
+    def test_negative_jitter_rejected(self, sim):
+        pipe, _ = connected_pipe(
+            sim, prop_delay=0, bandwidth_bps=None, jitter=lambda: -1
+        )
+        with pytest.raises(NetworkError):
+            pipe.send(make_packet())
+            sim.run()
+
+
+class TestStats:
+    def test_byte_and_packet_counters(self, sim):
+        pipe, _ = connected_pipe(sim, prop_delay=0, bandwidth_bps=None)
+        pkt = make_packet(payload=100)
+        pipe.send(pkt)
+        sim.run()
+        assert pipe.stats.packets_sent == 1
+        assert pipe.stats.packets_delivered == 1
+        assert pipe.stats.bytes_sent == HEADER_BYTES + 100
+        assert pipe.stats.bytes_delivered == HEADER_BYTES + 100

@@ -1,0 +1,142 @@
+"""Routing policies."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import BalancerError
+from repro.lb.backend import Backend, BackendPool
+from repro.lb.conntrack import ConnTrack
+from repro.lb.policies import (
+    LeastConnections,
+    MaglevPolicy,
+    PowerOfTwoChoices,
+    RandomPolicy,
+    RoundRobin,
+    WeightedRandom,
+)
+from repro.net.addr import FlowKey
+
+
+def flow(index):
+    return FlowKey("client", 40_000 + index, "vip", 11211)
+
+
+def make_pool(n=3):
+    return BackendPool([Backend("s%d" % i) for i in range(n)])
+
+
+class TestMaglevPolicy:
+    def test_deterministic_per_flow(self):
+        policy = MaglevPolicy(make_pool(), table_size=251)
+        assert policy.select(flow(1), 0) == policy.select(flow(1), 100)
+
+    def test_distributes_across_backends(self):
+        policy = MaglevPolicy(make_pool(), table_size=251)
+        counts = Counter(policy.select(flow(i), 0) for i in range(3000))
+        for name in ("s0", "s1", "s2"):
+            assert counts[name] == pytest.approx(1000, rel=0.2)
+
+    def test_rebuilds_on_weight_change(self):
+        pool = make_pool(2)
+        policy = MaglevPolicy(pool, table_size=251)
+        builds_before = policy.table.builds
+        pool.set_weight("s0", 0.1)
+        assert policy.table.builds == builds_before + 1
+        counts = Counter(policy.select(flow(i), 0) for i in range(2000))
+        assert counts["s1"] > counts["s0"] * 5
+
+    def test_unhealthy_backend_dropped_from_table(self):
+        pool = make_pool(2)
+        policy = MaglevPolicy(pool, table_size=251)
+        pool.set_healthy("s0", False)
+        counts = Counter(policy.select(flow(i), 0) for i in range(100))
+        assert set(counts) == {"s1"}
+
+    def test_no_backends_raises(self):
+        pool = make_pool(1)
+        policy = MaglevPolicy(pool, table_size=251)
+        pool.set_healthy("s0", False)
+        with pytest.raises(BalancerError):
+            policy.select(flow(0), 0)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        policy = RoundRobin(make_pool(3))
+        picks = [policy.select(flow(i), 0) for i in range(6)]
+        assert picks == ["s0", "s1", "s2", "s0", "s1", "s2"]
+
+    def test_skips_unhealthy(self):
+        pool = make_pool(3)
+        pool.set_healthy("s1", False)
+        policy = RoundRobin(pool)
+        picks = {policy.select(flow(i), 0) for i in range(4)}
+        assert picks == {"s0", "s2"}
+
+
+class TestRandomPolicies:
+    def test_uniform_random_covers_all(self):
+        policy = RandomPolicy(make_pool(3), random.Random(1))
+        counts = Counter(policy.select(flow(i), 0) for i in range(3000))
+        for name in ("s0", "s1", "s2"):
+            assert counts[name] == pytest.approx(1000, rel=0.2)
+
+    def test_weighted_random_follows_weights(self):
+        pool = make_pool(2)
+        pool.set_weight("s0", 3.0)
+        policy = WeightedRandom(pool, random.Random(2))
+        counts = Counter(policy.select(flow(i), 0) for i in range(4000))
+        assert counts["s0"] == pytest.approx(3000, rel=0.1)
+
+    def test_weighted_random_zero_total_falls_back(self):
+        pool = make_pool(2)
+        # healthy() filters weight 0, so give tiny weights instead.
+        pool.set_weights({"s0": 1e-12, "s1": 1e-12})
+        policy = WeightedRandom(pool, random.Random(3))
+        assert policy.select(flow(0), 0) in ("s0", "s1")
+
+
+class TestLeastConnections:
+    def test_prefers_emptier_backend(self):
+        pool = make_pool(2)
+        track = ConnTrack()
+        for i in range(5):
+            track.insert(flow(i), "s0", now=0)
+        policy = LeastConnections(pool, track)
+        assert policy.select(flow(100), 0) == "s1"
+
+    def test_tie_broken_by_name(self):
+        policy = LeastConnections(make_pool(2), ConnTrack())
+        assert policy.select(flow(0), 0) == "s0"
+
+
+class TestPowerOfTwoChoices:
+    def test_single_backend_shortcut(self):
+        policy = PowerOfTwoChoices(make_pool(1), ConnTrack(), random.Random(1))
+        assert policy.select(flow(0), 0) == "s0"
+
+    def test_prefers_lower_latency_with_source(self):
+        latencies = {"s0": 100.0, "s1": 5000.0, "s2": 5000.0}
+        policy = PowerOfTwoChoices(
+            make_pool(3),
+            ConnTrack(),
+            random.Random(2),
+            latency_source=latencies.get,
+        )
+        counts = Counter(policy.select(flow(i), 0) for i in range(300))
+        # s0 wins every sample that includes it (~2/3 of draws).
+        assert counts["s0"] > counts["s1"]
+        assert counts["s0"] > counts["s2"]
+
+    def test_falls_back_to_conn_counts_without_estimates(self):
+        pool = make_pool(2)
+        track = ConnTrack()
+        for i in range(10):
+            track.insert(flow(i), "s0", now=0)
+        policy = PowerOfTwoChoices(
+            pool, track, random.Random(3), latency_source=lambda name: None
+        )
+        counts = Counter(policy.select(flow(100 + i), 0) for i in range(100))
+        assert counts["s1"] == 100  # always the emptier of the two

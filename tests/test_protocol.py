@@ -1,0 +1,59 @@
+"""memcached-like protocol messages."""
+
+import pytest
+
+from repro.app.protocol import (
+    MISS_RESPONSE_SIZE,
+    REQUEST_OVERHEAD,
+    RESPONSE_OVERHEAD,
+    STORED_RESPONSE_SIZE,
+    Op,
+    Request,
+    Response,
+)
+from repro.errors import ProtocolError
+
+
+class TestRequest:
+    def test_get_wire_size(self):
+        req = Request(op=Op.GET, key="abc")
+        assert req.wire_size == REQUEST_OVERHEAD + 3
+
+    def test_set_wire_size_includes_value(self):
+        req = Request(op=Op.SET, key="abc", value_size=1000)
+        assert req.wire_size == REQUEST_OVERHEAD + 3 + 1000
+
+    def test_request_ids_unique_and_increasing(self):
+        a = Request(op=Op.GET, key="k")
+        b = Request(op=Op.GET, key="k")
+        assert b.request_id > a.request_id
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request(op=Op.GET, key="")
+
+    def test_set_requires_value(self):
+        with pytest.raises(ProtocolError):
+            Request(op=Op.SET, key="k")
+
+    def test_get_carries_no_value(self):
+        with pytest.raises(ProtocolError):
+            Request(op=Op.GET, key="k", value_size=10)
+
+
+class TestResponse:
+    def test_get_hit_size(self):
+        resp = Response(request_id=1, op=Op.GET, hit=True, value_size=500)
+        assert resp.wire_size == RESPONSE_OVERHEAD + 500
+
+    def test_get_miss_size(self):
+        resp = Response(request_id=1, op=Op.GET, hit=False)
+        assert resp.wire_size == MISS_RESPONSE_SIZE
+
+    def test_set_ack_size(self):
+        resp = Response(request_id=1, op=Op.SET, hit=True)
+        assert resp.wire_size == STORED_RESPONSE_SIZE
+
+    def test_server_attribution_field(self):
+        resp = Response(request_id=1, op=Op.GET, hit=True, server="server3")
+        assert resp.server == "server3"

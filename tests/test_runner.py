@@ -1,0 +1,68 @@
+"""Runner result views."""
+
+import pytest
+
+from repro.app.protocol import Op
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.runner import run_scenario
+from repro.units import MILLISECONDS, SECONDS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario(
+        ScenarioConfig(
+            seed=3,
+            duration=300 * MILLISECONDS,
+            policy=PolicyName.FEEDBACK,
+            warmup=50 * MILLISECONDS,
+        )
+    )
+
+
+class TestResultViews:
+    def test_records_sorted_by_completion(self, result):
+        times = [r.completed_at for r in result.records]
+        assert times == sorted(times)
+
+    def test_latencies_filtering(self, result):
+        all_lat = result.latencies()
+        gets = result.latencies(Op.GET)
+        sets = result.latencies(Op.SET)
+        assert len(gets) + len(sets) == len(all_lat)
+        windowed = result.latencies(start=100 * MILLISECONDS, end=200 * MILLISECONDS)
+        assert len(windowed) < len(all_lat)
+
+    def test_summary_windows(self, result):
+        assert result.summary() is not None
+        assert result.summary(start=10**15) is None
+
+    def test_latency_series_buckets(self, result):
+        series = result.latency_series(bucket=100 * MILLISECONDS)
+        assert len(series) >= 2
+        for t, value in series:
+            assert t % (100 * MILLISECONDS) == 0
+            assert value > 0
+
+    def test_per_server_counts_cover_records(self, result):
+        counts = result.per_server_counts()
+        assert sum(counts.values()) == len(result.records)
+        assert set(counts) <= {"server0", "server1"}
+
+    def test_throughput_positive(self, result):
+        assert result.throughput_rps() > 100
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "completed requests" in text
+        assert "latency" in text
+
+    def test_shift_times_sorted(self, result):
+        times = result.shift_times()
+        assert times == sorted(times)
+
+    def test_first_shift_after(self, result):
+        times = result.shift_times()
+        if times:
+            assert result.first_shift_after(0) == times[0]
+        assert result.first_shift_after(10**15) is None

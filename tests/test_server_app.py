@@ -1,0 +1,161 @@
+"""Server application: queueing, service times, responses, DSR sourcing."""
+
+import pytest
+
+from repro.app.protocol import Op, Request, Response
+from repro.app.server import ServerApp, ServerConfig, SinkApp
+from repro.app.servicetime import Deterministic
+from repro.app.variability import StepInjector
+from repro.net.addr import Endpoint
+from repro.sim.random import RandomStreams
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS
+
+from tests.conftest import PairTopology
+
+
+def make_server(pair, config=None):
+    config = config or ServerConfig(port=7000)
+    streams = RandomStreams(0)
+    return ServerApp(pair.server, config, streams.get("svc"))
+
+
+def send_requests(sim, pair, requests, port=7000):
+    """Connect, fire requests, collect responses."""
+    responses = []
+    conn = pair.client.connect(Endpoint("server", port))
+    conn.on_message = lambda c, m: responses.append((sim.now, m))
+    for request in requests:
+        conn.send_message(request, request.wire_size)
+    return conn, responses
+
+
+class TestGetSet:
+    def test_set_then_get_hits(self, sim, pair):
+        make_server(pair)
+        requests = [
+            Request(op=Op.SET, key="k", value_size=400),
+            Request(op=Op.GET, key="k"),
+        ]
+        _conn, responses = send_requests(sim, pair, requests)
+        sim.run_until(1 * SECONDS)
+        assert len(responses) == 2
+        set_resp, get_resp = responses[0][1], responses[1][1]
+        assert set_resp.op is Op.SET and set_resp.hit
+        assert get_resp.op is Op.GET and get_resp.hit
+        assert get_resp.value_size == 400
+
+    def test_get_missing_key_misses(self, sim, pair):
+        make_server(pair)
+        _conn, responses = send_requests(sim, pair, [Request(op=Op.GET, key="nope")])
+        sim.run_until(1 * SECONDS)
+        assert responses[0][1].hit is False
+
+    def test_responses_attributed_to_server(self, sim, pair):
+        make_server(pair)
+        _conn, responses = send_requests(sim, pair, [Request(op=Op.GET, key="x")])
+        sim.run_until(1 * SECONDS)
+        assert responses[0][1].server == "server"
+
+    def test_non_request_message_ignored(self, sim, pair):
+        server = make_server(pair)
+        conn = pair.client.connect(Endpoint("server", 7000))
+        conn.send_message("garbage", 64)
+        sim.run_until(100 * MILLISECONDS)
+        assert server.stats.requests == 0
+
+
+class TestServiceTiming:
+    def test_response_delayed_by_service_time(self, sim, pair):
+        service = 300 * MICROSECONDS
+        make_server(pair, ServerConfig(port=7000, service_model=Deterministic(service)))
+        _conn, responses = send_requests(sim, pair, [Request(op=Op.GET, key="k")])
+        sim.run_until(1 * SECONDS)
+        rtt = 2 * pair.one_way
+        latency = responses[0][0] - 0
+        # handshake (1 RTT) + request/response (1 RTT) + service.
+        assert latency == pytest.approx(2 * rtt + service, rel=0.1)
+
+    def test_single_worker_queues_fifo(self, sim, pair):
+        service = 1 * MILLISECONDS
+        server = make_server(
+            pair, ServerConfig(port=7000, workers=1, service_model=Deterministic(service))
+        )
+        requests = [Request(op=Op.GET, key="k%d" % i) for i in range(3)]
+        _conn, responses = send_requests(sim, pair, requests)
+        sim.run_until(1 * SECONDS)
+        times = [t for t, _m in responses]
+        # Completions spaced by the service time (queueing).
+        assert times[1] - times[0] == pytest.approx(service, rel=0.05)
+        assert times[2] - times[1] == pytest.approx(service, rel=0.05)
+        assert max(server.stats.queue_delays) >= service
+
+    def test_multiple_workers_run_concurrently(self, sim, pair):
+        service = 1 * MILLISECONDS
+        make_server(
+            pair, ServerConfig(port=7000, workers=3, service_model=Deterministic(service))
+        )
+        requests = [Request(op=Op.GET, key="k%d" % i) for i in range(3)]
+        _conn, responses = send_requests(sim, pair, requests)
+        sim.run_until(1 * SECONDS)
+        times = [t for t, _m in responses]
+        # All three complete within ~serialization of each other.
+        assert times[2] - times[0] < service // 2
+
+    def test_injector_inflates_processing(self, sim, pair):
+        injector = StepInjector(extra=2 * MILLISECONDS, start=0)
+        make_server(
+            pair,
+            ServerConfig(
+                port=7000,
+                service_model=Deterministic(100 * MICROSECONDS),
+                injector=injector,
+            ),
+        )
+        _conn, responses = send_requests(sim, pair, [Request(op=Op.GET, key="k")])
+        sim.run_until(1 * SECONDS)
+        rtt = 2 * pair.one_way
+        latency = responses[0][0]
+        assert latency >= 2 * rtt + 2 * MILLISECONDS
+
+    def test_utilization(self, sim, pair):
+        server = make_server(
+            pair,
+            ServerConfig(port=7000, service_model=Deterministic(1 * MILLISECONDS)),
+        )
+        requests = [Request(op=Op.GET, key="k%d" % i) for i in range(5)]
+        send_requests(sim, pair, requests)
+        sim.run_until(10 * MILLISECONDS)
+        assert server.utilization(10 * MILLISECONDS) == pytest.approx(0.5, rel=0.1)
+        assert server.utilization(0) == 0.0
+
+
+class TestStats:
+    def test_request_and_response_counts(self, sim, pair):
+        server = make_server(pair)
+        requests = [Request(op=Op.GET, key="k%d" % i) for i in range(7)]
+        send_requests(sim, pair, requests)
+        sim.run_until(1 * SECONDS)
+        assert server.stats.requests == 7
+        assert server.stats.responses == 7
+        assert len(server.stats.service_times) == 7
+
+
+class TestSinkApp:
+    def test_sink_counts_messages_and_never_replies(self, sim, pair):
+        sink = SinkApp(pair.server, 7000)
+        replies = []
+        conn = pair.client.connect(Endpoint("server", 7000))
+        conn.on_message = lambda c, m: replies.append(m)
+        for i in range(5):
+            conn.send_message(i, 100)
+        sim.run_until(100 * MILLISECONDS)
+        assert sink.messages_received == 5
+        assert replies == []
+
+    def test_sink_closes_with_peer(self, sim, pair):
+        SinkApp(pair.server, 7000)
+        conn = pair.client.connect(Endpoint("server", 7000))
+        sim.run_until(10 * MILLISECONDS)
+        conn.close()
+        sim.run_until(50 * MILLISECONDS)
+        assert pair.server.connection_count == 0

@@ -1,0 +1,98 @@
+"""Service-time distributions."""
+
+import random
+
+import pytest
+
+from repro.app.protocol import Op, Request
+from repro.app.servicetime import Bimodal, Deterministic, Exponential, LogNormal, PerOp
+from repro.units import MICROSECONDS
+
+
+GET = Request(op=Op.GET, key="k")
+SET = Request(op=Op.SET, key="k", value_size=100)
+
+
+class TestDeterministic:
+    def test_constant(self):
+        model = Deterministic(50 * MICROSECONDS)
+        rng = random.Random(0)
+        assert model.sample(rng, GET) == 50 * MICROSECONDS
+        assert model.sample(rng, SET) == 50 * MICROSECONDS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1)
+
+
+class TestExponential:
+    def test_mean_close(self):
+        model = Exponential(100 * MICROSECONDS)
+        rng = random.Random(1)
+        samples = [model.sample(rng, GET) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            100 * MICROSECONDS, rel=0.05
+        )
+
+    def test_non_negative(self):
+        model = Exponential(10)
+        rng = random.Random(2)
+        assert all(model.sample(rng, GET) >= 0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0)
+
+
+class TestLogNormal:
+    def test_median_close(self):
+        model = LogNormal(median_ns=100 * MICROSECONDS, sigma=0.5)
+        rng = random.Random(3)
+        samples = sorted(model.sample(rng, GET) for _ in range(10001))
+        assert samples[5000] == pytest.approx(100 * MICROSECONDS, rel=0.1)
+
+    def test_right_tail_heavier_than_median(self):
+        model = LogNormal(median_ns=100, sigma=1.0)
+        rng = random.Random(4)
+        samples = sorted(model.sample(rng, GET) for _ in range(10000))
+        p99 = samples[9900]
+        assert p99 > 5 * samples[5000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(0)
+        with pytest.raises(ValueError):
+            LogNormal(100, sigma=0)
+
+
+class TestBimodal:
+    def test_modes_only(self):
+        model = Bimodal(fast_ns=10, slow_ns=1000, slow_prob=0.5)
+        rng = random.Random(5)
+        values = {model.sample(rng, GET) for _ in range(100)}
+        assert values == {10, 1000}
+
+    def test_slow_fraction(self):
+        model = Bimodal(fast_ns=0, slow_ns=1, slow_prob=0.25)
+        rng = random.Random(6)
+        slow = sum(model.sample(rng, GET) for _ in range(40000))
+        assert slow / 40000 == pytest.approx(0.25, rel=0.1)
+
+    def test_degenerate_probabilities(self):
+        rng = random.Random(7)
+        assert Bimodal(1, 2, 0.0).sample(rng, GET) == 1
+        assert Bimodal(1, 2, 1.0).sample(rng, GET) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bimodal(1, 2, 1.5)
+        with pytest.raises(ValueError):
+            Bimodal(-1, 2, 0.5)
+
+
+class TestPerOp:
+    def test_routes_by_operation(self):
+        model = PerOp(get_model=Deterministic(10), set_model=Deterministic(99))
+        rng = random.Random(8)
+        assert model.sample(rng, GET) == 10
+        assert model.sample(rng, SET) == 99

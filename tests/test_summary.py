@@ -1,0 +1,41 @@
+"""Distribution summaries."""
+
+import pytest
+
+from repro.telemetry.summary import summarize
+
+
+class TestSummarize:
+    def test_uniform_ramp(self):
+        summary = summarize(list(range(101)))
+        assert summary.count == 101
+        assert summary.mean == pytest.approx(50.0)
+        assert summary.p50 == pytest.approx(50.0)
+        assert summary.p95 == pytest.approx(95.0)
+        assert summary.min == 0
+        assert summary.max == 100
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.p50 == summary.p99 == summary.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentiles_ordered(self):
+        summary = summarize([1, 5, 2, 8, 3, 9, 4])
+        assert (
+            summary.min
+            <= summary.p50
+            <= summary.p90
+            <= summary.p95
+            <= summary.p99
+            <= summary.max
+        )
+
+    def test_format_scales(self):
+        summary = summarize([1_000_000.0])
+        line = summary.format(scale=1e6, unit="ms")
+        assert "mean=1.000ms" in line
+        assert "n=1" in line

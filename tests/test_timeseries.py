@@ -1,0 +1,98 @@
+"""Time-series recorders."""
+
+import pytest
+
+from repro.telemetry.timeseries import BucketedSeries, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        series = TimeSeries("x")
+        series.append(10, 1.0)
+        series.append(20, 2.0)
+        assert list(series.items()) == [(10, 1.0), (20, 2.0)]
+        assert len(series) == 2
+
+    def test_rejects_time_regression(self):
+        series = TimeSeries()
+        series.append(100, 1.0)
+        with pytest.raises(ValueError):
+            series.append(99, 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        series = TimeSeries()
+        series.append(100, 1.0)
+        series.append(100, 2.0)
+        assert len(series) == 2
+
+    def test_between_half_open(self):
+        series = TimeSeries()
+        for t in (10, 20, 30):
+            series.append(t, float(t))
+        assert series.between(10, 30) == [(10, 10.0), (20, 20.0)]
+
+    def test_last(self):
+        series = TimeSeries()
+        assert series.last() is None
+        series.append(5, 1.5)
+        assert series.last() == (5, 1.5)
+
+    def test_values_ordered(self):
+        series = TimeSeries()
+        series.append(1, 9.0)
+        series.append(2, 8.0)
+        assert list(series.values) == [9.0, 8.0]
+        assert list(series.times) == [1, 2]
+
+
+class TestBucketedSeries:
+    def test_bucket_assignment(self):
+        series = BucketedSeries(bucket_ns=100)
+        series.append(0, 1.0)
+        series.append(99, 2.0)
+        series.append(100, 3.0)
+        assert series.bucket_indices() == [0, 1]
+        assert series.count(0) == 2
+        assert series.count(1) == 1
+
+    def test_bucket_start(self):
+        series = BucketedSeries(bucket_ns=250)
+        assert series.bucket_start(3) == 750
+
+    def test_mean_and_quantile(self):
+        series = BucketedSeries(bucket_ns=100)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            series.append(50, value)
+        assert series.mean(0) == pytest.approx(2.5)
+        assert series.quantile(0, 0.5) == pytest.approx(2.5)
+
+    def test_empty_bucket_stats_none(self):
+        series = BucketedSeries(bucket_ns=100)
+        assert series.mean(5) is None
+        assert series.quantile(5, 0.5) is None
+        assert series.count(5) == 0
+
+    def test_quantile_series(self):
+        series = BucketedSeries(bucket_ns=10)
+        series.append(5, 1.0)
+        series.append(15, 3.0)
+        series.append(17, 5.0)
+        rows = series.quantile_series(1.0)
+        assert rows == [(0, 1.0), (10, 5.0)]
+
+    def test_custom_reducer(self):
+        series = BucketedSeries(bucket_ns=10)
+        series.append(1, 2.0)
+        series.append(2, 4.0)
+        assert series.series(max) == [(0, 4.0)]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            BucketedSeries(bucket_ns=0)
+
+    def test_unordered_appends_allowed(self):
+        # Unlike TimeSeries, buckets don't require monotone time.
+        series = BucketedSeries(bucket_ns=10)
+        series.append(55, 1.0)
+        series.append(5, 2.0)
+        assert series.bucket_indices() == [0, 5]

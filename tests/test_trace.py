@@ -1,0 +1,45 @@
+"""Packet trace recorder."""
+
+from repro.net.addr import Endpoint
+from repro.net.packet import Packet
+from repro.net.trace import PacketTrace
+
+
+def make_packet():
+    return Packet(src=Endpoint("a", 1), dst=Endpoint("b", 2))
+
+
+class TestPacketTrace:
+    def test_records_in_order(self):
+        trace = PacketTrace()
+        trace.record(10, "p1", make_packet())
+        trace.record(20, "p2", make_packet())
+        times = [r.time for r in trace]
+        assert times == [10, 20]
+
+    def test_limit_truncates(self):
+        trace = PacketTrace(limit=2)
+        for i in range(5):
+            trace.record(i, "p", make_packet())
+        assert len(trace) == 2
+        assert trace.truncated
+
+    def test_filter_and_on_pipe(self):
+        trace = PacketTrace()
+        trace.record(1, "a->b", make_packet())
+        trace.record(2, "b->c", make_packet())
+        assert len(trace.on_pipe("a->b")) == 1
+        assert len(trace.filter(lambda r: r.time > 1)) == 1
+
+    def test_dump_truncation_note(self):
+        trace = PacketTrace()
+        for i in range(5):
+            trace.record(i, "p", make_packet())
+        out = trace.dump(limit=2)
+        assert "3 more" in out
+
+    def test_record_format(self):
+        trace = PacketTrace()
+        trace.record(123, "a->b", make_packet())
+        line = next(iter(trace)).format()
+        assert "a->b" in line and "123" in line

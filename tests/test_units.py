@@ -1,0 +1,67 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_constants_relate(self):
+        assert units.SECONDS == 1000 * units.MILLISECONDS
+        assert units.MILLISECONDS == 1000 * units.MICROSECONDS
+        assert units.MICROSECONDS == 1000 * units.NANOSECONDS
+
+    def test_seconds_round_trip(self):
+        assert units.to_seconds(units.seconds(1.5)) == pytest.approx(1.5)
+
+    def test_milliseconds(self):
+        assert units.milliseconds(2.5) == 2_500_000
+
+    def test_microseconds(self):
+        assert units.microseconds(64) == 64_000
+
+    def test_seconds_rounds_not_truncates(self):
+        assert units.seconds(0.9999999999) == units.SECONDS
+
+    def test_to_millis(self):
+        assert units.to_millis(1_500_000) == pytest.approx(1.5)
+
+    def test_to_micros(self):
+        assert units.to_micros(2_500) == pytest.approx(2.5)
+
+
+class TestSerializationDelay:
+    def test_one_kb_at_one_gbps(self):
+        # 1000 bytes = 8000 bits at 1e9 bps -> 8 us.
+        assert units.serialization_delay(1000, 10**9) == 8_000
+
+    def test_rounds_up(self):
+        # 1 byte at 3 bps: 8/3 s = 2.67 s -> ceil.
+        expect = -(-8 * units.SECONDS // 3)
+        assert units.serialization_delay(1, 3) == expect
+
+    def test_never_zero_for_positive_size(self):
+        assert units.serialization_delay(1, 10**12) >= 1
+
+    def test_zero_size_is_zero(self):
+        assert units.serialization_delay(0, 10**9) == 0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.serialization_delay(100, 0)
+        with pytest.raises(ValueError):
+            units.serialization_delay(100, -5)
+
+
+class TestFormatNs:
+    def test_seconds_range(self):
+        assert units.format_ns(2 * units.SECONDS) == "2.000s"
+
+    def test_millis_range(self):
+        assert units.format_ns(int(1.5 * units.MILLISECONDS)) == "1.500ms"
+
+    def test_micros_range(self):
+        assert units.format_ns(64 * units.MICROSECONDS) == "64.0us"
+
+    def test_nanos_range(self):
+        assert units.format_ns(999) == "999ns"

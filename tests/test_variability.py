@@ -1,0 +1,136 @@
+"""Latency-variability injectors (§2.2)."""
+
+import random
+
+import pytest
+
+from repro.app.variability import (
+    CompositeInjector,
+    GcPauseInjector,
+    NullInjector,
+    PreemptionInjector,
+    StepInjector,
+)
+from repro.units import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+class TestNull:
+    def test_always_zero(self):
+        injector = NullInjector()
+        assert injector.extra_delay(0) == 0
+        assert injector.extra_delay(10**12) == 0
+
+
+class TestStep:
+    def test_zero_before_start(self):
+        injector = StepInjector(extra=1000, start=500)
+        assert injector.extra_delay(499) == 0
+
+    def test_extra_inside_window(self):
+        injector = StepInjector(extra=1000, start=500, end=600)
+        assert injector.extra_delay(500) == 1000
+        assert injector.extra_delay(599) == 1000
+
+    def test_zero_after_end(self):
+        injector = StepInjector(extra=1000, start=500, end=600)
+        assert injector.extra_delay(600) == 0
+
+    def test_open_ended(self):
+        injector = StepInjector(extra=1000, start=0)
+        assert injector.extra_delay(10**15) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepInjector(extra=-1, start=0)
+        with pytest.raises(ValueError):
+            StepInjector(extra=1, start=100, end=50)
+
+
+class TestGcPause:
+    def test_pause_at_period_start(self):
+        injector = GcPauseInjector(period=1000, duration=100)
+        # At the very start of a pause, wait the full duration.
+        assert injector.extra_delay(0) == 100
+        # Halfway through the pause, wait the remainder.
+        assert injector.extra_delay(50) == 50
+
+    def test_no_delay_between_pauses(self):
+        injector = GcPauseInjector(period=1000, duration=100)
+        assert injector.extra_delay(100) == 0
+        assert injector.extra_delay(999) == 0
+
+    def test_periodicity(self):
+        injector = GcPauseInjector(period=1000, duration=100)
+        assert injector.extra_delay(5000) == 100
+        assert injector.extra_delay(5050) == 50
+
+    def test_phase_shifts_pauses(self):
+        injector = GcPauseInjector(period=1000, duration=100, phase=500)
+        assert injector.extra_delay(0) == 0
+        assert injector.extra_delay(500) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GcPauseInjector(period=0, duration=0)
+        with pytest.raises(ValueError):
+            GcPauseInjector(period=100, duration=100)  # duration < period
+        with pytest.raises(ValueError):
+            GcPauseInjector(period=100, duration=10, phase=-1)
+
+
+class TestPreemption:
+    def test_delay_only_during_bursts(self):
+        injector = PreemptionInjector(
+            random.Random(1),
+            rate_hz=100.0,
+            min_duration=1 * MILLISECONDS,
+            max_duration=1 * MILLISECONDS,
+        )
+        # Scan forward: any non-zero delay must be <= max duration.
+        delays = [injector.extra_delay(t * 100 * MICROSECONDS) for t in range(1000)]
+        positive = [d for d in delays if d > 0]
+        assert positive, "expected at least one burst in 0.1 s at 100 Hz"
+        assert all(d <= 1 * MILLISECONDS for d in positive)
+
+    def test_burst_frequency_roughly_matches_rate(self):
+        injector = PreemptionInjector(
+            random.Random(2),
+            rate_hz=50.0,
+            min_duration=100 * MICROSECONDS,
+            max_duration=100 * MICROSECONDS,
+        )
+        # Count transitions into bursts over 2 simulated seconds.
+        bursts = 0
+        in_burst = False
+        for t in range(0, 2 * SECONDS, 50 * MICROSECONDS):
+            delayed = injector.extra_delay(t) > 0
+            if delayed and not in_burst:
+                bursts += 1
+            in_burst = delayed
+        assert bursts == pytest.approx(100, rel=0.4)
+
+    def test_requires_monotone_queries(self):
+        injector = PreemptionInjector(
+            random.Random(3), rate_hz=10.0, min_duration=10, max_duration=20
+        )
+        injector.extra_delay(SECONDS)
+        # Going backwards is undefined but must not produce negatives.
+        assert injector.extra_delay(SECONDS) >= 0
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            PreemptionInjector(rng, rate_hz=0, min_duration=1, max_duration=2)
+        with pytest.raises(ValueError):
+            PreemptionInjector(rng, rate_hz=1, min_duration=5, max_duration=2)
+
+
+class TestComposite:
+    def test_sums_components(self):
+        injector = CompositeInjector(
+            [StepInjector(extra=10, start=0), StepInjector(extra=5, start=0)]
+        )
+        assert injector.extra_delay(100) == 15
+
+    def test_empty_composite_is_zero(self):
+        assert CompositeInjector([]).extra_delay(0) == 0

@@ -1,0 +1,108 @@
+"""Workload composition: keys, op mix, value sizes."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.app.protocol import Op
+from repro.app.workload import KeyGenerator, OpMixer, ValueSizer, WorkloadModel
+
+
+class TestKeyGenerator:
+    def test_uniform_covers_space(self):
+        gen = KeyGenerator(n_keys=10)
+        rng = random.Random(1)
+        keys = {gen.draw(rng) for _ in range(1000)}
+        assert keys == {"key-%d" % i for i in range(10)}
+
+    def test_zipf_skews_to_low_ranks(self):
+        gen = KeyGenerator(n_keys=100, zipf_s=1.2)
+        rng = random.Random(2)
+        counts = Counter(gen.draw(rng) for _ in range(20000))
+        assert counts["key-0"] > counts.get("key-50", 0) * 5
+
+    def test_zipf_zero_is_uniform(self):
+        gen = KeyGenerator(n_keys=5, zipf_s=0.0)
+        rng = random.Random(3)
+        counts = Counter(gen.draw(rng) for _ in range(10000))
+        for count in counts.values():
+            assert count == pytest.approx(2000, rel=0.2)
+
+    def test_prefix(self):
+        gen = KeyGenerator(n_keys=1, prefix="user")
+        assert gen.draw(random.Random(0)) == "user-0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyGenerator(n_keys=0)
+        with pytest.raises(ValueError):
+            KeyGenerator(n_keys=10, zipf_s=-1)
+
+    def test_deterministic_given_seed(self):
+        gen = KeyGenerator(n_keys=100, zipf_s=0.9)
+        a = [gen.draw(random.Random(7)) for _ in range(10)]
+        b = [gen.draw(random.Random(7)) for _ in range(10)]
+        assert a == b
+
+
+class TestOpMixer:
+    def test_all_gets(self):
+        mixer = OpMixer(get_ratio=1.0)
+        rng = random.Random(1)
+        assert all(mixer.draw(rng) is Op.GET for _ in range(100))
+
+    def test_all_sets(self):
+        mixer = OpMixer(get_ratio=0.0)
+        rng = random.Random(1)
+        assert all(mixer.draw(rng) is Op.SET for _ in range(100))
+
+    def test_fifty_fifty(self):
+        mixer = OpMixer(get_ratio=0.5)
+        rng = random.Random(2)
+        gets = sum(mixer.draw(rng) is Op.GET for _ in range(20000))
+        assert gets == pytest.approx(10000, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpMixer(get_ratio=1.5)
+
+
+class TestValueSizer:
+    def test_fixed(self):
+        sizer = ValueSizer(fixed=512)
+        assert sizer.draw(random.Random(0)) == 512
+
+    def test_ranged(self):
+        sizer = ValueSizer(fixed=None, low=10, high=20)
+        rng = random.Random(1)
+        values = [sizer.draw(rng) for _ in range(200)]
+        assert all(10 <= v <= 20 for v in values)
+        assert len(set(values)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ValueSizer(fixed=0)
+        with pytest.raises(ValueError):
+            ValueSizer(fixed=None, low=0, high=10)
+        with pytest.raises(ValueError):
+            ValueSizer(fixed=None, low=20, high=10)
+
+
+class TestWorkloadModel:
+    def test_set_requests_carry_values(self):
+        model = WorkloadModel(ops=OpMixer(get_ratio=0.0), values=ValueSizer(fixed=777))
+        request = model.make_request(random.Random(1))
+        assert request.op is Op.SET
+        assert request.value_size == 777
+
+    def test_get_requests_carry_no_value(self):
+        model = WorkloadModel(ops=OpMixer(get_ratio=1.0))
+        request = model.make_request(random.Random(1))
+        assert request.op is Op.GET
+        assert request.value_size == 0
+
+    def test_defaults_sane(self):
+        model = WorkloadModel()
+        request = model.make_request(random.Random(1))
+        assert request.key.startswith("key-")
