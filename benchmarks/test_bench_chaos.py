@@ -1,0 +1,125 @@
+"""CHAOS — Maglev vs in-band feedback under the chaos-plane presets.
+
+The paper's Fig 3 stimulus is a single step fault; the chaos plane asks
+the same question under richer disturbances.  Each preset runs twice
+(same seed, same fault schedule) differing only in the LB policy:
+
+* ``flapping_server`` — server0 repeatedly slows 8× and recovers; the
+  control loop must keep re-converging (and releasing) as the fault
+  flaps.
+* ``lossy_path`` — 2% random loss on LB→server0; retransmission delays
+  inflate that path's true latency and the measurement plane's packet
+  gaps.
+* ``correlated_burst`` — delay+jitter+loss on *every* path at once; no
+  routing decision helps, so both arms should degrade comparably (the
+  symmetric-fault control case).
+
+Together the presets exercise four distinct fault kinds (slowdown,
+loss, delay, jitter) end-to-end.  The report lands in
+``benchmarks/reports/chaos.txt``.
+"""
+
+from conftest import write_report
+
+from repro.faults import preset
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.report import format_table
+from repro.harness.runner import run_scenario
+from repro.telemetry.quantiles import exact_quantile
+from repro.units import SECONDS, to_millis
+
+DURATION = 3 * SECONDS
+SEED = 21
+
+
+def _run(preset_name, policy):
+    config = ScenarioConfig(
+        seed=SEED,
+        duration=DURATION,
+        n_servers=2,
+        policy=policy,
+        faults=preset(preset_name, DURATION),
+        warmup=DURATION // 10,
+    )
+    return run_scenario(config)
+
+
+def _faulted_quantile(result, q):
+    """Latency quantile from the first fault onset (plus settle) to run end."""
+    onset = min(start for _k, _t, start, _e in result.fault_windows())
+    values = result.latencies(start=onset + DURATION // 8)
+    return exact_quantile(values, q) if values else None
+
+
+def _fmt(value):
+    return "-" if value is None else "%.3f" % to_millis(value)
+
+
+def test_chaos_presets(benchmark):
+    def run_all():
+        out = {}
+        for name in ("flapping_server", "lossy_path", "correlated_burst"):
+            out[name] = {
+                policy.value: _run(name, policy)
+                for policy in (PolicyName.MAGLEV, PolicyName.FEEDBACK)
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    tails = {}
+    for name, arms in results.items():
+        tails[name] = {
+            policy: (
+                _faulted_quantile(result, 0.95),
+                _faulted_quantile(result, 0.99),
+            )
+            for policy, result in arms.items()
+        }
+        kinds = sorted(
+            {k for k, _t, _s, _e in arms["maglev"].fault_windows()}
+        )
+        rows.append(
+            (
+                name,
+                "+".join(kinds),
+                _fmt(tails[name]["maglev"][0]),
+                _fmt(tails[name]["feedback"][0]),
+                _fmt(tails[name]["maglev"][1]),
+                _fmt(tails[name]["feedback"][1]),
+                len(arms["feedback"].shift_times()),
+            )
+        )
+    table = format_table(
+        (
+            "preset",
+            "fault kinds",
+            "maglev p95",
+            "feedback p95",
+            "maglev p99",
+            "feedback p99",
+            "fb shifts",
+        ),
+        rows,
+    )
+    detail = "\n\n".join(
+        "--- %s / %s ---\n%s" % (name, policy, result.report())
+        for name, arms in results.items()
+        for policy, result in arms.items()
+    )
+    write_report("chaos", table + "\n\n" + detail)
+
+    # Asymmetric faults: the feedback LB routes around the bad backend.
+    # A flapping 8x slowdown hits half the requests (moves p95); 2% loss
+    # hits only retransmitting requests (moves p99).
+    assert tails["flapping_server"]["feedback"][0] < tails["flapping_server"]["maglev"][0]
+    assert tails["lossy_path"]["feedback"][1] < tails["lossy_path"]["maglev"][1]
+
+    # The chaos benchmark exercises >= 4 distinct fault kinds.
+    exercised = {
+        kind
+        for arms in results.values()
+        for kind, _t, _s, _e in arms["maglev"].fault_windows()
+    }
+    assert len(exercised) >= 4

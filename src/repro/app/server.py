@@ -91,7 +91,47 @@ class ServerApp:
         # Worker pool as a min-heap of times at which each worker frees up.
         self._worker_free: List[int] = [0] * max(1, config.workers)
         heapq.heapify(self._worker_free)
+        # Chaos-plane seams: a runtime service-time multiplier (server
+        # slowdown faults) and a pause gate (GC-style stop-the-world).
+        self._service_multiplier = 1.0
+        self._paused = False
+        self._paused_requests: List[tuple] = []
         host.listen(config.port, self._on_connection, config.transport)
+
+    # ------------------------------------------------------------------
+    # Chaos-plane seams
+    # ------------------------------------------------------------------
+
+    @property
+    def service_multiplier(self) -> float:
+        """Current runtime multiplier applied to per-request work."""
+        return self._service_multiplier
+
+    def set_service_multiplier(self, multiplier: float) -> None:
+        """Scale every request's service time (1.0 restores normal)."""
+        if multiplier <= 0:
+            raise ValueError(
+                "service multiplier must be positive, got %r" % multiplier
+            )
+        self._service_multiplier = multiplier
+
+    @property
+    def paused(self) -> bool:
+        """Whether the server is currently stalled by a pause fault."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop processing: requests arriving while paused are held."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume processing; held requests run in arrival order."""
+        if not self._paused:
+            return
+        self._paused = False
+        pending, self._paused_requests = self._paused_requests, []
+        for conn, request, arrived_at in pending:
+            self._process(conn, request, arrived_at)
 
     # ------------------------------------------------------------------
 
@@ -104,21 +144,30 @@ class ServerApp:
             return  # stray message type: ignore rather than crash the run
         now = self.host.sim.now
         self.stats.requests += 1
+        if self._paused:
+            self._paused_requests.append((conn, request, now))
+            return
+        self._process(conn, request, now)
 
+    def _process(self, conn: Connection, request: Request, arrived_at: int) -> None:
+        now = self.host.sim.now
         start = max(now, heapq.heappop(self._worker_free))
-        queue_delay = start - now
+        queue_delay = start - arrived_at
         extra = self.config.injector.extra_delay(start)
         service = self.config.service_model.sample(self.rng, request)
-        completion = start + extra + service
+        work = extra + service
+        if self._service_multiplier != 1.0:
+            work = max(0, round(work * self._service_multiplier))
+        completion = start + work
         heapq.heappush(self._worker_free, completion)
 
         self.stats.queue_delays.append(queue_delay)
-        self.stats.service_times.append(extra + service)
-        self.stats.busy_ns += extra + service
+        self.stats.service_times.append(work)
+        self.stats.busy_ns += work
 
         response = self._execute(request)
         response.queue_delay = queue_delay
-        response.service_time = extra + service
+        response.service_time = work
 
         def respond() -> None:
             if conn.state.value != "closed":

@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from repro import units
+from repro.faults import PRESETS, parse_faults
 from repro.harness.ablations import (
     sweep_ack_and_pacing,
     sweep_alpha,
@@ -74,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--servers", type=int, default=2)
     run_cmd.add_argument("--clients", type=int, default=1)
+    run_cmd.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos-plane fault: a preset name (%s) or an inline spec "
+        "like 'delay:node=server0,start=1s,extra=1ms'; repeatable"
+        % ", ".join(sorted(PRESETS)),
+    )
 
     sub.add_parser("fig2a", help="paper Fig 2(a): fixed timeouts vs truth")
     sub.add_parser("fig2b", help="paper Fig 2(b): the ensemble tracks truth")
@@ -92,12 +102,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     duration = units.seconds(args.duration)
 
     if args.command == "run":
+        faults = []
+        for spec in args.fault:
+            faults.extend(parse_faults(spec, duration))
         config = ScenarioConfig(
             seed=args.seed,
             duration=duration,
             n_clients=args.clients,
             n_servers=args.servers,
             policy=PolicyName(args.policy),
+            faults=faults,
             warmup=duration // 10,
         )
         print(run_scenario(config).report())

@@ -1,0 +1,76 @@
+"""Declarative fault injection — the chaos plane.
+
+The repo started with exactly one fault knob (the Fig 3 delay
+injection); this package generalizes it into a subsystem: typed fault
+specs (:mod:`~repro.faults.model`), a validating/compiling timetable
+(:mod:`~repro.faults.schedule`), an injector that binds schedules to a
+built topology with deterministic revert-on-expiry
+(:mod:`~repro.faults.injector`), a preset library
+(:mod:`~repro.faults.presets`), and a textual spec parser for the CLI
+(:mod:`~repro.faults.parse`).
+
+Quick start::
+
+    from repro.faults import DelayFault, LossFault
+    from repro.harness import PolicyName, ScenarioConfig, run_scenario
+    from repro.units import MILLISECONDS, seconds
+
+    config = ScenarioConfig(
+        duration=seconds(2),
+        policy=PolicyName.FEEDBACK,
+        faults=[
+            DelayFault(start=seconds(1), extra=1 * MILLISECONDS, node="server0"),
+            LossFault(start=seconds(1), prob=0.02, node="server*"),
+        ],
+    )
+    result = run_scenario(config)
+    print(result.report())        # latency timeline annotated with fault windows
+"""
+
+from repro.faults.injector import ArmedWindow, FaultEvent, Injector
+from repro.faults.model import (
+    CLIENT_TO_LB,
+    DIRECTIONS,
+    FAULT_KINDS,
+    LB_TO_SERVER,
+    PIPE_FAULTS,
+    SERVER_FAULTS,
+    SERVER_TO_CLIENT,
+    CrashRestartFault,
+    DelayFault,
+    FaultSpec,
+    JitterFault,
+    LossFault,
+    ServerPauseFault,
+    ServerSlowdownFault,
+    ThrottleFault,
+)
+from repro.faults.parse import parse_faults
+from repro.faults.presets import PRESETS, preset
+from repro.faults.schedule import FaultSchedule, FaultWindow
+
+__all__ = [
+    "ArmedWindow",
+    "FaultEvent",
+    "Injector",
+    "FaultSpec",
+    "DelayFault",
+    "JitterFault",
+    "LossFault",
+    "ThrottleFault",
+    "ServerSlowdownFault",
+    "ServerPauseFault",
+    "CrashRestartFault",
+    "FaultSchedule",
+    "FaultWindow",
+    "PRESETS",
+    "preset",
+    "parse_faults",
+    "FAULT_KINDS",
+    "PIPE_FAULTS",
+    "SERVER_FAULTS",
+    "DIRECTIONS",
+    "LB_TO_SERVER",
+    "CLIENT_TO_LB",
+    "SERVER_TO_CLIENT",
+]

@@ -1,0 +1,383 @@
+"""Binding fault schedules to a built topology.
+
+An :class:`Injector` resolves each fault window's target selector
+against concrete pipes / servers / pool backends, then schedules
+apply/revert callbacks on the simulator.  All composition state lives
+here: the injector tracks every active contribution per knob and writes
+the *composed* value (baseline + contributions) on each transition, so
+overlapping windows revert to the exact pre-fault baseline no matter
+which order they expire in.
+
+Every transition is recorded as a :class:`FaultEvent`; runners surface
+these (and the armed windows) so reports can annotate latency timelines
+with fault windows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.model import (
+    CLIENT_TO_LB,
+    LB_TO_SERVER,
+    SERVER_TO_CLIENT,
+    CrashRestartFault,
+    DelayFault,
+    FaultSpec,
+    JitterFault,
+    LossFault,
+    ServerPauseFault,
+    ServerSlowdownFault,
+    ThrottleFault,
+)
+from repro.faults.schedule import FaultSchedule, FaultWindow
+from repro.net.network import Network
+from repro.net.pipe import Pipe
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness → faults)
+    from repro.app.server import ServerApp
+    from repro.harness.scenario import Scenario
+    from repro.lb.backend import BackendPool
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One apply/revert transition the injector executed."""
+
+    time: int
+    action: str           # "apply" | "revert"
+    kind: str             # fault kind ("delay", "loss", ...)
+    target: str           # pipe name or server name
+    fault: FaultSpec
+
+    def describe(self) -> str:
+        """One-line rendering for traces and reports."""
+        return "%12d %-6s %s on %s" % (
+            self.time, self.action, self.fault.describe(), self.target
+        )
+
+
+@dataclass(frozen=True)
+class ArmedWindow:
+    """A fault window bound to its resolved targets (for reports)."""
+
+    window: FaultWindow
+    targets: Tuple[str, ...]
+
+
+class Injector:
+    """Applies a :class:`FaultSchedule` to a built deployment.
+
+    Parameters
+    ----------
+    sim, network:
+        The engine to schedule transitions on and the fabric whose pipes
+        the pipe faults target.
+    server_names / client_names / lb_name:
+        The topology roles target selectors resolve against.
+    pool:
+        Backend pool, required for :class:`CrashRestartFault`.
+    servers:
+        name → server application, required for slowdown/pause faults.
+        Any object with ``set_service_multiplier`` / ``pause`` /
+        ``resume`` works.
+    loss_rng / jitter_rng:
+        Dedicated seeded streams for loss draws and injected jitter,
+        required when the schedule contains those fault kinds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        server_names: Sequence[str],
+        client_names: Sequence[str] = (),
+        lb_name: str = "lb",
+        pool: Optional["BackendPool"] = None,
+        servers: Optional[Dict[str, "ServerApp"]] = None,
+        loss_rng: Optional[random.Random] = None,
+        jitter_rng: Optional[random.Random] = None,
+    ):
+        self._sim = sim
+        self._network = network
+        self._server_names = list(server_names)
+        self._client_names = list(client_names)
+        self._lb_name = lb_name
+        self._pool = pool
+        self._servers = servers or {}
+        self._loss_rng = loss_rng
+        self._jitter_rng = jitter_rng
+
+        #: Transitions executed so far, in simulation order.
+        self.events: List[FaultEvent] = []
+        #: Windows bound at arm time, in activation order.
+        self.armed_windows: List[ArmedWindow] = []
+
+        # Composition state: active contributions per knob, plus the
+        # baseline captured when the chaos plane first touches a knob.
+        self._pipe_delays: Dict[Pipe, List[int]] = {}
+        self._pipe_delay_base: Dict[Pipe, int] = {}
+        self._pipe_jitters: Dict[Pipe, List[int]] = {}
+        self._pipe_losses: Dict[Pipe, List[float]] = {}
+        self._pipe_caps: Dict[Pipe, List[int]] = {}
+        self._server_factors: Dict[str, List[float]] = {}
+        self._pause_depth: Dict[str, int] = {}
+        self._crash_depth: Dict[str, int] = {}
+        self._crash_owned: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_scenario(cls, scenario: "Scenario") -> "Injector":
+        """Bind to a :func:`~repro.harness.scenario.build_scenario` result."""
+        config = scenario.config
+        return cls(
+            scenario.sim,
+            scenario.network,
+            server_names=[
+                config.server_name(i) for i in range(config.n_servers)
+            ],
+            client_names=[
+                config.client_name(i) for i in range(config.n_clients)
+            ],
+            lb_name="lb",
+            pool=scenario.pool,
+            servers={app.host.name: app for app in scenario.servers},
+            loss_rng=scenario.streams.get("faults.loss"),
+            jitter_rng=scenario.streams.get("faults.jitter"),
+        )
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+
+    def arm(self, schedule: FaultSchedule, horizon: int) -> None:
+        """Resolve targets and schedule every window's transitions.
+
+        Raises :class:`ConfigError` when a fault matches nothing (a
+        selector typo should fail the build, not silently do nothing).
+        """
+        for window in schedule.windows(horizon):
+            targets = self._resolve(window.fault)
+            names = tuple(self._target_name(t) for t in targets)
+            self.armed_windows.append(ArmedWindow(window, names))
+            self._sim.schedule_at(
+                window.start,
+                lambda w=window, t=targets: self._transition(w, t, apply=True),
+            )
+            if window.end is not None:
+                self._sim.schedule_at(
+                    window.end,
+                    lambda w=window, t=targets: self._transition(w, t, apply=False),
+                )
+
+    def _resolve(self, fault: FaultSpec) -> List[object]:
+        if isinstance(fault, (ServerSlowdownFault, ServerPauseFault)):
+            names = [n for n in self._server_names if fault.matches(n)]
+            missing = [n for n in names if n not in self._servers]
+            if missing:
+                raise ConfigError(
+                    "%s fault targets servers with no bound application: %s"
+                    % (fault.kind, ", ".join(missing))
+                )
+            if not names:
+                raise ConfigError(
+                    "%s fault matches no server (glob %r)" % (fault.kind, fault.node)
+                )
+            return [self._servers[n] for n in names]
+        if isinstance(fault, CrashRestartFault):
+            if self._pool is None:
+                raise ConfigError("crash fault needs a backend pool")
+            names = [n for n in self._server_names if fault.matches(n)]
+            if not names:
+                raise ConfigError(
+                    "crash fault matches no backend (glob %r)" % fault.node
+                )
+            return names
+        # Pipe faults.
+        if isinstance(fault, LossFault) and self._loss_rng is None:
+            raise ConfigError("loss fault needs a loss RNG stream")
+        if isinstance(fault, JitterFault) and self._jitter_rng is None:
+            raise ConfigError("jitter fault needs a jitter RNG stream")
+        if fault.direction == LB_TO_SERVER:
+            keys = [
+                (self._lb_name, s)
+                for s in self._server_names
+                if fault.matches(s)
+            ]
+        elif fault.direction == CLIENT_TO_LB:
+            keys = [
+                (c, self._lb_name)
+                for c in self._client_names
+                if fault.matches(c)
+            ]
+        elif fault.direction == SERVER_TO_CLIENT:
+            keys = [
+                (s, c)
+                for s in self._server_names
+                if fault.matches(s)
+                for c in self._client_names
+            ]
+        else:  # pragma: no cover - validate() rejects unknown directions
+            raise ConfigError("unknown direction %r" % fault.direction)
+        pipes = [
+            self._network.pipe(src, dst)
+            for src, dst in keys
+            if self._network.has_pipe(src, dst)
+        ]
+        if not pipes:
+            raise ConfigError(
+                "%s fault matches no %s pipe (glob %r)"
+                % (fault.kind, fault.direction, fault.node)
+            )
+        return pipes
+
+    @staticmethod
+    def _target_name(target: object) -> str:
+        if isinstance(target, Pipe):
+            return target.name
+        if isinstance(target, str):
+            return target
+        return target.host.name  # a server application
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def _transition(
+        self, window: FaultWindow, targets: List[object], apply: bool
+    ) -> None:
+        fault = window.fault
+        for target in targets:
+            if isinstance(fault, DelayFault):
+                self._shift_delay(target, fault.extra, apply)
+            elif isinstance(fault, JitterFault):
+                self._shift_jitter(target, fault.amplitude, apply)
+            elif isinstance(fault, LossFault):
+                self._shift_loss(target, fault.prob, apply)
+            elif isinstance(fault, ThrottleFault):
+                self._shift_cap(target, fault.bandwidth_bps, apply)
+            elif isinstance(fault, ServerSlowdownFault):
+                self._shift_factor(target, fault.factor, apply)
+            elif isinstance(fault, ServerPauseFault):
+                self._shift_pause(target, apply)
+            elif isinstance(fault, CrashRestartFault):
+                self._shift_crash(target, apply)
+            else:  # pragma: no cover - schedule validates entry types
+                raise ConfigError("unhandled fault type %r" % type(fault))
+            self.events.append(
+                FaultEvent(
+                    time=self._sim.now,
+                    action="apply" if apply else "revert",
+                    kind=fault.kind,
+                    target=self._target_name(target),
+                    fault=fault,
+                )
+            )
+
+    def _shift_delay(self, pipe: Pipe, extra: int, apply: bool) -> None:
+        active = self._pipe_delays.setdefault(pipe, [])
+        if not active and apply:
+            self._pipe_delay_base[pipe] = pipe.extra_delay
+        if apply:
+            active.append(extra)
+        else:
+            active.remove(extra)
+        pipe.set_extra_delay(self._pipe_delay_base[pipe] + sum(active))
+
+    def _shift_jitter(self, pipe: Pipe, amplitude: int, apply: bool) -> None:
+        active = self._pipe_jitters.setdefault(pipe, [])
+        if apply:
+            active.append(amplitude)
+        else:
+            active.remove(amplitude)
+        if active:
+            rng = self._jitter_rng
+            amps = tuple(active)
+            pipe.set_extra_jitter(
+                lambda: sum(rng.randrange(amp) for amp in amps)
+            )
+        else:
+            pipe.set_extra_jitter(None)
+
+    def _shift_loss(self, pipe: Pipe, prob: float, apply: bool) -> None:
+        active = self._pipe_losses.setdefault(pipe, [])
+        if apply:
+            active.append(prob)
+        else:
+            active.remove(prob)
+        passthrough = 1.0
+        for p in active:
+            passthrough *= 1.0 - p
+        pipe.set_drop_prob(1.0 - passthrough, self._loss_rng)
+
+    def _shift_cap(self, pipe: Pipe, cap: int, apply: bool) -> None:
+        active = self._pipe_caps.setdefault(pipe, [])
+        if apply:
+            active.append(cap)
+        else:
+            active.remove(cap)
+        pipe.set_bandwidth_override(min(active) if active else None)
+
+    def _shift_factor(self, server: "ServerApp", factor: float, apply: bool) -> None:
+        name = server.host.name
+        active = self._server_factors.setdefault(name, [])
+        if apply:
+            active.append(factor)
+        else:
+            active.remove(factor)
+        product = 1.0
+        for f in active:
+            product *= f
+        server.set_service_multiplier(product)
+
+    def _shift_pause(self, server: "ServerApp", apply: bool) -> None:
+        name = server.host.name
+        depth = self._pause_depth.get(name, 0)
+        if apply:
+            if depth == 0:
+                server.pause()
+            self._pause_depth[name] = depth + 1
+        else:
+            self._pause_depth[name] = depth - 1
+            if self._pause_depth[name] == 0:
+                server.resume()
+
+    def _shift_crash(self, name: str, apply: bool) -> None:
+        assert self._pool is not None
+        depth = self._crash_depth.get(name, 0)
+        if apply:
+            if depth == 0:
+                # A crash on an already-down backend is a no-op — and the
+                # matching restart must not revive what it didn't kill.
+                backend = self._pool.get(name) if name in self._pool else None
+                owned = backend is not None and backend.healthy
+                self._crash_owned[name] = owned
+                if owned:
+                    self._pool.set_healthy(name, False)
+            self._crash_depth[name] = depth + 1
+        else:
+            self._crash_depth[name] = depth - 1
+            if self._crash_depth[name] == 0 and self._crash_owned.get(name):
+                self._crash_owned[name] = False
+                if name in self._pool:
+                    self._pool.set_healthy(name, True)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def active_at(self, time: int) -> List[ArmedWindow]:
+        """Armed windows covering ``time`` (for timeline annotation)."""
+        return [a for a in self.armed_windows if a.window.covers(time)]
+
+    def timeline(self) -> str:
+        """Multi-line rendering of every executed transition."""
+        return "\n".join(event.describe() for event in self.events)

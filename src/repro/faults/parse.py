@@ -1,0 +1,158 @@
+"""Textual fault specs for the CLI and config files.
+
+Two forms are accepted:
+
+* a preset name — ``flapping_server`` — expanded for the run duration;
+* an inline spec — ``kind:key=value,key=value,...`` — e.g.::
+
+      delay:node=server0,start=1s,extra=1ms
+      loss:node=server*,start=0.5s,prob=0.02
+      slowdown:node=server1,start=250ms,dur=100ms,period=400ms,factor=6
+      throttle:node=server0,start=1s,bw=200m
+      crash:node=server2,start=1s,dur=500ms
+
+Durations/times take a unit suffix (``ns``/``us``/``ms``/``s``); a bare
+number means seconds.  Bandwidth takes ``k``/``m``/``g`` suffixes
+(bits/s).  Unknown kinds, keys, or malformed values raise
+:class:`~repro.errors.ConfigError` — a typo should fail the run, not
+silently do nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.faults.model import FAULT_KINDS, DIRECTIONS, FaultSpec
+from repro.faults.presets import PRESETS, preset
+
+#: spec key → fault dataclass field, shared across kinds.
+_COMMON_KEYS = {
+    "node": "node",
+    "dir": "direction",
+    "start": "start",
+    "dur": "duration",
+    "duration": "duration",
+    "period": "period",
+}
+
+#: kind → magnitude spec keys (→ field name).
+_MAGNITUDE_KEYS: Dict[str, Dict[str, str]] = {
+    "delay": {"extra": "extra"},
+    "jitter": {"amp": "amplitude", "amplitude": "amplitude"},
+    "loss": {"prob": "prob"},
+    "throttle": {"bw": "bandwidth_bps", "bandwidth": "bandwidth_bps"},
+    "slowdown": {"factor": "factor"},
+    "pause": {},
+    "crash": {},
+}
+
+_TIME_FIELDS = {"start", "duration", "period", "extra", "amplitude"}
+
+_TIME_SUFFIXES = (
+    ("ns", 1),
+    ("us", 1_000),
+    ("ms", 1_000_000),
+    ("s", 1_000_000_000),
+)
+
+_BW_SUFFIXES = (("k", 1_000), ("m", 1_000_000), ("g", 1_000_000_000))
+
+
+def parse_faults(text: str, duration: int) -> List[FaultSpec]:
+    """Parse one ``--fault`` argument into fault specs.
+
+    ``duration`` is the run length, used to expand preset names.
+    """
+    text = text.strip()
+    if not text:
+        raise ConfigError("empty fault spec")
+    if ":" not in text:
+        if text in PRESETS:
+            return preset(text, duration)
+        if text in FAULT_KINDS:
+            raise ConfigError(
+                "fault spec %r has no parameters; write e.g. %r"
+                % (text, "%s:node=server0,start=1s" % text)
+            )
+        raise ConfigError(
+            "unknown fault preset %r (available: %s)"
+            % (text, ", ".join(sorted(PRESETS)))
+        )
+    kind, _, body = text.partition(":")
+    kind = kind.strip()
+    if kind not in FAULT_KINDS:
+        raise ConfigError(
+            "unknown fault kind %r (expected one of %s)"
+            % (kind, ", ".join(sorted(FAULT_KINDS)))
+        )
+    keymap = dict(_COMMON_KEYS)
+    keymap.update(_MAGNITUDE_KEYS[kind])
+    values: Dict[str, object] = {}
+    for item in filter(None, (part.strip() for part in body.split(","))):
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ConfigError("fault spec item %r is not key=value" % item)
+        if key not in keymap:
+            raise ConfigError(
+                "unknown key %r for %s fault (expected %s)"
+                % (key, kind, ", ".join(sorted(keymap)))
+            )
+        field = keymap[key]
+        values[field] = _parse_value(field, raw.strip())
+    fault = FAULT_KINDS[kind](**values)
+    fault.validate()
+    return [fault]
+
+
+def _parse_value(field: str, raw: str) -> object:
+    if not raw:
+        raise ConfigError("empty value for %r" % field)
+    if field in _TIME_FIELDS:
+        return _parse_time(raw)
+    if field == "bandwidth_bps":
+        return _parse_bandwidth(raw)
+    if field in ("prob", "factor"):
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigError("bad number %r for %r" % (raw, field)) from None
+    if field == "direction":
+        if raw not in DIRECTIONS:
+            raise ConfigError(
+                "unknown direction %r (expected one of %s)"
+                % (raw, ", ".join(DIRECTIONS))
+            )
+        return raw
+    return raw  # node glob
+
+
+def _parse_time(raw: str) -> int:
+    """``"1ms"`` → 1_000_000; a bare number means seconds."""
+    lowered = raw.lower()
+    for suffix, scale in _TIME_SUFFIXES:
+        if lowered.endswith(suffix):
+            number = lowered[: -len(suffix)]
+            break
+    else:
+        number, scale = lowered, 1_000_000_000
+    try:
+        return round(float(number) * scale)
+    except ValueError:
+        raise ConfigError("bad time value %r" % raw) from None
+
+
+def _parse_bandwidth(raw: str) -> int:
+    """``"200m"`` → 200_000_000 bits/s; bare numbers are bits/s."""
+    lowered = raw.lower().rstrip("bps").rstrip("bit")
+    for suffix, scale in _BW_SUFFIXES:
+        if lowered.endswith(suffix):
+            number = lowered[: -len(suffix)]
+            break
+    else:
+        number, scale = lowered, 1
+    try:
+        return round(float(number) * scale)
+    except ValueError:
+        raise ConfigError("bad bandwidth value %r" % raw) from None

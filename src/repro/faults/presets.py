@@ -1,0 +1,127 @@
+"""Canned chaos scenarios, parameterized only by the run duration.
+
+Each preset is a function ``duration_ns -> List[FaultSpec]`` registered
+in :data:`PRESETS`, so the CLI (``--fault <name>``), benchmarks, and
+tests share one vocabulary.  Times scale with the run so a preset makes
+sense at any duration: onsets sit after warmup, and recurring faults get
+several full periods.
+
+=================== ====================================================
+``fig3``            the paper's stimulus: 1 ms on LB→server0 at midpoint
+``flapping_server`` server0 repeatedly slows 8× and recovers (flapping)
+``lossy_path``      2% random loss on the LB→server0 path
+``slow_ramp``       staircase of compounding slowdowns on server0
+``correlated_burst`` delay+jitter+loss hit *every* LB→server path at once
+=================== ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.faults.model import (
+    DelayFault,
+    FaultSpec,
+    JitterFault,
+    LossFault,
+    ServerSlowdownFault,
+)
+from repro.units import MILLISECONDS
+
+
+def fig3(
+    duration: int,
+    node: str = "server0",
+    extra: int = 1 * MILLISECONDS,
+) -> List[FaultSpec]:
+    """The paper's Fig 3 stimulus in the chaos vocabulary.
+
+    One :class:`DelayFault`: ``extra`` ns added to the LB→``node`` pipe
+    at the midpoint, until the run ends.
+    """
+    return [DelayFault(start=duration // 2, extra=extra, node=node)]
+
+
+def flapping_server(duration: int, node: str = "server0") -> List[FaultSpec]:
+    """``node`` flaps between healthy and 8× slow (KnapsackLB's regime).
+
+    Starting at a quarter of the run, the server slows down for half of
+    every period, four periods total — fast enough that a control loop
+    must keep re-converging, slow enough that it can.
+    """
+    period = max(2, duration // 6)
+    return [
+        ServerSlowdownFault(
+            start=duration // 4,
+            duration=period // 2,
+            period=period,
+            factor=8.0,
+            node=node,
+        )
+    ]
+
+
+def lossy_path(
+    duration: int, node: str = "server0", prob: float = 0.02
+) -> List[FaultSpec]:
+    """Random loss on the LB→``node`` path from a quarter of the run on.
+
+    Loss perturbs exactly what the measurement plane consumes — packet
+    gaps at the LB — and retransmissions inflate the true latency.
+    """
+    return [LossFault(start=duration // 4, prob=prob, node=node)]
+
+
+def slow_ramp(duration: int, node: str = "server0") -> List[FaultSpec]:
+    """``node`` degrades in compounding steps: 1.5×, 2.25×, ~3.4×, ~5×.
+
+    Four overlapping open-ended slowdowns, one every eighth of the run
+    from the midpoint's first quarter — the multiplicative composition
+    law turns the staircase into an accelerating ramp, modelling gradual
+    resource exhaustion rather than a step fault.
+    """
+    step = max(1, duration // 8)
+    return [
+        ServerSlowdownFault(start=duration // 4 + k * step, factor=1.5, node=node)
+        for k in range(4)
+    ]
+
+
+def correlated_burst(duration: int) -> List[FaultSpec]:
+    """Every LB→server path degrades at once for an eighth of the run.
+
+    Extra delay, jitter, and loss land together on *all* backends
+    (node glob ``*``) — the transient-interference shape Morpheus
+    targets.  No routing decision helps here; a good controller should
+    recognize the symmetry and hold still.
+    """
+    start = duration // 2
+    burst = max(1, duration // 8)
+    return [
+        DelayFault(start=start, duration=burst, extra=500_000, node="*"),
+        JitterFault(start=start, duration=burst, amplitude=200_000, node="*"),
+        LossFault(start=start, duration=burst, prob=0.01, node="*"),
+    ]
+
+
+#: name → preset builder (duration_ns -> fault list).
+PRESETS: Dict[str, Callable[[int], List[FaultSpec]]] = {
+    "fig3": fig3,
+    "flapping_server": flapping_server,
+    "lossy_path": lossy_path,
+    "slow_ramp": slow_ramp,
+    "correlated_burst": correlated_burst,
+}
+
+
+def preset(name: str, duration: int) -> List[FaultSpec]:
+    """Instantiate a named preset for a run of ``duration`` ns."""
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown fault preset %r (available: %s)"
+            % (name, ", ".join(sorted(PRESETS)))
+        ) from None
+    return builder(duration)

@@ -1,0 +1,116 @@
+"""Fault timetabling: specs → validated, ordered activation windows.
+
+A :class:`FaultSchedule` owns a list of fault specs, validates them as a
+set, and expands recurrences into concrete :class:`FaultWindow` s up to
+a horizon (the scenario duration).  Windows are sorted by
+``(start, declaration order)``, which makes activation deterministic
+even when several faults fire at the same instant.
+
+Composition of overlapping windows is *defined* here and *implemented*
+by the injector, per knob:
+
+* delays add;
+* jitters draw independently and add;
+* loss probabilities compose as independent segments, ``1 − ∏(1 − pᵢ)``;
+* throttles take the tightest cap;
+* server slowdowns multiply;
+* pauses/crashes are reference-counted (the last revert releases).
+
+Every activation reverts deterministically at its window end: the knob
+returns to exactly the value it had before the chaos plane touched it
+(the *baseline*), regardless of the order overlapping windows expire in.
+A recurring fault whose next window starts at or past the horizon simply
+never activates — scenarios that end mid-period cancel cleanly because
+pending events beyond the horizon never fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.faults.model import FaultSpec
+from repro.units import format_ns
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One concrete activation of a fault: ``[start, end)``.
+
+    ``end=None`` means the fault stays active until the run ends (no
+    revert is ever scheduled).
+    """
+
+    fault: FaultSpec
+    start: int
+    end: Optional[int]
+
+    @property
+    def duration(self) -> Optional[int]:
+        """Window length (ns), or None for until-end-of-run."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def covers(self, time: int) -> bool:
+        """Whether ``time`` falls inside this window."""
+        if time < self.start:
+            return False
+        return self.end is None or time < self.end
+
+    def describe(self) -> str:
+        """Compact rendering: ``delay(+1.000ms) server0 @2.000s..3.000s``."""
+        end = "end" if self.end is None else format_ns(self.end)
+        return "%s @%s..%s" % (self.fault.describe(), format_ns(self.start), end)
+
+
+class FaultSchedule:
+    """A validated, composable set of fault specs."""
+
+    def __init__(self, faults: Sequence[FaultSpec]):
+        self.faults: List[FaultSpec] = list(faults)
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise ConfigError(
+                    "fault schedule entries must be FaultSpec instances, "
+                    "got %r" % (fault,)
+                )
+            fault.validate()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def windows(self, horizon: int) -> List[FaultWindow]:
+        """Expand recurrences into sorted windows starting before ``horizon``.
+
+        One-shot faults yield a single window; recurring faults yield
+        one window per period until the horizon.  Windows starting at or
+        after the horizon are dropped (they could never fire); window
+        *ends* may exceed the horizon — their reverts never fire, which
+        is exactly the until-run-end semantics.
+        """
+        if horizon <= 0:
+            raise ConfigError("fault horizon must be positive")
+        keyed = []
+        for index, fault in enumerate(self.faults):
+            if fault.start >= horizon:
+                raise ConfigError(
+                    "fault %s starts at %s, at/after the run end (%s)"
+                    % (fault.describe(), format_ns(fault.start), format_ns(horizon))
+                )
+            if fault.period is None:
+                end = (
+                    None if fault.duration is None
+                    else fault.start + fault.duration
+                )
+                keyed.append((fault.start, index, FaultWindow(fault, fault.start, end)))
+            else:
+                start = fault.start
+                while start < horizon:
+                    keyed.append(
+                        (start, index, FaultWindow(fault, start, start + fault.duration))
+                    )
+                    start += fault.period
+        keyed.sort(key=lambda entry: (entry[0], entry[1]))
+        return [window for _start, _index, window in keyed]

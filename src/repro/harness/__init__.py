@@ -8,6 +8,9 @@
 * :mod:`~repro.harness.figures` — the paper's experiments (Fig 2a, 2b,
   Fig 3, reaction time, error decomposition).
 * :mod:`~repro.harness.ablations` — parameter sweeps around the design.
+
+Fault injection lives in :mod:`repro.faults` (the chaos plane);
+``ScenarioConfig.faults`` is the hook that arms it on a built scenario.
 """
 
 from repro.harness.config import (
@@ -28,6 +31,7 @@ from repro.harness.figures import (
     run_fig3,
     run_reaction,
 )
+from repro.harness.tiered import TieredResult, TieredScenarioConfig, run_tiered
 
 __all__ = [
     "BacklogConfig",
@@ -47,4 +51,7 @@ __all__ = [
     "run_scenario",
     "format_table",
     "format_series",
+    "TieredResult",
+    "TieredScenarioConfig",
+    "run_tiered",
 ]

@@ -13,7 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.app.protocol import Op
 from repro.core.ensemble import EnsembleConfig
-from repro.harness.config import DelayInjection, NetworkParams, PolicyName, ScenarioConfig
+from repro.faults.model import DelayFault
+from repro.harness.config import NetworkParams, PolicyName, ScenarioConfig
 from repro.harness.figures import (
     BacklogConfig,
     Fig3Config,
@@ -213,9 +214,9 @@ def sweep_far_clients(
             duration=duration,
             policy=PolicyName.FEEDBACK,
             network=network,
-            injections=[
-                DelayInjection(
-                    at=duration // 2, server="server0", extra=1 * MILLISECONDS
+            faults=[
+                DelayFault(
+                    start=duration // 2, node="server0", extra=1 * MILLISECONDS
                 )
             ],
             warmup=duration // 10,
@@ -347,10 +348,10 @@ def _fig3_scenario(fig3: Fig3Config, policy: PolicyName) -> ScenarioConfig:
         n_servers=fig3.n_servers,
         policy=policy,
         memtier=fig3.memtier,
-        injections=[
-            DelayInjection(
-                at=fig3.injection_at,
-                server=fig3.injected_server,
+        faults=[
+            DelayFault(
+                start=fig3.injection_at,
+                node=fig3.injected_server,
                 extra=fig3.injection_extra,
             )
         ],

@@ -16,6 +16,7 @@ from repro.app.client import MemtierConfig
 from repro.app.server import ServerConfig
 from repro.core.feedback import FeedbackConfig
 from repro.errors import ConfigError
+from repro.faults.model import DelayFault, FaultSpec
 from repro.units import GIGABITS_PER_SECOND, MICROSECONDS, SECONDS
 
 
@@ -81,6 +82,14 @@ class NetworkParams:
 class DelayInjection:
     """Extra one-way delay on the LB→server pipe of one backend.
 
+    .. deprecated::
+        ``DelayInjection`` is a compatibility alias kept so existing
+        benchmarks and configs keep working unchanged.  New code should
+        put a :class:`repro.faults.DelayFault` in
+        ``ScenarioConfig.faults`` instead; at build time every injection
+        is converted (:meth:`to_fault`) and routed through the chaos
+        plane like any other fault.
+
     This is the Fig 3 stimulus: ``DelayInjection(at=seconds(10),
     server="server0", extra=1*MILLISECONDS)``.  ``end=None`` keeps the
     inflation until the run ends.
@@ -97,6 +106,16 @@ class DelayInjection:
             raise ConfigError("injection times/delays must be >= 0")
         if self.end is not None and self.end <= self.at:
             raise ConfigError("injection end must follow start")
+
+    def to_fault(self) -> DelayFault:
+        """The equivalent chaos-plane fault spec."""
+        duration = None if self.end is None else self.end - self.at
+        return DelayFault(
+            start=self.at,
+            duration=duration,
+            extra=self.extra,
+            node=self.server,
+        )
 
 
 @dataclass
@@ -116,7 +135,11 @@ class ScenarioConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     server_overrides: Optional[List[ServerConfig]] = None
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    #: Deprecated alias for ``faults`` — converted via
+    #: :meth:`DelayInjection.to_fault` at build time.
     injections: List[DelayInjection] = field(default_factory=list)
+    #: Declarative chaos-plane faults (see :mod:`repro.faults`).
+    faults: List[FaultSpec] = field(default_factory=list)
     #: Ignore requests completing before this time in summary stats.
     warmup: int = 0
 
@@ -140,6 +163,20 @@ class ScenarioConfig:
             injection.validate()
             if injection.at >= self.duration:
                 raise ConfigError("injection starts after the run ends")
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise ConfigError(
+                    "faults entries must be FaultSpec instances, got %r" % (fault,)
+                )
+            fault.validate()
+            if fault.start >= self.duration:
+                raise ConfigError(
+                    "fault %s starts after the run ends" % fault.describe()
+                )
+
+    def all_faults(self) -> List[FaultSpec]:
+        """Every fault for this run: legacy injections plus ``faults``."""
+        return [inj.to_fault() for inj in self.injections] + list(self.faults)
 
     def server_config(self, index: int) -> ServerConfig:
         """Effective config for server ``index``."""

@@ -32,8 +32,10 @@ from repro.app.protocol import Op
 from repro.app.server import SinkApp
 from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
 from repro.core.fixed_timeout import FixedTimeout
+from repro.faults.injector import Injector
+from repro.faults.model import DelayFault
+from repro.faults.schedule import FaultSchedule
 from repro.harness.config import (
-    DelayInjection,
     NetworkParams,
     PolicyName,
     ScenarioConfig,
@@ -163,10 +165,15 @@ def build_backlog(config: BacklogConfig) -> BacklogRun:
     ground_truth = TimeSeries(name="T_client")
     client.on_rtt = lambda now, rtt: ground_truth.append(now, float(rtt))
 
-    # The RTT step.
-    pipe = network.pipe("lb", "server0")
-    sim.schedule_at(
-        config.step_at, lambda: pipe.set_extra_delay(config.step_extra)
+    # The RTT step, expressed as a chaos-plane fault.
+    injector = Injector(
+        sim, network, server_names=["server0"], client_names=["client0"]
+    )
+    injector.arm(
+        FaultSchedule(
+            [DelayFault(start=config.step_at, extra=config.step_extra, node="server0")]
+        ),
+        config.duration,
     )
 
     return BacklogRun(
@@ -412,10 +419,10 @@ def run_fig3(
             n_servers=config.n_servers,
             policy=policy,
             memtier=config.memtier,
-            injections=[
-                DelayInjection(
-                    at=config.injection_at,
-                    server=config.injected_server,
+            faults=[
+                DelayFault(
+                    start=config.injection_at,
+                    node=config.injected_server,
                     extra=config.injection_extra,
                 )
             ],

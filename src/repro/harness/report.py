@@ -6,7 +6,7 @@ look: fixed-width columns, values pre-scaled by the caller.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -26,17 +26,32 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 
 def format_series(
-    rows: Sequence[Tuple[float, float]], x_label: str, y_label: str, width: int = 40
+    rows: Sequence[Tuple[float, float]],
+    x_label: str,
+    y_label: str,
+    width: int = 40,
+    marks: Optional[Sequence[str]] = None,
 ) -> str:
-    """Render an (x, y) series as a table with an inline bar chart."""
+    """Render an (x, y) series as a table with an inline bar chart.
+
+    ``marks``, when given, is a per-row annotation column (index-aligned
+    with ``rows``; missing entries render empty) — used to flag which
+    buckets fall inside fault windows.
+    """
     if not rows:
         return "(empty series)"
     peak = max(y for _x, y in rows) or 1.0
     table_rows: List[Sequence[object]] = []
-    for x, y in rows:
+    for index, (x, y) in enumerate(rows):
         bar = "#" * max(1, round(width * y / peak)) if y > 0 else ""
-        table_rows.append(("%.1f" % x, "%.3f" % y, bar))
-    return format_table((x_label, y_label, ""), table_rows)
+        row = ["%.1f" % x, "%.3f" % y, bar]
+        if marks is not None:
+            row.append(marks[index] if index < len(marks) else "")
+        table_rows.append(row)
+    headers = [x_label, y_label, ""]
+    if marks is not None:
+        headers.append("faults")
+    return format_table(headers, table_rows)
 
 
 def _stringify(value: object) -> str:

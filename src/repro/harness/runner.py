@@ -97,6 +97,42 @@ class ScenarioResult:
                 return t
         return None
 
+    # ------------------------------------------------------------------
+    # Chaos-plane views
+    # ------------------------------------------------------------------
+
+    def fault_windows(self) -> List[Tuple[str, Tuple[str, ...], int, Optional[int]]]:
+        """Armed fault windows as ``(kind, targets, start, end)`` tuples."""
+        injector = self.scenario.injector
+        if injector is None:
+            return []
+        return [
+            (a.window.fault.kind, a.targets, a.window.start, a.window.end)
+            for a in injector.armed_windows
+        ]
+
+    def drop_counts(self) -> Tuple[int, int]:
+        """Network-wide ``(queue_drops, loss_drops)`` across all pipes."""
+        queue = loss = 0
+        for pipe in self.scenario.network.pipes().values():
+            queue += pipe.stats.packets_dropped_queue
+            loss += pipe.stats.packets_dropped_loss
+        return queue, loss
+
+    def _bucket_marks(self, rows: List[Tuple[int, float]], bucket: int) -> List[str]:
+        """Per-bucket fault annotation: kinds active during each bucket."""
+        marks = []
+        for t, _v in rows:
+            bucket_start = (t // bucket) * bucket
+            bucket_end = bucket_start + bucket
+            kinds = []
+            for kind, _targets, start, end in self.fault_windows():
+                overlaps = start < bucket_end and (end is None or end > bucket_start)
+                if overlaps and kind not in kinds:
+                    kinds.append(kind)
+            marks.append("+".join(kinds))
+        return marks
+
     def report(self) -> str:
         """Multi-line human-readable run summary."""
         lines = [
@@ -129,14 +165,31 @@ class ScenarioResult:
                 "weight shifts: %d (first %.3fms, last %.3fms)"
                 % (len(shifts), to_millis(shifts[0]), to_millis(shifts[-1]))
             )
-        rows = [
-            (to_millis(t), to_millis(v))
-            for t, v in self.latency_series()
-        ]
+        windows = self.fault_windows()
+        if windows:
+            lines.append("fault windows:")
+            for kind, targets, start, end in windows:
+                span = (
+                    "start=%.3fms until end of run" % to_millis(start)
+                    if end is None
+                    else "start=%.3fms duration=%.3fms"
+                    % (to_millis(start), to_millis(end - start))
+                )
+                lines.append(
+                    "  %-9s %s on %s" % (kind, span, ", ".join(targets))
+                )
+            queue_drops, loss_drops = self.drop_counts()
+            lines.append(
+                "packet drops: queue=%d loss=%d" % (queue_drops, loss_drops)
+            )
+        bucket = 250 * MILLISECONDS
+        series = self.latency_series(bucket=bucket)
+        rows = [(to_millis(t), to_millis(v)) for t, v in series]
         if rows:
             lines.append("p95 GET latency per 250ms bucket:")
+            marks = self._bucket_marks(series, bucket) if windows else None
             lines.append(
-                format_series(rows, "t(ms)", "p95(ms)")
+                format_series(rows, "t(ms)", "p95(ms)", marks=marks)
             )
         return "\n".join(lines)
 

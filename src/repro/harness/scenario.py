@@ -20,6 +20,8 @@ from repro.app.client import MemtierClient
 from repro.app.server import ServerApp
 from repro.core.feedback import InbandFeedback
 from repro.errors import ConfigError
+from repro.faults.injector import Injector
+from repro.faults.schedule import FaultSchedule
 from repro.harness.config import PolicyName, ScenarioConfig
 from repro.lb.backend import Backend, BackendPool
 from repro.lb.conntrack import ConnTrack
@@ -57,6 +59,8 @@ class Scenario:
     clients: List[MemtierClient]
     feedback: Optional[InbandFeedback] = None
     oracle: Optional[OracleFeedback] = None
+    #: Chaos plane, armed when the config declares faults/injections.
+    injector: Optional[Injector] = None
     #: Extra series populated by the runner.
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -169,17 +173,15 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
             client.on_record = oracle.on_record
         scenario.oracle = oracle
 
-    # --- fault injections ---------------------------------------------------
-    for injection in config.injections:
-        if injection.server not in pool:
-            raise ConfigError("injection targets unknown server %r" % injection.server)
-        pipe = network.pipe("lb", injection.server)
-        sim.schedule_at(
-            injection.at,
-            lambda p=pipe, e=injection.extra: p.set_extra_delay(e),
-        )
-        if injection.end is not None:
-            sim.schedule_at(injection.end, lambda p=pipe: p.set_extra_delay(0))
+    # --- chaos plane -------------------------------------------------------
+    # Legacy DelayInjections and declarative faults share one path: both
+    # become FaultSpecs, get compiled to windows, and are armed on the
+    # simulator by the injector (deterministic revert-on-expiry).
+    faults = config.all_faults()
+    if faults:
+        injector = Injector.for_scenario(scenario)
+        injector.arm(FaultSchedule(faults), config.duration)
+        scenario.injector = injector
 
     return scenario
 

@@ -32,6 +32,9 @@ from repro.app.tiered import TieredServerApp, TieredServerConfig
 from repro.app.variability import StepInjector
 from repro.core.feedback import FeedbackConfig, InbandFeedback
 from repro.errors import ConfigError
+from repro.faults.injector import Injector
+from repro.faults.model import DelayFault, FaultSpec
+from repro.faults.schedule import FaultSchedule
 from repro.lb.backend import Backend, BackendPool
 from repro.lb.dataplane import LoadBalancer
 from repro.lb.policies import MaglevPolicy
@@ -55,12 +58,19 @@ class TieredScenarioConfig:
     seed: int = 17
     duration: int = 2 * SECONDS
     n_frontends: int = 2
+    #: Deprecated alias: ``"frontend"`` becomes a chaos-plane
+    #: :class:`DelayFault` on the LB→frontend0 pipe; ``"dependency"``
+    #: keeps its service-side StepInjector (the dependency app is not an
+    #: LB backend, so it sits below the chaos plane's selectors).
     fault: str = "dependency"          # "dependency" | "frontend" | "none"
     fault_extra: int = 1 * MILLISECONDS
     vip_port: int = 11211
     dep_port: int = 12000
     memtier: MemtierConfig = field(default_factory=MemtierConfig)
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    #: Declarative chaos-plane faults targeting frontends (see
+    #: :mod:`repro.faults`); composed with the legacy ``fault`` alias.
+    faults: List[FaultSpec] = field(default_factory=list)
 
     @property
     def fault_at(self) -> int:
@@ -75,6 +85,22 @@ class TieredScenarioConfig:
             raise ConfigError("need at least one frontend")
         if self.duration <= 0:
             raise ConfigError("duration must be positive")
+        for fault in self.faults:
+            fault.validate()
+
+    def all_faults(self) -> List[FaultSpec]:
+        """Chaos-plane faults: legacy ``fault="frontend"`` plus ``faults``."""
+        faults = list(self.faults)
+        if self.fault == "frontend":
+            faults.insert(
+                0,
+                DelayFault(
+                    start=self.fault_at,
+                    extra=self.fault_extra,
+                    node="frontend0",
+                ),
+            )
+        return faults
 
 
 @dataclass
@@ -87,6 +113,7 @@ class TieredResult:
     pool: BackendPool
     frontends: List[TieredServerApp]
     dependency: ServerApp
+    injector: Optional[Injector] = None
 
     def latencies(self, start: int = 0) -> List[int]:
         """Client-side latencies completing after ``start``."""
@@ -179,12 +206,23 @@ def run_tiered(config: Optional[TieredScenarioConfig] = None) -> TieredResult:
         streams.get("client.workload"),
     )
 
-    # Frontend-side fault, if requested.
-    if config.fault == "frontend":
-        pipe = network.pipe("lb", frontend_names[0])
-        sim.schedule_at(
-            config.fault_at, lambda: pipe.set_extra_delay(config.fault_extra)
+    # Chaos plane: the legacy frontend-side fault and any declarative
+    # faults share the injector (no direct pipe pokes in harness code).
+    injector = None
+    faults = config.all_faults()
+    if faults:
+        injector = Injector(
+            sim,
+            network,
+            server_names=frontend_names,
+            client_names=["client0"],
+            lb_name="lb",
+            pool=pool,
+            servers={f.host.name: f for f in frontends},
+            loss_rng=streams.get("faults.loss"),
+            jitter_rng=streams.get("faults.jitter"),
         )
+        injector.arm(FaultSchedule(faults), config.duration)
 
     client.start()
     sim.run_until(config.duration)
@@ -197,4 +235,5 @@ def run_tiered(config: Optional[TieredScenarioConfig] = None) -> TieredResult:
         pool=pool,
         frontends=frontends,
         dependency=dependency,
+        injector=injector,
     )

@@ -124,6 +124,14 @@ class Network:
         except KeyError:
             raise NetworkError("no pipe %s->%s" % (src, dst)) from None
 
+    def pipes(self) -> Dict[Tuple[str, str], Pipe]:
+        """Snapshot of all pipes, keyed ``(src, dst)`` (for tooling)."""
+        return dict(self._pipes)
+
+    def has_pipe(self, src: str, dst: str) -> bool:
+        """Whether the pipe ``src → dst`` exists."""
+        return (src, dst) in self._pipes
+
     def add_route(self, node: str, dst_host: str, next_hop: str) -> None:
         """Route traffic from ``node`` toward ``dst_host`` via ``next_hop``."""
         if node not in self._nodes:

@@ -2,22 +2,31 @@
 
 A :class:`Pipe` models, in order:
 
-1. **Serialization** — the sender's NIC puts the packet on the wire at
-   ``bandwidth_bps``; packets queue FIFO while the wire is busy.
-2. **Bounded queue** — if more than ``queue_capacity`` packets are
+1. **Random loss** — an optional ``drop_prob`` (the chaos plane's lossy
+   path knob) discards the packet before it reaches the wire.
+2. **Serialization** — the sender's NIC puts the packet on the wire at
+   ``bandwidth_bps``; packets queue FIFO while the wire is busy.  A
+   runtime bandwidth override (the throttle knob) can cap the wire
+   speed below its configured value.
+3. **Bounded queue** — if more than ``queue_capacity`` packets are
    waiting for the wire, the new packet is dropped (tail drop).
-3. **Propagation** — a fixed ``prop_delay`` plus an adjustable
+4. **Propagation** — a fixed ``prop_delay`` plus an adjustable
    ``extra_delay`` (the Fig 3 injection knob) plus optional random
-   jitter.
+   jitter (configured and/or injected at runtime).
 
 Delivery order is preserved: the arrival time is clamped to be no
 earlier than the previous packet's arrival, so jitter never reorders a
 path.  (The paper's techniques do not depend on reordering, and in-order
 delivery keeps the TCP model honest about what triggers transmissions.)
+
+Tail drops and random losses are counted separately in
+:class:`PipeStats` (``packets_dropped_queue`` vs ``packets_dropped_loss``)
+so experiments can distinguish congestion from injected loss.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Optional
@@ -34,9 +43,15 @@ class PipeStats:
 
     packets_sent: int = 0
     packets_delivered: int = 0
-    packets_dropped: int = 0
+    packets_dropped_queue: int = 0
+    packets_dropped_loss: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+
+    @property
+    def packets_dropped(self) -> int:
+        """Total drops from any cause (tail drop + random loss)."""
+        return self.packets_dropped_queue + self.packets_dropped_loss
 
 
 class Pipe:
@@ -78,9 +93,13 @@ class Pipe:
         self.name = name
         self._prop_delay = prop_delay
         self._bandwidth_bps = bandwidth_bps
+        self._bandwidth_override: Optional[int] = None
         self._queue_capacity = queue_capacity
         self._jitter = jitter
+        self._extra_jitter: Optional[Callable[[], int]] = None
         self._extra_delay = 0
+        self._drop_prob = 0.0
+        self._loss_rng: Optional[random.Random] = None
         self._wire_free_at = 0
         self._last_arrival = 0
         # Departure times of packets still occupying the queue/wire;
@@ -109,40 +128,112 @@ class Pipe:
             raise NetworkError("extra delay must be >= 0, got %d" % extra)
         self._extra_delay = extra
 
+    @property
+    def drop_prob(self) -> float:
+        """Current random-loss probability (0 disables loss)."""
+        return self._drop_prob
+
+    def set_drop_prob(
+        self, prob: float, rng: Optional[random.Random] = None
+    ) -> None:
+        """Inject (or clear, with 0) random packet loss.
+
+        ``rng`` supplies the loss draws and must come from a dedicated
+        seeded stream so loss does not perturb other randomness.
+        """
+        if not 0.0 <= prob <= 1.0:
+            raise NetworkError(
+                "drop probability must be in [0, 1], got %r" % prob
+            )
+        if prob > 0.0 and rng is None and self._loss_rng is None:
+            raise NetworkError("loss on pipe %s needs an RNG" % self.name)
+        if rng is not None:
+            self._loss_rng = rng
+        self._drop_prob = prob
+
+    @property
+    def bandwidth_bps(self) -> Optional[int]:
+        """Configured wire speed (bits/s), ignoring any override."""
+        return self._bandwidth_bps
+
+    @property
+    def effective_bandwidth_bps(self) -> Optional[int]:
+        """Wire speed in force right now (override never exceeds base)."""
+        if self._bandwidth_override is None:
+            return self._bandwidth_bps
+        if self._bandwidth_bps is None:
+            return self._bandwidth_override
+        return min(self._bandwidth_bps, self._bandwidth_override)
+
+    def set_bandwidth_override(self, bandwidth_bps: Optional[int]) -> None:
+        """Throttle the wire to ``bandwidth_bps`` (None restores base).
+
+        A throttle only ever slows the link: the effective bandwidth is
+        the minimum of the configured speed and the override.
+        """
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise NetworkError(
+                "bandwidth override must be positive or None on %s" % self.name
+            )
+        self._bandwidth_override = bandwidth_bps
+
+    @property
+    def extra_jitter(self) -> Optional[Callable[[], int]]:
+        """Currently injected jitter draw (None when inactive)."""
+        return self._extra_jitter
+
+    def set_extra_jitter(self, jitter: Optional[Callable[[], int]] = None) -> None:
+        """Inject (or clear, with None) additional per-packet jitter.
+
+        Composes with any construction-time jitter; both draws are added
+        to the packet's propagation delay.
+        """
+        self._extra_jitter = jitter
+
     def connect(self, deliver: Callable[[Packet], None]) -> None:
         """Attach the receiving side's delivery callback."""
         self._deliver = deliver
 
     def send(self, packet: Packet) -> bool:
-        """Transmit ``packet``; returns False if it was tail-dropped."""
+        """Transmit ``packet``; returns False if it was dropped."""
         if self._deliver is None:
             raise NetworkError("pipe %s has no receiver connected" % self.name)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
 
+        if self._drop_prob > 0.0:
+            assert self._loss_rng is not None
+            if self._loss_rng.random() < self._drop_prob:
+                self.stats.packets_dropped_loss += 1
+                return False
+
         now = self._sim.now
-        if self._bandwidth_bps is None:
+        bandwidth = self.effective_bandwidth_bps
+        if bandwidth is None:
             departure = now
         else:
             departures = self._departures
             while departures and departures[0] <= now:
                 departures.popleft()
             if len(departures) >= self._queue_capacity:
-                self.stats.packets_dropped += 1
+                self.stats.packets_dropped_queue += 1
                 return False
             start = max(now, self._wire_free_at)
             departure = start + serialization_delay(
-                packet.size_bytes, self._bandwidth_bps
+                packet.size_bytes, bandwidth
             )
             self._wire_free_at = departure
             departures.append(departure)
 
         arrival = departure + self._prop_delay + self._extra_delay
-        if self._jitter is not None:
-            jitter = self._jitter()
-            if jitter < 0:
-                raise NetworkError("jitter must be non-negative on %s" % self.name)
-            arrival += jitter
+        for draw in (self._jitter, self._extra_jitter):
+            if draw is not None:
+                jitter = draw()
+                if jitter < 0:
+                    raise NetworkError(
+                        "jitter must be non-negative on %s" % self.name
+                    )
+                arrival += jitter
         # Never reorder: clamp to the previous arrival instant.
         if arrival < self._last_arrival:
             arrival = self._last_arrival
