@@ -4,38 +4,52 @@ The reproduction's claims must not hinge on one lucky seed: across
 independent seeds, the ordering — feedback recovers, Maglev stays
 inflated — has to hold every time.  Durations are kept short (the
 shape, not the absolute numbers, is under test).
+
+The seeds fan out through the sweep executor: each seed is one
+:func:`~repro.harness.figures.fig3_robustness_point` task, so the bench
+parallelizes on multi-core runners and row values are raw nanoseconds.
 """
+
+import os
 
 from conftest import write_report
 
-from repro.harness.config import PolicyName
-from repro.harness.figures import Fig3Config, run_fig3
+from repro.harness.figures import Fig3Config, fig3_robustness_point
 from repro.harness.report import format_table
+from repro.sweep import run_tasks, task
 from repro.units import MICROSECONDS, MILLISECONDS, to_millis
 
 SEEDS = (3, 11, 47)
 DURATION = 1600 * MILLISECONDS
+JOBS = min(len(SEEDS), max(1, len(os.sched_getaffinity(0))))
 
 
 def test_fig3_shape_holds_across_seeds(benchmark):
-    def run_all():
-        return {
-            seed: run_fig3(Fig3Config(seed=seed, duration=DURATION))
-            for seed in SEEDS
-        }
+    tasks = [
+        task(
+            fig3_robustness_point,
+            Fig3Config(seed=seed, duration=DURATION),
+            label="seed=%d" % seed,
+        )
+        for seed in SEEDS
+    ]
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report = benchmark.pedantic(
+        lambda: run_tasks(tasks, jobs=JOBS), rounds=1, iterations=1
+    )
+    rows_by_seed = {row["seed"]: row for row in report.rows}
+    assert sorted(rows_by_seed) == sorted(SEEDS)
 
     rows = []
-    for seed, result in results.items():
-        settle = DURATION // 8
+    for seed in SEEDS:
+        row = rows_by_seed[seed]
         rows.append(
             (
                 seed,
-                "%.3f" % to_millis(result.steady_state_p95("maglev")),
-                "%.3f" % to_millis(result.post_injection_p95("maglev", settle)),
-                "%.3f" % to_millis(result.steady_state_p95("feedback")),
-                "%.3f" % to_millis(result.post_injection_p95("feedback", settle)),
+                "%.3f" % to_millis(row["maglev_pre_p95_ns"]),
+                "%.3f" % to_millis(row["maglev_post_p95_ns"]),
+                "%.3f" % to_millis(row["feedback_pre_p95_ns"]),
+                "%.3f" % to_millis(row["feedback_post_p95_ns"]),
             )
         )
     write_report(
@@ -52,12 +66,12 @@ def test_fig3_shape_holds_across_seeds(benchmark):
         ),
     )
 
-    for seed, result in results.items():
-        settle = DURATION // 8
-        maglev_pre = result.steady_state_p95("maglev")
-        maglev_post = result.post_injection_p95("maglev", settle)
-        fb_pre = result.steady_state_p95("feedback")
-        fb_post = result.post_injection_p95("feedback", settle)
+    for seed in SEEDS:
+        row = rows_by_seed[seed]
+        maglev_pre = row["maglev_pre_p95_ns"]
+        maglev_post = row["maglev_post_p95_ns"]
+        fb_pre = row["feedback_pre_p95_ns"]
+        fb_post = row["feedback_post_p95_ns"]
         # Maglev inflates by a substantial fraction of the injected 1 ms.
         assert maglev_post > maglev_pre + 250 * MICROSECONDS, "seed %d" % seed
         # Feedback stays near its own steady state...

@@ -8,7 +8,8 @@ drain the slow server; they differ in update count and end-state shape.
 from conftest import write_report
 
 from repro.app.protocol import Op
-from repro.harness.config import DelayInjection, PolicyName, ScenarioConfig
+from repro.faults.model import DelayFault
+from repro.harness.config import PolicyName, ScenarioConfig
 from repro.harness.report import format_table
 from repro.harness.runner import run_scenario
 from repro.telemetry.quantiles import exact_quantile
@@ -24,8 +25,8 @@ def _run(strategy):
         seed=11,
         duration=DURATION,
         policy=PolicyName.FEEDBACK,
-        injections=[
-            DelayInjection(at=INJECTION_AT, server="server0", extra=1 * MILLISECONDS)
+        faults=[
+            DelayFault(start=INJECTION_AT, node="server0", extra=1 * MILLISECONDS)
         ],
         warmup=DURATION // 10,
     )

@@ -1,0 +1,87 @@
+"""Sweep executor throughput: serial vs parallel vs warm cache.
+
+An 8-point grid (4 α values × 2 seeds, short durations) is run three
+ways: serially, fanned out across worker processes, and again against
+the warm result store.  The warm rerun must simulate nothing, and the
+rows must be byte-identical across all three runs (worker-safe
+determinism).  The parallel-speedup assertion only applies on machines
+with enough cores to show it — the acceptance target is a 4-core
+runner; single-core CI boxes still check correctness.
+"""
+
+import os
+import time
+
+from conftest import write_report
+
+from repro.harness.config import ScenarioConfig
+from repro.harness.report import format_table
+from repro.sweep import ResultStore, SweepSpec, canonical_json, run_sweep
+from repro.units import MILLISECONDS
+
+CORES = len(os.sched_getaffinity(0))
+JOBS = 4
+ALPHAS = (0.05, 0.1, 0.2, 0.4)
+SEEDS = (3, 11)
+
+
+def _spec():
+    return SweepSpec(
+        base=ScenarioConfig(duration=400 * MILLISECONDS),
+        grid={"feedback.controller.alpha": list(ALPHAS)},
+        seeds=list(SEEDS),
+        name="bench",
+    )
+
+
+def test_sweep_parallel_and_cached(benchmark, tmp_path):
+    store = ResultStore(tmp_path / "store")
+
+    def run_all():
+        t0 = time.perf_counter()
+        serial = run_sweep(_spec(), jobs=1)
+        t1 = time.perf_counter()
+        parallel = run_sweep(_spec(), jobs=JOBS, store=store)
+        t2 = time.perf_counter()
+        warm = run_sweep(_spec(), jobs=JOBS, store=store)
+        t3 = time.perf_counter()
+        return {
+            "serial": (serial, t1 - t0),
+            "parallel": (parallel, t2 - t1),
+            "warm": (warm, t3 - t2),
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    serial, serial_s = runs["serial"]
+    parallel, parallel_s = runs["parallel"]
+    warm, warm_s = runs["warm"]
+    points = len(ALPHAS) * len(SEEDS)
+
+    rows = [
+        ("serial (jobs=1)", points, serial.simulated, serial.hits, "%.2f" % serial_s),
+        ("parallel (jobs=%d)" % JOBS, points, parallel.simulated, parallel.hits, "%.2f" % parallel_s),
+        ("warm cache (jobs=%d)" % JOBS, points, warm.simulated, warm.hits, "%.2f" % warm_s),
+    ]
+    write_report(
+        "sweep",
+        format_table(
+            ("run", "points", "simulated", "cache hits", "wall (s)"), rows
+        )
+        + "\ncores available: %d (speedup asserted only at >= 4)" % CORES,
+    )
+
+    # Correctness invariants hold on any machine.
+    assert serial.simulated == points and serial.hits == 0
+    assert parallel.simulated == points and parallel.hits == 0
+    assert warm.simulated == 0 and warm.hits == points
+    assert canonical_json(serial.rows) == canonical_json(parallel.rows)
+    assert canonical_json(serial.rows) == canonical_json(warm.rows)
+    assert warm_s < 0.5 * serial_s  # cache hits must not cost simulations
+
+    # The acceptance target: >= 1.67x speedup on a 4-core runner.
+    if CORES >= 4:
+        assert parallel_s <= 0.6 * serial_s, (
+            "parallel sweep took %.2fs vs %.2fs serial on %d cores"
+            % (parallel_s, serial_s, CORES)
+        )

@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from repro import units
+from repro.errors import ConfigError
 from repro.faults import PRESETS, parse_faults
 from repro.harness.ablations import (
     sweep_ack_and_pacing,
@@ -23,6 +24,7 @@ from repro.harness.ablations import (
     sweep_pipeline_depth,
     sweep_policies,
 )
+from repro.harness.churn import sweep_churn
 from repro.harness.config import PolicyName, ScenarioConfig
 from repro.harness.figures import (
     BacklogConfig,
@@ -33,8 +35,17 @@ from repro.harness.figures import (
     run_fig3,
     run_reaction,
 )
+from repro.harness.multilb import sweep_multilb
 from repro.harness.report import format_table
 from repro.harness.runner import run_scenario
+from repro.sweep import (
+    ResultStore,
+    SweepSpec,
+    load_spec,
+    parse_axis,
+    print_progress,
+    run_sweep,
+)
 from repro.units import MICROSECONDS, to_micros, to_millis
 
 _SWEEPS = {
@@ -46,6 +57,8 @@ _SWEEPS = {
     "far-clients": sweep_far_clients,
     "pipeline": sweep_pipeline_depth,
     "ack-pacing": sweep_ack_and_pacing,
+    "multilb": sweep_multilb,
+    "churn": sweep_churn,
 }
 
 
@@ -93,6 +106,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     ablation = sub.add_parser("ablation", help="run a parameter sweep")
     ablation.add_argument("sweep", choices=sorted(_SWEEPS))
+    ablation.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="declarative scenario sweep: JSON spec file or inline axes",
+        description="Expand a sweep spec into scenario points, run them "
+        "through the parallel executor, and print one summary row per "
+        "point.  Results are cached by content in the store directory: "
+        "rerunning an unchanged sweep simulates nothing, and an "
+        "interrupted sweep resumes where it stopped.",
+    )
+    sweep_cmd.add_argument(
+        "spec",
+        nargs="?",
+        help="JSON sweep spec file (mutually exclusive with inline axes)",
+    )
+    sweep_cmd.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2",
+        help="cartesian-product axis over a dotted config path "
+        "(e.g. 'feedback.controller.alpha=0.05,0.1'); repeatable",
+    )
+    sweep_cmd.add_argument(
+        "--zip",
+        action="append",
+        default=[],
+        dest="zip_axes",
+        metavar="PATH=V1,V2",
+        help="lockstep axis (all --zip axes advance together); repeatable",
+    )
+    sweep_cmd.add_argument(
+        "--seeds",
+        metavar="S1,S2",
+        help="replicate every point once per seed",
+    )
+    sweep_cmd.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        help="base routing policy (default: feedback)",
+    )
+    sweep_cmd.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="base-config chaos-plane fault (preset name or inline spec); "
+        "repeatable",
+    )
+    sweep_cmd.add_argument("--name", default="sweep", help="sweep name")
+    sweep_cmd.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    sweep_cmd.add_argument(
+        "--store",
+        default=".sweep-store",
+        metavar="DIR",
+        help="result store directory (default .sweep-store)",
+    )
+    sweep_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-simulate every point even when the store has its result",
+    )
+    sweep_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="require an existing store (guard against resuming into an "
+        "empty directory by mistake)",
+    )
     return parser
 
 
@@ -231,12 +317,95 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "ablation":
-        rows = _SWEEPS[args.sweep]()
+        rows = _SWEEPS[args.sweep](jobs=args.jobs)
         headers = list(rows[0].keys())
         print(format_table(headers, [[row[h] for h in headers] for row in rows]))
         return 0
 
+    if args.command == "sweep":
+        try:
+            return _sweep_command(args, duration)
+        except ConfigError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
     return 2  # unreachable: argparse enforces the command set
+
+
+def _sweep_command(args: argparse.Namespace, duration: int) -> int:
+    """The ``repro sweep`` verb: build the spec, run it, print rows."""
+    import os
+
+    inline_axes = args.grid or args.zip_axes or args.seeds or args.fault
+    if args.spec and inline_axes:
+        raise ConfigError("give either a spec file or inline axes, not both")
+
+    if args.spec:
+        spec = load_spec(args.spec)
+    else:
+        faults = []
+        for text in args.fault:
+            faults.extend(parse_faults(text, duration))
+        policy = PolicyName(args.policy) if args.policy else PolicyName.FEEDBACK
+        base = ScenarioConfig(
+            seed=args.seed,
+            duration=duration,
+            policy=policy,
+            faults=faults,
+            warmup=duration // 10,
+        )
+        seeds = None
+        if args.seeds:
+            try:
+                seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+            except ValueError:
+                raise ConfigError("--seeds must be a comma list of integers") from None
+        spec = SweepSpec(
+            base=base,
+            grid=dict(parse_axis(text) for text in args.grid),
+            zipped=dict(parse_axis(text) for text in args.zip_axes),
+            seeds=seeds,
+            name=args.name,
+        )
+
+    if args.resume and not os.path.isdir(args.store):
+        raise ConfigError(
+            "--resume: store %r does not exist (nothing to resume)" % args.store
+        )
+    store = ResultStore(args.store)
+
+    report = run_sweep(
+        spec,
+        jobs=args.jobs,
+        store=store,
+        use_cache=not args.no_cache,
+        progress=print_progress,
+    )
+
+    headers: List[str] = []
+    for row in report.rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    table_rows = [
+        [outcome.label] + [_cell(outcome.row.get(h)) for h in headers]
+        for outcome in report.outcomes
+    ]
+    if table_rows:
+        print(format_table(["point"] + headers, table_rows))
+    print(report.summary(spec.name))
+    return 0
+
+
+def _cell(value: object) -> object:
+    """Render one row value for the table: compact but lossless."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%g" % value
+    if isinstance(value, dict):
+        return ",".join("%s=%s" % (k, v) for k, v in sorted(value.items()))
+    return value
 
 
 def _us(value) -> str:

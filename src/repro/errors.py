@@ -43,3 +43,7 @@ class BalancerError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment/scenario configuration value."""
+
+
+class SweepError(ReproError):
+    """A sweep point failed permanently (runner error or worker crash)."""

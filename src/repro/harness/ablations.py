@@ -1,9 +1,16 @@
 """Parameter sweeps around the paper's design choices.
 
-Each function runs a small family of scenarios differing in exactly one
-knob and returns a list of row dicts, which the ablation benches print
-with :func:`~repro.harness.report.format_table`.  DESIGN.md §5 lists
-the design choices these interrogate.
+Each ``sweep_*`` function builds a family of scenarios differing in
+exactly one knob and returns a list of row dicts, which the ablation
+benches print with :func:`~repro.harness.report.format_table`.
+DESIGN.md §5 lists the design choices these interrogate.
+
+Every sweep submits its points through the sweep executor
+(:mod:`repro.sweep`): pass ``jobs=N`` to fan points out across worker
+processes and ``store=ResultStore(...)`` to make unchanged points cache
+hits.  Each point is a module-level runner function over a picklable
+payload, so rows are pure functions of their configs — ``jobs=1`` and
+``jobs=N`` produce identical rows.
 """
 
 from __future__ import annotations
@@ -19,9 +26,9 @@ from repro.harness.figures import (
     BacklogConfig,
     Fig3Config,
     run_fig2b,
-    run_fig3,
 )
 from repro.harness.runner import run_scenario
+from repro.sweep.executor import run_tasks, task
 from repro.telemetry.quantiles import exact_quantile
 from repro.units import (
     MICROSECONDS,
@@ -31,37 +38,53 @@ from repro.units import (
     to_millis,
 )
 
+Row = Dict[str, object]
+
 
 def sweep_epoch(
     epochs_ms: Sequence[int] = (8, 16, 32, 64, 128, 256),
     backlog: Optional[BacklogConfig] = None,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """ABL-EPOCH: ENSEMBLETIMEOUT tracking quality vs epoch length E.
 
     Short epochs adapt faster but count fewer samples per timeout (noisy
     cliffs); long epochs are stable but stale after an RTT change.
     """
     backlog = backlog or BacklogConfig(duration=2 * SECONDS, step_at=1 * SECONDS)
-    rows = []
-    for epoch_ms in epochs_ms:
-        ensemble = EnsembleConfig(epoch=epoch_ms * MILLISECONDS)
-        result = run_fig2b(backlog, ensemble)
-        rows.append(
+    tasks = [
+        task(
+            _epoch_point,
             {
+                "backlog": backlog,
+                "ensemble": EnsembleConfig(epoch=epoch_ms * MILLISECONDS),
                 "epoch_ms": epoch_ms,
-                "epochs": result.epochs,
-                "err_pre": _fmt_ratio(result.tracking_error(False)),
-                "err_post": _fmt_ratio(result.tracking_error(True)),
-                "est_post_us": _fmt_us(result.median_estimate(True)),
-                "truth_post_us": _fmt_us(result.median_ground_truth(True)),
-            }
+            },
+            label="epoch=%dms" % epoch_ms,
         )
-    return rows
+        for epoch_ms in epochs_ms
+    ]
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _epoch_point(payload: Dict[str, object]) -> Row:
+    result = run_fig2b(payload["backlog"], payload["ensemble"])
+    return {
+        "epoch_ms": payload["epoch_ms"],
+        "epochs": result.epochs,
+        "err_pre": _fmt_ratio(result.tracking_error(False)),
+        "err_post": _fmt_ratio(result.tracking_error(True)),
+        "est_post_us": _fmt_us(result.median_estimate(True)),
+        "truth_post_us": _fmt_us(result.median_ground_truth(True)),
+    }
 
 
 def sweep_ensemble(
     backlog: Optional[BacklogConfig] = None,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """ABL-ENSEMBLE: ensemble width/range vs tracking quality.
 
     A too-narrow ensemble cannot bracket the true RTT after the step; a
@@ -74,25 +97,38 @@ def sweep_ensemble(
         "wide-9 (16us..4ms)": [16 * MICROSECONDS * (2 ** i) for i in range(9)],
         "coarse-4 (64us..4ms x4)": [64 * MICROSECONDS * (4 ** i) for i in range(4)],
     }
-    rows = []
-    for label, timeouts in variants.items():
-        result = run_fig2b(backlog, EnsembleConfig(timeouts=timeouts))
-        rows.append(
+    tasks = [
+        task(
+            _ensemble_point,
             {
-                "ensemble": label,
-                "k": len(timeouts),
-                "err_pre": _fmt_ratio(result.tracking_error(False)),
-                "err_post": _fmt_ratio(result.tracking_error(True)),
-                "est_post_us": _fmt_us(result.median_estimate(True)),
-            }
+                "backlog": backlog,
+                "ensemble": EnsembleConfig(timeouts=timeouts),
+                "label": label,
+            },
+            label=label,
         )
-    return rows
+        for label, timeouts in variants.items()
+    ]
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _ensemble_point(payload: Dict[str, object]) -> Row:
+    result = run_fig2b(payload["backlog"], payload["ensemble"])
+    return {
+        "ensemble": payload["label"],
+        "k": len(payload["ensemble"].timeouts),
+        "err_pre": _fmt_ratio(result.tracking_error(False)),
+        "err_post": _fmt_ratio(result.tracking_error(True)),
+        "est_post_us": _fmt_us(result.median_estimate(True)),
+    }
 
 
 def sweep_alpha(
     alphas: Sequence[float] = (0.02, 0.05, 0.10, 0.20, 0.40),
     fig3: Optional[Fig3Config] = None,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """ABL-ALPHA: shift fraction vs recovery speed and stability.
 
     Small α converges slowly (many shifts to drain the slow server);
@@ -100,32 +136,41 @@ def sweep_alpha(
     aggressively on noise.
     """
     fig3 = fig3 or Fig3Config(duration=2 * SECONDS)
-    rows = []
+    tasks = []
     for alpha in alphas:
         config = _fig3_scenario(fig3, PolicyName.FEEDBACK)
         config.feedback.controller.alpha = alpha
-        result = run_scenario(config)
-        injection = fig3.injection_at
-        first = result.first_shift_after(injection)
-        post = result.latencies(Op.GET, injection + fig3.duration // 8, None)
-        rows.append(
-            {
-                "alpha": alpha,
-                "shifts": len(result.shift_times()),
-                "react_ms": _fmt_ms(None if first is None else first - injection),
-                "post_p95_ms": _fmt_ms(
-                    exact_quantile(post, 0.95) if post else None
-                ),
-                "slow_server_share": "%.3f" % _injected_share(result, fig3),
-            }
+        tasks.append(
+            task(
+                _alpha_point,
+                {"config": config, "fig3": _fig3_meta(fig3), "alpha": alpha},
+                label="alpha=%g" % alpha,
+            )
         )
-    return rows
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _alpha_point(payload: Dict[str, object]) -> Row:
+    meta = payload["fig3"]
+    result = run_scenario(payload["config"])
+    injection = meta["injection_at"]
+    first = result.first_shift_after(injection)
+    post = result.latencies(Op.GET, injection + meta["duration"] // 8, None)
+    return {
+        "alpha": payload["alpha"],
+        "shifts": len(result.shift_times()),
+        "react_ms": _fmt_ms(None if first is None else first - injection),
+        "post_p95_ms": _fmt_ms(exact_quantile(post, 0.95) if post else None),
+        "slow_server_share": "%.3f" % _injected_share(result, meta),
+    }
 
 
 def sweep_hysteresis(
     ratios: Sequence[float] = (1.0, 1.1, 1.2, 1.5, 2.0),
     fig3: Optional[Fig3Config] = None,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """ABL-HYST: the paper-verbatim always-shift rule vs damped variants.
 
     At ratio 1.0 the controller shifts on noise every sample and weights
@@ -133,25 +178,32 @@ def sweep_hysteresis(
     motivated our 1.2 default (see controller module docs).
     """
     fig3 = fig3 or Fig3Config(duration=2 * SECONDS)
-    rows = []
+    tasks = []
     for ratio in ratios:
         config = _fig3_scenario(fig3, PolicyName.FEEDBACK)
         config.feedback.controller.hysteresis_ratio = ratio
-        result = run_scenario(config)
-        injection = fig3.injection_at
-        shifts = result.shift_times()
-        pre = sum(1 for t in shifts if t < injection)
-        post = sum(1 for t in shifts if t >= injection)
-        first = result.first_shift_after(injection)
-        rows.append(
-            {
-                "hysteresis": ratio,
-                "pre_injection_shifts": pre,
-                "post_injection_shifts": post,
-                "react_ms": _fmt_ms(None if first is None else first - injection),
-            }
+        tasks.append(
+            task(
+                _hysteresis_point,
+                {"config": config, "fig3": _fig3_meta(fig3), "ratio": ratio},
+                label="hysteresis=%g" % ratio,
+            )
         )
-    return rows
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _hysteresis_point(payload: Dict[str, object]) -> Row:
+    meta = payload["fig3"]
+    result = run_scenario(payload["config"])
+    injection = meta["injection_at"]
+    shifts = result.shift_times()
+    first = result.first_shift_after(injection)
+    return {
+        "hysteresis": payload["ratio"],
+        "pre_injection_shifts": sum(1 for t in shifts if t < injection),
+        "post_injection_shifts": sum(1 for t in shifts if t >= injection),
+        "react_ms": _fmt_ms(None if first is None else first - injection),
+    }
 
 
 def sweep_policies(
@@ -164,7 +216,9 @@ def sweep_policies(
         PolicyName.LEAST_CONNECTIONS,
         PolicyName.POWER_OF_TWO,
     ),
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """ABL-POLICY: every routing policy on the Fig 3 stimulus.
 
     Connection-oblivious policies (Maglev, RR, least-conn, P2C without a
@@ -172,29 +226,44 @@ def sweep_policies(
     loop and the oracle drain it.
     """
     fig3 = fig3 or Fig3Config(duration=2 * SECONDS)
-    result = run_fig3(fig3, policies=policies)
-    rows = []
-    for policy in policies:
-        name = policy.value
-        settle = fig3.duration // 8
-        rows.append(
+    tasks = [
+        task(
+            _policy_point,
             {
-                "policy": name,
-                "pre_p95_ms": _fmt_ms(result.steady_state_p95(name)),
-                "post_p95_ms": _fmt_ms(result.post_injection_p95(name, settle)),
-                "slow_server_share": "%.3f"
-                % _injected_share(result.results[name], fig3),
-                "requests": len(result.results[name].records),
-            }
+                "config": _fig3_scenario(fig3, policy),
+                "fig3": _fig3_meta(fig3),
+                "policy": policy.value,
+            },
+            label="policy=%s" % policy.value,
         )
-    return rows
+        for policy in policies
+    ]
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _policy_point(payload: Dict[str, object]) -> Row:
+    meta = payload["fig3"]
+    result = run_scenario(payload["config"])
+    injection = meta["injection_at"]
+    settle = meta["duration"] // 8
+    pre = result.latencies(Op.GET, meta["duration"] // 10, injection)
+    post = result.latencies(Op.GET, injection + settle, meta["duration"])
+    return {
+        "policy": payload["policy"],
+        "pre_p95_ms": _fmt_ms(exact_quantile(pre, 0.95) if pre else None),
+        "post_p95_ms": _fmt_ms(exact_quantile(post, 0.95) if post else None),
+        "slow_server_share": "%.3f" % _injected_share(result, meta),
+        "requests": len(result.records),
+    }
 
 
 def sweep_far_clients(
     extra_delays_us: Sequence[int] = (0, 100, 500, 2000),
     duration: int = 2 * SECONDS,
     seed: int = 5,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """Open question #1: how far clients distort the in-band signal.
 
     The LB's ``T_LB`` includes the client↔LB legs it cannot control; as
@@ -204,7 +273,7 @@ def sweep_far_clients(
     the injected and healthy backends' estimates stays ≈ the injected
     delay even for far clients.
     """
-    rows = []
+    tasks = []
     for extra_us in extra_delays_us:
         network = NetworkParams(
             client_lb_delay_overrides=[10 * MICROSECONDS + extra_us * MICROSECONDS]
@@ -222,38 +291,48 @@ def sweep_far_clients(
             warmup=duration // 10,
         )
         config.feedback.control = False  # isolate measurement
-        result = run_scenario(config)
-        feedback = result.scenario.feedback
-        assert feedback is not None
-        est0 = feedback.estimator.estimate("server0")
-        est1 = feedback.estimator.estimate("server1")
-        gap = None
-        if est0 is not None and est1 is not None:
-            gap = est0 - est1
-        rows.append(
-            {
-                "client_extra_us": extra_us,
-                "est_injected_us": _fmt_us(est0),
-                "est_healthy_us": _fmt_us(est1),
-                "gap_us": _fmt_us(gap),
-                "samples": feedback.sample_count,
-            }
+        tasks.append(
+            task(
+                _far_clients_point,
+                {"config": config, "extra_us": extra_us},
+                label="extra=%dus" % extra_us,
+            )
         )
-    return rows
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _far_clients_point(payload: Dict[str, object]) -> Row:
+    result = run_scenario(payload["config"])
+    feedback = result.scenario.feedback
+    assert feedback is not None
+    est0 = feedback.estimator.estimate("server0")
+    est1 = feedback.estimator.estimate("server1")
+    gap = None
+    if est0 is not None and est1 is not None:
+        gap = est0 - est1
+    return {
+        "client_extra_us": payload["extra_us"],
+        "est_injected_us": _fmt_us(est0),
+        "est_healthy_us": _fmt_us(est1),
+        "gap_us": _fmt_us(gap),
+        "samples": feedback.sample_count,
+    }
 
 
 def sweep_pipeline_depth(
     depths: Sequence[int] = (1, 2, 4, 8),
     duration: int = 2 * SECONDS,
     seed: int = 9,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """Measurement quality vs application concurrency limit.
 
     Deeper pipelines make batches longer and pauses shorter; at some
     depth flows stop pausing (the flow-control assumption of §3 erodes)
     and samples get scarcer relative to traffic.
     """
-    rows = []
+    tasks = []
     for depth in depths:
         config = ScenarioConfig(
             seed=seed,
@@ -263,34 +342,40 @@ def sweep_pipeline_depth(
         )
         config.memtier = replace(config.memtier, pipeline=depth)
         config.feedback.control = False
-        result = run_scenario(config)
-        feedback = result.scenario.feedback
-        assert feedback is not None
-        samples = feedback.sample_count
-        t_lbs = [float(s.t_lb) for s in feedback.samples]
-        truth = result.latencies(start=config.warmup)
-        rows.append(
-            {
-                "pipeline": depth,
-                "requests": len(result.records),
-                "t_lb_samples": samples,
-                "med_t_lb_us": _fmt_us(
-                    exact_quantile(t_lbs, 0.5) if t_lbs else None
-                ),
-                "med_t_client_us": _fmt_us(
-                    exact_quantile([float(v) for v in truth], 0.5)
-                    if truth
-                    else None
-                ),
-            }
+        tasks.append(
+            task(
+                _pipeline_point,
+                {"config": config, "depth": depth},
+                label="pipeline=%d" % depth,
+            )
         )
-    return rows
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _pipeline_point(payload: Dict[str, object]) -> Row:
+    config = payload["config"]
+    result = run_scenario(config)
+    feedback = result.scenario.feedback
+    assert feedback is not None
+    t_lbs = [float(s.t_lb) for s in feedback.samples]
+    truth = result.latencies(start=config.warmup)
+    return {
+        "pipeline": payload["depth"],
+        "requests": len(result.records),
+        "t_lb_samples": feedback.sample_count,
+        "med_t_lb_us": _fmt_us(exact_quantile(t_lbs, 0.5) if t_lbs else None),
+        "med_t_client_us": _fmt_us(
+            exact_quantile([float(v) for v in truth], 0.5) if truth else None
+        ),
+    }
 
 
 def sweep_ack_and_pacing(
     duration: int = 2 * SECONDS,
     seed: int = 13,
-) -> List[Dict[str, object]]:
+    jobs: int = 1,
+    store=None,
+) -> List[Row]:
     """Open question #2: packet-timing behaviours vs estimator accuracy.
 
     Compares the measurement error (median T_LB vs median T_client) of
@@ -306,7 +391,7 @@ def sweep_ack_and_pacing(
         "delayed-acks": TransportConfig(ack_policy_factory=DelayedAck),
         "paced-1gbps": TransportConfig(pacing_rate_bps=1_000_000_000),
     }
-    rows = []
+    tasks = []
     for label, transport in variants.items():
         config = ScenarioConfig(
             seed=seed,
@@ -316,26 +401,35 @@ def sweep_ack_and_pacing(
         )
         config.memtier = replace(config.memtier, transport=transport)
         config.feedback.control = False
-        result = run_scenario(config)
-        feedback = result.scenario.feedback
-        assert feedback is not None
-        t_lbs = [float(s.t_lb) for s in feedback.samples]
-        truth = [float(v) for v in result.latencies(start=config.warmup)]
-        med_lb = exact_quantile(t_lbs, 0.5) if t_lbs else None
-        med_truth = exact_quantile(truth, 0.5) if truth else None
-        error = None
-        if med_lb is not None and med_truth:
-            error = abs(med_lb - med_truth) / med_truth
-        rows.append(
-            {
-                "transport": label,
-                "t_lb_samples": feedback.sample_count,
-                "med_t_lb_us": _fmt_us(med_lb),
-                "med_t_client_us": _fmt_us(med_truth),
-                "rel_error": _fmt_ratio(error),
-            }
+        tasks.append(
+            task(
+                _ack_pacing_point,
+                {"config": config, "label": label},
+                label=label,
+            )
         )
-    return rows
+    return run_tasks(tasks, jobs=jobs, store=store).rows
+
+
+def _ack_pacing_point(payload: Dict[str, object]) -> Row:
+    config = payload["config"]
+    result = run_scenario(config)
+    feedback = result.scenario.feedback
+    assert feedback is not None
+    t_lbs = [float(s.t_lb) for s in feedback.samples]
+    truth = [float(v) for v in result.latencies(start=config.warmup)]
+    med_lb = exact_quantile(t_lbs, 0.5) if t_lbs else None
+    med_truth = exact_quantile(truth, 0.5) if truth else None
+    error = None
+    if med_lb is not None and med_truth:
+        error = abs(med_lb - med_truth) / med_truth
+    return {
+        "transport": payload["label"],
+        "t_lb_samples": feedback.sample_count,
+        "med_t_lb_us": _fmt_us(med_lb),
+        "med_t_client_us": _fmt_us(med_truth),
+        "rel_error": _fmt_ratio(error),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -359,10 +453,19 @@ def _fig3_scenario(fig3: Fig3Config, policy: PolicyName) -> ScenarioConfig:
     )
 
 
-def _injected_share(result, fig3: Fig3Config) -> float:
+def _fig3_meta(fig3: Fig3Config) -> Dict[str, object]:
+    """The picklable slice of Fig3Config the point metrics need."""
+    return {
+        "injection_at": fig3.injection_at,
+        "duration": fig3.duration,
+        "injected_server": fig3.injected_server,
+    }
+
+
+def _injected_share(result, meta: Dict[str, object]) -> float:
     """Fraction of post-injection requests served by the slow server."""
-    injected = fig3.injected_server
-    start = fig3.injection_at + fig3.duration // 8
+    injected = meta["injected_server"]
+    start = meta["injection_at"] + meta["duration"] // 8
     total = 0
     hit = 0
     for record in result.records:

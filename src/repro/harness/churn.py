@@ -20,8 +20,8 @@ Measured invariants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.app.client import MemtierConfig
 from repro.harness.config import PolicyName, ScenarioConfig
@@ -153,3 +153,34 @@ def run_churn(config: Optional[ChurnConfig] = None) -> ChurnResult:
         new_flows_after_drain=phase_counts[2],
         pinned_at_drain=pinned_at_drain[0],
     )
+
+
+def churn_point(config: ChurnConfig) -> Dict[str, object]:
+    """One churn run distilled into a flat sweep row."""
+    result = run_churn(config)
+    return {
+        "seed": config.seed,
+        "affinity_violations": len(result.affinity_violations),
+        "newcomer_share": round(result.newcomer_share_after_scale_out(), 4),
+        "pinned_at_drain": result.pinned_at_drain,
+        "new_flows_before": result.new_flows_before,
+        "new_flows_after_scale_out": result.new_flows_after_scale_out,
+        "new_flows_after_drain": result.new_flows_after_drain,
+    }
+
+
+def sweep_churn(
+    seeds: Sequence[int] = (29, 31, 37),
+    base: Optional[ChurnConfig] = None,
+    jobs: int = 1,
+    store=None,
+) -> List[Dict[str, object]]:
+    """Churn invariants across seeds, fanned out through the sweep executor."""
+    from repro.sweep.executor import run_tasks, task
+
+    base = base or ChurnConfig()
+    tasks = [
+        task(churn_point, replace(base, seed=seed), label="seed=%d" % seed)
+        for seed in seeds
+    ]
+    return run_tasks(tasks, jobs=jobs, store=store).rows

@@ -9,6 +9,7 @@ seed) produce identical traces.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -99,6 +100,14 @@ class DelayInjection:
     server: str
     extra: int
     end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "DelayInjection is deprecated; put a repro.faults.DelayFault "
+            "in ScenarioConfig.faults instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     def validate(self) -> None:
         """Raise ConfigError on malformed values."""

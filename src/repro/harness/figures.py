@@ -432,6 +432,24 @@ def run_fig3(
     return Fig3Result(config=config, results=results)
 
 
+def fig3_robustness_point(config: Fig3Config) -> Dict[str, object]:
+    """Both Fig 3 arms for one seed, distilled into a flat sweep row.
+
+    Values are raw nanoseconds so downstream assertions (e.g. the
+    seed-robustness bench) stay exact; ``settle`` matches the bench's
+    ``duration // 8`` post-injection settling window.
+    """
+    result = run_fig3(config)
+    settle = config.duration // 8
+    return {
+        "seed": config.seed,
+        "maglev_pre_p95_ns": result.steady_state_p95("maglev"),
+        "maglev_post_p95_ns": result.post_injection_p95("maglev", settle),
+        "feedback_pre_p95_ns": result.steady_state_p95("feedback"),
+        "feedback_post_p95_ns": result.post_injection_p95("feedback", settle),
+    }
+
+
 # ======================================================================
 # Reaction-time claim (§1, §4)
 # ======================================================================

@@ -15,8 +15,8 @@ trajectories so benches can quantify exactly that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.app.client import MemtierClient, MemtierConfig
 from repro.app.server import ServerApp, ServerConfig
@@ -222,3 +222,40 @@ def run_multilb(config: Optional[MultiLbConfig] = None) -> MultiLbResult:
         servers=servers,
         weight_series=weight_series,
     )
+
+
+def multilb_point(config: MultiLbConfig) -> Dict[str, object]:
+    """One many-LBs run distilled into a flat sweep row."""
+    result = run_multilb(config)
+    settle = config.injection_at + config.duration // 8
+    return {
+        "n_lbs": config.n_lbs,
+        "seed": config.seed,
+        "requests": len(result.all_records()),
+        "injected_share_after": round(result.injected_share_after(settle), 4),
+        "oscillations": [result.oscillations(i) for i in range(config.n_lbs)],
+        "max_oscillations": max(
+            result.oscillations(i) for i in range(config.n_lbs)
+        ),
+    }
+
+
+def sweep_multilb(
+    n_lbs_values: Sequence[int] = (1, 2, 4),
+    base: Optional[MultiLbConfig] = None,
+    jobs: int = 1,
+    store=None,
+) -> List[Dict[str, object]]:
+    """Herd behaviour vs LB count, fanned out through the sweep executor."""
+    from repro.sweep.executor import run_tasks, task
+
+    base = base or MultiLbConfig()
+    tasks = [
+        task(
+            multilb_point,
+            replace(base, n_lbs=n_lbs),
+            label="n_lbs=%d" % n_lbs,
+        )
+        for n_lbs in n_lbs_values
+    ]
+    return run_tasks(tasks, jobs=jobs, store=store).rows

@@ -35,12 +35,20 @@ class ScenarioResult:
         end: Optional[int] = None,
     ) -> List[int]:
         """Latencies (ns) filtered by op and completion-time window."""
+        if op is None and start is None and end is None:
+            return [r.latency for r in self.records]
         lo = start if start is not None else 0
-        hi = end if end is not None else float("inf")
+        if end is None:
+            # No upper bound: skip the per-record float("inf") compare.
+            return [
+                r.latency
+                for r in self.records
+                if (op is None or r.op is op) and lo <= r.completed_at
+            ]
         return [
             r.latency
             for r in self.records
-            if (op is None or r.op is op) and lo <= r.completed_at < hi
+            if (op is None or r.op is op) and lo <= r.completed_at < end
         ]
 
     def summary(

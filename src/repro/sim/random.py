@@ -14,6 +14,20 @@ import random
 from typing import Dict
 
 
+def derive_seed(*parts: object) -> int:
+    """Deterministic 64-bit seed from any printable parts.
+
+    The single seed-derivation rule for the whole system: named streams,
+    stream-family forks, and sweep points all hash their identity through
+    here, so a seed derived in a worker process equals the seed derived
+    in-process for the same identity — multiprocessing fan-out cannot
+    perturb randomness (the sweep executor's determinism contract).
+    """
+    text = "/".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStreams:
     """Factory of per-component deterministic RNGs.
 
@@ -37,16 +51,10 @@ class RandomStreams:
         """Return the RNG for ``name``, creating it deterministically."""
         rng = self._streams.get(name)
         if rng is None:
-            digest = hashlib.sha256(
-                ("%d/%s" % (self._seed, name)).encode("utf-8")
-            ).digest()
-            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            rng = random.Random(derive_seed(self._seed, name))
             self._streams[name] = rng
         return rng
 
     def fork(self, salt: str) -> "RandomStreams":
         """Derive an independent stream family (e.g. per-client)."""
-        digest = hashlib.sha256(
-            ("%d/fork/%s" % (self._seed, salt)).encode("utf-8")
-        ).digest()
-        return RandomStreams(int.from_bytes(digest[:8], "big"))
+        return RandomStreams(derive_seed(self._seed, "fork", salt))

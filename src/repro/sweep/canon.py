@@ -1,0 +1,100 @@
+"""Canonical serialization and content-addressing of experiment configs.
+
+The sweep cache keys every point by a hash of *what would be simulated*:
+the runner function plus its full config payload.  Two configs that
+construct equal objects — regardless of dict insertion order, dataclass
+vs keyword construction, or which process serializes them — must hash
+identically, and any semantic change (a nested fault spec, a transport
+knob, a seed) must change the hash.
+
+``canonicalize`` therefore reduces a payload to a JSON tree with sorted
+keys and explicit type tags:
+
+* dataclasses → ``{"__type__": qualname, field: value, ...}`` (declared
+  fields only, so two instances compare by content);
+* enums → ``{"__enum__": ClassName, "value": ...}``;
+* classes and functions (e.g. ``ack_policy_factory=ImmediateAck``) →
+  ``{"__ref__": "module.QualName"}`` — identity by *name*, which is what
+  a worker process resolves on import;
+* plain objects (service-time models, workload generators) → their
+  ``vars()``, sorted — these are parameter holders whose attributes
+  fully determine behaviour.
+
+Unsupported values (open files, RNG instances, lambdas) raise
+:class:`~repro.errors.ConfigError`: a config that cannot be addressed
+cannot be cached or shipped to a worker, and should fail loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serializable tree."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            return {"__float__": repr(obj)}
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": canonicalize(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        tree = {"__type__": _qualname(type(obj))}
+        for field in dataclasses.fields(obj):
+            tree[field.name] = canonicalize(getattr(obj, field.name))
+        return tree
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, dict):
+        tree = {}
+        for key in sorted(obj, key=str):
+            if not isinstance(key, (str, int)):
+                raise ConfigError(
+                    "cannot canonicalize dict key %r (%s)" % (key, type(key).__name__)
+                )
+            tree[str(key)] = canonicalize(obj[key])
+        return tree
+    if isinstance(obj, type) or callable(obj):
+        qualname = getattr(obj, "__qualname__", "")
+        if not qualname or "<lambda>" in qualname or "<locals>" in qualname:
+            raise ConfigError(
+                "cannot canonicalize %r: only module-level functions/classes "
+                "are addressable" % (obj,)
+            )
+        return {"__ref__": _qualname(obj)}
+    if hasattr(obj, "__dict__"):
+        tree = {"__type__": _qualname(type(obj))}
+        for key in sorted(vars(obj)):
+            tree[key] = canonicalize(vars(obj)[key])
+        return tree
+    raise ConfigError(
+        "cannot canonicalize %r (%s)" % (obj, type(obj).__name__)
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Compact, key-sorted JSON of :func:`canonicalize`'s tree."""
+    return json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def config_key(obj: Any) -> str:
+    """Content hash (hex) addressing ``obj`` in a :class:`ResultStore`."""
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _qualname(obj: Any) -> str:
+    module = getattr(obj, "__module__", "")
+    name = getattr(obj, "__qualname__", type(obj).__name__)
+    return "%s.%s" % (module, name) if module else name

@@ -1,0 +1,297 @@
+"""Parallel sweep execution with caching and crash recovery.
+
+The executor runs *tasks*: a module-level runner function plus a
+picklable config payload, content-addressed by the hash of both (see
+:mod:`repro.sweep.canon`).  Semantics:
+
+* **Caching** — a task whose key is already in the
+  :class:`~repro.sweep.store.ResultStore` is served from disk without
+  simulating; identical tasks inside one submission are deduplicated
+  and simulated once.
+* **Fan-out** — cache misses run on a ``ProcessPoolExecutor`` with
+  ``jobs`` bounded workers (``jobs <= 1`` runs inline, no processes).
+* **Determinism** — a task's row is a pure function of its payload.
+  Workers re-seed the *global* ``random`` module per task from the task
+  key (:func:`repro.sim.random.derive_seed`), so even code that
+  incorrectly reached for ``random.random()`` could not couple points
+  through process reuse or fork-inherited RNG state.  ``--jobs 1`` and
+  ``--jobs N`` therefore produce byte-identical rows.
+* **Crash recovery** — a worker that dies (OOM kill, hard crash) breaks
+  the pool; the executor rebuilds it and retries the unfinished tasks,
+  up to ``retries`` extra attempts per task, then raises
+  :class:`~repro.errors.SweepError`.  Ordinary exceptions retry the
+  failing task alone.
+
+Results come back as a :class:`SweepReport` preserving submission
+order, regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SweepError
+from repro.sim.random import derive_seed
+from repro.sweep.canon import canonicalize, config_key
+from repro.sweep.store import ResultStore
+
+
+@dataclass
+class Task:
+    """One unit of work: ``fn(payload) -> row`` plus its cache identity."""
+
+    key: str
+    label: str
+    fn: Callable
+    payload: object
+    #: Canonical (runner, payload) tree, persisted for provenance.
+    canonical: object = None
+
+
+def task(fn: Callable, payload: object, label: str = "") -> Task:
+    """Build a content-addressed task for ``fn(payload)``."""
+    tree = canonicalize([fn, payload])
+    return Task(
+        key=config_key(tree),
+        label=label,
+        fn=fn,
+        payload=payload,
+        canonical=tree,
+    )
+
+
+@dataclass
+class Outcome:
+    """What happened to one submitted task."""
+
+    key: str
+    label: str
+    row: Dict[str, object]
+    cached: bool
+    elapsed_s: float
+    attempts: int
+
+
+@dataclass
+class SweepReport:
+    """All outcomes, in submission order."""
+
+    outcomes: List[Outcome] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Summary rows, in submission order."""
+        return [outcome.row for outcome in self.outcomes]
+
+    @property
+    def hits(self) -> int:
+        """Points served without simulating."""
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def simulated(self) -> int:
+        """Points actually executed."""
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    def summary(self, name: str = "sweep") -> str:
+        """One-line accounting (the CI smoke greps this format)."""
+        return "sweep %s: %d points, %d cache hits, %d simulated, wall %.2fs" % (
+            name,
+            len(self.outcomes),
+            self.hits,
+            self.simulated,
+            self.wall_s,
+        )
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    retries: int = 2,
+    progress: Optional[Callable[[Outcome, int, int], None]] = None,
+) -> SweepReport:
+    """Execute tasks with caching, bounded fan-out, and retry."""
+    started = time.perf_counter()
+    total = len(tasks)
+    outcomes: List[Optional[Outcome]] = [None] * total
+    done = [0]
+
+    def resolve(index: int, row, cached: bool, elapsed: float, attempts: int):
+        item = tasks[index]
+        outcome = Outcome(
+            key=item.key,
+            label=item.label,
+            row=row,
+            cached=cached,
+            elapsed_s=elapsed,
+            attempts=attempts,
+        )
+        outcomes[index] = outcome
+        done[0] += 1
+        if progress is not None:
+            progress(outcome, done[0], total)
+
+    # Cache pass + in-flight dedup: identical keys simulate once.
+    owners: Dict[str, int] = {}
+    duplicates: List[int] = []
+    pending: List[int] = []
+    for index, item in enumerate(tasks):
+        if use_cache and store is not None:
+            row = store.get(item.key)
+            if row is not None:
+                resolve(index, row, cached=True, elapsed=0.0, attempts=0)
+                continue
+        if item.key in owners:
+            duplicates.append(index)
+        else:
+            owners[item.key] = index
+            pending.append(index)
+
+    def finish(index: int, row, elapsed: float, attempts: int):
+        item = tasks[index]
+        if store is not None:
+            store.put(
+                item.key,
+                row,
+                label=item.label,
+                config=item.canonical,
+                elapsed_s=round(elapsed, 6),
+            )
+        resolve(index, row, cached=False, elapsed=elapsed, attempts=attempts)
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            _run_serial(tasks, pending, retries, finish)
+        else:
+            _run_parallel(tasks, pending, jobs, retries, finish)
+
+    for index in duplicates:
+        owner = outcomes[owners[tasks[index].key]]
+        resolve(index, owner.row, cached=True, elapsed=0.0, attempts=0)
+
+    return SweepReport(
+        outcomes=list(outcomes), wall_s=time.perf_counter() - started
+    )
+
+
+def print_progress(outcome: Outcome, done: int, total: int) -> None:
+    """Default live progress line, one per resolved point (stderr)."""
+    sys.stderr.write(
+        "[%d/%d] %-3s %s (%.2fs)\n"
+        % (
+            done,
+            total,
+            "hit" if outcome.cached else "run",
+            outcome.label or outcome.key[:12],
+            outcome.elapsed_s,
+        )
+    )
+    sys.stderr.flush()
+
+
+# ----------------------------------------------------------------------
+# Execution backends
+# ----------------------------------------------------------------------
+
+
+def _invoke(fn: Callable, payload: object, key: str):
+    """Worker entry: deterministic global-RNG state, timed run."""
+    random.seed(derive_seed("sweep.worker", key))
+    started = time.perf_counter()
+    row = fn(payload)
+    if not isinstance(row, dict):
+        raise SweepError(
+            "sweep runner %r returned %r; expected a dict row"
+            % (getattr(fn, "__name__", fn), type(row).__name__)
+        )
+    return row, time.perf_counter() - started
+
+
+def _run_serial(tasks, pending, retries, finish):
+    for index in pending:
+        item = tasks[index]
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                row, elapsed = _invoke(item.fn, item.payload, item.key)
+            except SweepError:
+                raise
+            except Exception as exc:
+                if attempts > retries:
+                    raise SweepError(
+                        "sweep point %r failed after %d attempts: %s"
+                        % (item.label or item.key[:12], attempts, exc)
+                    ) from exc
+                continue
+            finish(index, row, elapsed, attempts)
+            break
+
+
+def _mp_context():
+    # fork is the cheap start method and inherits sys.path; fall back to
+    # the platform default where it does not exist (Windows).
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _run_parallel(tasks, pending, jobs, retries, finish):
+    attempts = {index: 0 for index in pending}
+    queue = list(pending)
+    while queue:
+        batch, queue = queue, []
+        finished = set()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(batch)), mp_context=_mp_context()
+            ) as pool:
+                futures = {}
+                for index in batch:
+                    item = tasks[index]
+                    attempts[index] += 1
+                    future = pool.submit(_invoke, item.fn, item.payload, item.key)
+                    futures[future] = index
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        row, elapsed = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        if attempts[index] > retries:
+                            raise SweepError(
+                                "sweep point %r failed after %d attempts: %s"
+                                % (
+                                    tasks[index].label or tasks[index].key[:12],
+                                    attempts[index],
+                                    exc,
+                                )
+                            ) from exc
+                        queue.append(index)
+                    else:
+                        finish(index, row, elapsed, attempts[index])
+                        finished.add(index)
+        except BrokenProcessPool as exc:
+            # A worker died mid-task; we cannot tell which task killed it,
+            # so every unfinished task of this batch is retried.
+            for index in batch:
+                if index in finished or index in queue:
+                    continue
+                if attempts[index] > retries:
+                    raise SweepError(
+                        "worker process died running sweep point %r "
+                        "(%d attempts)"
+                        % (tasks[index].label or tasks[index].key[:12], attempts[index])
+                    ) from exc
+                queue.append(index)

@@ -1,0 +1,100 @@
+"""Content-addressed persistence of sweep results.
+
+Layout under the store root::
+
+    points/<key>.json    one record per completed point (the cache index)
+    results.jsonl        append-only log of every completed simulation
+
+``<key>`` is the content hash of (runner, config) — see
+:mod:`repro.sweep.canon`.  A point record carries the summary ``row``
+plus provenance (label, canonical config, elapsed wall time).  Lookup is
+a single file read: a present, well-formed record is a cache hit; a
+missing or corrupt one is a miss (corruption degrades to recomputation,
+never to a wrong answer).  Point files are written atomically
+(temp file + ``os.replace``), so a sweep killed mid-write resumes with
+every *finished* point intact — interrupted sweeps restart where they
+stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Iterator, Optional
+
+
+class ResultStore:
+    """Filesystem-backed, content-addressed result cache."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self._points = self.root / "points"
+        self._points.mkdir(parents=True, exist_ok=True)
+        self._log = self.root / "results.jsonl"
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self._points / ("%s.json" % key)
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached summary row for ``key``, or None on a miss."""
+        record = self.get_record(key)
+        if record is None:
+            return None
+        row = record.get("row")
+        return row if isinstance(row, dict) else None
+
+    def get_record(self, key: str) -> Optional[Dict[str, object]]:
+        """The full stored record (row + provenance), or None."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def put(
+        self,
+        key: str,
+        row: Dict[str, object],
+        label: str = "",
+        config: Optional[object] = None,
+        elapsed_s: Optional[float] = None,
+    ) -> None:
+        """Persist one completed point atomically and append to the log."""
+        record = {
+            "key": key,
+            "label": label,
+            "row": row,
+            "config": config,
+            "elapsed_s": elapsed_s,
+        }
+        # Keep row key order as produced (rows are built deterministically),
+        # so cached and fresh rows print identical column orders.
+        text = json.dumps(record)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp, path)
+        with open(self._log, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every stored point."""
+        for path in sorted(self._points.glob("*.json")):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Drop every cached point (the log is kept); returns the count."""
+        dropped = 0
+        for path in self._points.glob("*.json"):
+            path.unlink()
+            dropped += 1
+        return dropped

@@ -18,8 +18,31 @@ class TestParser:
     def test_ablation_choices(self):
         args = build_parser().parse_args(["ablation", "epoch"])
         assert args.sweep == "epoch"
+        assert args.jobs == 1
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ablation", "nonsense"])
+
+    def test_ablation_includes_multilb_and_churn(self):
+        for sweep in ("multilb", "churn"):
+            args = build_parser().parse_args(["ablation", sweep, "--jobs", "2"])
+            assert args.sweep == sweep
+            assert args.jobs == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.spec is None
+        assert args.jobs == 1
+        assert args.store == ".sweep-store"
+        assert not args.no_cache and not args.resume
+
+    def test_sweep_axes_are_repeatable(self):
+        args = build_parser().parse_args(
+            ["sweep", "--grid", "seed=1,2", "--grid", "n_servers=2,3",
+             "--zip", "memtier.pipeline=1,2", "--seeds", "5,6"]
+        )
+        assert args.grid == ["seed=1,2", "n_servers=2,3"]
+        assert args.zip_axes == ["memtier.pipeline=1,2"]
+        assert args.seeds == "5,6"
 
 
 class TestCommands:
@@ -45,3 +68,59 @@ class TestCommands:
         code = main(["--duration", "1.2", "reaction"])
         assert code == 0
         assert "first shift" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_inline_grid_runs_and_caches(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = [
+            "--duration", "0.1",
+            "sweep", "--grid", "seed=1,2", "--name", "smoke",
+            "--store", store,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep smoke: 2 points, 0 cache hits, 2 simulated" in out
+        assert "seed=1" in out and "seed=2" in out
+        # Unchanged rerun: everything is a cache hit.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep smoke: 2 points, 2 cache hits, 0 simulated" in out
+
+    def test_spec_file_runs(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "filed", "base": {"duration": "100ms"},'
+            ' "grid": {"seed": [1, 2]}}'
+        )
+        code = main(
+            ["sweep", str(spec), "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        assert "sweep filed: 2 points" in capsys.readouterr().out
+
+    def test_spec_file_and_inline_axes_conflict(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text("{}")
+        code = main(
+            ["sweep", str(spec), "--grid", "seed=1,2",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_resume_requires_existing_store(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--grid", "seed=1",
+             "--store", str(tmp_path / "missing"), "--resume"]
+        )
+        assert code == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_bad_axis_reports_config_error(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--grid", "nonsense",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

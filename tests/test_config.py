@@ -38,6 +38,10 @@ class TestNetworkParams:
 
 
 class TestDelayInjection:
+    def test_construction_warns_deprecated(self):
+        with pytest.deprecated_call():
+            DelayInjection(at=0, server="s0", extra=1000)
+
     def test_valid(self):
         DelayInjection(at=0, server="s0", extra=1000).validate()
 

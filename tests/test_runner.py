@@ -33,6 +33,19 @@ class TestResultViews:
         windowed = result.latencies(start=100 * MILLISECONDS, end=200 * MILLISECONDS)
         assert len(windowed) < len(all_lat)
 
+    def test_latencies_open_ended_matches_bounded(self, result):
+        # The unfiltered and no-upper-bound fast paths must agree with
+        # the equivalent explicit windows.
+        horizon = result.config.duration + 1 * SECONDS
+        assert result.latencies() == result.latencies(start=0, end=horizon)
+        start = 100 * MILLISECONDS
+        assert result.latencies(start=start) == result.latencies(
+            start=start, end=horizon
+        )
+        assert result.latencies(Op.GET, start) == result.latencies(
+            Op.GET, start, horizon
+        )
+
     def test_summary_windows(self, result):
         assert result.summary() is not None
         assert result.summary(start=10**15) is None

@@ -1,0 +1,217 @@
+"""Sweep executor: caching, fan-out, determinism, crash recovery."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError, SweepError
+from repro.harness.config import ScenarioConfig
+from repro.sweep import (
+    ResultStore,
+    SweepSpec,
+    canonical_json,
+    config_key,
+    run_sweep,
+    run_tasks,
+    task,
+)
+from repro.units import MILLISECONDS
+
+
+# Runner functions must be module-level: workers import them by
+# reference, and the content hash records that reference.
+
+def _double(payload):
+    return {"value": payload["x"] * 2}
+
+
+def _fail_until_marker(payload):
+    """Raise (ordinary exception) until the marker file exists."""
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        raise ValueError("transient failure")
+    return {"recovered": True}
+
+
+def _exit_until_marker(payload):
+    """Kill the worker process outright until the marker file exists."""
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        os._exit(1)
+    return {"recovered": True}
+
+
+def _always_fails(payload):
+    raise ValueError("permanent failure")
+
+
+def _always_exits(payload):
+    os._exit(1)
+
+
+def _touch_and_double(payload):
+    with open(
+        os.path.join(payload["dir"], "run-%d" % os.getpid()), "a"
+    ) as handle:
+        handle.write("x")
+    return {"value": payload["x"] * 2}
+
+
+def _not_a_row(payload):
+    return [1, 2, 3]
+
+
+class TestCanonicalIdentity:
+    def test_key_is_stable_and_value_sensitive(self):
+        a = task(_double, {"x": 1})
+        b = task(_double, {"x": 1})
+        c = task(_double, {"x": 2})
+        assert a.key == b.key
+        assert a.key != c.key
+
+    def test_key_depends_on_runner(self):
+        assert task(_double, {"x": 1}).key != task(_touch_and_double, {"x": 1}).key
+
+    def test_scenario_configs_have_stable_keys(self):
+        a = ScenarioConfig(seed=3, duration=100 * MILLISECONDS)
+        b = ScenarioConfig(seed=3, duration=100 * MILLISECONDS)
+        assert config_key(a) == config_key(b)
+        assert config_key(a) != config_key(ScenarioConfig(seed=4))
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            task(_double, {"x": lambda: 1})
+
+
+class TestExecution:
+    def test_serial_runs_in_submission_order(self):
+        tasks = [task(_double, {"x": x}, label="x=%d" % x) for x in (3, 1, 2)]
+        report = run_tasks(tasks, jobs=1)
+        assert [row["value"] for row in report.rows] == [6, 2, 4]
+        assert report.simulated == 3 and report.hits == 0
+
+    def test_parallel_preserves_submission_order(self):
+        tasks = [task(_double, {"x": x}) for x in range(5)]
+        report = run_tasks(tasks, jobs=4)
+        assert [row["value"] for row in report.rows] == [0, 2, 4, 6, 8]
+
+    def test_non_dict_row_rejected(self):
+        with pytest.raises(SweepError, match="expected a dict row"):
+            run_tasks([task(_not_a_row, {"x": 1})], jobs=1)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        tasks = [task(_double, {"x": x}) for x in range(3)]
+        run_tasks(tasks, jobs=1, progress=lambda o, d, t: seen.append((d, t)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_summary_line_format(self):
+        report = run_tasks([task(_double, {"x": 1})], jobs=1)
+        assert report.summary("demo").startswith(
+            "sweep demo: 1 points, 0 cache hits, 1 simulated, wall "
+        )
+
+
+class TestCaching:
+    def test_rerun_is_all_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        tasks = [task(_double, {"x": x}) for x in range(3)]
+        cold = run_tasks(tasks, jobs=1, store=store)
+        warm = run_tasks(tasks, jobs=1, store=store)
+        assert cold.simulated == 3 and cold.hits == 0
+        assert warm.simulated == 0 and warm.hits == 3
+        assert warm.rows == cold.rows
+
+    def test_no_cache_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        tasks = [task(_double, {"x": 1})]
+        run_tasks(tasks, jobs=1, store=store)
+        again = run_tasks(tasks, jobs=1, store=store, use_cache=False)
+        assert again.simulated == 1 and again.hits == 0
+
+    def test_duplicate_tasks_simulate_once(self, tmp_path):
+        tasks = [
+            task(_touch_and_double, {"dir": str(tmp_path), "x": 5}),
+            task(_touch_and_double, {"dir": str(tmp_path), "x": 5}),
+        ]
+        report = run_tasks(tasks, jobs=1)
+        assert report.rows[0] == report.rows[1]
+        assert report.simulated == 1 and report.hits == 1
+        total = sum(
+            len(p.read_text()) for p in tmp_path.iterdir()
+        )
+        assert total == 1  # the runner ran exactly once
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = [task(_double, {"x": 1})]
+        run_tasks(first, jobs=1, store=store)
+        # A later, larger submission reuses the finished point.
+        both = [task(_double, {"x": 1}), task(_double, {"x": 2})]
+        report = run_tasks(both, jobs=1, store=store)
+        assert report.hits == 1 and report.simulated == 1
+
+
+class TestRetry:
+    def test_transient_exception_retried_serial(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        report = run_tasks([task(_fail_until_marker, {"marker": marker})], jobs=1)
+        assert report.rows[0] == {"recovered": True}
+        assert report.outcomes[0].attempts == 2
+
+    def test_transient_exception_retried_parallel(self, tmp_path):
+        tasks = [
+            task(_fail_until_marker, {"marker": str(tmp_path / "marker")}),
+            task(_double, {"x": 1}),
+        ]
+        report = run_tasks(tasks, jobs=2)
+        assert report.rows[0] == {"recovered": True}
+        assert report.rows[1] == {"value": 2}
+
+    def test_worker_crash_retried(self, tmp_path):
+        # The first attempt kills its worker process (as an OOM kill
+        # would); the pool is rebuilt and the point retried.
+        tasks = [
+            task(_exit_until_marker, {"marker": str(tmp_path / "marker")}),
+            task(_double, {"x": 1}),
+        ]
+        report = run_tasks(tasks, jobs=2)
+        assert report.rows[0] == {"recovered": True}
+        assert report.rows[1] == {"value": 2}
+        assert report.simulated == 2
+
+    def test_permanent_failure_raises_sweep_error(self):
+        with pytest.raises(SweepError, match="failed after 2 attempts"):
+            run_tasks([task(_always_fails, {})], jobs=1, retries=1)
+
+    def test_permanent_crash_raises_sweep_error(self):
+        tasks = [task(_always_exits, {}), task(_double, {"x": 1})]
+        with pytest.raises(SweepError, match="worker process died"):
+            run_tasks(tasks, jobs=2, retries=1)
+
+
+class TestWorkerDeterminism:
+    """Satellite: jobs=1 and jobs=N produce byte-identical rows."""
+
+    SPEC = dict(
+        base=ScenarioConfig(duration=100 * MILLISECONDS),
+        grid={"feedback.controller.alpha": [0.1, 0.2]},
+        seeds=[1, 2],
+    )
+
+    def test_jobs_1_equals_jobs_4(self):
+        serial = run_sweep(SweepSpec(**self.SPEC), jobs=1)
+        parallel = run_sweep(SweepSpec(**self.SPEC), jobs=4)
+        assert len(serial.rows) == 4
+        assert canonical_json(serial.rows) == canonical_json(parallel.rows)
+
+    def test_cached_rows_match_fresh_rows(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fresh = run_sweep(SweepSpec(**self.SPEC), jobs=2, store=store)
+        cached = run_sweep(SweepSpec(**self.SPEC), jobs=2, store=store)
+        assert cached.hits == 4 and cached.simulated == 0
+        assert canonical_json(fresh.rows) == canonical_json(cached.rows)

@@ -1,0 +1,69 @@
+"""Content-addressed result store."""
+
+import json
+
+from repro.sweep import ResultStore
+
+KEY = "a" * 64
+ROW = {"requests": 10, "p95_ms": 1.25, "per_server": {"server0": 4}}
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get(KEY) is None
+        assert KEY not in store
+        store.put(KEY, ROW, label="pt", config={"x": 1}, elapsed_s=0.5)
+        assert store.get(KEY) == ROW
+        assert KEY in store
+        assert len(store) == 1
+        assert list(store.keys()) == [KEY]
+
+    def test_record_carries_provenance(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, ROW, label="pt", config={"x": 1}, elapsed_s=0.5)
+        record = store.get_record(KEY)
+        assert record["label"] == "pt"
+        assert record["config"] == {"x": 1}
+        assert record["elapsed_s"] == 0.5
+        assert record["row"] == ROW
+
+    def test_row_key_order_preserved(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, ROW)
+        assert list(store.get(KEY)) == list(ROW)
+
+    def test_reopen_sees_existing_points(self, tmp_path):
+        ResultStore(tmp_path).put(KEY, ROW)
+        assert ResultStore(tmp_path).get(KEY) == ROW
+
+
+class TestDegradedPaths:
+    def test_corrupt_point_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, ROW)
+        (store.root / "points" / ("%s.json" % KEY)).write_text("{broken")
+        assert store.get(KEY) is None
+
+    def test_non_dict_row_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (store.root / "points" / ("%s.json" % KEY)).write_text(
+            json.dumps({"row": [1, 2]})
+        )
+        assert store.get(KEY) is None
+
+    def test_clear_drops_points_keeps_log(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, ROW)
+        store.put("b" * 64, ROW)
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get(KEY) is None
+        log = (store.root / "results.jsonl").read_text().splitlines()
+        assert len(log) == 2  # append-only provenance survives
+
+    def test_log_lines_are_json_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, ROW, label="pt")
+        (line,) = (store.root / "results.jsonl").read_text().splitlines()
+        assert json.loads(line)["key"] == KEY
