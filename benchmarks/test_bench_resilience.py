@@ -1,0 +1,166 @@
+"""RESILIENCE — degradation, recovery, and the cost of the guardrails.
+
+Three arms, one report (``benchmarks/reports/resilience.txt``):
+
+* ``crash`` — server0 dies for the middle third of the run.  Measures
+  the headline recovery numbers: time from fault onset to FALLBACK
+  (bounded by the staleness policy plus the ladder's check period) and
+  time back to FEEDBACK after the restart.  Also asserts the core
+  invariant — no ranking shift ever executes outside FEEDBACK mode.
+* ``lossy_path`` — 2% loss on LB→server0.  Exercises deadlines and
+  retries; asserts the token-budget arithmetic bound on total retries.
+* ``fault_free`` — the overhead control: the same scenario with and
+  without the resilience plane, no faults.  The plane must be close to
+  free when nothing is wrong.
+"""
+
+from conftest import write_report
+
+from repro.faults import preset
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.report import format_table
+from repro.harness.runner import run_scenario
+from repro.resilience import ControllerMode, ResilienceConfig
+from repro.telemetry.quantiles import exact_quantile
+from repro.units import MILLISECONDS, SECONDS, to_millis
+
+DURATION = 2 * SECONDS
+SEED = 21
+
+
+def _run(preset_name=None, resilient=True):
+    config = ScenarioConfig(
+        seed=SEED,
+        duration=DURATION,
+        n_servers=2,
+        policy=PolicyName.FEEDBACK,
+        faults=preset(preset_name, DURATION) if preset_name else [],
+        resilience=ResilienceConfig(enabled=True, health_checks=True)
+        if resilient
+        else ResilienceConfig(),
+        warmup=DURATION // 10,
+    )
+    return run_scenario(config)
+
+
+def _mode_at(transitions, time):
+    mode = ControllerMode.HOLD
+    for t in transitions:
+        if t.time > time:
+            break
+        mode = t.to_mode
+    return mode
+
+
+def _p95(result):
+    values = result.latencies()
+    return exact_quantile(values, 0.95) if values else None
+
+
+def test_resilience_plane(benchmark):
+    def run_all():
+        return {
+            "crash": _run("crash"),
+            "lossy_path": _run("lossy_path"),
+            "fault_free_on": _run(None, resilient=True),
+            "fault_free_off": _run(None, resilient=False),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # --- crash: degradation and recovery timing -----------------------
+    crash = results["crash"]
+    onset = min(start for _k, _t, start, _e in crash.fault_windows())
+    fallback_at = crash.first_mode_entry("FALLBACK", after=onset)
+    assert fallback_at is not None
+    recovered_at = crash.first_mode_entry("FEEDBACK", after=fallback_at)
+    assert recovered_at is not None
+
+    resilience = crash.scenario.config.resilience
+    # The signal invalidates invalid_after ns past the last sample, and
+    # connections pinned to the dead backend keep emitting packets (=
+    # samples at the LB) until their retry deadline aborts them; the
+    # periodic ladder check then catches it within a few periods.
+    bound = (
+        resilience.signal.invalid_after
+        + resilience.retry.deadline
+        + 3 * resilience.ladder.check_interval
+        + 20 * MILLISECONDS
+    )
+    assert fallback_at - onset <= bound
+
+    # Core invariant: every ranking shift executed in FEEDBACK mode.
+    transitions = crash.mode_transitions()
+    for event in crash.scenario.feedback.shift_events():
+        if event.reason in ("mode-change", "post-fallback-rebalance"):
+            continue
+        assert _mode_at(transitions, event.time) is ControllerMode.FEEDBACK
+
+    # --- lossy_path: the retry budget bound ---------------------------
+    lossy = results["lossy_path"]
+    stats = lossy.retry_stats()
+    assert stats is not None and stats.first_attempts > 0
+    bound_tokens = sum(
+        c.retry_budget.bound(c.retry_stats.first_attempts)
+        for c in lossy.scenario.clients
+    )
+    assert stats.retries <= bound_tokens
+
+    # --- fault-free: the plane must be nearly free --------------------
+    on, off = results["fault_free_on"], results["fault_free_off"]
+    p95_on, p95_off = _p95(on), _p95(off)
+    assert p95_on is not None and p95_off is not None
+    assert p95_on <= 1.10 * p95_off
+    assert on.retry_stats().retries == 0
+    assert on.breaker_transitions() == []
+
+    rows = [
+        (
+            "crash",
+            "%.3f" % to_millis(fallback_at - onset),
+            "%.3f" % to_millis(recovered_at - fallback_at),
+            "%.3f" % to_millis(_p95(crash)),
+            "%d" % len(crash.mode_transitions()),
+            "%d" % crash.retry_stats().retries,
+        ),
+        (
+            "lossy_path",
+            "-",
+            "-",
+            "%.3f" % to_millis(_p95(lossy)),
+            "%d" % len(lossy.mode_transitions()),
+            "%d (bound %.1f)" % (stats.retries, bound_tokens),
+        ),
+        (
+            "fault_free on",
+            "-",
+            "-",
+            "%.3f" % to_millis(p95_on),
+            "%d" % len(on.mode_transitions()),
+            "0",
+        ),
+        (
+            "fault_free off",
+            "-",
+            "-",
+            "%.3f" % to_millis(p95_off),
+            "-",
+            "-",
+        ),
+    ]
+    table = format_table(
+        (
+            "arm",
+            "to FALLBACK (ms)",
+            "to FEEDBACK (ms)",
+            "p95 (ms)",
+            "mode transitions",
+            "retries",
+        ),
+        rows,
+    )
+    detail = "\n\n".join(
+        "--- %s ---\n%s" % (name, result.report())
+        for name, result in results.items()
+    )
+    write_report("resilience", table + "\n\n" + detail)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Resilience plane: crash a server, watch the loop degrade and recover.
+
+Runs the FEEDBACK policy with the full resilience plane enabled
+(signal grading, degradation ladder, circuit breakers, health checks,
+client retries) against the ``crash`` chaos preset: server0 dies for
+the middle third of the run, then restarts.  Prints the degradation
+timeline — when the ladder dropped to FALLBACK, when the breaker
+opened and re-closed, and when the loop re-earned FEEDBACK mode —
+plus the retry plane's accounting.
+
+Run:  python examples/resilience_crash_recovery.py
+"""
+
+from repro import units
+from repro.faults import preset
+from repro.harness import PolicyName, ScenarioConfig
+from repro.harness.runner import run_scenario
+from repro.resilience import ResilienceConfig
+
+
+def main() -> None:
+    duration = units.seconds(2.0)
+    config = ScenarioConfig(
+        seed=1,
+        duration=duration,
+        n_servers=2,
+        policy=PolicyName.FEEDBACK,
+        faults=preset("crash", duration),
+        resilience=ResilienceConfig(enabled=True, health_checks=True),
+        warmup=duration // 10,
+    )
+    result = run_scenario(config)
+
+    print("degradation ladder:")
+    for t in result.mode_transitions():
+        print(
+            "  %9.3fms  %-8s -> %-8s  %s"
+            % (units.to_millis(t.time), t.from_mode.name, t.to_mode.name, t.reason)
+        )
+
+    print("circuit breakers:")
+    for t in result.breaker_transitions():
+        print(
+            "  %9.3fms  %s: %s -> %s  (%s)"
+            % (
+                units.to_millis(t.time),
+                t.backend,
+                t.from_state.name,
+                t.to_state.name,
+                t.reason,
+            )
+        )
+
+    stats = result.retry_stats()
+    print(
+        "retries: %d of %d first attempts "
+        "(deadline expiries=%d, aborted connections=%d)"
+        % (
+            stats.retries,
+            stats.first_attempts,
+            stats.deadline_expiries,
+            stats.aborted_connections,
+        )
+    )
+
+    onset = min(start for _kind, _targets, start, _end in result.fault_windows())
+    fallback_at = result.first_mode_entry("FALLBACK", after=onset)
+    assert fallback_at is not None, "the crash must drive the ladder down"
+    recovered_at = result.first_mode_entry("FEEDBACK", after=fallback_at)
+    assert recovered_at is not None, "the loop must re-earn FEEDBACK mode"
+    print(
+        "time to FALLBACK after fault onset: %.3f ms"
+        % units.to_millis(fallback_at - onset)
+    )
+    print(
+        "time back to FEEDBACK after FALLBACK entry: %.3f ms"
+        % units.to_millis(recovered_at - fallback_at)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,13 @@ connections with what it has learned.
 :class:`BacklogClient` reproduces Fig 2's stimulus: one long-lived
 flow-controlled bulk transfer whose transmission batches are windows;
 its transport RTT samples are the ground truth ``T_client``.
+
+With a :class:`~repro.resilience.retry.RetryConfig`,
+:class:`MemtierClient` grows the client half of the resilience plane:
+per-request deadlines (an unanswered request aborts its connection,
+memtier-style), exponential backoff with jitter before re-sends, and a
+token-bucket retry budget that arithmetically bounds total retries.
+Without one, behaviour is unchanged — no timers, no extra RNG draws.
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.app.protocol import Op, Request, Response
 from repro.app.workload import WorkloadModel
 from repro.net.addr import Endpoint
+from repro.resilience.retry import (
+    RetryBudget,
+    RetryConfig,
+    RetryStats,
+    backoff_delay,
+)
+from repro.sim.engine import Timer
 from repro.transport.connection import Connection, ConnectionState, TransportConfig
 from repro.transport.endpoint import Host
 from repro.units import MICROSECONDS
@@ -93,6 +107,8 @@ class MemtierClient:
         service: Endpoint,
         config: MemtierConfig,
         rng: random.Random,
+        retry: Optional[RetryConfig] = None,
+        retry_rng: Optional[random.Random] = None,
     ):
         config.validate()
         self.host = host
@@ -103,6 +119,19 @@ class MemtierClient:
         self.on_record: Optional[Callable[[RequestRecord], None]] = None
         self._running = False
         self._conn_state: Dict[int, _ConnLoop] = {}
+        #: Retry plane (inert when ``retry`` is None).
+        self.retry = retry
+        self.retry_stats = RetryStats()
+        self.retry_budget: Optional[RetryBudget] = None
+        self._retry_rng: Optional[random.Random] = None
+        self._retry_queue: List[Request] = []
+        self._attempts: Dict[int, int] = {}
+        if retry is not None:
+            retry.validate()
+            self.retry_budget = RetryBudget(retry)
+            # Dedicated stream: jitter draws must not perturb the
+            # workload's RNG sequence.
+            self._retry_rng = retry_rng if retry_rng is not None else random.Random(0)
 
     # ------------------------------------------------------------------
 
@@ -146,6 +175,40 @@ class MemtierClient:
             self.config.reconnect_delay, lambda: self._open_connection(index)
         )
 
+    # ------------------------------------------------------------------
+    # Retry plane
+    # ------------------------------------------------------------------
+
+    def _maybe_retry(self, request: Request) -> None:
+        """Decide a failed request's fate: retry (budget allowing) or drop."""
+        attempts = self._attempts.get(request.request_id, 1)
+        if attempts >= self.retry.max_attempts:
+            self.retry_stats.attempts_exhausted += 1
+            self._attempts.pop(request.request_id, None)
+            return
+        if not self.retry_budget.withdraw():
+            self.retry_stats.budget_denied += 1
+            self._attempts.pop(request.request_id, None)
+            return
+        self.retry_stats.retries += 1
+        self._attempts[request.request_id] = attempts + 1
+        delay = backoff_delay(self.retry, attempts, self._retry_rng)
+        self.host.sim.schedule(delay, lambda: self._enqueue_retry(request))
+
+    def _enqueue_retry(self, request: Request) -> None:
+        if not self._running:
+            return
+        self._retry_queue.append(request)
+        for loop in list(self._conn_state.values()):
+            if not self._retry_queue:
+                break
+            loop.try_pump()
+
+    def _take_retry(self) -> Optional[Request]:
+        if self._retry_queue:
+            return self._retry_queue.pop(0)
+        return None
+
 
 class _ConnLoop:
     """Drives one connection through its request budget, then recycles."""
@@ -156,6 +219,7 @@ class _ConnLoop:
         self.conn = conn
         self.sent = 0
         self.outstanding: Dict[int, Request] = {}
+        self._deadlines: Dict[int, Timer] = {}
         conn.on_established = self._on_established
         conn.on_message = self._on_response
         conn.on_closed = self._on_closed
@@ -165,18 +229,73 @@ class _ConnLoop:
             if not self._send_one():
                 break
 
+    def try_pump(self) -> None:
+        """Offer a free pipeline slot to the client's retry queue."""
+        if (
+            self.conn.state is ConnectionState.ESTABLISHED
+            and len(self.outstanding) < self.client.config.pipeline
+        ):
+            self._send_one()
+
     def _send_one(self) -> bool:
-        config = self.client.config
-        if not self.client._running:
+        client = self.client
+        config = client.config
+        if not client._running:
             return False
+        retry = client._take_retry()
+        if retry is not None:
+            # Re-sends bypass the per-connection budget: the request was
+            # already admitted once, this is its recovery attempt.
+            retry.sent_at = client.host.sim.now
+            self.outstanding[retry.request_id] = retry
+            self.conn.send_message(retry, retry.wire_size)
+            self._arm_deadline(retry.request_id)
+            return True
         if self.sent >= config.requests_per_connection:
             return False
-        request = config.workload.make_request(self.client.rng)
-        request.sent_at = self.client.host.sim.now
+        request = config.workload.make_request(client.rng)
+        request.sent_at = client.host.sim.now
         self.outstanding[request.request_id] = request
         self.sent += 1
+        if client.retry is not None:
+            client.retry_budget.deposit()
+            client.retry_stats.first_attempts += 1
+            client._attempts[request.request_id] = 1
         self.conn.send_message(request, request.wire_size)
+        self._arm_deadline(request.request_id)
         return True
+
+    def _arm_deadline(self, request_id: int) -> None:
+        if self.client.retry is None:
+            return
+        timer = Timer(
+            self.client.host.sim, lambda: self._on_deadline(request_id)
+        )
+        timer.start(self.client.retry.deadline)
+        self._deadlines[request_id] = timer
+
+    def _on_deadline(self, request_id: int) -> None:
+        self._deadlines.pop(request_id, None)
+        request = self.outstanding.pop(request_id, None)
+        if request is None:
+            return
+        client = self.client
+        client.retry_stats.deadline_expiries += 1
+        client._maybe_retry(request)
+        # The connection is wedged behind an unresponsive backend; tear
+        # it down (memtier aborts on request timeout) so the remaining
+        # pipelined requests fail fast and the replacement connection
+        # gets re-routed by the LB.
+        client.retry_stats.aborted_connections += 1
+        self.conn.abort()  # fires _on_closed, failing the rest
+
+    def _fail_outstanding(self) -> None:
+        for request_id, request in list(self.outstanding.items()):
+            timer = self._deadlines.pop(request_id, None)
+            if timer is not None:
+                timer.stop()
+            self.client._maybe_retry(request)
+        self.outstanding.clear()
 
     def _on_response(self, conn: Connection, response: Any) -> None:
         if not isinstance(response, Response):
@@ -184,6 +303,10 @@ class _ConnLoop:
         request = self.outstanding.pop(response.request_id, None)
         if request is None:
             return
+        timer = self._deadlines.pop(response.request_id, None)
+        if timer is not None:
+            timer.stop()
+        self.client._attempts.pop(response.request_id, None)
         now = self.client.host.sim.now
         record = RequestRecord(
             request_id=request.request_id,
@@ -212,6 +335,8 @@ class _ConnLoop:
                 self.conn.close()
 
     def _on_closed(self, conn: Connection) -> None:
+        if self.client.retry is not None:
+            self._fail_outstanding()
         self.client._reopen_later(self.index)
 
 

@@ -54,6 +54,8 @@ class ServerStats:
 
     requests: int = 0
     responses: int = 0
+    #: Requests discarded because the process was crashed at arrival.
+    dropped_while_crashed: int = 0
     busy_ns: int = 0
     queue_delays: List[int] = field(default_factory=list)
     service_times: List[int] = field(default_factory=list)
@@ -96,6 +98,7 @@ class ServerApp:
         self._service_multiplier = 1.0
         self._paused = False
         self._paused_requests: List[tuple] = []
+        self._crashed = False
         host.listen(config.port, self._on_connection, config.transport)
 
     # ------------------------------------------------------------------
@@ -133,6 +136,36 @@ class ServerApp:
         for conn, request, arrived_at in pending:
             self._process(conn, request, arrived_at)
 
+    @property
+    def crashed(self) -> bool:
+        """Whether the process is currently down (crash fault)."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the process: stop listening, discard held work.
+
+        Unlike :meth:`pause` (the process stalls but the kernel still
+        completes handshakes) a crash takes the listener down — new SYNs
+        go unanswered — and in-flight requests are lost, not queued.
+        Established connections are *not* reset: their clients discover
+        the death by silence, exactly the failure mode deadlines and
+        signal-staleness tracking exist for.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.host.stop_listening(self.config.port)
+        self._paused_requests.clear()
+
+    def restart(self) -> None:
+        """Bring the process back up (fresh listener, same store)."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.host.listen(
+            self.config.port, self._on_connection, self.config.transport
+        )
+
     # ------------------------------------------------------------------
 
     def _on_connection(self, conn: Connection) -> None:
@@ -143,6 +176,11 @@ class ServerApp:
         if not isinstance(request, Request):
             return  # stray message type: ignore rather than crash the run
         now = self.host.sim.now
+        if self._crashed:
+            # A dead process answers nothing: requests already in the
+            # kernel's buffers when it died just vanish.
+            self.stats.dropped_while_crashed += 1
+            return
         self.stats.requests += 1
         if self._paused:
             self._paused_requests.append((conn, request, now))

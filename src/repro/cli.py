@@ -38,6 +38,7 @@ from repro.harness.figures import (
 from repro.harness.multilb import sweep_multilb
 from repro.harness.report import format_table
 from repro.harness.runner import run_scenario
+from repro.resilience import ResilienceConfig
 from repro.sweep import (
     ResultStore,
     SweepSpec,
@@ -97,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
         "like 'delay:node=server0,start=1s,extra=1ms'; repeatable"
         % ", ".join(sorted(PRESETS)),
     )
+
+    res_cmd = sub.add_parser(
+        "resilience",
+        help="run a fault preset with the resilience plane on and report "
+        "degradation/recovery timing",
+        description="Runs the FEEDBACK policy with the full resilience "
+        "plane enabled (signal grading, degradation ladder, circuit "
+        "breakers, health checks, client retries) against a chaos "
+        "preset, then prints the scenario report plus time-to-FALLBACK "
+        "and time-to-recovery.",
+    )
+    res_cmd.add_argument(
+        "--fault",
+        choices=("crash", "lossy_path", "flapping_server"),
+        default="crash",
+        help="chaos preset to run against (default crash)",
+    )
+    res_cmd.add_argument("--servers", type=int, default=2)
+    res_cmd.add_argument("--clients", type=int, default=1)
 
     sub.add_parser("fig2a", help="paper Fig 2(a): fixed timeouts vs truth")
     sub.add_parser("fig2b", help="paper Fig 2(b): the ensemble tracks truth")
@@ -201,6 +221,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             warmup=duration // 10,
         )
         print(run_scenario(config).report())
+        return 0
+
+    if args.command == "resilience":
+        faults = parse_faults(args.fault, duration)
+        config = ScenarioConfig(
+            seed=args.seed,
+            duration=duration,
+            n_clients=args.clients,
+            n_servers=args.servers,
+            policy=PolicyName.FEEDBACK,
+            faults=faults,
+            resilience=ResilienceConfig(enabled=True, health_checks=True),
+            warmup=duration // 10,
+        )
+        result = run_scenario(config)
+        print(result.report())
+        onset = min(f.start for f in faults)
+        fallback_at = result.first_mode_entry("FALLBACK", after=onset)
+        if fallback_at is None:
+            print("ladder never entered FALLBACK (fault=%s)" % args.fault)
+        else:
+            print(
+                "time to FALLBACK after fault onset: %.3f ms"
+                % to_millis(fallback_at - onset)
+            )
+            recovery_at = result.first_mode_entry("FEEDBACK", after=fallback_at)
+            if recovery_at is None:
+                print("no FEEDBACK recovery observed before the run ended")
+            else:
+                print(
+                    "time to FEEDBACK recovery: %.3f ms after FALLBACK entry"
+                    % to_millis(recovery_at - fallback_at)
+                )
         return 0
 
     if args.command == "fig2a":

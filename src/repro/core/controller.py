@@ -69,6 +69,11 @@ class ShiftEvent:
     worst_estimate: float
     best_estimate: float
     weights_after: Dict[str, float] = field(default_factory=dict)
+    #: Why the shift fired: ``"hysteresis-pass"`` (the normal rule),
+    #: ``"post-fallback-rebalance"`` (first shift after the resilience
+    #: ladder left FALLBACK), or ``"mode-change"`` (the ladder's own
+    #: uniform relax on FALLBACK entry).
+    reason: str = "hysteresis-pass"
 
 
 class AlphaShiftController:
@@ -92,6 +97,10 @@ class AlphaShiftController:
         self.config.validate()
         self.shifts: List[ShiftEvent] = []
         self._last_shift_at: Optional[int] = None
+        #: Set by the resilience ladder: tags the next executed shift.
+        self.pending_reason: Optional[str] = None
+        #: Shifts refused because a consulted estimate was stale.
+        self.stale_holds = 0
 
     @property
     def shift_count(self) -> int:
@@ -116,10 +125,15 @@ class AlphaShiftController:
         ):
             return None
 
-        ranked = self.estimator.worst_and_best()
+        ranked = self.estimator.worst_and_best(now)
         if ranked is None:
             return None
         worst, best = ranked
+        if worst.stale or best.stale:
+            # Never shift on a signal you don't trust: a stale estimate
+            # may describe a backend that has since drained or died.
+            self.stale_holds += 1
+            return None
         if worst.value < config.hysteresis_ratio * best.value:
             return None
         if worst.value <= best.value:
@@ -134,12 +148,15 @@ class AlphaShiftController:
             return None
 
         self.pool.set_weights(new_weights)
+        reason = self.pending_reason or "hysteresis-pass"
+        self.pending_reason = None
         event = ShiftEvent(
             time=now,
             from_backend=worst.backend,
             worst_estimate=worst.value,
             best_estimate=best.value,
             weights_after=dict(new_weights),
+            reason=reason,
         )
         self.shifts.append(event)
         self._last_shift_at = now

@@ -11,16 +11,26 @@ The controller asks for a ranking; ``metric`` selects which statistic
 ranks backends.  Backends with fewer than ``min_samples`` recent samples
 are excluded from ranking decisions — shifting traffic based on one
 noisy sample is how thundering herds start (paper §5, question 4).
+
+With a :class:`~repro.resilience.quality.SignalQualityTracker`
+attached (:meth:`BackendLatencyEstimator.attach_quality`), the
+estimator also grades what it serves: ranking calls that pass ``now``
+exclude backends whose signal has been invalidated and flag estimates
+that have gone stale, so downstream consumers can refuse to act on a
+signal they don't trust.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.telemetry.ewma import TimeDecayEwma
 from repro.telemetry.quantiles import WindowedQuantile
 from repro.units import MILLISECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (resilience imports core)
+    from repro.resilience.quality import SignalQualityTracker
 
 
 @dataclass
@@ -48,6 +58,9 @@ class BackendEstimate:
     value: float
     samples: int
     last_sample_at: int
+    #: True when an attached quality tracker graded the signal stale
+    #: (set only by ranking calls that pass ``now``).
+    stale: bool = False
 
 
 class _BackendState:
@@ -68,6 +81,16 @@ class BackendLatencyEstimator:
         self.config.validate()
         self._backends: Dict[str, _BackendState] = {}
         self.total_samples = 0
+        self._quality: Optional["SignalQualityTracker"] = None
+
+    def attach_quality(self, tracker: "SignalQualityTracker") -> None:
+        """Grade served estimates with ``tracker`` (fed on observe)."""
+        self._quality = tracker
+
+    @property
+    def quality(self) -> Optional["SignalQualityTracker"]:
+        """The attached signal-quality tracker, if any."""
+        return self._quality
 
     def observe(self, backend: str, now: int, t_lb: int) -> None:
         """Attribute one ``T_LB`` sample (ns) to ``backend``."""
@@ -82,6 +105,8 @@ class BackendLatencyEstimator:
         state.samples += 1
         state.last_sample_at = now
         self.total_samples += 1
+        if self._quality is not None:
+            self._quality.observe(backend, now, float(t_lb))
 
     def estimate(self, backend: str) -> Optional[float]:
         """Current estimate for ``backend`` (ns), or None if unknown."""
@@ -90,12 +115,29 @@ class BackendLatencyEstimator:
             return None
         return self._metric_value(state)
 
-    def snapshot(self) -> List[BackendEstimate]:
-        """Estimates for all backends meeting ``min_samples``."""
+    def snapshot(self, now: Optional[int] = None) -> List[BackendEstimate]:
+        """Estimates for all backends meeting ``min_samples``.
+
+        With a quality tracker attached and ``now`` given, backends
+        whose signal has been invalidated are excluded and estimates
+        with a stale signal carry ``stale=True``.
+        """
+        grade = None
+        if self._quality is not None and now is not None:
+            from repro.resilience.quality import SignalGrade
+
+            grade = {
+                name: self._quality.grade(name, now) for name in self._backends
+            }
         result = []
         for name, state in sorted(self._backends.items()):
             if state.samples < self.config.min_samples:
                 continue
+            stale = False
+            if grade is not None:
+                if grade[name] is SignalGrade.INVALID:
+                    continue
+                stale = grade[name] is not SignalGrade.FRESH
             value = self._metric_value(state)
             if value is None:
                 continue
@@ -105,13 +147,14 @@ class BackendLatencyEstimator:
                     value=value,
                     samples=state.samples,
                     last_sample_at=state.last_sample_at,
+                    stale=stale,
                 )
             )
         return result
 
-    def worst_and_best(self) -> Optional[tuple]:
+    def worst_and_best(self, now: Optional[int] = None) -> Optional[tuple]:
         """(worst, best) :class:`BackendEstimate` pair, or None if < 2."""
-        estimates = self.snapshot()
+        estimates = self.snapshot(now)
         if len(estimates) < 2:
             return None
         ranked = sorted(estimates, key=lambda e: e.value)
@@ -120,6 +163,8 @@ class BackendLatencyEstimator:
     def forget(self, backend: str) -> None:
         """Drop a backend's state (pool churn)."""
         self._backends.pop(backend, None)
+        if self._quality is not None:
+            self._quality.forget(backend)
 
     def _metric_value(self, state: _BackendState) -> Optional[float]:
         if self.config.metric == "ewma":

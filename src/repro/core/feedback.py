@@ -21,7 +21,7 @@ estimator against a static Maglev table).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.controller import AlphaShiftController, ControllerConfig
 from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
@@ -39,6 +39,11 @@ from repro.net.addr import FlowKey
 from repro.net.packet import Packet
 from repro.telemetry.timeseries import TimeSeries
 from repro.units import SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.resilience.breaker import BreakerBoard
+    from repro.resilience.config import ResilienceConfig
+    from repro.resilience.ladder import ModeTransition
 
 
 @dataclass
@@ -104,9 +109,23 @@ class _FlowState:
 
 
 class InbandFeedback:
-    """Wires measurement and control onto a load balancer."""
+    """Wires measurement and control onto a load balancer.
 
-    def __init__(self, lb: LoadBalancer, config: Optional[FeedbackConfig] = None):
+    With a :class:`~repro.resilience.config.ResilienceConfig` (enabled)
+    the loop grows its guardrails: every backend's sample stream is
+    graded by a signal-quality tracker, a degradation ladder gates the
+    controller (weights only move in ``FEEDBACK`` mode), a periodic
+    check catches starved signals that produce no packets, and passive
+    samples feed the LB's circuit breakers as success evidence.
+    """
+
+    def __init__(
+        self,
+        lb: LoadBalancer,
+        config: Optional[FeedbackConfig] = None,
+        resilience: Optional["ResilienceConfig"] = None,
+        breakers: Optional["BreakerBoard"] = None,
+    ):
         self.lb = lb
         self.config = config or FeedbackConfig()
         self.estimator = BackendLatencyEstimator(self.config.estimator)
@@ -136,6 +155,13 @@ class InbandFeedback:
         self.censored_samples = 0
         #: Per-backend sample series for reports (time, T_LB ns).
         self.sample_series: Dict[str, TimeSeries] = {}
+        #: Resilience plane (None unless enabled).
+        self.quality = None
+        self.ladder = None
+        self.breakers = breakers
+        self._was_invalid: Dict[str, bool] = {}
+        if resilience is not None and resilience.enabled:
+            self._wire_resilience(resilience)
         lb.add_tap(self._on_packet)
 
     @property
@@ -149,7 +175,56 @@ class InbandFeedback:
             return []
         return self.controller.updates
 
+    def mode_transitions(self) -> List["ModeTransition"]:
+        """The ladder's telemetry events (empty without resilience)."""
+        if self.ladder is None:
+            return []
+        return self.ladder.transitions
+
     # ------------------------------------------------------------------
+
+    def _wire_resilience(self, resilience: "ResilienceConfig") -> None:
+        # Imported lazily: repro.core loads before repro.resilience can
+        # finish initializing (resilience.ladder imports the controller).
+        from repro.resilience.ladder import ControllerMode, DegradationLadder
+        from repro.resilience.quality import SignalGrade, SignalQualityTracker
+
+        self._feedback_mode = ControllerMode.FEEDBACK
+        self._invalid_grade = SignalGrade.INVALID
+        sim = self.lb.network.sim
+        self.quality = SignalQualityTracker(resilience.signal)
+        self.estimator.attach_quality(self.quality)
+        for name in self.lb.pool.names():
+            self.quality.register(name, sim.now)
+        controller = (
+            self.controller
+            if isinstance(self.controller, AlphaShiftController)
+            else None
+        )
+        self.ladder = DegradationLadder(
+            self.lb.pool, self.quality, resilience.ladder, controller=controller
+        )
+        interval = resilience.ladder.check_interval
+
+        def tick() -> None:
+            self._evaluate(sim.now)
+            sim.schedule(interval, tick)
+
+        sim.schedule(interval, tick)
+
+    def _evaluate(self, now: int) -> None:
+        """Walk the ladder and feed invalidation edges to the breakers."""
+        self.ladder.evaluate(now)
+        if self.breakers is None or self.quality is None:
+            return
+        from repro.resilience.quality import SignalGrade
+
+        for name in self.lb.pool.names():
+            invalid = self.quality.grade(name, now) is SignalGrade.INVALID
+            if invalid and not self._was_invalid.get(name, False):
+                # One failure per invalidation episode: the signal died.
+                self.breakers.record_failure(name, now)
+            self._was_invalid[name] = invalid
 
     def _on_packet(
         self, now: int, flow: FlowKey, backend: str, packet: Packet
@@ -181,5 +256,14 @@ class InbandFeedback:
                 self.sample_series[backend] = series
             series.append(now, float(t_lb))
 
+        if self.breakers is not None:
+            # A T_LB sample is live-traffic evidence the backend answers.
+            self.breakers.record_success(backend, now)
+        if self.ladder is not None:
+            from repro.resilience.ladder import ControllerMode
+
+            self._evaluate(now)
+            if self.ladder.mode is not ControllerMode.FEEDBACK:
+                return  # weights frozen: the signal is not trusted
         if self.controller is not None:
             self.controller.maybe_update(now)

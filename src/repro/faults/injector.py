@@ -353,6 +353,7 @@ class Injector:
     def _shift_crash(self, name: str, apply: bool) -> None:
         assert self._pool is not None
         depth = self._crash_depth.get(name, 0)
+        app = self._servers.get(name)
         if apply:
             if depth == 0:
                 # A crash on an already-down backend is a no-op — and the
@@ -362,11 +363,18 @@ class Injector:
                 self._crash_owned[name] = owned
                 if owned:
                     self._pool.set_healthy(name, False)
+                if owned and app is not None and hasattr(app, "crash"):
+                    # Kill the process too: the listener goes dark and
+                    # in-flight requests vanish, so clients and health
+                    # probes see real silence, not just a pool flag.
+                    app.crash()
             self._crash_depth[name] = depth + 1
         else:
             self._crash_depth[name] = depth - 1
             if self._crash_depth[name] == 0 and self._crash_owned.get(name):
                 self._crash_owned[name] = False
+                if app is not None and hasattr(app, "restart"):
+                    app.restart()
                 if name in self._pool:
                     self._pool.set_healthy(name, True)
 

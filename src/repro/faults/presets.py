@@ -12,6 +12,7 @@ several full periods.
 ``lossy_path``      2% random loss on the LB→server0 path
 ``slow_ramp``       staircase of compounding slowdowns on server0
 ``correlated_burst`` delay+jitter+loss hit *every* LB→server path at once
+``crash``           server0 dies for the middle third, then restarts
 =================== ====================================================
 """
 
@@ -21,6 +22,7 @@ from typing import Callable, Dict, List
 
 from repro.errors import ConfigError
 from repro.faults.model import (
+    CrashRestartFault,
     DelayFault,
     FaultSpec,
     JitterFault,
@@ -88,6 +90,22 @@ def slow_ramp(duration: int, node: str = "server0") -> List[FaultSpec]:
     ]
 
 
+def crash(duration: int, node: str = "server0") -> List[FaultSpec]:
+    """``node`` crashes for the middle third of the run, then restarts.
+
+    The canonical resilience stimulus: the process dies (listener down,
+    in-flight requests lost, pool marks it unhealthy), stays dead long
+    enough for its feedback signal to invalidate, then comes back —
+    exercising staleness detection, the degradation ladder's FALLBACK
+    entry, and recovery re-entry into FEEDBACK.
+    """
+    return [
+        CrashRestartFault(
+            start=duration // 3, duration=duration // 3, node=node
+        )
+    ]
+
+
 def correlated_burst(duration: int) -> List[FaultSpec]:
     """Every LB→server path degrades at once for an eighth of the run.
 
@@ -112,6 +130,7 @@ PRESETS: Dict[str, Callable[[int], List[FaultSpec]]] = {
     "lossy_path": lossy_path,
     "slow_ramp": slow_ramp,
     "correlated_burst": correlated_burst,
+    "crash": crash,
 }
 
 

@@ -18,6 +18,7 @@ from repro.app.server import ServerConfig
 from repro.core.feedback import FeedbackConfig
 from repro.errors import ConfigError
 from repro.faults.model import DelayFault, FaultSpec
+from repro.resilience.config import ResilienceConfig
 from repro.units import GIGABITS_PER_SECOND, MICROSECONDS, SECONDS
 
 
@@ -149,6 +150,9 @@ class ScenarioConfig:
     injections: List[DelayInjection] = field(default_factory=list)
     #: Declarative chaos-plane faults (see :mod:`repro.faults`).
     faults: List[FaultSpec] = field(default_factory=list)
+    #: Signal-integrity guardrails (see :mod:`repro.resilience`);
+    #: disabled by default, making the plane structurally absent.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     #: Ignore requests completing before this time in summary stats.
     warmup: int = 0
 
@@ -168,6 +172,7 @@ class ScenarioConfig:
             raise ConfigError("warmup must be within the run duration")
         self.network.validate()
         self.memtier.validate()
+        self.resilience.validate()
         for injection in self.injections:
             injection.validate()
             if injection.at >= self.duration:

@@ -45,6 +45,41 @@ def export_latency_series(
     return write_csv(path, ("bucket_start_ns", label), series)
 
 
+def export_shift_events(path: PathLike, events) -> int:
+    """Write controller :class:`~repro.core.controller.ShiftEvent` rows.
+
+    Includes each shift's ``reason`` (hysteresis-pass vs the resilience
+    ladder's mode-change / post-fallback-rebalance) so exported traces
+    distinguish normal control activity from recovery choreography.
+    """
+    rows = (
+        (
+            e.time,
+            e.from_backend,
+            "%.6g" % e.worst_estimate,
+            "%.6g" % e.best_estimate,
+            e.reason,
+            ";".join(
+                "%s=%.6g" % (name, weight)
+                for name, weight in sorted(e.weights_after.items())
+            ),
+        )
+        for e in events
+    )
+    return write_csv(
+        path,
+        (
+            "time_ns",
+            "from_backend",
+            "worst_estimate_ns",
+            "best_estimate_ns",
+            "reason",
+            "weights_after",
+        ),
+        rows,
+    )
+
+
 def export_records(path: PathLike, records) -> int:
     """Write client RequestRecords (the full ground-truth request log)."""
     rows = (

@@ -106,6 +106,46 @@ class ScenarioResult:
         return None
 
     # ------------------------------------------------------------------
+    # Resilience-plane views
+    # ------------------------------------------------------------------
+
+    def mode_transitions(self) -> List:
+        """The degradation ladder's telemetry (empty without resilience)."""
+        if self.scenario.feedback is None:
+            return []
+        return self.scenario.feedback.mode_transitions()
+
+    def first_mode_entry(self, mode_name: str, after: int = 0) -> Optional[int]:
+        """Time the ladder first entered ``mode_name`` at/after ``after``."""
+        for transition in self.mode_transitions():
+            if transition.to_mode.name == mode_name and transition.time >= after:
+                return transition.time
+        return None
+
+    def breaker_transitions(self) -> List:
+        """Circuit-breaker state changes (empty without resilience)."""
+        if self.scenario.breakers is None:
+            return []
+        return self.scenario.breakers.transitions
+
+    def retry_stats(self) -> Optional[object]:
+        """Aggregated client retry counters (None without a retry plane)."""
+        from repro.resilience.retry import RetryStats
+
+        if not any(c.retry is not None for c in self.scenario.clients):
+            return None
+        total = RetryStats()
+        for client in self.scenario.clients:
+            stats = client.retry_stats
+            total.first_attempts += stats.first_attempts
+            total.retries += stats.retries
+            total.deadline_expiries += stats.deadline_expiries
+            total.budget_denied += stats.budget_denied
+            total.attempts_exhausted += stats.attempts_exhausted
+            total.aborted_connections += stats.aborted_connections
+        return total
+
+    # ------------------------------------------------------------------
     # Chaos-plane views
     # ------------------------------------------------------------------
 
@@ -189,6 +229,48 @@ class ScenarioResult:
             queue_drops, loss_drops = self.drop_counts()
             lines.append(
                 "packet drops: queue=%d loss=%d" % (queue_drops, loss_drops)
+            )
+        transitions = self.mode_transitions()
+        if transitions:
+            lines.append("controller mode transitions:")
+            for t in transitions:
+                lines.append(
+                    "  %10.3fms  %s -> %s  (%s)"
+                    % (
+                        to_millis(t.time),
+                        t.from_mode.name,
+                        t.to_mode.name,
+                        t.reason,
+                    )
+                )
+        breaker_events = self.breaker_transitions()
+        if breaker_events:
+            lines.append("circuit breakers:")
+            for b in breaker_events:
+                lines.append(
+                    "  %10.3fms  %s: %s -> %s  (%s)"
+                    % (
+                        to_millis(b.time),
+                        b.backend,
+                        b.from_state.name,
+                        b.to_state.name,
+                        b.reason,
+                    )
+                )
+        retry = self.retry_stats()
+        if retry is not None:
+            lines.append(
+                "retries: %d of %d first attempts "
+                "(deadline expiries=%d, budget denied=%d, exhausted=%d, "
+                "aborted conns=%d)"
+                % (
+                    retry.retries,
+                    retry.first_attempts,
+                    retry.deadline_expiries,
+                    retry.budget_denied,
+                    retry.attempts_exhausted,
+                    retry.aborted_connections,
+                )
             )
         bucket = 250 * MILLISECONDS
         series = self.latency_series(bucket=bucket)

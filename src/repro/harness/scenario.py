@@ -28,6 +28,7 @@ from repro.lb.conntrack import ConnTrack
 from repro.lb.dataplane import LoadBalancer
 from repro.lb.oracle import OracleFeedback
 from repro.lb.policies import (
+    BreakerGatedPolicy,
     LeastConnections,
     MaglevPolicy,
     PowerOfTwoChoices,
@@ -36,8 +37,10 @@ from repro.lb.policies import (
     RoutingPolicy,
     WeightedRandom,
 )
+from repro.lb.health import HealthChecker
 from repro.net.addr import Endpoint
 from repro.net.network import Network
+from repro.resilience.breaker import BreakerBoard
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.transport.endpoint import Host
@@ -61,6 +64,10 @@ class Scenario:
     oracle: Optional[OracleFeedback] = None
     #: Chaos plane, armed when the config declares faults/injections.
     injector: Optional[Injector] = None
+    #: Resilience plane (None unless ``config.resilience.enabled``).
+    breakers: Optional[BreakerBoard] = None
+    health: Optional[HealthChecker] = None
+    prober: Optional[Host] = None
     #: Extra series populated by the runner.
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -85,6 +92,13 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
     conntrack = ConnTrack()
     policy = _make_policy(config, pool, conntrack, streams)
 
+    # --- resilience plane (structurally absent unless enabled) ---------
+    resilience = config.resilience
+    board: Optional[BreakerBoard] = None
+    if resilience.enabled:
+        board = BreakerBoard(resilience.breaker)
+        policy = BreakerGatedPolicy(policy, pool, board)
+
     # --- the load balancer, owner of the VIP ---------------------------
     lb = LoadBalancer(
         network,
@@ -93,6 +107,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         pool,
         policy,
         conntrack,
+        breakers=board,
     )
 
     # --- servers --------------------------------------------------------
@@ -144,7 +159,16 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
                 queue_capacity=net_params.queue_capacity,
             )
         client = MemtierClient(
-            host, vip, config.memtier, streams.get("client.%s.workload" % name)
+            host,
+            vip,
+            config.memtier,
+            streams.get("client.%s.workload" % name),
+            retry=resilience.retry if resilience.enabled else None,
+            retry_rng=(
+                streams.get("client.%s.retry" % name)
+                if resilience.enabled
+                else None
+            ),
         )
         clients.append(client)
 
@@ -157,11 +181,41 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         pool=pool,
         servers=servers,
         clients=clients,
+        breakers=board,
     )
+
+    # --- active health checks (prober host colocated with the LB) --------
+    if resilience.enabled and resilience.health_checks:
+        from repro.lb.health import HealthCheckConfig
+
+        prober = Host(network, "prober")
+        targets: Dict[str, Endpoint] = {}
+        for index in range(config.n_servers):
+            s_name = config.server_name(index)
+            network.connect_bidirectional(
+                "prober",
+                s_name,
+                prop_delay=net_params.lb_server_delay,
+                bandwidth_bps=net_params.bandwidth_bps,
+                queue_capacity=net_params.queue_capacity,
+            )
+            targets[s_name] = Endpoint(
+                s_name, config.server_config(index).port
+            )
+        scenario.prober = prober
+        scenario.health = HealthChecker(
+            prober,
+            pool,
+            targets,
+            resilience.health or HealthCheckConfig(),
+            breakers=board,
+        )
 
     # --- measurement / control plane --------------------------------------
     if config.policy is PolicyName.FEEDBACK:
-        scenario.feedback = InbandFeedback(lb, config.feedback)
+        scenario.feedback = InbandFeedback(
+            lb, config.feedback, resilience=resilience, breakers=board
+        )
     elif config.policy is PolicyName.ORACLE:
         oracle = OracleFeedback(
             pool,

@@ -21,7 +21,7 @@ verify how traffic actually shifted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.lb.backend import BackendPool
 from repro.lb.conntrack import ConnTrack
@@ -29,6 +29,9 @@ from repro.lb.policies import RoutingPolicy
 from repro.net.addr import Endpoint, FlowKey
 from repro.net.network import Network
 from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - resilience imports lb submodules
+    from repro.resilience.breaker import BreakerBoard
 
 #: Signature of a measurement tap.
 PacketTap = Callable[[int, FlowKey, str, Packet], None]
@@ -44,6 +47,10 @@ class LoadBalancerStats:
     new_flows: int = 0
     conntrack_fallbacks: int = 0
     draining_packets: int = 0
+    #: Packets forwarded to a backend whose circuit breaker was OPEN at
+    #: the time (affinity keeps established flows pinned; only new-flow
+    #: placement is breaker-gated).
+    packets_to_open_backend: int = 0
     per_backend_packets: Dict[str, int] = field(default_factory=dict)
     per_backend_new_flows: Dict[str, int] = field(default_factory=dict)
 
@@ -61,6 +68,11 @@ class LoadBalancer:
         The virtual endpoint clients address.
     pool, policy, conntrack:
         Backend set, new-flow routing policy, and affinity table.
+    breakers:
+        Optional per-backend circuit-breaker board (resilience plane);
+        only used for the ``packets_to_open_backend`` statistic — the
+        routing decision itself is gated by
+        :class:`~repro.lb.policies.BreakerGatedPolicy`.
     """
 
     def __init__(
@@ -71,6 +83,7 @@ class LoadBalancer:
         pool: BackendPool,
         policy: RoutingPolicy,
         conntrack: Optional[ConnTrack] = None,
+        breakers: Optional["BreakerBoard"] = None,
     ):
         self.network = network
         self.name = name
@@ -78,6 +91,7 @@ class LoadBalancer:
         self.pool = pool
         self.policy = policy
         self.conntrack = conntrack or ConnTrack()
+        self.breakers = breakers
         self.stats = LoadBalancerStats()
         self._taps: List[PacketTap] = []
         network.add_node(self)
@@ -123,6 +137,9 @@ class LoadBalancer:
 
         for tap in self._taps:
             tap(now, flow, backend, packet)
+
+        if self.breakers is not None and self.breakers.is_open(backend, now):
+            self.stats.packets_to_open_backend += 1
 
         self.stats.packets_forwarded += 1
         self.stats.per_backend_packets[backend] = (

@@ -17,7 +17,7 @@ membership, feedback tunes weights among the live members.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.lb.backend import BackendPool
 from repro.net.addr import Endpoint
@@ -25,6 +25,9 @@ from repro.sim.engine import Timer
 from repro.transport.connection import Connection, TransportConfig
 from repro.transport.endpoint import Host
 from repro.units import MILLISECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - resilience imports lb submodules
+    from repro.resilience.breaker import BreakerBoard
 
 
 @dataclass
@@ -83,6 +86,10 @@ class _BackendProbe:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+        if self.checker.breakers is not None:
+            self.checker.breakers.record_success(
+                self.name, self.checker.host.sim.now
+            )
         self.stats.successes += 1
         self.consecutive_ok += 1
         self.consecutive_fail = 0
@@ -98,6 +105,10 @@ class _BackendProbe:
         if self._conn is not None:
             self._conn.abort()
             self._conn = None
+        if self.checker.breakers is not None:
+            self.checker.breakers.record_failure(
+                self.name, self.checker.host.sim.now
+            )
         self.stats.failures += 1
         self.consecutive_fail += 1
         self.consecutive_ok = 0
@@ -127,6 +138,10 @@ class HealthChecker:
     targets:
         Backend name → the concrete endpoint to probe (usually the
         backend's own host and service port, not the VIP).
+    breakers:
+        Optional circuit-breaker board; every probe outcome is fed in
+        as evidence (success/failure), composing active checks with the
+        resilience plane's breakers.
     """
 
     def __init__(
@@ -135,11 +150,13 @@ class HealthChecker:
         pool: BackendPool,
         targets: Dict[str, Endpoint],
         config: Optional[HealthCheckConfig] = None,
+        breakers: Optional["BreakerBoard"] = None,
     ):
         self.host = host
         self.pool = pool
         self.config = config or HealthCheckConfig()
         self.config.validate()
+        self.breakers = breakers
         self._probes: Dict[str, _BackendProbe] = {}
         for name, target in targets.items():
             if name not in pool:

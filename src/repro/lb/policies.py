@@ -14,13 +14,17 @@ dataplane's job (conntrack).
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional, Protocol
+import zlib
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from repro.errors import BalancerError
 from repro.lb.backend import BackendPool
 from repro.lb.conntrack import ConnTrack
 from repro.lb.maglev import MaglevTable
 from repro.net.addr import FlowKey
+
+if TYPE_CHECKING:  # pragma: no cover - resilience imports lb submodules
+    from repro.resilience.breaker import BreakerBoard
 
 
 class RoutingPolicy(Protocol):
@@ -62,6 +66,53 @@ class MaglevPolicy:
     def select(self, flow: FlowKey, now: int) -> str:
         _require_backends(self.pool)
         return self.table.lookup_flow(str(flow))
+
+
+class BreakerGatedPolicy:
+    """Wrap any policy with per-backend circuit breakers.
+
+    The inner policy proposes a backend; if that backend's breaker
+    refuses admission the flow is *diverted* to a deterministic
+    alternative (hash of the flow over the admitted healthy backends),
+    so diversion keeps consistent-hashing's stability property.  When
+    every alternative is also refused the gate **fails open**: routing
+    somewhere beats blackholing the flow, and the probe traffic is what
+    lets a half-open breaker observe recovery.
+
+    Attribute access falls through to the inner policy so callers that
+    poke at e.g. ``MaglevPolicy.table`` keep working.
+    """
+
+    def __init__(
+        self, inner: RoutingPolicy, pool: BackendPool, board: "BreakerBoard"
+    ):
+        self.inner = inner
+        self.pool = pool
+        self.board = board
+        #: Flows steered away from an open backend.
+        self.diverted = 0
+        #: Flows sent to a refused backend because nothing else admitted.
+        self.fail_open = 0
+
+    def select(self, flow: FlowKey, now: int) -> str:
+        choice = self.inner.select(flow, now)
+        if self.board.allow(choice, now):
+            return choice
+        candidates = [
+            b.name
+            for b in sorted(self.pool.healthy(), key=lambda b: b.name)
+            if b.name != choice and self.board.allow(b.name, now, admit=False)
+        ]
+        if not candidates:
+            self.fail_open += 1
+            return choice
+        self.diverted += 1
+        pick = candidates[zlib.crc32(str(flow).encode()) % len(candidates)]
+        self.board.allow(pick, now, admit=True)
+        return pick
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
 
 
 class RoundRobin:

@@ -1,0 +1,46 @@
+"""The aggregate resilience block scenarios carry.
+
+``ScenarioConfig.resilience`` holds one :class:`ResilienceConfig`;
+``enabled=False`` (the default) makes the whole plane structurally
+absent — no tracker, no ladder, no breakers, no retry timers — so
+existing scenarios run byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.resilience.breaker import BreakerConfig
+from repro.resilience.ladder import DegradationConfig
+from repro.resilience.quality import SignalQualityConfig
+from repro.resilience.retry import RetryConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lb → resilience)
+    from repro.lb.health import HealthCheckConfig
+
+
+@dataclass
+class ResilienceConfig:
+    """Everything the resilience plane needs, in one block."""
+
+    enabled: bool = False
+    signal: SignalQualityConfig = field(default_factory=SignalQualityConfig)
+    ladder: DegradationConfig = field(default_factory=DegradationConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
+    #: Run an active health checker from a prober host colocated with
+    #: the LB; its probe outcomes feed the circuit breakers.
+    health_checks: bool = False
+    #: Prober tunables; None means :class:`~repro.lb.health.HealthCheckConfig`
+    #: defaults (declared lazily to keep this package free of lb imports).
+    health: Optional["HealthCheckConfig"] = None
+
+    def validate(self) -> None:
+        """Raise on malformed sub-blocks."""
+        self.signal.validate()
+        self.ladder.validate()
+        self.breaker.validate()
+        self.retry.validate()
+        if self.health is not None:
+            self.health.validate()

@@ -1,0 +1,122 @@
+"""The client-side retry plane: deadlines, backoff, and a retry budget.
+
+Fault injection turns slow backends into *silent* backends, and a
+naive closed-loop client answers silence with synchronized retries —
+the retry storm that converts one backend's failure into pool-wide
+overload.  Three standard mechanisms bound that:
+
+* **Per-request deadlines** — a request unanswered after ``deadline``
+  ns is abandoned (its connection is torn down, memtier-style), so a
+  dead backend costs one deadline, not a stalled run.
+* **Exponential backoff + jitter** — the k-th retry of a request waits
+  ``base_backoff · multiplier^(k-1)`` (capped at ``max_backoff``) plus
+  a jitter fraction, de-synchronizing clients that failed together.
+* **Token-bucket retry budget** — Finagle-style: every *first* attempt
+  deposits ``budget_ratio`` tokens (capped), every retry withdraws a
+  whole token.  Total retries can never exceed
+  ``budget_initial + budget_ratio × first_attempts`` — an arithmetic
+  bound, not a tuning hope.
+
+The plane is inert by default (``RetryConfig()`` in a scenario with
+resilience disabled adds no timers and no RNG draws), so fault-free
+runs are byte-identical with and without it compiled in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.units import MILLISECONDS
+
+
+@dataclass
+class RetryConfig:
+    """Client retry tunables."""
+
+    #: Per-request deadline.  Generous relative to healthy latencies so
+    #: the plane is inert when nothing is wrong (fault-free p95 is
+    #: sub-millisecond; 50 ms of silence means the backend is gone).
+    deadline: int = 50 * MILLISECONDS
+    #: Total attempts per request, including the first.
+    max_attempts: int = 3
+    base_backoff: int = 1 * MILLISECONDS
+    backoff_multiplier: float = 2.0
+    max_backoff: int = 32 * MILLISECONDS
+    #: Jitter fraction: each backoff is stretched by up to this much.
+    jitter: float = 0.5
+    #: Tokens deposited per first attempt (Finagle's retryBudget ratio).
+    budget_ratio: float = 0.1
+    #: Tokens available before any traffic (cold-start allowance).
+    budget_initial: float = 10.0
+    #: Bucket capacity.
+    budget_cap: float = 100.0
+
+    def validate(self) -> None:
+        """Raise ValueError on malformed parameters."""
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < self.base_backoff:
+            raise ValueError("need 0 <= base_backoff <= max_backoff")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be >= 0")
+        if self.budget_ratio < 0.0 or self.budget_initial < 0.0:
+            raise ValueError("budget parameters must be >= 0")
+        if self.budget_cap < self.budget_initial:
+            raise ValueError("budget_cap must be >= budget_initial")
+
+
+@dataclass
+class RetryStats:
+    """Counters for the acceptance bound and reports."""
+
+    first_attempts: int = 0
+    retries: int = 0
+    deadline_expiries: int = 0
+    budget_denied: int = 0
+    attempts_exhausted: int = 0
+    aborted_connections: int = 0
+
+    @property
+    def abandoned(self) -> int:
+        """Requests given up on (no retry followed the failure)."""
+        return self.budget_denied + self.attempts_exhausted
+
+
+class RetryBudget:
+    """Token bucket bounding total retries against total traffic."""
+
+    def __init__(self, config: RetryConfig):
+        self.config = config
+        self.tokens = float(config.budget_initial)
+
+    def deposit(self) -> None:
+        """Credit one first attempt."""
+        self.tokens = min(
+            self.config.budget_cap, self.tokens + self.config.budget_ratio
+        )
+
+    def withdraw(self) -> bool:
+        """Spend one token for a retry; False when the budget is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def bound(self, first_attempts: int) -> float:
+        """The arithmetic ceiling on retries after ``first_attempts``."""
+        return self.config.budget_initial + self.config.budget_ratio * first_attempts
+
+
+def backoff_delay(config: RetryConfig, retry_index: int, rng: random.Random) -> int:
+    """Delay before the ``retry_index``-th retry (1-based), jittered."""
+    if retry_index < 1:
+        raise ValueError("retry_index is 1-based")
+    base = config.base_backoff * config.backoff_multiplier ** (retry_index - 1)
+    base = min(float(config.max_backoff), base)
+    return int(base + rng.random() * config.jitter * base)

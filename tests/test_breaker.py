@@ -1,0 +1,156 @@
+"""Circuit breakers: CLOSED → OPEN → HALF_OPEN, lazily clocked.
+
+The breaker is timer-free: state changes that depend only on elapsed
+time happen on the next query, so everything here is driven by
+explicit ``now`` values.
+"""
+
+import pytest
+
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.units import MILLISECONDS
+
+MS = MILLISECONDS
+
+
+def make_breaker(**kwargs):
+    defaults = dict(
+        failure_threshold=3, reset_timeout=200 * MS, half_open_trials=2
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("s0", BreakerConfig(**defaults))
+
+
+class TestStateMachine:
+    def test_closed_allows(self):
+        assert make_breaker().allow(0)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = make_breaker(failure_threshold=3)
+        breaker.record_failure(1 * MS)
+        breaker.record_failure(2 * MS)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3 * MS)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(4 * MS)
+
+    def test_success_resets_the_failure_streak(self):
+        """Only *consecutive* failures trip the breaker."""
+        breaker = make_breaker(failure_threshold=3)
+        for t in range(10):
+            breaker.record_failure(t * MS)
+            breaker.record_failure(t * MS)
+            breaker.record_success(t * MS)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_softens_to_half_open_after_reset_timeout(self):
+        breaker = make_breaker(reset_timeout=200 * MS)
+        for _ in range(3):
+            breaker.record_failure(0)
+        assert not breaker.allow(199 * MS)
+        assert breaker.allow(200 * MS)  # lazily moved to HALF_OPEN
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_limited_trials(self):
+        breaker = make_breaker(half_open_trials=2, reset_timeout=100 * MS)
+        for _ in range(3):
+            breaker.record_failure(0)
+        now = 100 * MS
+        assert breaker.allow(now)
+        assert breaker.allow(now)
+        assert not breaker.allow(now)  # trial slots exhausted
+
+    def test_candidate_checks_do_not_consume_trials(self):
+        breaker = make_breaker(half_open_trials=1, reset_timeout=100 * MS)
+        for _ in range(3):
+            breaker.record_failure(0)
+        now = 100 * MS
+        for _ in range(5):
+            assert breaker.allow(now, admit=False)
+        assert breaker.allow(now)  # the slot is still there
+        assert not breaker.allow(now, admit=False)
+
+    def test_trial_successes_close(self):
+        breaker = make_breaker(half_open_trials=2, reset_timeout=100 * MS)
+        for _ in range(3):
+            breaker.record_failure(0)
+        breaker.record_success(100 * MS)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(101 * MS)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_trial_failure_reopens(self):
+        breaker = make_breaker(reset_timeout=100 * MS)
+        for _ in range(3):
+            breaker.record_failure(0)
+        breaker.record_failure(100 * MS)  # polls into HALF_OPEN, then fails
+        assert breaker.state is BreakerState.OPEN
+        # A fresh reset_timeout applies from the re-open.
+        assert not breaker.allow(199 * MS)
+        assert breaker.allow(200 * MS)
+
+    def test_reopen_resets_trial_counters(self):
+        breaker = make_breaker(half_open_trials=2, reset_timeout=100 * MS)
+        for _ in range(3):
+            breaker.record_failure(0)
+        breaker.record_success(100 * MS)  # one trial success
+        breaker.record_failure(101 * MS)  # re-open
+        breaker.record_success(201 * MS)  # half-open again; counter fresh
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(202 * MS)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestBoard:
+    def test_unseen_backend_is_closed_and_allowed(self):
+        board = BreakerBoard()
+        assert board.state("ghost") is BreakerState.CLOSED
+        assert not board.is_open("ghost", 0)
+        assert board.allow("ghost", 0)
+
+    def test_transitions_logged_across_backends(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1))
+        board.record_failure("s0", 1 * MS)
+        board.record_failure("s1", 2 * MS)
+        assert [(t.backend, t.to_state) for t in board.transitions] == [
+            ("s0", BreakerState.OPEN),
+            ("s1", BreakerState.OPEN),
+        ]
+        assert board.open_backends() == ["s0", "s1"]
+
+    def test_is_open_polls_time(self):
+        board = BreakerBoard(
+            BreakerConfig(failure_threshold=1, reset_timeout=100 * MS)
+        )
+        board.record_failure("s0", 0)
+        assert board.is_open("s0", 50 * MS)
+        assert not board.is_open("s0", 100 * MS)  # now HALF_OPEN
+        assert board.state("s0") is BreakerState.HALF_OPEN
+
+    def test_states_snapshot(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1))
+        board.record_success("s1", 0)
+        board.record_failure("s0", 0)
+        assert board.states() == {
+            "s0": BreakerState.OPEN,
+            "s1": BreakerState.CLOSED,
+        }
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_threshold=0),
+            dict(reset_timeout=0),
+            dict(half_open_trials=0),
+        ],
+    )
+    def test_rejects_malformed(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerBoard(BreakerConfig(**kwargs))

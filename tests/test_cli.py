@@ -124,3 +124,25 @@ class TestSweepCommand:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["resilience"])
+        assert args.fault == "crash"
+        assert args.servers == 2
+        assert args.clients == 1
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resilience", "--fault", "meteor"])
+
+    def test_crash_reports_degradation_and_recovery(self, capsys):
+        code = main(["--duration", "2.0", "resilience", "--fault", "crash"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-> FALLBACK" in out
+        assert "time to FALLBACK after fault onset" in out
+        assert "time to FEEDBACK recovery" in out
+        assert "circuit breakers:" in out
+        assert "retries:" in out

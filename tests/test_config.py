@@ -43,15 +43,21 @@ class TestDelayInjection:
             DelayInjection(at=0, server="s0", extra=1000)
 
     def test_valid(self):
-        DelayInjection(at=0, server="s0", extra=1000).validate()
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=0, server="s0", extra=1000)
+        injection.validate()
 
     def test_negative_rejected(self):
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=-1, server="s0", extra=0)
         with pytest.raises(ConfigError):
-            DelayInjection(at=-1, server="s0", extra=0).validate()
+            injection.validate()
 
     def test_end_before_start_rejected(self):
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=100, server="s0", extra=1, end=100)
         with pytest.raises(ConfigError):
-            DelayInjection(at=100, server="s0", extra=1, end=100).validate()
+            injection.validate()
 
 
 class TestScenarioConfig:
@@ -83,10 +89,9 @@ class TestScenarioConfig:
             ScenarioConfig(duration=SECONDS, warmup=SECONDS).validate()
 
     def test_injection_within_duration(self):
-        config = ScenarioConfig(
-            duration=SECONDS,
-            injections=[DelayInjection(at=2 * SECONDS, server="server0", extra=1)],
-        )
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=2 * SECONDS, server="server0", extra=1)
+        config = ScenarioConfig(duration=SECONDS, injections=[injection])
         with pytest.raises(ConfigError):
             config.validate()
 

@@ -138,3 +138,67 @@ class TestValidation:
     def test_hysteresis_bounds(self):
         with pytest.raises(ConfigError):
             ControllerConfig(hysteresis_ratio=0.9).validate()
+
+
+class TestStaleGuard:
+    """Never shift on a signal you don't trust — the controller-side
+    backstop.  In a wired scenario the degradation ladder usually
+    pre-empts this (it downgrades before the controller runs), but the
+    guard must hold even when the controller is driven directly."""
+
+    def attach_quality(self, estimator):
+        from repro.resilience.quality import (
+            SignalQualityConfig,
+            SignalQualityTracker,
+        )
+
+        tracker = SignalQualityTracker(
+            SignalQualityConfig(
+                stale_after=50 * MILLISECONDS,
+                invalid_after=200 * MILLISECONDS,
+                min_samples=1,
+            )
+        )
+        estimator.attach_quality(tracker)
+        return tracker
+
+    def test_declines_to_shift_on_stale_estimates(self):
+        pool, estimator, controller = make()
+        self.attach_quality(estimator)
+        feed(estimator, now=0)
+        stale_now = 60 * MILLISECONDS  # past stale_after, both stale
+        assert controller.maybe_shift(stale_now) is None
+        assert controller.stale_holds == 1
+        assert pool.weights() == {"s0": 1.0, "s1": 1.0}  # frozen
+
+    def test_one_stale_backend_is_enough_to_hold(self):
+        """The consulted pair is worst/best; either one stale blocks."""
+        pool, estimator, controller = make()
+        self.attach_quality(estimator)
+        feed(estimator, now=0)
+        now = 60 * MILLISECONDS
+        estimator.observe("s1", now, 100 * MICROSECONDS)  # s0 still stale
+        assert controller.maybe_shift(now) is None
+        assert controller.stale_holds == 1
+
+    def test_shifts_again_once_signal_refreshes(self):
+        pool, estimator, controller = make()
+        self.attach_quality(estimator)
+        feed(estimator, now=0)
+        assert controller.maybe_shift(60 * MILLISECONDS) is None
+        feed(estimator, now=61 * MILLISECONDS)
+        event = controller.maybe_shift(61 * MILLISECONDS)
+        assert event is not None
+        assert event.reason == "hysteresis-pass"
+
+    def test_pending_reason_tags_the_executed_shift(self):
+        pool, estimator, controller = make()
+        feed(estimator, 0)
+        controller.pending_reason = "post-fallback-rebalance"
+        event = controller.maybe_shift(0)
+        assert event.reason == "post-fallback-rebalance"
+        assert controller.pending_reason is None
+        # Consumed: the next shift is a plain hysteresis pass again.
+        feed(estimator, 1 * MILLISECONDS)
+        event = controller.maybe_shift(1 * MILLISECONDS)
+        assert event is not None and event.reason == "hysteresis-pass"

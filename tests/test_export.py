@@ -4,9 +4,11 @@ import csv
 
 from repro.app.client import RequestRecord
 from repro.app.protocol import Op
+from repro.core.controller import ShiftEvent
 from repro.harness.export import (
     export_latency_series,
     export_records,
+    export_shift_events,
     export_timeseries,
     write_csv,
 )
@@ -58,6 +60,39 @@ class TestExporters:
         assert export_records(path, [record]) == 1
         rows = list(csv.reader(path.open()))
         assert rows[1] == ["7", "get", "100", "300", "200", "server1", "50000"]
+
+    def test_shift_events_include_reason(self, tmp_path):
+        events = [
+            ShiftEvent(
+                time=500,
+                from_backend="server0",
+                worst_estimate=900.0,
+                best_estimate=100.0,
+                weights_after={"server1": 1.2, "server0": 0.8},
+            ),
+            ShiftEvent(
+                time=900,
+                from_backend="*",
+                worst_estimate=0.0,
+                best_estimate=0.0,
+                weights_after={"server0": 1.0, "server1": 1.0},
+                reason="mode-change",
+            ),
+        ]
+        path = tmp_path / "shifts.csv"
+        assert export_shift_events(path, events) == 2
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == [
+            "time_ns",
+            "from_backend",
+            "worst_estimate_ns",
+            "best_estimate_ns",
+            "reason",
+            "weights_after",
+        ]
+        assert rows[1][4] == "hysteresis-pass"  # the default
+        assert rows[2][4] == "mode-change"
+        assert rows[2][5] == "server0=1;server1=1"  # sorted by name
 
     def test_records_without_server(self, tmp_path):
         record = RequestRecord(

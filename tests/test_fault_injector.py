@@ -294,10 +294,9 @@ class TestResolution:
     def test_legacy_unknown_injection_target_still_rejected(self):
         from repro.harness.config import DelayInjection
 
-        config = ScenarioConfig(
-            duration=1 * SECONDS,
-            injections=[DelayInjection(at=100 * MS, server="serverX", extra=1)],
-        )
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=100 * MS, server="serverX", extra=1)
+        config = ScenarioConfig(duration=1 * SECONDS, injections=[injection])
         with pytest.raises(ConfigError):
             build_scenario(config)
 
@@ -330,14 +329,9 @@ class TestLegacyEquivalence:
         from repro.harness.runner import run_scenario
 
         base = dict(duration=500 * MS, n_servers=2, seed=42)
-        legacy = run_scenario(
-            ScenarioConfig(
-                injections=[
-                    DelayInjection(at=250 * MS, server="server0", extra=1 * MS)
-                ],
-                **base,
-            )
-        )
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=250 * MS, server="server0", extra=1 * MS)
+        legacy = run_scenario(ScenarioConfig(injections=[injection], **base))
         declarative = run_scenario(
             ScenarioConfig(
                 faults=[

@@ -174,9 +174,10 @@ class TestConfigIntegration:
     def test_legacy_injection_converts_to_fault(self):
         from repro.harness.config import DelayInjection
 
-        injection = DelayInjection(
-            at=100, server="server0", extra=1 * MILLISECONDS, end=400
-        )
+        with pytest.deprecated_call():
+            injection = DelayInjection(
+                at=100, server="server0", extra=1 * MILLISECONDS, end=400
+            )
         fault = injection.to_fault()
         assert isinstance(fault, DelayFault)
         assert (fault.start, fault.duration) == (100, 300)
@@ -186,5 +187,6 @@ class TestConfigIntegration:
     def test_open_ended_injection_converts_to_open_ended_fault(self):
         from repro.harness.config import DelayInjection
 
-        fault = DelayInjection(at=100, server="server0", extra=5).to_fault()
-        assert fault.duration is None
+        with pytest.deprecated_call():
+            injection = DelayInjection(at=100, server="server0", extra=5)
+        assert injection.to_fault().duration is None

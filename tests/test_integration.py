@@ -8,8 +8,8 @@ and conservation laws between client, LB, and server counters.
 import pytest
 
 from repro.app.protocol import Op
+from repro.faults import DelayFault
 from repro.harness.config import (
-    DelayInjection,
     PolicyName,
     ScenarioConfig,
 )
@@ -66,9 +66,9 @@ class TestAffinity:
     def test_no_connection_breaks_during_weight_churn(self):
         """§2.5: rebuilds must not re-route established connections."""
         config = small_config(policy=PolicyName.FEEDBACK, duration=500 * MILLISECONDS)
-        config.injections = [
-            DelayInjection(
-                at=100 * MILLISECONDS, server="server0", extra=1 * MILLISECONDS
+        config.faults = [
+            DelayFault(
+                start=100 * MILLISECONDS, extra=1 * MILLISECONDS, node="server0"
             )
         ]
         scenario = build_scenario(config)
@@ -123,12 +123,12 @@ class TestTransientFault:
         config = small_config(
             policy=PolicyName.FEEDBACK,
             duration=duration,
-            injections=[
-                DelayInjection(
-                    at=duration // 4,
-                    server="server0",
+            faults=[
+                DelayFault(
+                    start=duration // 4,
+                    duration=duration // 4,
                     extra=2 * MILLISECONDS,
-                    end=duration // 2,
+                    node="server0",
                 )
             ],
         )
@@ -147,12 +147,12 @@ class TestTransientFault:
         config = small_config(
             policy=PolicyName.ORACLE,
             duration=duration,
-            injections=[
-                DelayInjection(
-                    at=duration // 4,
-                    server="server0",
+            faults=[
+                DelayFault(
+                    start=duration // 4,
+                    duration=duration // 4,
                     extra=2 * MILLISECONDS,
-                    end=duration // 2,
+                    node="server0",
                 )
             ],
         )

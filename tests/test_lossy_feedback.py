@@ -10,8 +10,8 @@ bounded, and the controller still drains a genuinely slow server.
 import pytest
 
 from repro.app.protocol import Op
+from repro.faults import DelayFault
 from repro.harness.config import (
-    DelayInjection,
     NetworkParams,
     PolicyName,
     ScenarioConfig,
@@ -120,11 +120,11 @@ class TestControlUnderLoss:
                 bandwidth_bps=200_000_000,
                 queue_capacity=48,
             ),
-            injections=[
-                DelayInjection(
-                    at=600 * MILLISECONDS,
-                    server="server0",
+            faults=[
+                DelayFault(
+                    start=600 * MILLISECONDS,
                     extra=2 * MILLISECONDS,
+                    node="server0",
                 )
             ],
         )

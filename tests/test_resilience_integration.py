@@ -1,0 +1,191 @@
+"""End-to-end resilience-plane invariants (the ISSUE acceptance bar).
+
+One full crash-fault scenario run, shared module-wide, backs the three
+load-bearing claims:
+
+1. a crash drives the ladder to FALLBACK within one evaluation period
+   of the signal going invalid,
+2. the loop returns to FEEDBACK after the server restarts, and
+3. the controller never executes a ranking shift while any consulted
+   estimate is distrusted ("never shift on a signal you don't trust").
+
+A lossy-path run checks the retry budget's arithmetic bound, and a
+fault-free run checks the plane is inert when nothing is wrong.
+"""
+
+import pytest
+
+from repro.faults import parse_faults
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.runner import run_scenario
+from repro.resilience import ControllerMode, ResilienceConfig
+from repro.units import MILLISECONDS, SECONDS
+
+
+DURATION = 2 * SECONDS
+CRASH_ONSET = DURATION // 3  # crash preset: dead for the middle third
+
+
+def resilient_config(fault=None, **kwargs):
+    defaults = dict(
+        seed=1,
+        duration=DURATION,
+        n_clients=1,
+        n_servers=2,
+        policy=PolicyName.FEEDBACK,
+        resilience=ResilienceConfig(enabled=True, health_checks=True),
+        warmup=DURATION // 10,
+    )
+    if fault is not None:
+        defaults["faults"] = parse_faults(fault, DURATION)
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def crash_result():
+    return run_scenario(resilient_config("crash"))
+
+
+@pytest.fixture(scope="module")
+def lossy_result():
+    return run_scenario(resilient_config("lossy_path"))
+
+
+def mode_at(transitions, time):
+    """Reconstruct the ladder's mode at ``time`` from its telemetry."""
+    mode = ControllerMode.HOLD  # the ladder's starting posture
+    for t in transitions:
+        if t.time > time:
+            break
+        mode = t.to_mode
+    return mode
+
+
+class TestCrashDegradation:
+    def test_crash_reaches_fallback_within_one_epoch_of_invalidation(
+        self, crash_result
+    ):
+        """Silence invalidates invalid_after past the last sample; the
+        last sample can lag onset by up to the retry deadline (pinned
+        connections keep emitting packets until aborted), and the
+        periodic check must then notice within a few periods."""
+        fallback_at = crash_result.first_mode_entry("FALLBACK", after=CRASH_ONSET)
+        assert fallback_at is not None, "crash never drove the ladder down"
+        resilience = crash_result.scenario.config.resilience
+        slack = (
+            resilience.retry.deadline
+            + 3 * resilience.ladder.check_interval
+            + 20 * MILLISECONDS
+        )
+        assert fallback_at <= CRASH_ONSET + resilience.signal.invalid_after + slack
+
+    def test_returns_to_feedback_after_restart(self, crash_result):
+        fallback_at = crash_result.first_mode_entry("FALLBACK", after=CRASH_ONSET)
+        recovered_at = crash_result.first_mode_entry("FEEDBACK", after=fallback_at)
+        assert recovered_at is not None, "loop never recovered"
+        restart_at = CRASH_ONSET + DURATION // 3
+        assert recovered_at > restart_at
+
+    def test_no_ranking_shift_on_distrusted_signal(self, crash_result):
+        """The core invariant: every hysteresis-driven shift happened
+        while the ladder trusted the whole pool (FEEDBACK mode)."""
+        transitions = crash_result.mode_transitions()
+        assert transitions
+        for event in crash_result.scenario.feedback.shift_events():
+            if event.reason in ("mode-change", "post-fallback-rebalance"):
+                continue
+            assert mode_at(transitions, event.time) is ControllerMode.FEEDBACK, (
+                "shift at %d ns executed outside FEEDBACK mode" % event.time
+            )
+
+    def test_fallback_relaxed_weights_uniformly(self, crash_result):
+        events = [
+            e
+            for e in crash_result.scenario.feedback.shift_events()
+            if e.reason == "mode-change"
+        ]
+        assert events
+        weights = set(events[0].weights_after.values())
+        assert len(weights) == 1  # uniform
+
+    def test_breaker_opened_and_reclosed(self, crash_result):
+        from repro.resilience import BreakerState
+
+        transitions = [
+            t
+            for t in crash_result.breaker_transitions()
+            if t.backend == "server0"
+        ]
+        states = [t.to_state for t in transitions]
+        assert BreakerState.OPEN in states
+        assert transitions[-1].to_state is BreakerState.CLOSED
+
+    def test_health_checker_saw_the_crash(self, crash_result):
+        health = crash_result.scenario.health
+        assert health is not None
+        assert health.stats("server0").transitions >= 2  # down then up
+
+    def test_requests_kept_completing(self, crash_result):
+        """Graceful degradation, not an outage: the healthy server
+        carries the pool through the crash window."""
+        mid = [
+            r
+            for r in crash_result.records
+            if CRASH_ONSET < r.completed_at < CRASH_ONSET + DURATION // 3
+        ]
+        assert len(mid) > 500
+        assert all(r.server == "server1" for r in mid[50:])
+
+
+class TestRetryBound:
+    def test_retries_within_budget_bound(self, lossy_result):
+        stats = lossy_result.retry_stats()
+        assert stats is not None
+        assert stats.first_attempts > 1000
+        clients = lossy_result.scenario.clients
+        bound = sum(
+            c.retry_budget.bound(c.retry_stats.first_attempts) for c in clients
+        )
+        assert stats.retries <= bound
+
+    def test_abandonment_accounting_consistent(self, lossy_result):
+        stats = lossy_result.retry_stats()
+        # Every deadline expiry ended in exactly one of: a scheduled
+        # retry, a budget denial, or attempt exhaustion.
+        assert stats.retries + stats.abandoned >= stats.deadline_expiries
+
+
+class TestFaultFreeInertness:
+    def test_plane_is_quiet_without_faults(self):
+        result = run_scenario(
+            resilient_config(duration=800 * MILLISECONDS, warmup=80 * MILLISECONDS)
+        )
+        # The ladder may visit HOLD when a lightly-weighted backend's
+        # signal thins out (one client, few connections), but nothing
+        # stronger: no pool-wide collapse, no breaker trips, no retry
+        # traffic.
+        transitions = result.mode_transitions()
+        assert transitions[0].to_mode is ControllerMode.FEEDBACK
+        assert not any(
+            t.to_mode is ControllerMode.FALLBACK for t in transitions
+        )
+        assert result.breaker_transitions() == []
+        stats = result.retry_stats()
+        assert stats.retries == 0
+        assert stats.deadline_expiries == 0
+        assert stats.aborted_connections == 0
+
+    def test_disabled_by_default(self):
+        config = ScenarioConfig(
+            seed=3,
+            duration=200 * MILLISECONDS,
+            n_servers=2,
+            policy=PolicyName.FEEDBACK,
+        )
+        result = run_scenario(config)
+        assert result.scenario.breakers is None
+        assert result.scenario.health is None
+        assert result.scenario.feedback.ladder is None
+        assert result.mode_transitions() == []
+        assert result.retry_stats() is None

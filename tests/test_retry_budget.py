@@ -1,0 +1,120 @@
+"""Retry plane arithmetic: token budget, backoff, config validation.
+
+The load-bearing property is the budget bound: however the failures
+are interleaved, total retries can never exceed
+``budget_initial + budget_ratio × first_attempts``.
+"""
+
+import random
+
+import pytest
+
+from repro.resilience.retry import (
+    RetryBudget,
+    RetryConfig,
+    RetryStats,
+    backoff_delay,
+)
+from repro.units import MILLISECONDS
+
+MS = MILLISECONDS
+
+
+class TestBudget:
+    def test_cold_start_allowance(self):
+        budget = RetryBudget(RetryConfig(budget_initial=2.0))
+        assert budget.withdraw()
+        assert budget.withdraw()
+        assert not budget.withdraw()
+
+    def test_deposits_accrue_fractionally(self):
+        # 0.25 is exact in binary, so the threshold is crisp.
+        budget = RetryBudget(RetryConfig(budget_initial=0.0, budget_ratio=0.25))
+        for _ in range(3):
+            budget.deposit()
+        assert not budget.withdraw()  # 0.75 tokens: not enough
+        budget.deposit()
+        assert budget.withdraw()  # 1.0 tokens
+
+    def test_bucket_caps(self):
+        config = RetryConfig(budget_initial=1.0, budget_ratio=1.0, budget_cap=3.0)
+        budget = RetryBudget(config)
+        for _ in range(100):
+            budget.deposit()
+        assert budget.tokens == 3.0
+
+    def test_arithmetic_bound_holds_under_any_interleaving(self):
+        """Adversarial schedule: retries never exceed the bound."""
+        config = RetryConfig(budget_initial=5.0, budget_ratio=0.1, budget_cap=50.0)
+        budget = RetryBudget(config)
+        rng = random.Random(7)
+        firsts = retries = 0
+        for _ in range(5000):
+            if rng.random() < 0.5:
+                budget.deposit()
+                firsts += 1
+            elif budget.withdraw():
+                retries += 1
+        assert retries <= budget.bound(firsts)
+
+    def test_bound_formula(self):
+        config = RetryConfig(budget_initial=10.0, budget_ratio=0.1)
+        assert RetryBudget(config).bound(1000) == pytest.approx(110.0)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        config = RetryConfig(
+            base_backoff=1 * MS, backoff_multiplier=2.0, max_backoff=32 * MS, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [backoff_delay(config, k, rng) for k in (1, 2, 3, 4)]
+        assert delays == [1 * MS, 2 * MS, 4 * MS, 8 * MS]
+
+    def test_capped_at_max_backoff(self):
+        config = RetryConfig(
+            base_backoff=1 * MS, backoff_multiplier=2.0, max_backoff=4 * MS, jitter=0.0
+        )
+        assert backoff_delay(config, 10, random.Random(0)) == 4 * MS
+
+    def test_jitter_stays_in_range_and_varies(self):
+        config = RetryConfig(base_backoff=10 * MS, jitter=0.5)
+        rng = random.Random(3)
+        delays = [backoff_delay(config, 1, rng) for _ in range(50)]
+        assert all(10 * MS <= d <= 15 * MS for d in delays)
+        assert len(set(delays)) > 10  # actually jittered
+
+    def test_retry_index_is_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(RetryConfig(), 0, random.Random(0))
+
+
+class TestStats:
+    def test_abandoned_sums_terminal_failures(self):
+        stats = RetryStats(
+            budget_denied=3, attempts_exhausted=2, deadline_expiries=9
+        )
+        assert stats.abandoned == 5
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(deadline=0),
+            dict(max_attempts=0),
+            dict(base_backoff=-1),
+            dict(base_backoff=10, max_backoff=5),
+            dict(backoff_multiplier=0.5),
+            dict(jitter=-0.1),
+            dict(budget_ratio=-0.1),
+            dict(budget_initial=-1.0),
+            dict(budget_initial=10.0, budget_cap=5.0),
+        ],
+    )
+    def test_rejects_malformed(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryConfig(**kwargs).validate()
+
+    def test_defaults_validate(self):
+        RetryConfig().validate()

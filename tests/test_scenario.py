@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.harness.config import DelayInjection, PolicyName, ScenarioConfig
+from repro.faults import DelayFault
+from repro.harness.config import PolicyName, ScenarioConfig
 from repro.harness.scenario import build_scenario
 from repro.lb.policies import (
     LeastConnections,
@@ -100,12 +101,12 @@ class TestPolicies:
 class TestInjections:
     def test_injection_schedules_extra_delay(self):
         config = small_config(
-            injections=[
-                DelayInjection(
-                    at=10 * MILLISECONDS,
-                    server="server0",
+            faults=[
+                DelayFault(
+                    start=10 * MILLISECONDS,
+                    duration=10 * MILLISECONDS,
                     extra=1 * MILLISECONDS,
-                    end=20 * MILLISECONDS,
+                    node="server0",
                 )
             ]
         )
@@ -119,7 +120,7 @@ class TestInjections:
 
     def test_unknown_injection_target_rejected(self):
         config = small_config(
-            injections=[DelayInjection(at=0, server="serverX", extra=1)]
+            faults=[DelayFault(start=0, extra=1, node="serverX")]
         )
         with pytest.raises(ConfigError):
             build_scenario(config)

@@ -1,0 +1,176 @@
+"""Signal-quality grading: age-driven trust in per-backend estimates.
+
+The tracker converts silence into an explicit state: FRESH while
+samples keep landing, STALE once the last one is older than
+``stale_after`` (hold, don't shift), INVALID past ``invalid_after``
+(exclude from ranking).  These tests pin the grade boundaries, the
+confidence decay curve, and the windowed rate/dispersion metrics.
+"""
+
+import math
+
+import pytest
+
+from repro.resilience.quality import (
+    SignalGrade,
+    SignalQualityConfig,
+    SignalQualityTracker,
+)
+from repro.units import MILLISECONDS
+
+
+def make_tracker(**kwargs):
+    defaults = dict(
+        window=100 * MILLISECONDS,
+        stale_after=50 * MILLISECONDS,
+        invalid_after=200 * MILLISECONDS,
+        decay_tau=100 * MILLISECONDS,
+        min_samples=3,
+    )
+    defaults.update(kwargs)
+    return SignalQualityTracker(SignalQualityConfig(**defaults))
+
+
+def feed(tracker, backend, times, value=1.0):
+    for t in times:
+        tracker.observe(backend, t, value)
+
+
+class TestGrading:
+    def test_unknown_backend_is_invalid(self):
+        tracker = make_tracker()
+        assert tracker.grade("ghost", 0) is SignalGrade.INVALID
+
+    def test_fresh_after_min_samples(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0, 1 * MILLISECONDS, 2 * MILLISECONDS])
+        assert tracker.grade("s0", 3 * MILLISECONDS) is SignalGrade.FRESH
+
+    def test_starved_backend_is_stale_not_fresh(self):
+        """Fewer than min_samples: recent but unproven — STALE."""
+        tracker = make_tracker(min_samples=3)
+        feed(tracker, "s0", [0, 1 * MILLISECONDS])
+        assert tracker.grade("s0", 2 * MILLISECONDS) is SignalGrade.STALE
+
+    def test_age_boundaries(self):
+        tracker = make_tracker()
+        last = 10 * MILLISECONDS
+        feed(tracker, "s0", [0, 5 * MILLISECONDS, last])
+        cfg = tracker.config
+        assert tracker.grade("s0", last + cfg.stale_after - 1) is SignalGrade.FRESH
+        assert tracker.grade("s0", last + cfg.stale_after) is SignalGrade.STALE
+        assert tracker.grade("s0", last + cfg.invalid_after - 1) is SignalGrade.STALE
+        assert tracker.grade("s0", last + cfg.invalid_after) is SignalGrade.INVALID
+
+    def test_registration_anchors_the_age_clock(self):
+        """A backend that never samples ages from register(), not t=0:
+        startup silence becomes STALE then INVALID on its own clock."""
+        tracker = make_tracker()
+        born = 1000 * MILLISECONDS
+        tracker.register("s0", born)
+        assert tracker.grade("s0", born) is SignalGrade.STALE  # no samples yet
+        assert (
+            tracker.grade("s0", born + tracker.config.invalid_after)
+            is SignalGrade.INVALID
+        )
+
+    def test_register_is_idempotent(self):
+        tracker = make_tracker()
+        tracker.register("s0", 0)
+        feed(tracker, "s0", [0, 1, 2])
+        tracker.register("s0", 500 * MILLISECONDS)  # must not reset state
+        assert tracker.quality("s0", 3).samples == 3
+
+    def test_new_samples_refresh_a_stale_signal(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0, 1 * MILLISECONDS, 2 * MILLISECONDS])
+        late = 100 * MILLISECONDS
+        assert tracker.grade("s0", late) is SignalGrade.STALE
+        tracker.observe("s0", late, 1.0)
+        assert tracker.grade("s0", late + 1) is SignalGrade.FRESH
+
+    def test_forget_drops_state(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0, 1, 2])
+        tracker.forget("s0")
+        assert tracker.grade("s0", 3) is SignalGrade.INVALID
+        assert "s0" not in tracker.backends()
+
+
+class TestConfidence:
+    def test_full_confidence_while_fresh(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0])
+        assert tracker.confidence("s0", tracker.config.stale_after) == 1.0
+
+    def test_decays_past_stale_and_zero_at_invalid(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0])
+        cfg = tracker.config
+        mid = cfg.stale_after + cfg.decay_tau
+        expected = math.exp(-1.0)
+        assert tracker.confidence("s0", mid) == pytest.approx(expected)
+        assert tracker.confidence("s0", cfg.invalid_after) == 0.0
+        assert tracker.confidence("ghost", 0) == 0.0
+
+    def test_monotone_nonincreasing_with_age(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0])
+        values = [
+            tracker.confidence("s0", t * MILLISECONDS) for t in range(0, 220, 10)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestWindowedMetrics:
+    def test_rate_counts_only_the_window(self):
+        tracker = make_tracker(window=100 * MILLISECONDS)
+        # 10 samples spread over 90 ms, then ask at 200 ms: all pruned
+        # except none — wait long enough that the window is empty.
+        feed(tracker, "s0", [t * 10 * MILLISECONDS for t in range(10)])
+        q = tracker.quality("s0", 95 * MILLISECONDS)
+        assert q.rate_hz == pytest.approx(10 / 0.1)
+        q = tracker.quality("s0", 185 * MILLISECONDS)
+        assert q.rate_hz == pytest.approx(1 / 0.1)  # only the t=90ms sample
+
+    def test_dispersion_zero_for_constant_stream(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0, 1, 2, 3], value=5.0)
+        assert tracker.quality("s0", 4).dispersion == 0.0
+
+    def test_dispersion_positive_for_varied_stream(self):
+        tracker = make_tracker()
+        for i, v in enumerate([1.0, 9.0, 1.0, 9.0]):
+            tracker.observe("s0", i, v)
+        assert tracker.quality("s0", 5).dispersion > 0.5
+
+    def test_snapshot_covers_all_backends(self):
+        tracker = make_tracker()
+        feed(tracker, "s0", [0, 1, 2])
+        tracker.register("s1", 0)
+        snap = tracker.snapshot(3)
+        assert sorted(snap) == ["s0", "s1"]
+        assert snap["s0"].grade is SignalGrade.FRESH
+        assert snap["s1"].samples == 0
+
+    def test_unknown_backend_quality_is_empty(self):
+        q = make_tracker().quality("ghost", 7)
+        assert q.grade is SignalGrade.INVALID
+        assert q.samples == 0
+        assert q.confidence == 0.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window=0),
+            dict(stale_after=0),
+            dict(decay_tau=0),
+            dict(stale_after=50, invalid_after=50),
+            dict(min_samples=0),
+        ],
+    )
+    def test_rejects_malformed(self, kwargs):
+        with pytest.raises(ValueError):
+            make_tracker(**kwargs)
