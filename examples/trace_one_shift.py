@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Observability plane: trace one weight shift back to its causes.
+
+Runs the Fig 3 feedback arm with the causal tracer enabled and walks
+the paper's causal chain in reverse.  First it lists every weight
+shift the controller executed; then it picks the first one and prints
+the ``T_LB`` samples the estimator was looking at when it fired (the
+last ``window`` samples per involved backend, with the batch window
+each sample measured); finally it follows one of those samples back to
+a concrete request and prints that request's span tree — client send,
+LB routing decision, server-side queue/service split, and the shift
+the resulting sample contributed to.
+
+Run:  python examples/trace_one_shift.py
+"""
+
+from repro import units
+from repro.harness.config import PolicyName
+from repro.harness.figures import Fig3Config, run_fig3
+from repro.net.addr import FlowKey
+from repro.obs import (
+    ObsConfig,
+    render_request_tree,
+    render_shift_attribution,
+    render_shift_list,
+)
+
+
+def main() -> None:
+    fig3 = run_fig3(
+        Fig3Config(
+            seed=2,
+            duration=units.seconds(2.0),
+            obs=ObsConfig(enabled=True),
+        ),
+        policies=(PolicyName.FEEDBACK,),
+    )
+    result = fig3.results[PolicyName.FEEDBACK.value]
+    scenario = result.scenario
+    tracer = scenario.obs.tracer
+    shifts = scenario.feedback.shift_events()
+    window = scenario.feedback.estimator.config.window
+    assert shifts, "the slow server must drive at least one shift"
+
+    print("=== every shift the controller executed ===")
+    print(render_shift_list(tracer, shifts, window))
+
+    print()
+    print("=== why shift #0 fired ===")
+    print(render_shift_attribution(tracer, shifts, 0, window))
+
+    # Follow one contributing sample back to a concrete request: find
+    # the last send on the sample's flow before the sample was emitted.
+    sample = tracer.contributing_samples(shifts[0], window)[-1]
+    vip = scenario.vip
+    request_id = None
+    for send in tracer.sends:
+        if send.time > sample.time:
+            break
+        if FlowKey(send.client, send.port, vip.host, vip.port) == sample.flow:
+            request_id = send.request_id
+    assert request_id is not None, "a traced sample implies a traced send"
+
+    print()
+    print("=== one request behind that sample ===")
+    print(
+        render_request_tree(
+            tracer,
+            request_id,
+            shifts,
+            window,
+            fault_windows=result.fault_windows(),
+            vip=vip,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -117,6 +117,11 @@ class MemtierClient:
         self.rng = rng
         self.records: List[RequestRecord] = []
         self.on_record: Optional[Callable[[RequestRecord], None]] = None
+        #: Observability hooks: fired per issued request
+        #: ``(request, local_port, is_retry)`` and per completed request
+        #: ``(record, response)``.  Both purely observational.
+        self.on_send: Optional[Callable[[Request, int, bool], None]] = None
+        self.on_response: Optional[Callable[[RequestRecord, Response], None]] = None
         self._running = False
         self._conn_state: Dict[int, _ConnLoop] = {}
         #: Retry plane (inert when ``retry`` is None).
@@ -250,6 +255,8 @@ class _ConnLoop:
             self.outstanding[retry.request_id] = retry
             self.conn.send_message(retry, retry.wire_size)
             self._arm_deadline(retry.request_id)
+            if client.on_send is not None:
+                client.on_send(retry, self.conn.local.port, True)
             return True
         if self.sent >= config.requests_per_connection:
             return False
@@ -263,6 +270,8 @@ class _ConnLoop:
             client._attempts[request.request_id] = 1
         self.conn.send_message(request, request.wire_size)
         self._arm_deadline(request.request_id)
+        if client.on_send is not None:
+            client.on_send(request, self.conn.local.port, False)
         return True
 
     def _arm_deadline(self, request_id: int) -> None:
@@ -320,6 +329,8 @@ class _ConnLoop:
         self.client.records.append(record)
         if self.client.on_record is not None:
             self.client.on_record(record)
+        if self.client.on_response is not None:
+            self.client.on_response(record, response)
 
         think = self.client.config.think_time
         if think > 0:

@@ -38,6 +38,12 @@ from repro.harness.figures import (
 from repro.harness.multilb import sweep_multilb
 from repro.harness.report import format_table
 from repro.harness.runner import run_scenario
+from repro.obs import (
+    ObsConfig,
+    render_request_tree,
+    render_shift_attribution,
+    render_shift_list,
+)
 from repro.resilience import ResilienceConfig
 from repro.sweep import (
     ResultStore,
@@ -97,6 +103,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos-plane fault: a preset name (%s) or an inline spec "
         "like 'delay:node=server0,start=1s,extra=1ms'; repeatable"
         % ", ".join(sorted(PRESETS)),
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="run one scenario with the obs plane on and dump its metrics",
+        description="Runs a scenario with the observability plane's "
+        "metrics registry enabled and prints every instrument — per-"
+        "backend routed packets, T_LB samples per reporting timeout, "
+        "weight shifts, epoch rolls, engine stats — in Prometheus text "
+        "exposition format (default) or JSON.",
+    )
+    metrics_cmd.add_argument(
+        "--policy",
+        choices=[p.value for p in PolicyName],
+        default=PolicyName.FEEDBACK.value,
+    )
+    metrics_cmd.add_argument("--servers", type=int, default=2)
+    metrics_cmd.add_argument("--clients", type=int, default=1)
+    metrics_cmd.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos-plane fault (preset name or inline spec); repeatable",
+    )
+    metrics_cmd.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format (default prom)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="causal tracing on the Fig 3 feedback arm: which T_LB "
+        "samples caused which weight shift",
+        description="Runs the Fig 3 feedback arm with causal tracing "
+        "enabled.  With no flags, lists every executed weight shift "
+        "with its contributing-sample count.  --shift N prints the "
+        "T_LB samples (with batch boundaries) the estimator weighed "
+        "when shift N fired; --request ID prints one request's span "
+        "tree from client send to the shift it contributed to.",
+    )
+    trace_cmd.add_argument(
+        "--shift",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print the contributing samples of shift N (0-based)",
+    )
+    trace_cmd.add_argument(
+        "--request",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="print the span tree of one request id",
     )
 
     res_cmd = sub.add_parser(
@@ -221,6 +283,75 @@ def main(argv: Optional[List[str]] = None) -> int:
             warmup=duration // 10,
         )
         print(run_scenario(config).report())
+        return 0
+
+    if args.command == "metrics":
+        faults = []
+        for spec in args.fault:
+            faults.extend(parse_faults(spec, duration))
+        config = ScenarioConfig(
+            seed=args.seed,
+            duration=duration,
+            n_clients=args.clients,
+            n_servers=args.servers,
+            policy=PolicyName(args.policy),
+            faults=faults,
+            obs=ObsConfig(enabled=True, tracing=False, profiling=False),
+            warmup=duration // 10,
+        )
+        result = run_scenario(config)
+        registry = result.scenario.obs.registry
+        assert registry is not None
+        if args.format == "json":
+            import json
+
+            print(json.dumps(registry.to_json(), indent=2, sort_keys=True))
+        else:
+            print(registry.to_prometheus(), end="")
+        return 0
+
+    if args.command == "trace":
+        fig3 = run_fig3(
+            Fig3Config(
+                seed=args.seed,
+                duration=duration,
+                obs=ObsConfig(enabled=True, profiling=False),
+            ),
+            policies=(PolicyName.FEEDBACK,),
+        )
+        result = fig3.results[PolicyName.FEEDBACK.value]
+        scenario = result.scenario
+        assert scenario.obs is not None and scenario.obs.tracer is not None
+        assert scenario.feedback is not None
+        tracer = scenario.obs.tracer
+        shifts = scenario.feedback.shift_events()
+        window = scenario.feedback.estimator.config.window
+        if args.request is not None:
+            print(
+                render_request_tree(
+                    tracer,
+                    args.request,
+                    shifts,
+                    window,
+                    fault_windows=result.fault_windows(),
+                    vip=scenario.vip,
+                )
+            )
+            return 0
+        if not shifts:
+            print("no weight shifts executed in this run")
+            return 1
+        if args.shift is None:
+            print(render_shift_list(tracer, shifts, window))
+            return 0
+        if not 0 <= args.shift < len(shifts):
+            print(
+                "shift index %d out of range (%d shifts recorded)"
+                % (args.shift, len(shifts)),
+                file=sys.stderr,
+            )
+            return 2
+        print(render_shift_attribution(tracer, shifts, args.shift, window))
         return 0
 
     if args.command == "resilience":

@@ -74,6 +74,10 @@ class ShiftEvent:
     #: ladder left FALLBACK), or ``"mode-change"`` (the ladder's own
     #: uniform relax on FALLBACK entry).
     reason: str = "hysteresis-pass"
+    #: The best-ranked backend the decision compared against (None for
+    #: mode-change shifts, which do not rank).  Lets causal tracing
+    #: recover both sides of the worst-vs-best comparison.
+    best_backend: Optional[str] = None
 
 
 class AlphaShiftController:
@@ -101,6 +105,11 @@ class AlphaShiftController:
         self.pending_reason: Optional[str] = None
         #: Shifts refused because a consulted estimate was stale.
         self.stale_holds = 0
+        self._metrics = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach controller instruments (see :mod:`repro.obs.plane`)."""
+        self._metrics = metrics
 
     @property
     def shift_count(self) -> int:
@@ -115,6 +124,12 @@ class AlphaShiftController:
     def maybe_update(self, now: int) -> Optional[ShiftEvent]:
         """Uniform entry point shared with the alternative strategies."""
         return self.maybe_shift(now)
+
+    def record_shift(self, event: ShiftEvent) -> None:
+        """Log a shift executed outside the α rule (the ladder's relax)."""
+        self.shifts.append(event)
+        if self._metrics is not None:
+            self._metrics.shifts.labels(reason=event.reason).inc()
 
     def maybe_shift(self, now: int) -> Optional[ShiftEvent]:
         """Evaluate and possibly execute one α-shift; returns the event."""
@@ -133,6 +148,8 @@ class AlphaShiftController:
             # Never shift on a signal you don't trust: a stale estimate
             # may describe a backend that has since drained or died.
             self.stale_holds += 1
+            if self._metrics is not None:
+                self._metrics.stale_holds.inc()
             return None
         if worst.value < config.hysteresis_ratio * best.value:
             return None
@@ -157,9 +174,12 @@ class AlphaShiftController:
             best_estimate=best.value,
             weights_after=dict(new_weights),
             reason=reason,
+            best_backend=best.backend,
         )
         self.shifts.append(event)
         self._last_shift_at = now
+        if self._metrics is not None:
+            self._metrics.shifts.labels(reason=reason).inc()
         return event
 
     def _shift_weights(

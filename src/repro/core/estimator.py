@@ -82,10 +82,15 @@ class BackendLatencyEstimator:
         self._backends: Dict[str, _BackendState] = {}
         self.total_samples = 0
         self._quality: Optional["SignalQualityTracker"] = None
+        self._metrics = None
 
     def attach_quality(self, tracker: "SignalQualityTracker") -> None:
         """Grade served estimates with ``tracker`` (fed on observe)."""
         self._quality = tracker
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach estimator instruments (see :mod:`repro.obs.plane`)."""
+        self._metrics = metrics
 
     @property
     def quality(self) -> Optional["SignalQualityTracker"]:
@@ -107,6 +112,10 @@ class BackendLatencyEstimator:
         self.total_samples += 1
         if self._quality is not None:
             self._quality.observe(backend, now, float(t_lb))
+        if self._metrics is not None:
+            self._metrics.samples.labels(backend=backend).inc()
+            if t_lb > 0:  # the log-bucketed histogram needs positive values
+                self._metrics.latency.labels(backend=backend).observe(float(t_lb))
 
     def estimate(self, backend: str) -> Optional[float]:
         """Current estimate for ``backend`` (ns), or None if unknown."""

@@ -160,9 +160,20 @@ class InbandFeedback:
         self.ladder = None
         self.breakers = breakers
         self._was_invalid: Dict[str, bool] = {}
+        #: Observability plane (both None unless attached).
+        self._metrics = None
+        self._tracer = None
         if resilience is not None and resilience.enabled:
             self._wire_resilience(resilience)
         lb.add_tap(self._on_packet)
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach measurement-plane instruments (see :mod:`repro.obs.plane`)."""
+        self._metrics = metrics
+
+    def attach_tracer(self, tracer) -> None:
+        """Record emitted samples as causal-trace spans."""
+        self._tracer = tracer
 
     @property
     def sample_count(self) -> int:
@@ -232,7 +243,17 @@ class InbandFeedback:
         state = self.flows.get_or_create(flow, now)
         if self.config.censor_retransmissions:
             state.observe_seq(packet)
-        t_lb = state.ensemble.observe(now)
+        metrics = self._metrics
+        if metrics is None:
+            t_lb = state.ensemble.observe(now)
+        else:
+            epochs_before = state.ensemble.epochs_completed
+            t_lb = state.ensemble.observe(now)
+            if state.ensemble.epochs_completed != epochs_before:
+                metrics.epoch_rolls.inc()
+                metrics.cliff_picks.labels(
+                    delta_us=state.ensemble.current_timeout // 1000
+                ).inc()
 
         if packet.is_fin or packet.is_rst:
             # The flow is ending; its measurement state is no longer useful.
@@ -245,9 +266,20 @@ class InbandFeedback:
             # This batch gap straddles a loss-recovery stall; drop it.
             state.tainted = False
             self.censored_samples += 1
+            if metrics is not None:
+                metrics.censored.inc()
             return
 
         self.estimator.observe(backend, now, t_lb)
+        if metrics is not None:
+            metrics.tlb_samples.labels(
+                backend=backend,
+                delta_us=state.ensemble.current_timeout // 1000,
+            ).inc()
+        if self._tracer is not None:
+            self._tracer.on_sample(
+                now, flow, backend, t_lb, state.ensemble.current_timeout
+            )
         if self.config.record_samples:
             self.samples.append(SampleRecord(now, flow, backend, t_lb))
             series = self.sample_series.get(backend)

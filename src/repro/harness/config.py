@@ -18,6 +18,7 @@ from repro.app.server import ServerConfig
 from repro.core.feedback import FeedbackConfig
 from repro.errors import ConfigError
 from repro.faults.model import DelayFault, FaultSpec
+from repro.obs.config import ObsConfig
 from repro.resilience.config import ResilienceConfig
 from repro.units import GIGABITS_PER_SECOND, MICROSECONDS, SECONDS
 
@@ -153,6 +154,9 @@ class ScenarioConfig:
     #: Signal-integrity guardrails (see :mod:`repro.resilience`);
     #: disabled by default, making the plane structurally absent.
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Observability plane (see :mod:`repro.obs`); disabled by default,
+    #: making runs byte-identical to builds without it.
+    obs: ObsConfig = field(default_factory=ObsConfig)
     #: Ignore requests completing before this time in summary stats.
     warmup: int = 0
 
@@ -173,6 +177,7 @@ class ScenarioConfig:
         self.network.validate()
         self.memtier.validate()
         self.resilience.validate()
+        self.obs.validate()
         for injection in self.injections:
             injection.validate()
             if injection.at >= self.duration:

@@ -80,6 +80,106 @@ def export_shift_events(path: PathLike, events) -> int:
     )
 
 
+def export_metrics(path: PathLike, registry) -> int:
+    """Write a :class:`~repro.obs.metrics.Registry` as flat CSV rows.
+
+    Counters and gauges become one row each; histograms become two
+    (``<name>_count`` and ``<name>_sum``), keeping the file a plain
+    metric/value table.  Labels are ``;``-joined sorted ``k=v`` pairs.
+    """
+
+    def rows():
+        for name, family in registry.to_json().items():
+            kind = family["type"]
+            for sample in family["samples"]:
+                labels = ";".join(
+                    "%s=%s" % (k, v)
+                    for k, v in sorted(sample["labels"].items())
+                )
+                if kind == "histogram":
+                    yield (name + "_count", kind, labels, sample["count"])
+                    yield (name + "_sum", kind, labels, "%.6g" % sample["sum"])
+                else:
+                    yield (name, kind, labels, sample["value"])
+
+    return write_csv(path, ("metric", "type", "labels", "value"), rows())
+
+
+def export_trace_events(path: PathLike, tracer) -> int:
+    """Write a :class:`~repro.obs.trace.CausalTracer` as one flat CSV.
+
+    All span kinds share one schema (``kind`` column discriminates);
+    cells that do not apply to a kind are left empty.  Rows are sorted
+    by time so the file reads as a causal timeline.
+    """
+    headers = (
+        "kind",
+        "time_ns",
+        "request_id",
+        "client",
+        "port",
+        "retry",
+        "flow",
+        "backend",
+        "server",
+        "t_lb_ns",
+        "delta_ns",
+        "latency_ns",
+    )
+    rows = []
+    for span in tracer.sends:
+        rows.append(
+            (
+                "send",
+                span.time,
+                span.request_id,
+                span.client,
+                span.port,
+                int(span.retry),
+                "", "", "", "", "", "",
+            )
+        )
+    for flow, span in tracer.routes.items():
+        rows.append(
+            (
+                "route",
+                span.time,
+                "", "", "", "",
+                str(flow),
+                span.backend,
+                "", "", "", "",
+            )
+        )
+    for span in tracer.responses.values():
+        rows.append(
+            (
+                "response",
+                span.time,
+                span.request_id,
+                "", "", "", "", "",
+                span.server,
+                "", "",
+                span.latency,
+            )
+        )
+    for span in tracer.samples:
+        rows.append(
+            (
+                "sample",
+                span.time,
+                "", "", "", "",
+                str(span.flow),
+                span.backend,
+                "",
+                span.t_lb,
+                span.delta,
+                "",
+            )
+        )
+    rows.sort(key=lambda row: row[1])
+    return write_csv(path, headers, rows)
+
+
 def export_records(path: PathLike, records) -> int:
     """Write client RequestRecords (the full ground-truth request log)."""
     rows = (

@@ -40,6 +40,7 @@ from repro.harness.config import (
     PolicyName,
     ScenarioConfig,
 )
+from repro.obs.config import ObsConfig
 from repro.harness.runner import ScenarioResult, run_scenario
 from repro.lb.backend import Backend, BackendPool
 from repro.lb.dataplane import LoadBalancer
@@ -363,6 +364,8 @@ class Fig3Config:
     n_servers: int = 2
     bucket: int = 100 * MILLISECONDS
     memtier: MemtierConfig = field(default_factory=MemtierConfig)
+    #: Observability plane for each arm (None keeps it off).
+    obs: Optional[ObsConfig] = None
 
     @property
     def injection_at(self) -> int:
@@ -426,6 +429,7 @@ def run_fig3(
                     extra=config.injection_extra,
                 )
             ],
+            obs=config.obs or ObsConfig(),
             warmup=config.duration // 10,
         )
         results[policy.value] = run_scenario(scenario_config)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -23,6 +24,8 @@ class ScenarioResult:
     scenario: Scenario
     records: List[RequestRecord]
     wall_events: int
+    #: Wall-clock seconds the run took (drives the events/sec footer).
+    wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Request-latency views
@@ -281,6 +284,26 @@ class ScenarioResult:
             lines.append(
                 format_series(rows, "t(ms)", "p95(ms)", marks=marks)
             )
+        trace = self.scenario.trace
+        if trace is not None:
+            captured = len(trace)
+            if trace.dropped:
+                lines.append(
+                    "packet trace: %d records captured, %d dropped past "
+                    "limit=%s" % (captured, trace.dropped, trace.limit)
+                )
+            else:
+                lines.append("packet trace: %d records captured" % captured)
+        engine = "engine: %d events processed" % self.wall_events
+        if self.wall_seconds > 0:
+            engine += ", %.0f events/sec wall-clock" % (
+                self.wall_events / self.wall_seconds
+            )
+        engine += ", peak queue depth %d" % self.scenario.sim.peak_queue_depth
+        lines.append(engine)
+        obs = self.scenario.obs
+        if obs is not None and obs.profiler is not None and obs.profiler.events:
+            lines.extend(obs.profiler.report_lines())
         return "\n".join(lines)
 
 
@@ -292,7 +315,9 @@ def run_scenario(
         scenario = build_scenario(config)
     for client in scenario.clients:
         client.start()
+    started = time.perf_counter()
     scenario.sim.run_until(config.duration)
+    wall_seconds = time.perf_counter() - started
     for client in scenario.clients:
         client.stop()
 
@@ -306,4 +331,5 @@ def run_scenario(
         scenario=scenario,
         records=records,
         wall_events=scenario.sim.events_processed,
+        wall_seconds=wall_seconds,
     )

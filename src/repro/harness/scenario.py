@@ -14,7 +14,7 @@ clients over direct pipes — the LB never sees a response.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.app.client import MemtierClient
 from repro.app.server import ServerApp
@@ -45,6 +45,10 @@ from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.transport.endpoint import Host
 
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.net.trace import PacketTrace
+    from repro.obs.plane import ObsPlane
+
 VIP_HOST = "vip"
 
 
@@ -68,6 +72,10 @@ class Scenario:
     breakers: Optional[BreakerBoard] = None
     health: Optional[HealthChecker] = None
     prober: Optional[Host] = None
+    #: Observability plane (None unless ``config.obs.enabled``).
+    obs: Optional["ObsPlane"] = None
+    #: Packet trace, installed by the obs plane on request.
+    trace: Optional["PacketTrace"] = None
     #: Extra series populated by the runner.
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -236,6 +244,14 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         injector = Injector.for_scenario(scenario)
         injector.arm(FaultSchedule(faults), config.duration)
         scenario.injector = injector
+
+    # --- observability plane ----------------------------------------------
+    # Installed last so every component it instruments already exists.
+    # Passive by construction: no events scheduled, no RNG draws.
+    if config.obs.enabled:
+        from repro.obs.plane import ObsPlane
+
+        scenario.obs = ObsPlane.install(scenario)
 
     return scenario
 

@@ -94,11 +94,16 @@ class LoadBalancer:
         self.breakers = breakers
         self.stats = LoadBalancerStats()
         self._taps: List[PacketTap] = []
+        self._metrics = None
         network.add_node(self)
 
     def add_tap(self, tap: PacketTap) -> None:
         """Attach a measurement tap (called per forwarded packet)."""
         self._taps.append(tap)
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach dataplane instruments (see :mod:`repro.obs.plane`)."""
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # Node interface
@@ -110,6 +115,8 @@ class LoadBalancer:
         if packet.dst.host != self.vip.host:
             # Not for our VIP: a misrouted packet; drop.
             self.stats.packets_dropped_no_backend += 1
+            if self._metrics is not None:
+                self._metrics.misroutes.inc()
             return
 
         now = self.network.sim.now
@@ -129,6 +136,8 @@ class LoadBalancer:
                 self.stats.per_backend_new_flows[backend] = (
                     self.stats.per_backend_new_flows.get(backend, 0) + 1
                 )
+                if self._metrics is not None:
+                    self._metrics.new_flows.labels(backend=backend).inc()
             else:
                 self.stats.conntrack_fallbacks += 1
 
@@ -145,6 +154,8 @@ class LoadBalancer:
         self.stats.per_backend_packets[backend] = (
             self.stats.per_backend_packets.get(backend, 0) + 1
         )
+        if self._metrics is not None:
+            self._metrics.packets.labels(backend=backend).inc()
         self.network.send_via(self.name, backend, packet)
 
     def backend_share(self) -> Dict[str, float]:

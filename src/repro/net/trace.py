@@ -28,6 +28,9 @@ class PacketTrace:
         self._records: List[TraceRecord] = []
         self._limit = limit
         self.truncated = False
+        #: Transmissions that arrived past ``limit`` and were not kept.
+        #: Truncation is visible, not silent: reports surface this count.
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -35,10 +38,16 @@ class PacketTrace:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
+    @property
+    def limit(self) -> Optional[int]:
+        """The record cap this trace was created with (None = unbounded)."""
+        return self._limit
+
     def record(self, time: int, pipe: str, packet: Packet) -> None:
-        """Capture one transmission (drops silently past ``limit``)."""
+        """Capture one transmission (counts, but keeps none, past ``limit``)."""
         if self._limit is not None and len(self._records) >= self._limit:
             self.truncated = True
+            self.dropped += 1
             return
         self._records.append(TraceRecord(time, pipe, packet))
 

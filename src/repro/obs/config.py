@@ -1,0 +1,45 @@
+"""Observability-plane configuration.
+
+Everything here defaults to *off*: with ``ObsConfig.enabled`` false the
+plane is structurally absent (no registry, no tracer, no profiler, no
+extra taps) and scenario results are byte-identical to a build without
+it.  Enabling it adds passive recording only — instrumentation never
+draws randomness or schedules events, so even an enabled run produces
+the same records and shifts as a disabled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ObsConfig:
+    """Switches for the three observability pillars."""
+
+    #: Master switch; nothing below matters while this is False.
+    enabled: bool = False
+    #: Pillar 1: the labeled-instrument registry.
+    metrics: bool = True
+    #: Pillar 2: the causal tracer (send → route → sample → shift).
+    tracing: bool = True
+    #: Pillar 3: the engine profiler (callbacks-by-site, events/sec).
+    #: Off even under ``enabled`` because per-event timing has real
+    #: wall-clock cost on large runs.
+    profiling: bool = False
+    #: Also attach a :class:`repro.net.trace.PacketTrace` to the network.
+    capture_packets: bool = False
+    #: Record cap for the packet trace (None = unbounded).
+    packet_trace_limit: Optional[int] = 100_000
+    #: Cap on stored trace events; excess events are counted, not kept.
+    max_trace_events: int = 200_000
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.packet_trace_limit is not None and self.packet_trace_limit <= 0:
+            raise ConfigError("packet_trace_limit must be positive or None")
+        if self.max_trace_events <= 0:
+            raise ConfigError("max_trace_events must be positive")

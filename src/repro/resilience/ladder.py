@@ -115,6 +115,12 @@ class DegradationLadder:
         self._candidate: Optional[ControllerMode] = None
         self._candidate_since = 0
         self._seeded = False
+        self._metrics = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach ladder instruments (see :mod:`repro.obs.plane`)."""
+        self._metrics = metrics
+        metrics.mode.set(_SEVERITY[self.mode])
 
     def evaluate(self, now: int) -> ControllerMode:
         """Re-grade the pool and walk the ladder; returns the mode."""
@@ -192,6 +198,9 @@ class DegradationLadder:
             )
         )
         self.mode_series.append(now, float(_SEVERITY[to_mode]))
+        if self._metrics is not None:
+            self._metrics.transitions.labels(to_mode=to_mode.value).inc()
+            self._metrics.mode.set(_SEVERITY[to_mode])
         if to_mode is ControllerMode.FALLBACK:
             self._relax_to_uniform(now, reason)
         elif from_mode is ControllerMode.FALLBACK and self.controller is not None:
@@ -213,7 +222,7 @@ class DegradationLadder:
         uniform = {name: total / len(weights) for name in weights}
         self.pool.set_weights(uniform)
         if self.controller is not None:
-            self.controller.shifts.append(
+            self.controller.record_shift(
                 ShiftEvent(
                     time=now,
                     from_backend="*",

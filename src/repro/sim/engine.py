@@ -74,6 +74,12 @@ class Simulator:
         self._queue: List[tuple] = []  # (time, seq, EventHandle)
         self._running = False
         self._events_processed = 0
+        self._peak_queue_depth = 0
+        #: Optional observer with a ``run(callback)`` method; when set,
+        #: every event dispatch routes through it (see
+        #: :class:`repro.obs.profiler.EngineProfiler`).  The profiler
+        #: observes only — it never touches the clock or the queue.
+        self._profiler = None
 
     @property
     def now(self) -> int:
@@ -89,6 +95,15 @@ class Simulator:
     def pending_events(self) -> int:
         """Events still queued, including cancelled tombstones."""
         return len(self._queue)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """High-water mark of the event queue (simulation cost metric)."""
+        return self._peak_queue_depth
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or remove, with None) a per-event dispatch observer."""
+        self._profiler = profiler
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` ns from now.
@@ -109,6 +124,8 @@ class Simulator:
         self._seq += 1
         handle = EventHandle(time, self._seq, callback)
         heapq.heappush(self._queue, (time, self._seq, handle))
+        if len(self._queue) > self._peak_queue_depth:
+            self._peak_queue_depth = len(self._queue)
         return handle
 
     def run(self, max_events: Optional[int] = None) -> int:
@@ -137,7 +154,10 @@ class Simulator:
                 continue
             self._now = time
             self._events_processed += 1
-            handle.callback()
+            if self._profiler is None:
+                handle.callback()
+            else:
+                self._profiler.run(handle.callback)
             return True
         return False
 
@@ -148,6 +168,7 @@ class Simulator:
         processed = 0
         queue = self._queue
         heappop = heapq.heappop
+        profiler = self._profiler
         try:
             while queue:
                 entry = queue[0]
@@ -161,7 +182,10 @@ class Simulator:
                     break
                 heappop(queue)
                 self._now = entry[0]
-                handle.callback()
+                if profiler is None:
+                    handle.callback()
+                else:
+                    profiler.run(handle.callback)
                 processed += 1
         finally:
             self._running = False

@@ -146,3 +146,53 @@ class TestResilienceCommand:
         assert "time to FEEDBACK recovery" in out
         assert "circuit breakers:" in out
         assert "retries:" in out
+
+
+class TestObsVerbs:
+    def test_metrics_parser_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.policy == "feedback"
+        assert args.format == "prom"
+
+    def test_trace_parser_flags(self):
+        args = build_parser().parse_args(["trace", "--shift", "3"])
+        assert args.shift == 3 and args.request is None
+        args = build_parser().parse_args(["trace", "--request", "17"])
+        assert args.request == 17 and args.shift is None
+
+    def test_metrics_prints_parseable_prometheus(self, capsys):
+        from repro.obs import parse_prometheus_text
+
+        code = main(["--duration", "0.2", "metrics"])
+        assert code == 0
+        families = parse_prometheus_text(capsys.readouterr().out)
+        samples = families["repro_tlb_samples_total"]["samples"]
+        assert samples
+        _name, labels, _value = samples[0]
+        assert "backend" in labels and "delta_us" in labels
+
+    def test_metrics_json_format(self, capsys):
+        import json
+
+        code = main(["--duration", "0.2", "metrics", "--format", "json"])
+        assert code == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["repro_lb_packets_total"]["type"] == "counter"
+
+    def test_trace_lists_shifts(self, capsys):
+        code = main(["--duration", "1", "trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shift #0" in out
+        assert "contributing samples" in out
+
+    def test_trace_shift_attribution(self, capsys):
+        code = main(["--duration", "1", "trace", "--shift", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_LB(us)" in out and "batch window" in out
+
+    def test_trace_shift_out_of_range(self, capsys):
+        code = main(["--duration", "1", "trace", "--shift", "100000"])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err

@@ -27,6 +27,9 @@ class ControllerStub:
         self.shifts = []
         self.pending_reason = None
 
+    def record_shift(self, event):
+        self.shifts.append(event)
+
 
 def build(n=2, controller=None, **ladder_kwargs):
     pool = BackendPool([Backend("s%d" % i) for i in range(n)])

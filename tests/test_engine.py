@@ -220,3 +220,59 @@ class TestTimer:
         timer.stop()
         sim.run()
         assert not timer.running
+
+
+class TestPeakQueueDepth:
+    def test_tracks_high_water_mark(self, sim):
+        assert sim.peak_queue_depth == 0
+        for i in range(5):
+            sim.schedule(100 + i, lambda: None)
+        assert sim.peak_queue_depth == 5
+        sim.run()
+        # Draining the queue does not lower the high-water mark.
+        assert sim.peak_queue_depth == 5
+
+    def test_counts_events_scheduled_during_run(self, sim):
+        def fan_out():
+            for i in range(10):
+                sim.schedule(1 + i, lambda: None)
+
+        sim.schedule(0, fan_out)
+        sim.run()
+        assert sim.peak_queue_depth == 10
+
+
+class TestProfilerDispatch:
+    class _Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def run(self, callback):
+            self.calls.append(callback)
+            callback()
+
+    def test_profiler_sees_every_dispatch(self, sim):
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        fired = []
+        sim.schedule(10, lambda: fired.append("a"))
+        sim.schedule(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert len(profiler.calls) == 2
+
+    def test_profiler_applies_to_step(self, sim):
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        sim.schedule(10, lambda: None)
+        assert sim.step()
+        assert len(profiler.calls) == 1
+
+    def test_cancelled_events_not_profiled(self, sim):
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        sim.schedule(20, lambda: None)
+        sim.run()
+        assert len(profiler.calls) == 1

@@ -108,3 +108,57 @@ class TestExporters:
         export_records(path, [record])
         rows = list(csv.reader(path.open()))
         assert rows[1][5] == ""
+
+
+class TestObsExporters:
+    def make_registry(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        counter = registry.counter(
+            "repro_samples_total", "samples", labels=("backend",)
+        )
+        counter.labels(backend="server0").inc(4)
+        registry.gauge("repro_mode", "mode").set(1)
+        hist = registry.histogram("repro_latency_ns", "latency")
+        hist.observe(100.0)
+        return registry
+
+    def test_metrics_round_trip(self, tmp_path):
+        from repro.harness.export import export_metrics
+
+        path = tmp_path / "metrics.csv"
+        count = export_metrics(path, self.make_registry())
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["metric", "type", "labels", "value"]
+        assert count == len(rows) - 1
+        by_metric = {row[0]: row for row in rows[1:]}
+        assert by_metric["repro_samples_total"] == [
+            "repro_samples_total", "counter", "backend=server0", "4.0",
+        ]
+        assert by_metric["repro_mode"][3] == "1.0"
+        assert by_metric["repro_latency_ns_count"][3] == "1"
+        assert float(by_metric["repro_latency_ns_sum"][3]) == 100.0
+
+    def test_trace_events_round_trip(self, tmp_path):
+        from repro.harness.export import export_trace_events
+        from repro.net.addr import FlowKey
+        from repro.obs import CausalTracer
+
+        flow = FlowKey("client0", 40000, "vip", 11211)
+        tracer = CausalTracer()
+        tracer.on_send(100, 1, "client0", 40000, False)
+        tracer.on_route(110, flow, "server0")
+        tracer.on_sample(200, flow, "server0", 90, 64_000)
+        tracer.on_response(500, 1, "server0", 10, 50, 400)
+
+        path = tmp_path / "trace.csv"
+        assert export_trace_events(path, tracer) == 4
+        rows = list(csv.reader(path.open()))
+        kinds = [row[0] for row in rows[1:]]
+        assert kinds == ["send", "route", "sample", "response"]  # time order
+        times = [int(row[1]) for row in rows[1:]]
+        assert times == sorted(times)
+        sample_row = rows[3]
+        assert sample_row[7] == "server0"
+        assert sample_row[9] == "90" and sample_row[10] == "64000"

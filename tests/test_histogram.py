@@ -135,3 +135,33 @@ class TestAscii:
         out = hist.to_ascii()
         assert out.count("\n") >= 1
         assert "#" in out
+
+
+class TestEdgeCases:
+    def test_empty_histogram_has_no_buckets(self):
+        hist = LogHistogram()
+        assert list(hist.buckets()) == []
+        assert hist.sum == 0.0
+
+    def test_single_bucket_bounds_quantiles(self):
+        hist = LogHistogram()
+        hist.record(64.0, count=100)
+        (lo, hi, _count), = hist.buckets()
+        for q in (0.0, 0.5, 1.0):
+            assert lo <= hist.quantile(q) <= hi
+
+    def test_merge_into_empty(self):
+        empty = LogHistogram()
+        full = LogHistogram()
+        full.record(7.0, count=3)
+        empty.merge(full)
+        assert empty.total == 3
+        assert empty.min == 7.0 and empty.max == 7.0
+        assert empty.sum == pytest.approx(21.0)
+
+    def test_merge_preserves_source(self):
+        a, b = LogHistogram(), LogHistogram()
+        b.record(2.0)
+        a.merge(b)
+        a.record(4.0)
+        assert b.total == 1

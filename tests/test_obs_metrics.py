@@ -1,0 +1,204 @@
+"""Metrics registry: instruments, exports, and the exposition parser."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricError,
+    Registry,
+    format_labels,
+    parse_prometheus_text,
+)
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        registry = Registry()
+        counter = registry.counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+
+    def test_counter_rejects_negative(self):
+        counter = Registry().counter("repro_things_total", "things")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Registry().gauge("repro_depth", "depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+
+    def test_labeled_children_are_cached(self):
+        counter = Registry().counter("repro_x_total", "x", labels=("backend",))
+        a = counter.labels(backend="server0")
+        b = counter.labels(backend="server0")
+        assert a is b
+        a.inc()
+        assert counter.labels(backend="server1").value == 0
+
+    def test_wrong_label_set_rejected(self):
+        counter = Registry().counter("repro_x_total", "x", labels=("backend",))
+        with pytest.raises(MetricError):
+            counter.labels(server="s0")
+        with pytest.raises(MetricError):
+            counter.labels(backend="s0", extra="y")
+
+    def test_labeled_family_rejects_bare_use(self):
+        counter = Registry().counter("repro_x_total", "x", labels=("backend",))
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(MetricError):
+            Registry().counter("0bad", "x")
+        with pytest.raises(MetricError):
+            Registry().counter("repro_ok", "x", labels=("bad-label",))
+
+    def test_histogram_observes(self):
+        hist = Registry().histogram("repro_latency_ns", "latency")
+        hist.observe(100.0)
+        hist.observe(200.0)
+        child = hist.labels() if hist.label_names else hist._only_child()
+        assert child.histogram.total == 2
+
+
+class TestRegistry:
+    def test_register_is_idempotent(self):
+        registry = Registry()
+        a = registry.counter("repro_x_total", "x", labels=("backend",))
+        b = registry.counter("repro_x_total", "x", labels=("backend",))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_type_conflict_rejected(self):
+        registry = Registry()
+        registry.counter("repro_x", "x")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_x", "x")
+
+    def test_label_conflict_rejected(self):
+        registry = Registry()
+        registry.counter("repro_x_total", "x", labels=("backend",))
+        with pytest.raises(MetricError):
+            registry.counter("repro_x_total", "x", labels=("server",))
+
+    def test_families_sorted(self):
+        registry = Registry()
+        registry.counter("repro_b", "b")
+        registry.counter("repro_a", "a")
+        assert [f.name for f in registry.families()] == ["repro_a", "repro_b"]
+
+    def test_collect_hook_runs_on_export(self):
+        registry = Registry()
+        gauge = registry.gauge("repro_pull", "pull-style value")
+        registry.add_collect_hook(lambda: gauge.set(42))
+        assert registry.to_json()["repro_pull"]["samples"][0]["value"] == 42
+
+    def test_get(self):
+        registry = Registry()
+        counter = registry.counter("repro_x", "x")
+        assert registry.get("repro_x") is counter
+        assert registry.get("absent") is None
+
+
+class TestPrometheusExport:
+    def make_registry(self):
+        registry = Registry()
+        counter = registry.counter(
+            "repro_samples_total", "samples", labels=("backend", "delta_us")
+        )
+        counter.labels(backend="server0", delta_us="64").inc(5)
+        registry.gauge("repro_mode", "mode").set(1)
+        hist = registry.histogram("repro_latency_ns", "latency")
+        hist.observe(100.0)
+        hist.observe(5000.0)
+        return registry
+
+    def test_round_trips_through_parser(self):
+        text = self.make_registry().to_prometheus()
+        families = parse_prometheus_text(text)
+        assert families["repro_samples_total"]["type"] == "counter"
+        name, labels, value = families["repro_samples_total"]["samples"][0]
+        assert labels == {"backend": "server0", "delta_us": "64"}
+        assert value == 5
+
+    def test_histogram_emits_cumulative_buckets(self):
+        text = self.make_registry().to_prometheus()
+        families = parse_prometheus_text(text)
+        samples = families["repro_latency_ns"]["samples"]
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "repro_latency_ns_bucket"
+        ]
+        # Cumulative: counts never decrease and the +Inf bucket is total.
+        counts = [v for _le, v in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == "+Inf" and buckets[-1][1] == 2
+        count = [v for n, _l, v in samples if n == "repro_latency_ns_count"]
+        assert count == [2]
+
+    def test_help_and_type_lines_present(self):
+        text = self.make_registry().to_prometheus()
+        assert "# HELP repro_mode mode" in text
+        assert "# TYPE repro_mode gauge" in text
+
+    def test_label_values_escaped(self):
+        registry = Registry()
+        registry.counter("repro_x", "x", labels=("k",)).labels(k='a"b\\c').inc()
+        families = parse_prometheus_text(registry.to_prometheus())
+        _name, labels, _value = families["repro_x"]["samples"][0]
+        assert labels == {"k": 'a\\"b\\\\c'}  # parser keeps raw escapes
+
+    def test_json_export_shape(self):
+        out = self.make_registry().to_json()
+        hist = out["repro_latency_ns"]["samples"][0]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(5100.0)
+        assert sum(b["count"] for b in hist["buckets"]) == 2
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(MetricError):
+            parse_prometheus_text("# TYPE x counter\nx{oops 1\n")
+
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(MetricError):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_rejects_duplicate_labels(self):
+        text = '# TYPE x counter\nx{a="1",a="2"} 1\n'
+        with pytest.raises(MetricError):
+            parse_prometheus_text(text)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="10"} 1\n'
+            "h_sum 5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(MetricError):
+            parse_prometheus_text(text)
+
+    def test_parses_special_values(self):
+        text = "# TYPE x gauge\nx 1\n# TYPE y gauge\ny +Inf\n"
+        families = parse_prometheus_text(text)
+        assert families["y"]["samples"][0][2] == math.inf
+
+    def test_free_comments_ignored(self):
+        text = "# just a note\n# TYPE x counter\nx 3\n"
+        assert parse_prometheus_text(text)["x"]["samples"][0][2] == 3
+
+
+class TestFormatLabels:
+    def test_empty(self):
+        assert format_labels({}) == ""
+
+    def test_sorted_keys(self):
+        assert format_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'

@@ -43,3 +43,20 @@ class TestPacketTrace:
         trace.record(123, "a->b", make_packet())
         line = next(iter(trace)).format()
         assert "a->b" in line and "123" in line
+
+
+class TestDropAccounting:
+    def test_dropped_counts_past_limit(self):
+        trace = PacketTrace(limit=2)
+        for i in range(5):
+            trace.record(i, "p", make_packet())
+        assert trace.dropped == 3
+        assert trace.limit == 2
+
+    def test_unlimited_trace_never_drops(self):
+        trace = PacketTrace()
+        for i in range(10):
+            trace.record(i, "p", make_packet())
+        assert trace.dropped == 0
+        assert not trace.truncated
+        assert trace.limit is None
