@@ -1,0 +1,108 @@
+"""Self-timing hot-path workloads shared by benches and the CI gate.
+
+Each function runs a fixed-size workload on one of the per-packet hot
+layers and returns ``(units, wall_seconds)`` so callers can derive a
+throughput.  They are deliberately pure-Python callables with no pytest
+dependency: ``test_bench_engine.py`` / ``test_bench_hotpath.py`` wrap
+them with pytest-benchmark for timing statistics, while
+``perf_smoke.py`` (the CI perf gate) runs them directly and compares
+against the committed ``BENCH_engine.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Tuple
+
+from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
+from repro.net.addr import Endpoint
+from repro.net.packet import Packet
+from repro.net.pipe import Pipe
+from repro.sim.engine import Simulator
+from repro.units import GIGABITS_PER_SECOND, MICROSECONDS
+
+
+def run_engine_fire_events(n: int = 10_000) -> Tuple[int, float]:
+    """Schedule+drain ``n`` fire-and-forget events (the dominant kind)."""
+    sim = Simulator()
+    sink: List[None] = []
+    start = time.perf_counter()
+    for i in range(n):
+        sim.schedule_fire(i, lambda: sink.append(None))
+    sim.run()
+    seconds = time.perf_counter() - start
+    assert len(sink) == n
+    return n, seconds
+
+
+def run_engine_handle_events(n: int = 10_000) -> Tuple[int, float]:
+    """Schedule+drain ``n`` cancellable (EventHandle) events."""
+    sim = Simulator()
+    sink: List[None] = []
+    start = time.perf_counter()
+    for i in range(n):
+        sim.schedule(i, lambda: sink.append(None))
+    sim.run()
+    seconds = time.perf_counter() - start
+    assert len(sink) == n
+    return n, seconds
+
+
+def make_gap_trace(n: int = 100_000, seed: int = 7) -> List[int]:
+    """Arrival times whose gaps straddle the paper's δ ladder.
+
+    Mostly intra-batch gaps (2 µs), with inter-batch pauses at 30 µs,
+    300 µs, and occasional multi-epoch idles — the mix the LB actually
+    sees, so the fused prefix-roll short-circuits realistically.
+    """
+    rng = random.Random(seed)
+    choices = (2_000, 2_000, 2_000, 30_000, 300_000, 5_000_000)
+    trace = []
+    t = 0
+    for _ in range(n):
+        t += rng.choice(choices)
+        trace.append(t)
+    return trace
+
+
+def run_ensemble_observe(
+    trace: List[int], fused: bool = True
+) -> Tuple[int, float]:
+    """Feed ``trace`` through one EnsembleTimeout; returns (packets, s)."""
+    ensemble = EnsembleTimeout(EnsembleConfig(), fused=fused)
+    observe = ensemble.observe
+    start = time.perf_counter()
+    for now in trace:
+        observe(now)
+    seconds = time.perf_counter() - start
+    return len(trace), seconds
+
+
+def run_pipe_stream(
+    packets: int = 1_000, batches: int = 10
+) -> Tuple[int, float, int]:
+    """Stream ``batches`` waves of ``packets`` through one 10 Gb/s pipe.
+
+    Returns ``(delivered, seconds, peak_queue_depth)``; the peak depth
+    shows the delivery pump holding the engine heap at O(pipes) instead
+    of O(packets in flight).
+    """
+    sim = Simulator()
+    pipe = Pipe(
+        sim,
+        "bench",
+        prop_delay=10 * MICROSECONDS,
+        bandwidth_bps=10 * GIGABITS_PER_SECOND,
+    )
+    delivered: List[Packet] = []
+    pipe.connect(delivered.append)
+    src, dst = Endpoint("a", 1), Endpoint("b", 2)
+    start = time.perf_counter()
+    for _ in range(batches):
+        for _ in range(packets):
+            pipe.send(Packet(src=src, dst=dst, payload_len=100))
+        sim.run()
+    seconds = time.perf_counter() - start
+    assert len(delivered) == packets * batches
+    return len(delivered), seconds, sim.peak_queue_depth

@@ -1,8 +1,14 @@
 """PERF-ENGINE — simulator throughput.
 
 Event-loop rates bound how much virtual time the experiment harness can
-afford; these benches keep regressions visible.
+afford; these benches keep regressions visible.  The fire-path and
+handle-path schedule+drain benches also record their events/sec into
+``benchmarks/BENCH_engine.json`` (see ``conftest.record_perf``), which
+is the baseline the CI ``perf-smoke`` job gates against.
 """
+
+from conftest import record_perf
+from hotpath_cases import run_engine_fire_events, run_engine_handle_events
 
 from repro.net.addr import Endpoint
 from repro.net.network import Network
@@ -19,6 +25,19 @@ class TestEventLoop:
             sink = []
             for i in range(10_000):
                 sim.schedule(i, lambda: sink.append(None))
+            sim.run()
+            return len(sink)
+
+        assert benchmark(run) == 10_000
+
+    def test_schedule_fire_and_drain_10k_events(self, benchmark):
+        """The fire-and-forget fast path (no EventHandle allocation)."""
+
+        def run():
+            sim = Simulator()
+            sink = []
+            for i in range(10_000):
+                sim.schedule_fire(i, lambda: sink.append(None))
             sim.run()
             return len(sink)
 
@@ -43,6 +62,37 @@ class TestEventLoop:
             return sim.events_processed
 
         assert benchmark(run) == 2_500
+
+    def test_timer_rearm_does_not_grow_heap(self, benchmark):
+        """Restartable-timer churn: compaction keeps the heap bounded."""
+
+        def run():
+            sim = Simulator()
+            timer = Timer(sim, lambda: None)
+            for _ in range(10_000):
+                timer.start(1_000_000)
+            sim.run()
+            return sim.peak_queue_depth
+
+        # Without tombstone compaction the peak would be ~10_000.
+        assert benchmark(run) < 200
+
+
+class TestRecordedBaseline:
+    """Best-of-5 throughput snapshots written to BENCH_engine.json."""
+
+    def _record(self, name, runner):
+        runs = [runner() for _ in range(5)]
+        events, seconds = min(runs, key=lambda r: r[1] / r[0])
+        return record_perf(name, events, seconds)
+
+    def test_record_engine_events_per_sec(self):
+        entry = self._record("engine_fire_10k", run_engine_fire_events)
+        assert entry["events_per_sec"] > 0
+
+    def test_record_engine_handle_events_per_sec(self):
+        entry = self._record("engine_handle_10k", run_engine_handle_events)
+        assert entry["events_per_sec"] > 0
 
 
 class TestPacketPath:

@@ -176,7 +176,7 @@ class MemtierClient:
         if not self._running:
             self._conn_state.pop(index, None)
             return
-        self.host.sim.schedule(
+        self.host.sim.schedule_fire(
             self.config.reconnect_delay, lambda: self._open_connection(index)
         )
 
@@ -198,7 +198,7 @@ class MemtierClient:
         self.retry_stats.retries += 1
         self._attempts[request.request_id] = attempts + 1
         delay = backoff_delay(self.retry, attempts, self._retry_rng)
-        self.host.sim.schedule(delay, lambda: self._enqueue_retry(request))
+        self.host.sim.schedule_fire(delay, lambda: self._enqueue_retry(request))
 
     def _enqueue_retry(self, request: Request) -> None:
         if not self._running:
@@ -334,7 +334,8 @@ class _ConnLoop:
 
         think = self.client.config.think_time
         if think > 0:
-            self.client.host.sim.schedule(think, self._continue)
+            # Per-request think-time events are never cancelled: fast path.
+            self.client.host.sim.schedule_fire(think, self._continue)
         else:
             self._continue()
 

@@ -212,7 +212,8 @@ class ServerApp:
                 self.stats.responses += 1
                 conn.send_message(response, response.wire_size)
 
-        self.host.sim.schedule_at(completion, respond)
+        # One-shot, never cancelled: skip the EventHandle allocation.
+        self.host.sim.schedule_fire_at(completion, respond)
 
     def _execute(self, request: Request) -> Response:
         if request.op is Op.GET:

@@ -109,7 +109,7 @@ class TieredServerApp:
             self._next_dep += 1
             dep_conn.send_message(sub, self.config.sub_request_size)
 
-        self.host.sim.schedule(local, call_dependency)
+        self.host.sim.schedule_fire(local, call_dependency)
 
     def _on_dependency_response(self, conn: Connection, message: Any) -> None:
         if not isinstance(message, Response):

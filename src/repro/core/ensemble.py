@@ -23,10 +23,34 @@ DESIGN.md §5):
 * The first epoch has no cliff information yet; the initial reporting
   timeout is the *smallest* δ (configurable) — matching the paper's
   observation that low timeouts at least keep producing samples.
+
+Fused fast path
+---------------
+
+``observe`` is called for **every** packet the LB forwards, which makes
+it the hottest Python in the reproduction.  The naive implementation
+walks all *k* FIXEDTIMEOUT instances per packet, but the ensemble's
+structure makes most of that work redundant: the δ ladder is sorted
+ascending, so for an inter-packet gap *g*,
+
+    ``g > δᵢ  ⇒  g > δⱼ``  for every *j ≤ i*.
+
+Exactly the instances with ``δᵢ < g`` start a new batch; they form a
+prefix of the ladder whose length is one :func:`bisect.bisect_left`
+(O(log k)), and only those ``rolled`` instances need their batch state
+touched.  A mid-batch packet (``g ≤ δ₁``, the overwhelmingly common
+case) is O(1): nothing rolls.  Since every instance shares the same
+``time_last_pkt``, the fused path keeps one shared last-packet stamp
+plus flat per-instance arrays instead of *k* objects.
+
+The naive per-instance path is preserved behind
+``EnsembleTimeout(..., fused=False)`` so differential tests can verify
+the two produce byte-identical samples, counts, and cliff choices.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -69,11 +93,21 @@ class EnsembleTimeout:
     ``observe(now)`` is called for every packet of the flow arriving at
     the LB and returns a ``T_LB`` sample when the *currently selected*
     timeout's FIXEDTIMEOUT instance produced one, else None.
+
+    ``fused=True`` (the default) uses the O(log k) prefix-roll fast path
+    documented in the module docstring; ``fused=False`` runs the literal
+    k FIXEDTIMEOUT instances from the pseudocode.  Both paths produce
+    identical samples, :meth:`sample_counts`, and ``cliff_history``.
     """
 
     __slots__ = (
         "config",
+        "fused",
         "_instances",
+        "_deltas",
+        "_last_batch",
+        "_last_pkt",
+        "_samples_produced",
         "_counts",
         "_epoch_start",
         "_current",
@@ -81,11 +115,20 @@ class EnsembleTimeout:
         "cliff_history",
     )
 
-    def __init__(self, config: Optional[EnsembleConfig] = None):
+    def __init__(self, config: Optional[EnsembleConfig] = None, fused: bool = True):
         self.config = config or EnsembleConfig()
         self.config.validate()
-        self._instances = [FixedTimeout(delta) for delta in self.config.timeouts]
-        self._counts = [0] * len(self._instances)
+        self.fused = fused
+        self._deltas = list(self.config.timeouts)
+        k = len(self._deltas)
+        if fused:
+            self._instances = None
+            self._last_batch: List[int] = [0] * k
+            self._last_pkt: Optional[int] = None
+            self._samples_produced = [0] * k
+        else:
+            self._instances = [FixedTimeout(delta) for delta in self._deltas]
+        self._counts = [0] * k
         self._epoch_start: Optional[int] = None
         self._current = self.config.initial_index
         self.epochs_completed = 0
@@ -95,12 +138,33 @@ class EnsembleTimeout:
     @property
     def current_timeout(self) -> int:
         """The δₑ in use for the current epoch (ns)."""
-        return self.config.timeouts[self._current]
+        return self._deltas[self._current]
 
     @property
     def current_index(self) -> int:
         """Index of δₑ in the ensemble."""
         return self._current
+
+    @property
+    def instances(self) -> List[FixedTimeout]:
+        """Per-timeout FIXEDTIMEOUT state (views when fused).
+
+        In naive mode these are the live Algorithm 1 instances; in fused
+        mode equivalent snapshots are materialized on demand, so
+        introspection and differential tests can compare state without
+        slowing the hot path.
+        """
+        if self._instances is not None:
+            return list(self._instances)
+        views = []
+        for i, delta in enumerate(self._deltas):
+            view = FixedTimeout(delta)
+            if self._last_pkt is not None:
+                view.time_last_batch = self._last_batch[i]
+                view.time_last_pkt = self._last_pkt
+            view.samples_produced = self._samples_produced[i]
+            views.append(view)
+        return views
 
     def sample_counts(self) -> List[int]:
         """This epoch's per-timeout sample counts so far (N_i)."""
@@ -114,11 +178,46 @@ class EnsembleTimeout:
         epoch"), so the packet that opens an epoch is measured with the
         freshly chosen timeout.
         """
-        if self._epoch_start is None:
+        epoch_start = self._epoch_start
+        if epoch_start is None:
             self._epoch_start = now
-        elif now - self._epoch_start >= self.config.epoch:
+        elif now - epoch_start >= self.config.epoch:
             self._end_epoch(now)
 
+        if not self.fused:
+            return self._observe_naive(now)
+
+        last_pkt = self._last_pkt
+        self._last_pkt = now
+        if last_pkt is None:
+            # First packet of the flow: start every instance's first batch.
+            self._last_batch = [now] * len(self._deltas)
+            return None
+
+        gap = now - last_pkt
+        deltas = self._deltas
+        if gap <= deltas[0]:
+            return None  # mid-batch for every δ: the O(1) common case
+
+        # Instances with δᵢ < gap — a prefix of the sorted ladder — roll.
+        if gap > deltas[-1]:
+            rolled = len(deltas)
+        else:
+            rolled = bisect_left(deltas, gap)
+
+        current = self._current
+        last_batch = self._last_batch
+        result = now - last_batch[current] if current < rolled else None
+        counts = self._counts
+        samples = self._samples_produced
+        for i in range(rolled):
+            counts[i] += 1
+            samples[i] += 1
+            last_batch[i] = now
+        return result
+
+    def _observe_naive(self, now: int) -> Optional[int]:
+        """The literal Algorithm 2 inner loop (reference implementation)."""
         result: Optional[int] = None
         for index, instance in enumerate(self._instances):
             t_lb = instance.observe(now)
@@ -133,7 +232,7 @@ class EnsembleTimeout:
         if chosen is not None:
             self._current = chosen
         self.cliff_history.append((now, self._current))
-        self._counts = [0] * len(self._instances)
+        self._counts = [0] * len(self._deltas)
         # Advance the epoch window to contain `now` (idle gaps may span
         # several epochs; counters reset either way).
         assert self._epoch_start is not None

@@ -153,6 +153,10 @@ class InbandFeedback:
         )
         self.samples: List[SampleRecord] = []
         self.censored_samples = 0
+        # Hot-path flags, hoisted once: _on_packet runs per forwarded
+        # packet and these do not change after construction.
+        self._censor = self.config.censor_retransmissions
+        self._record = self.config.record_samples
         #: Per-backend sample series for reports (time, T_LB ns).
         self.sample_series: Dict[str, TimeSeries] = {}
         #: Resilience plane (None unless enabled).
@@ -219,9 +223,9 @@ class InbandFeedback:
 
         def tick() -> None:
             self._evaluate(sim.now)
-            sim.schedule(interval, tick)
+            sim.schedule_fire(interval, tick)
 
-        sim.schedule(interval, tick)
+        sim.schedule_fire(interval, tick)
 
     def _evaluate(self, now: int) -> None:
         """Walk the ladder and feed invalidation edges to the breakers."""
@@ -241,7 +245,7 @@ class InbandFeedback:
         self, now: int, flow: FlowKey, backend: str, packet: Packet
     ) -> None:
         state = self.flows.get_or_create(flow, now)
-        if self.config.censor_retransmissions:
+        if self._censor:
             state.observe_seq(packet)
         metrics = self._metrics
         if metrics is None:
@@ -262,7 +266,7 @@ class InbandFeedback:
         if t_lb is None:
             return
 
-        if self.config.censor_retransmissions and state.tainted:
+        if self._censor and state.tainted:
             # This batch gap straddles a loss-recovery stall; drop it.
             state.tainted = False
             self.censored_samples += 1
@@ -280,7 +284,7 @@ class InbandFeedback:
             self._tracer.on_sample(
                 now, flow, backend, t_lb, state.ensemble.current_timeout
             )
-        if self.config.record_samples:
+        if self._record:
             self.samples.append(SampleRecord(now, flow, backend, t_lb))
             series = self.sample_series.get(backend)
             if series is None:
@@ -292,10 +296,10 @@ class InbandFeedback:
             # A T_LB sample is live-traffic evidence the backend answers.
             self.breakers.record_success(backend, now)
         if self.ladder is not None:
-            from repro.resilience.ladder import ControllerMode
-
+            # _feedback_mode was cached by _wire_resilience; no per-packet
+            # import of the resilience plane.
             self._evaluate(now)
-            if self.ladder.mode is not ControllerMode.FEEDBACK:
+            if self.ladder.mode is not self._feedback_mode:
                 return  # weights frozen: the signal is not trusted
         if self.controller is not None:
             self.controller.maybe_update(now)

@@ -168,12 +168,12 @@ class Injector:
             targets = self._resolve(window.fault)
             names = tuple(self._target_name(t) for t in targets)
             self.armed_windows.append(ArmedWindow(window, names))
-            self._sim.schedule_at(
+            self._sim.schedule_fire_at(
                 window.start,
                 lambda w=window, t=targets: self._transition(w, t, apply=True),
             )
             if window.end is not None:
-                self._sim.schedule_at(
+                self._sim.schedule_fire_at(
                     window.end,
                     lambda w=window, t=targets: self._transition(w, t, apply=False),
                 )

@@ -113,8 +113,8 @@ def run_churn(config: Optional[ChurnConfig] = None) -> ChurnResult:
         pinned_at_drain[0] = scenario.lb.conntrack.live_flows("server0")
         pool.remove("server0")
 
-    sim.schedule_at(config.scale_out_at, lambda: pool.add(Backend(newcomer)))
-    sim.schedule_at(config.drain_at, drain)
+    sim.schedule_fire_at(config.scale_out_at, lambda: pool.add(Backend(newcomer)))
+    sim.schedule_fire_at(config.drain_at, drain)
 
     # Observe affinity and per-phase new-flow routing via the LB tap.
     flow_backends: Dict[FlowKey, str] = {}

@@ -299,7 +299,12 @@ class ScenarioResult:
             engine += ", %.0f events/sec wall-clock" % (
                 self.wall_events / self.wall_seconds
             )
-        engine += ", peak queue depth %d" % self.scenario.sim.peak_queue_depth
+        sim = self.scenario.sim
+        engine += ", peak queue depth %d" % sim.peak_queue_depth
+        engine += ", %d live / %d pending at end" % (
+            sim.live_events,
+            sim.pending_events,
+        )
         lines.append(engine)
         obs = self.scenario.obs
         if obs is not None and obs.profiler is not None and obs.profiler.events:

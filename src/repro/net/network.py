@@ -99,8 +99,9 @@ class Network:
             queue_capacity,
             jitter,
         )
-        node = self._nodes[dst]
-        pipe.connect(lambda packet, node=node, pname=pipe.name: self._deliver(node, pname, packet))
+        # Bind the receiver's method directly: delivery is the hottest
+        # callback in the simulation, so skip wrapper indirection.
+        pipe.connect(self._nodes[dst].on_packet)
         self._pipes[key] = pipe
         return pipe
 
@@ -163,8 +164,9 @@ class Network:
                 "no pipe from %s to next hop %s (for dst %s)"
                 % (node_name, next_hop, dst_host)
             )
-        for tap in self._taps:
-            tap(pipe.name, packet)
+        if self._taps:
+            for tap in self._taps:
+                tap(pipe.name, packet)
         return pipe.send(packet)
 
     def send_via(self, src_node: str, next_hop: str, packet: Packet) -> bool:
@@ -176,8 +178,9 @@ class Network:
         pipe = self._pipes.get((src_node, next_hop))
         if pipe is None:
             raise NetworkError("no pipe %s->%s" % (src_node, next_hop))
-        for tap in self._taps:
-            tap(pipe.name, packet)
+        if self._taps:
+            for tap in self._taps:
+                tap(pipe.name, packet)
         return pipe.send(packet)
 
     def _resolve_next_hop(self, node_name: str, dst_host: str) -> str:
@@ -192,9 +195,6 @@ class Network:
         if (node_name, resolved) in self._pipes:
             return resolved
         raise NetworkError("node %s has no route to %s" % (node_name, dst_host))
-
-    def _deliver(self, node: Node, pipe_name: str, packet: Packet) -> None:
-        node.on_packet(packet)
 
     # ------------------------------------------------------------------
     # Observation

@@ -105,6 +105,15 @@ class Pipe:
         # Departure times of packets still occupying the queue/wire;
         # drained lazily in send() instead of with per-packet events.
         self._departures: Deque[int] = deque()
+        # The delivery pump: packets in flight wait in this deque as
+        # (arrival, reserved seq, packet) and exactly one engine event —
+        # armed for the head entry — is outstanding per pipe.  Arrivals
+        # are monotone (the no-reorder clamp), so the head is always the
+        # next delivery; each packet's tie-breaking seq is reserved at
+        # send time, which keeps event order byte-identical to the old
+        # one-event-per-packet scheme while the heap stays O(pipes).
+        self._arrivals: Deque[tuple] = deque()
+        self._pump_armed = False
         self.stats = PipeStats()
         self._deliver: Optional[Callable[[Packet], None]] = None
 
@@ -239,11 +248,38 @@ class Pipe:
             arrival = self._last_arrival
         self._last_arrival = arrival
 
-        self._sim.schedule_at(arrival, lambda p=packet: self._arrive(p))
+        # Reserve the tie-breaking seq now (as if the delivery event were
+        # scheduled here) but only keep one engine event outstanding.
+        seq = self._sim.reserve_seq()
+        self._arrivals.append((arrival, seq, packet))
+        if not self._pump_armed:
+            self._pump_armed = True
+            self._sim.schedule_fire_at(arrival, self._pump, seq=seq)
         return True
 
-    def _arrive(self, packet: Packet) -> None:
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += packet.size_bytes
-        assert self._deliver is not None
-        self._deliver(packet)
+    def _pump(self) -> None:
+        """Deliver the head in-flight packet; re-arm for the next one.
+
+        Fires once per delivered packet (so ``events_processed`` matches
+        the per-packet scheme) but the engine heap holds at most one
+        entry per pipe.  Re-arming uses the next packet's reserved seq,
+        so ties against unrelated events keep their original order.
+        """
+        arrivals = self._arrivals
+        _arrival, _seq, packet = arrivals.popleft()
+        if arrivals:
+            head = arrivals[0]
+            self._sim.schedule_fire_at(head[0], self._pump, seq=head[1])
+        else:
+            self._pump_armed = False
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size_bytes
+        deliver = self._deliver
+        assert deliver is not None
+        deliver(packet)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets sent but not yet delivered (pump queue depth)."""
+        return len(self._arrivals)

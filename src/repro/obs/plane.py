@@ -216,7 +216,12 @@ class ObsPlane:
             "repro_sim_events_processed", "Engine events fired so far"
         )
         sim_pending = registry.gauge(
-            "repro_sim_pending_events", "Engine events still queued"
+            "repro_sim_pending_events",
+            "Engine events still queued, including cancelled tombstones",
+        )
+        sim_live = registry.gauge(
+            "repro_sim_live_events",
+            "Engine events still queued that will actually fire",
         )
         sim_peak = registry.gauge(
             "repro_sim_peak_queue_depth", "High-water mark of the event queue"
@@ -242,6 +247,7 @@ class ObsPlane:
             sim = scenario.sim
             sim_events.set(sim.events_processed)
             sim_pending.set(sim.pending_events)
+            sim_live.set(sim.live_events)
             sim_peak.set(sim.peak_queue_depth)
 
         registry.add_collect_hook(collect)

@@ -1,13 +1,29 @@
 """Discrete-event simulation engine.
 
 A :class:`Simulator` owns the virtual clock (integer nanoseconds) and a
-binary-heap event queue.  Events are ``(time, sequence, callback)`` tuples;
+binary-heap event queue.  Events are ``(time, sequence, payload)`` tuples;
 the monotonically increasing sequence number breaks ties so that two events
 scheduled for the same instant fire in scheduling order, which keeps runs
 deterministic.
 
+Two scheduling surfaces share the queue:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`EventHandle` that supports cancellation — protocol timers
+  (retransmission, delayed ACKs) need to disarm.
+* :meth:`Simulator.schedule_fire` / :meth:`Simulator.schedule_fire_at`
+  are the fire-and-forget fast path: the bare callback is pushed onto the
+  heap with no handle object at all.  Packet deliveries and one-shot
+  sends — the bulk of a simulation's events — never cancel, so they skip
+  the allocation entirely.
+
 Cancellation is handled with tombstones: :meth:`EventHandle.cancel` marks
 the entry dead and the main loop skips it, avoiding O(n) heap surgery.
+The simulator counts live tombstones and compacts the heap in place when
+more than half of the queued entries are dead, so restartable timers that
+re-arm long deadlines (retransmit timers bumped on every ACK) cannot grow
+the heap without bound.  :attr:`Simulator.live_events` excludes
+tombstones; :attr:`Simulator.pending_events` includes them.
 
 Example
 -------
@@ -26,6 +42,10 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
+#: Compaction is skipped below this queue size — rebuilding a tiny heap
+#: costs more than skipping a handful of tombstones at pop time.
+_COMPACT_MIN_QUEUE = 64
+
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires.
@@ -33,18 +53,25 @@ class EventHandle:
     Returned by :meth:`Simulator.schedule` and :meth:`Simulator.schedule_at`.
     """
 
-    __slots__ = ("time", "seq", "callback", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+    def __init__(self, time: int, seq: int, callback: Callable[[], None], sim=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self._cancelled = False
+        self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
         self.callback = _NOOP  # free closure references promptly
+        sim = self._sim
+        if sim is not None:
+            sim._note_tombstone()
 
     @property
     def cancelled(self) -> bool:
@@ -71,7 +98,10 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: List[tuple] = []  # (time, seq, EventHandle)
+        # (time, seq, EventHandle) for cancellable events,
+        # (time, seq, bare callback) for fire-and-forget ones.
+        self._queue: List[tuple] = []
+        self._tombstones = 0
         self._running = False
         self._events_processed = 0
         self._peak_queue_depth = 0
@@ -93,8 +123,18 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Events still queued, including cancelled tombstones."""
+        """Events still queued, **including** cancelled tombstones.
+
+        This over-reports outstanding work when restartable timers have
+        left tombstones behind; use :attr:`live_events` for the number of
+        events that will actually fire.
+        """
         return len(self._queue)
+
+    @property
+    def live_events(self) -> int:
+        """Events still queued that will actually fire (no tombstones)."""
+        return len(self._queue) - self._tombstones
 
     @property
     def peak_queue_depth(self) -> int:
@@ -122,11 +162,56 @@ class Simulator:
                 "cannot schedule at t=%d, already at t=%d" % (time, self._now)
             )
         self._seq += 1
-        handle = EventHandle(time, self._seq, callback)
+        handle = EventHandle(time, self._seq, callback, self)
         heapq.heappush(self._queue, (time, self._seq, handle))
         if len(self._queue) > self._peak_queue_depth:
             self._peak_queue_depth = len(self._queue)
         return handle
+
+    def schedule_fire(self, delay: int, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        For events that are never cancelled (packet deliveries, one-shot
+        sends) this skips the handle allocation on the hot path.  There
+        is no way to cancel the event once scheduled.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule %d ns in the past" % delay)
+        self.schedule_fire_at(self._now + delay, callback)
+
+    def schedule_fire_at(
+        self,
+        time: int,
+        callback: Callable[[], None],
+        seq: Optional[int] = None,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`.
+
+        ``seq`` may be a value previously obtained from
+        :meth:`reserve_seq`; this lets a caller that batches events (the
+        pipe delivery pump) keep the exact tie-breaking order the events
+        would have had if each had been pushed at reservation time.
+        """
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at t=%d, already at t=%d" % (time, self._now)
+            )
+        if seq is None:
+            self._seq += 1
+            seq = self._seq
+        heapq.heappush(self._queue, (time, seq, callback))
+        if len(self._queue) > self._peak_queue_depth:
+            self._peak_queue_depth = len(self._queue)
+
+    def reserve_seq(self) -> int:
+        """Claim the next tie-breaking sequence number without scheduling.
+
+        Pass the reserved value to :meth:`schedule_fire_at` later to make
+        the event order exactly as if it had been scheduled now.  Each
+        reserved value must be used at most once.
+        """
+        self._seq += 1
+        return self._seq
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire).
@@ -149,15 +234,21 @@ class Simulator:
     def step(self) -> bool:
         """Fire the single next live event.  Returns False if none remain."""
         while self._queue:
-            time, _seq, handle = heapq.heappop(self._queue)
-            if handle._cancelled:
-                continue
+            time, _seq, payload = heapq.heappop(self._queue)
+            if payload.__class__ is EventHandle:
+                if payload._cancelled:
+                    self._tombstones -= 1
+                    continue
+                payload._fired = True
+                callback = payload.callback
+            else:
+                callback = payload
             self._now = time
             self._events_processed += 1
             if self._profiler is None:
-                handle.callback()
+                callback()
             else:
-                self._profiler.run(handle.callback)
+                self._profiler.run(callback)
             return True
         return False
 
@@ -169,28 +260,65 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         profiler = self._profiler
+        handle_class = EventHandle
         try:
             while queue:
                 entry = queue[0]
-                handle = entry[2]
-                if handle._cancelled:
-                    heappop(queue)
-                    continue
+                payload = entry[2]
+                is_handle = payload.__class__ is handle_class
+                if is_handle:
+                    if payload._cancelled:
+                        heappop(queue)
+                        self._tombstones -= 1
+                        continue
+                    callback = payload.callback
+                else:
+                    callback = payload
                 if until is not None and entry[0] > until:
                     break
                 if max_events is not None and processed >= max_events:
                     break
                 heappop(queue)
+                if is_handle:
+                    payload._fired = True
                 self._now = entry[0]
                 if profiler is None:
-                    handle.callback()
+                    callback()
                 else:
-                    profiler.run(handle.callback)
+                    profiler.run(callback)
                 processed += 1
         finally:
             self._running = False
             self._events_processed += processed
         return processed
+
+    # ------------------------------------------------------------------
+    # Tombstone hygiene
+    # ------------------------------------------------------------------
+
+    def _note_tombstone(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; compacts when dead
+        entries outnumber live ones."""
+        self._tombstones += 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN_QUEUE and self._tombstones * 2 > len(queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, **in place**.
+
+        The queue list object is mutated (not replaced) so that a drain
+        loop holding a local alias keeps seeing the compacted heap even
+        when a callback triggers compaction mid-run.
+        """
+        queue = self._queue
+        queue[:] = [
+            entry
+            for entry in queue
+            if not (entry[2].__class__ is EventHandle and entry[2]._cancelled)
+        ]
+        heapq.heapify(queue)
+        self._tombstones = 0
 
 
 class Timer:

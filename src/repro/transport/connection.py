@@ -521,7 +521,7 @@ class Connection:
         if self._pacer is not None and payload_len > 0:
             send_at = self._pacer.allocate(self._sim.now, payload_len)
             if send_at > self._sim.now:
-                self._sim.schedule_at(
+                self._sim.schedule_fire_at(
                     send_at, lambda s=segment: self._emit_segment(s)
                 )
                 return

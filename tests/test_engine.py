@@ -242,6 +242,137 @@ class TestPeakQueueDepth:
         assert sim.peak_queue_depth == 10
 
 
+class TestScheduleFire:
+    def test_fires_like_schedule(self, sim):
+        fired = []
+        sim.schedule_fire(1000, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1000]
+
+    def test_absolute_variant(self, sim):
+        fired = []
+        sim.schedule_fire_at(5_000, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5000]
+
+    def test_interleaves_with_handle_events_in_schedule_order(self, sim):
+        order = []
+        sim.schedule(42, lambda: order.append("handle1"))
+        sim.schedule_fire(42, lambda: order.append("fire"))
+        sim.schedule(42, lambda: order.append("handle2"))
+        sim.run()
+        assert order == ["handle1", "fire", "handle2"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_fire(-1, lambda: None)
+
+    def test_past_time_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_fire_at(50, lambda: None)
+
+    def test_counts_in_events_processed(self, sim):
+        sim.schedule_fire(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_reserved_seq_preserves_tie_order(self, sim):
+        """An event scheduled late with an early reserved seq fires in
+        reservation order — the delivery pump's re-arm contract."""
+        order = []
+        early_seq = sim.reserve_seq()
+        sim.schedule(42, lambda: order.append("between"))
+
+        def arm_deferred():
+            # At t=10, arm the t=42 event using the seq reserved first.
+            sim.schedule_fire_at(42, lambda: order.append("reserved"), seq=early_seq)
+
+        sim.schedule_fire(10, arm_deferred)
+        sim.run()
+        assert order == ["reserved", "between"]
+
+    def test_step_fires_fire_events(self, sim):
+        fired = []
+        sim.schedule_fire(10, lambda: fired.append(sim.now))
+        assert sim.step() is True
+        assert fired == [10]
+
+
+class TestLiveEvents:
+    def test_counts_exclude_tombstones(self, sim):
+        sim.schedule(10, lambda: None)
+        doomed = sim.schedule(20, lambda: None)
+        sim.schedule_fire(30, lambda: None)
+        doomed.cancel()
+        assert sim.pending_events == 3
+        assert sim.live_events == 2
+
+    def test_drained_queue_reports_zero(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.live_events == 0
+
+    def test_cancel_after_fire_does_not_underreport(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        handle.cancel()  # too late: the event already fired
+        sim.schedule(20, lambda: None)
+        assert sim.live_events == 1
+        assert sim.pending_events == 1
+
+    def test_double_cancel_counts_once(self, sim):
+        sim.schedule(10, lambda: None)
+        doomed = sim.schedule(20, lambda: None)
+        doomed.cancel()
+        doomed.cancel()
+        assert sim.live_events == 1
+
+
+class TestTombstoneCompaction:
+    def test_timer_rearm_churn_keeps_heap_bounded(self, sim):
+        timer = Timer(sim, lambda: None)
+        for _ in range(10_000):
+            timer.start(1_000_000)
+        # One live event; tombstones were compacted away along the way.
+        assert sim.live_events == 1
+        assert sim.pending_events < 200
+        assert sim.peak_queue_depth < 200
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_compaction_preserves_order_and_liveness(self, sim):
+        fired = []
+        handles = []
+        for i in range(500):
+            handles.append(sim.schedule(1000 + i, lambda i=i: fired.append(i)))
+        for handle in handles[1::2]:  # cancel every odd event
+            handle.cancel()
+        sim.run()
+        assert fired == list(range(0, 500, 2))
+
+    def test_compaction_during_run_is_safe(self, sim):
+        """Cancelling en masse from inside a callback compacts the heap
+        the drain loop is actively iterating."""
+        fired = []
+        handles = [
+            sim.schedule(2000 + i, lambda i=i: fired.append(i)) for i in range(300)
+        ]
+
+        def cancel_most():
+            for handle in handles[10:]:
+                handle.cancel()
+
+        sim.schedule(1, cancel_most)
+        sim.run()
+        assert fired == list(range(10))
+        assert sim.pending_events == 0
+
+
 class TestProfilerDispatch:
     class _Recorder:
         def __init__(self):

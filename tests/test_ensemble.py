@@ -1,6 +1,10 @@
 """Algorithm 2 — ENSEMBLETIMEOUT: ensembles, epochs, sample cliffs."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.ensemble import EnsembleConfig, EnsembleTimeout, default_timeouts
 from repro.units import MICROSECONDS, MILLISECONDS
@@ -157,6 +161,97 @@ class TestTimeoutAdaptation:
         assert len(ensemble.cliff_history) == ensemble.epochs_completed
         for _time, index in ensemble.cliff_history:
             assert 0 <= index < len(config.timeouts)
+
+
+def assert_paths_agree(config, trace):
+    """Feed ``trace`` to a fused and a naive ensemble; all outputs match."""
+    fused = EnsembleTimeout(config, fused=True)
+    naive = EnsembleTimeout(config, fused=False)
+    for now in trace:
+        assert fused.observe(now) == naive.observe(now), "at t=%d" % now
+    assert fused.sample_counts() == naive.sample_counts()
+    assert fused.cliff_history == naive.cliff_history
+    assert fused.epochs_completed == naive.epochs_completed
+    assert fused.current_index == naive.current_index
+    for f_view, n_inst in zip(fused.instances, naive.instances):
+        assert f_view.delta == n_inst.delta
+        assert f_view.samples_produced == n_inst.samples_produced
+        assert f_view.time_last_batch == n_inst.time_last_batch
+        assert f_view.time_last_pkt == n_inst.time_last_pkt
+
+
+class TestFusedDifferential:
+    """The O(log k) fused path is byte-identical to the naive k-loop."""
+
+    def test_gaps_straddling_every_delta(self):
+        """Bursty trace whose gaps land on, below, and above each δᵢ."""
+        config = EnsembleConfig(epoch=10 * MILLISECONDS)
+        deltas = list(config.timeouts)
+        trace, t = [], 0
+        for delta in deltas:
+            for gap in (delta - 1, delta, delta + 1, 2 * delta, 1):
+                t += gap
+                trace.append(t)
+        assert_paths_agree(config, trace)
+
+    def test_idle_multi_epoch_gaps(self):
+        config = EnsembleConfig(epoch=5 * MILLISECONDS)
+        trace, t = [], 0
+        for gap in (
+            100,
+            30 * MILLISECONDS,  # 6 idle epochs
+            200 * MICROSECONDS,
+            1,
+            120 * MILLISECONDS,  # 24 idle epochs
+            64 * MICROSECONDS,
+            64 * MICROSECONDS + 1,
+        ):
+            t += gap
+            trace.append(t)
+        assert_paths_agree(config, trace)
+
+    def test_randomized_traces(self):
+        """Seeded random walks mixing intra-batch, inter-batch, and idle."""
+        gaps_menu = [
+            1,
+            2_000,
+            63 * MICROSECONDS,
+            64 * MICROSECONDS,
+            64 * MICROSECONDS + 1,
+            500 * MICROSECONDS,
+            4 * MILLISECONDS,
+            5 * MILLISECONDS,
+            70 * MILLISECONDS,
+            300 * MILLISECONDS,
+        ]
+        for seed in range(10):
+            rng = random.Random(seed)
+            trace, t = [], 0
+            for _ in range(2_000):
+                t += rng.choice(gaps_menu)
+                trace.append(t)
+            assert_paths_agree(EnsembleConfig(), trace)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.integers(min_value=0, max_value=100 * MILLISECONDS),
+            min_size=1,
+            max_size=300,
+        ),
+        epoch=st.integers(min_value=1 * MILLISECONDS, max_value=80 * MILLISECONDS),
+        initial_index=st.integers(min_value=0, max_value=6),
+    )
+    def test_property_fused_equals_naive(self, gaps, epoch, initial_index):
+        config = EnsembleConfig(epoch=epoch, initial_index=initial_index)
+        trace, t = [], 0
+        for gap in gaps:
+            t += gap
+            trace.append(t)
+        assert_paths_agree(config, trace)
+
+    def test_fused_is_default(self):
+        assert EnsembleTimeout().fused is True
 
 
 class TestEpochBoundaries:

@@ -102,6 +102,26 @@ class TestMetricsPillar:
         assert "repro_backend_weight" in families
         assert "repro_pipe_dropped_packets" in families
 
+    def test_live_and_pending_event_gauges(self):
+        result = run(ObsConfig(enabled=True))
+        text = result.scenario.obs.registry.to_prometheus()
+        families = parse_prometheus_text(text)
+        sim = result.scenario.sim
+        live = families["repro_sim_live_events"]["samples"][0][2]
+        pending = families["repro_sim_pending_events"]["samples"][0][2]
+        assert live == sim.live_events
+        assert pending == sim.pending_events
+        # Tombstones only ever inflate the pending count.
+        assert live <= pending
+
+    def test_report_footer_shows_live_and_pending(self):
+        result = run(ObsConfig(enabled=True))
+        sim = result.scenario.sim
+        assert "%d live / %d pending at end" % (
+            sim.live_events,
+            sim.pending_events,
+        ) in result.report()
+
     def test_resilience_instruments_present(self):
         result = run(
             ObsConfig(enabled=True),
