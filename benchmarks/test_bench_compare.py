@@ -1,0 +1,42 @@
+"""COMPARE — the controller-zoo leaderboard (``repro compare``).
+
+Races every registered control law across two contrasting chaos
+presets — the paper's Fig 3 step and the KnapsackLB flapping regime —
+and persists the deterministic leaderboard.  This is the growth
+direction of the paper's open question #4: not two alternatives against
+α-shift, but the whole zoo under one ranking.
+"""
+
+from conftest import write_report
+
+import repro.controllers as controllers
+from repro.harness.compare import run_compare
+from repro.units import SECONDS
+
+DURATION = 1 * SECONDS
+PRESETS = ("fig3", "flapping_server")
+
+
+def test_compare_leaderboard(benchmark):
+    roster = controllers.available()
+    report = benchmark.pedantic(
+        lambda: run_compare(
+            PRESETS, roster, duration=DURATION, jobs=2, store=None
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = report.leaderboard()
+    write_report("compare", text)
+
+    # Every lane produced a ranked row with measured tail latency.
+    for preset in PRESETS:
+        ranked = report.ranking(preset)
+        assert [name for name, _row in sorted(ranked)] == roster
+        for _name, row in ranked:
+            assert row["requests"] > 0
+            assert row["p95_ms"] is not None
+    # The leaderboard is a pure function of the rows: re-rendering is
+    # byte-identical (no wall-clock leaks into it).
+    assert report.leaderboard() == text

@@ -1,8 +1,9 @@
 """Open question #4 — control-law comparison on the Fig 3 stimulus.
 
 The paper's α-shift rule vs the proportional and AIMD laws from
-``repro.core.strategies``, identical workload and fault.  All three
+``repro.controllers``, identical workload and fault.  All three
 drain the slow server; they differ in update count and end-state shape.
+The full-zoo race lives in ``test_bench_compare.py``.
 """
 
 from conftest import write_report

@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from repro import units
+from repro.controllers import available as available_controllers
 from repro.errors import ConfigError
 from repro.faults import PRESETS, parse_faults
 from repro.harness.ablations import (
@@ -25,6 +26,7 @@ from repro.harness.ablations import (
     sweep_policies,
 )
 from repro.harness.churn import sweep_churn
+from repro.harness.compare import RACE_PRESETS, run_compare
 from repro.harness.config import PolicyName, ScenarioConfig
 from repro.harness.figures import (
     BacklogConfig,
@@ -36,6 +38,7 @@ from repro.harness.figures import (
     run_reaction,
 )
 from repro.harness.multilb import sweep_multilb
+from repro.harness.recovery import fault_window, time_to_recovery
 from repro.harness.report import format_table
 from repro.harness.runner import run_scenario
 from repro.obs import (
@@ -95,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--servers", type=int, default=2)
     run_cmd.add_argument("--clients", type=int, default=1)
+    run_cmd.add_argument(
+        "--strategy",
+        choices=available_controllers(),
+        default="alpha",
+        help="control law for the feedback policy (default alpha)",
+    )
     run_cmd.add_argument(
         "--fault",
         action="append",
@@ -180,6 +189,49 @@ def build_parser() -> argparse.ArgumentParser:
     res_cmd.add_argument("--servers", type=int, default=2)
     res_cmd.add_argument("--clients", type=int, default=1)
 
+    compare_cmd = sub.add_parser(
+        "compare",
+        help="race the controller zoo across chaos presets and print a "
+        "leaderboard",
+        description="Runs every selected control law against every "
+        "selected fault preset — identical seed, topology, and stimulus "
+        "per lane — through the cached parallel sweep executor, then "
+        "prints a per-preset leaderboard (p95/p99, time-to-recovery, "
+        "shift count, weight churn, stale holds) plus overall mean-rank "
+        "standings.  Re-running an unchanged race is served entirely "
+        "from the result store.",
+    )
+    compare_cmd.add_argument(
+        "--preset",
+        action="append",
+        default=[],
+        choices=sorted(PRESETS),
+        help="fault preset to race on; repeatable (default race card: %s)"
+        % ", ".join(RACE_PRESETS),
+    )
+    compare_cmd.add_argument(
+        "--controllers",
+        metavar="C1,C2",
+        help="comma list of control laws (default: every registered law: %s)"
+        % ", ".join(available_controllers()),
+    )
+    compare_cmd.add_argument("--servers", type=int, default=3)
+    compare_cmd.add_argument("--clients", type=int, default=1)
+    compare_cmd.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    compare_cmd.add_argument(
+        "--store",
+        default=".sweep-store",
+        metavar="DIR",
+        help="result store directory (default .sweep-store)",
+    )
+    compare_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-simulate every lane even when the store has its result",
+    )
+
     sub.add_parser("fig2a", help="paper Fig 2(a): fixed timeouts vs truth")
     sub.add_parser("fig2b", help="paper Fig 2(b): the ensemble tracks truth")
     sub.add_parser("fig3", help="paper Fig 3: Maglev vs latency-aware LB")
@@ -226,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds",
         metavar="S1,S2",
         help="replicate every point once per seed",
+    )
+    sweep_cmd.add_argument(
+        "--strategy",
+        metavar="S1,S2",
+        help="comma list of control laws swept as a grid axis over "
+        "feedback.strategy (registered: %s)"
+        % ", ".join(available_controllers()),
     )
     sweep_cmd.add_argument(
         "--policy",
@@ -282,6 +341,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=faults,
             warmup=duration // 10,
         )
+        config.feedback.strategy = args.strategy
         print(run_scenario(config).report())
         return 0
 
@@ -385,6 +445,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "time to FEEDBACK recovery: %.3f ms after FALLBACK entry"
                     % to_millis(recovery_at - fallback_at)
                 )
+        latency_recovery = time_to_recovery(result, fault_window(config))
+        if latency_recovery is None:
+            print("tail latency never re-entered the pre-fault band")
+        else:
+            print(
+                "time to tail-latency recovery: %.3f ms after fault onset"
+                % to_millis(latency_recovery)
+            )
         return 0
 
     if args.command == "fig2a":
@@ -506,6 +574,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table(headers, [[row[h] for h in headers] for row in rows]))
         return 0
 
+    if args.command == "compare":
+        try:
+            return _compare_command(args, duration)
+        except ConfigError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
     if args.command == "sweep":
         try:
             return _sweep_command(args, duration)
@@ -516,11 +591,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2  # unreachable: argparse enforces the command set
 
 
+def _compare_command(args: argparse.Namespace, duration: int) -> int:
+    """The ``repro compare`` verb: race the zoo, print the leaderboard."""
+    presets = args.preset or list(RACE_PRESETS)
+    if args.controllers:
+        controllers = [
+            part.strip() for part in args.controllers.split(",") if part.strip()
+        ]
+    else:
+        controllers = available_controllers()
+    compare = run_compare(
+        presets,
+        controllers,
+        seed=args.seed,
+        duration=duration,
+        n_servers=args.servers,
+        n_clients=args.clients,
+        jobs=args.jobs,
+        store=ResultStore(args.store),
+        use_cache=not args.no_cache,
+        progress=print_progress,
+    )
+    print(compare.leaderboard())
+    print(compare.summary())
+    return 0
+
+
 def _sweep_command(args: argparse.Namespace, duration: int) -> int:
     """The ``repro sweep`` verb: build the spec, run it, print rows."""
     import os
 
-    inline_axes = args.grid or args.zip_axes or args.seeds or args.fault
+    inline_axes = (
+        args.grid or args.zip_axes or args.seeds or args.fault or args.strategy
+    )
     if args.spec and inline_axes:
         raise ConfigError("give either a spec file or inline axes, not both")
 
@@ -544,9 +647,22 @@ def _sweep_command(args: argparse.Namespace, duration: int) -> int:
                 seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
             except ValueError:
                 raise ConfigError("--seeds must be a comma list of integers") from None
+        grid = dict(parse_axis(text) for text in args.grid)
+        if args.strategy:
+            strategies = [
+                part.strip() for part in args.strategy.split(",") if part.strip()
+            ]
+            registered = available_controllers()
+            for name in strategies:
+                if name not in registered:
+                    raise ConfigError(
+                        "unknown control strategy %r (registered: %s)"
+                        % (name, ", ".join(registered))
+                    )
+            grid["feedback.strategy"] = strategies
         spec = SweepSpec(
             base=base,
-            grid=dict(parse_axis(text) for text in args.grid),
+            grid=grid,
             zipped=dict(parse_axis(text) for text in args.zip_axes),
             seeds=seeds,
             name=args.name,

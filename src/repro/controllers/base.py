@@ -1,0 +1,226 @@
+"""The ``Controller`` protocol and shared control-law machinery.
+
+Every control law in the zoo consumes the same signal plane — a
+:class:`~repro.core.estimator.BackendLatencyEstimator` snapshot built
+from in-band ``T_LB`` samples — and emits the same actuation: new pool
+weights via ``pool.set_weights`` (which rebuilds the weighted Maglev
+table).  The contract, formalized by :class:`Controller`:
+
+* ``maybe_update(now) -> Optional[event]`` — evaluate once; return the
+  executed update event or None (rate-limited, no data, held).
+* ``updates`` — the list of executed update events, each carrying
+  ``time`` and ``weights_after`` (obs + tracing + churn accounting).
+* ``stale_holds`` — updates refused because a consulted estimate was
+  graded stale (resilience plane attached).
+* ``attach_metrics(bundle)`` — opaque obs-plane seam; never imports
+  :mod:`repro.obs`.
+
+:class:`BaseController` implements the boilerplate half of that
+contract (rate limit, snapshot, stale gating, floor renormalization,
+update recording); concrete laws supply only ``_compute``.  The
+paper's own α-shift rule predates this module and keeps its richer
+:class:`~repro.core.controller.ShiftEvent` records, but satisfies the
+same protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+try:  # pragma: no cover - typing fallback exercised only on old pythons
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.errors import ConfigError
+
+# Type-only: importing repro.core at runtime would cycle back into this
+# module (repro.core re-exports the zoo for compatibility).
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.estimator import BackendEstimate, BackendLatencyEstimator
+    from repro.lb.backend import BackendPool
+
+
+@dataclass
+class WeightUpdate:
+    """Record of one executed weight recomputation."""
+
+    time: int
+    weights_after: Dict[str, float] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """Structural type every registered control law satisfies."""
+
+    pool: BackendPool
+    estimator: BackendLatencyEstimator
+    stale_holds: int
+
+    @property
+    def updates(self) -> List:
+        """Executed update events (``time`` + ``weights_after``)."""
+        ...  # pragma: no cover - protocol body
+
+    def maybe_update(self, now: int) -> Optional[object]:
+        """Evaluate once at ``now``; return the executed event or None."""
+        ...  # pragma: no cover - protocol body
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach obs-plane instruments (opaque bundle)."""
+        ...  # pragma: no cover - protocol body
+
+
+def renormalize_with_floor(
+    weights: Dict[str, float], total: float, floor: float
+) -> Dict[str, float]:
+    """Scale ``weights`` to sum to ``total`` with every entry >= floor.
+
+    Floored entries are pinned; the remainder is distributed over the
+    others proportionally.  This conserves the pool's total weight
+    exactly (no per-step leakage), which keeps long-running controllers
+    stable.
+    """
+    result = {name: max(0.0, value) for name, value in weights.items()}
+    if floor * len(result) >= total:
+        # Degenerate: the floors alone exhaust the budget; split evenly.
+        return {name: total / len(result) for name in result}
+    pinned: Dict[str, float] = {}
+    for _ in range(len(result)):
+        free = {n: v for n, v in result.items() if n not in pinned}
+        budget = total - floor * len(pinned)
+        free_sum = sum(free.values())
+        # Vanishing weights (incl. subnormals) would overflow the scale
+        # factor; treat them as zero and split the budget evenly.
+        if free_sum <= total * 1e-12:
+            share = budget / len(free)
+            for name in free:
+                result[name] = share
+            break
+        scale = budget / free_sum
+        newly_pinned = False
+        for name, value in free.items():
+            scaled = value * scale
+            if scaled < floor:
+                pinned[name] = floor
+                result[name] = floor
+                newly_pinned = True
+            else:
+                result[name] = scaled
+        if not newly_pinned:
+            break
+    return result
+
+
+def total_weight_movement(
+    updates: Sequence, initial_weights: Dict[str, float]
+) -> float:
+    """Total weight mass moved across ``updates`` (shift churn).
+
+    Each step contributes half the L1 distance between consecutive
+    weight vectors — i.e. the mass that actually changed backends.
+    Missing names (pool churn) count as moving from/to zero.
+    """
+    churn = 0.0
+    before = dict(initial_weights)
+    for update in updates:
+        after = update.weights_after
+        names = set(before) | set(after)
+        churn += 0.5 * sum(
+            abs(after.get(n, 0.0) - before.get(n, 0.0)) for n in names
+        )
+        before = dict(after)
+    return churn
+
+
+class BaseController:
+    """Boilerplate half of the :class:`Controller` contract.
+
+    Subclasses implement ``_compute(now, estimates, current)`` returning
+    the next weight dict (pre-floor) or None to decline.  The base
+    handles rate limiting, snapshotting, stale gating (any consulted
+    estimate graded stale refuses the update — shifting on a distrusted
+    signal is the thundering-herd move the paper warns about), floor
+    renormalization preserving the pool total, and update recording.
+    """
+
+    #: Registered name, set by the registry decorator (for metrics).
+    name = "base"
+
+    def __init__(
+        self,
+        pool: BackendPool,
+        estimator: BackendLatencyEstimator,
+        weight_floor: float,
+        min_interval: int,
+    ):
+        self.pool = pool
+        self.estimator = estimator
+        self.weight_floor = weight_floor
+        self.min_interval = min_interval
+        self.updates: List[WeightUpdate] = []
+        self.stale_holds = 0
+        self._last_update: Optional[int] = None
+        self._metrics = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Attach controller instruments (see :mod:`repro.obs.plane`)."""
+        self._metrics = metrics
+
+    @property
+    def update_count(self) -> int:
+        """Total weight recomputations executed."""
+        return len(self.updates)
+
+    def maybe_update(self, now: int) -> Optional[WeightUpdate]:
+        """Evaluate one control step if the rate limit allows."""
+        if (
+            self._last_update is not None
+            and now - self._last_update < self.min_interval
+        ):
+            return None
+        estimates = self.estimator.snapshot(now)
+        if len(estimates) < 2:
+            return None
+        if any(e.stale for e in estimates):
+            self.stale_holds += 1
+            if self._metrics is not None:
+                self._metrics.stale_holds.inc()
+            return None
+        current = self.pool.weights()
+        new_weights = self._compute(now, estimates, current)
+        if new_weights is None:
+            return None
+        total = sum(current.values())
+        new_weights = renormalize_with_floor(
+            new_weights, total, self.weight_floor * total
+        )
+        self.pool.set_weights(new_weights)
+        update = WeightUpdate(time=now, weights_after=dict(new_weights))
+        self.updates.append(update)
+        self._last_update = now
+        if self._metrics is not None:
+            self._metrics.shifts.labels(reason="recompute").inc()
+        return update
+
+    def _compute(
+        self,
+        now: int,
+        estimates: List[BackendEstimate],
+        current: Dict[str, float],
+    ) -> Optional[Dict[str, float]]:
+        raise NotImplementedError
+
+
+def require_positive_floor_interval(
+    weight_floor: float, min_interval: int
+) -> None:
+    """Shared validation for the common pair of tunables."""
+    if not 0.0 <= weight_floor < 0.5:
+        raise ConfigError("weight_floor must be in [0, 0.5)")
+    if min_interval < 0:
+        raise ConfigError("min_interval must be >= 0")

@@ -1,0 +1,181 @@
+"""KnapsackLB-style control: iterative weight solve equalizing latency.
+
+Modelled on KnapsackLB (arXiv:2404.17783), which casts performance-aware
+L4 weight assignment as a knapsack problem: each backend's weight is
+picked from a discrete set of levels ("bins"), and the solver packs
+weight quanta where they buy the most latency.  This reproduction keeps
+the two load-bearing ideas and drives them from the in-band signal
+plane instead of out-of-band probes:
+
+1. **Capacity learning** — each backend's capacity is proxied by the
+   EWMA of ``weight / latency`` across solves (throughput per unit
+   latency at the operating point), so a backend that stays fast while
+   heavily weighted is learned to be big.
+2. **Binned iterative solve** — weights move in quanta of
+   ``total / bins``.  Starting from the capacity-proportional target,
+   the solver greedily moves one quantum at a time from the backend
+   with the highest *predicted* latency to the one with the lowest,
+   under a linear latency-vs-share model anchored at the current
+   estimates, until the predicted spread stops shrinking.
+
+The discrete bins are the knapsack flavour: real dataplanes program
+integer weights, and coarse quanta double as shift-churn damping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.controllers.base import (
+    BaseController,
+    require_positive_floor_interval,
+)
+from repro.controllers.registry import register
+from repro.errors import ConfigError
+from repro.units import MILLISECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.estimator import BackendEstimate, BackendLatencyEstimator
+    from repro.lb.backend import BackendPool
+
+
+@dataclass
+class KnapsackConfig:
+    """Tunables for :class:`KnapsackController`."""
+
+    #: Discrete weight levels: moves happen in quanta of ``total/bins``.
+    bins: int = 20
+    #: Max greedy quantum moves per solve (bounds solve work).
+    max_moves: int = 8
+    #: EWMA smoothing of the learned capacity (0 = frozen, 1 = last-only).
+    capacity_smoothing: float = 0.5
+    weight_floor: float = 0.02
+    min_interval: int = 10 * MILLISECONDS
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.bins < 2:
+            raise ConfigError("bins must be >= 2")
+        if self.max_moves < 1:
+            raise ConfigError("max_moves must be >= 1")
+        if not 0.0 < self.capacity_smoothing <= 1.0:
+            raise ConfigError("capacity_smoothing must be in (0, 1]")
+        require_positive_floor_interval(self.weight_floor, self.min_interval)
+
+
+class KnapsackController(BaseController):
+    """Iterative knapsack-style weight solve targeting equal latency."""
+
+    name = "knapsack"
+
+    def __init__(
+        self,
+        pool: BackendPool,
+        estimator: BackendLatencyEstimator,
+        config: Optional[KnapsackConfig] = None,
+    ):
+        self.config = config or KnapsackConfig()
+        self.config.validate()
+        super().__init__(
+            pool,
+            estimator,
+            weight_floor=self.config.weight_floor,
+            min_interval=self.config.min_interval,
+        )
+        #: Learned capacity proxy per backend (weight units per ns).
+        self.capacities: Dict[str, float] = {}
+
+    def _compute(
+        self,
+        now: int,
+        estimates: List[BackendEstimate],
+        current: Dict[str, float],
+    ) -> Optional[Dict[str, float]]:
+        config = self.config
+        values = {
+            e.backend: e.value
+            for e in estimates
+            if e.value > 0 and e.backend in current
+        }
+        if len(values) < 2:
+            return None
+        total = sum(current.values())
+        if total <= 0:
+            return None
+
+        # 1. Capacity learning: cap ~ weight / latency at this operating
+        # point, smoothed so one noisy estimate cannot repaint a backend.
+        smoothing = config.capacity_smoothing
+        for name, latency in values.items():
+            observed = current[name] / latency
+            previous = self.capacities.get(name)
+            if previous is None:
+                self.capacities[name] = observed
+            else:
+                self.capacities[name] = (
+                    previous + smoothing * (observed - previous)
+                )
+
+        # 2. Capacity-proportional target, quantized to the bin grid.
+        caps = {name: self.capacities[name] for name in values}
+        cap_total = sum(caps.values())
+        if cap_total <= 0:
+            return None
+        quantum = total / config.bins
+        floor = config.weight_floor * total
+        target = {
+            name: max(floor, total * caps[name] / cap_total)
+            for name in values
+        }
+        # Backends without a usable estimate keep their current share.
+        for name, weight in current.items():
+            if name not in target:
+                target[name] = weight
+
+        # 3. Greedy refinement under the linear latency model
+        # pred_i(w) = latency_i * w / current_i: move one quantum from
+        # the predicted-worst to the predicted-best until the spread
+        # stops shrinking (or the move budget runs out).
+        def predicted(weights: Dict[str, float]) -> Dict[str, float]:
+            return {
+                name: values[name] * weights[name] / current[name]
+                if current[name] > 0
+                else values[name]
+                for name in values
+            }
+
+        for _ in range(config.max_moves):
+            pred = predicted(target)
+            # Deterministic tie-break by name keeps solves reproducible.
+            worst = max(sorted(pred), key=lambda n: (pred[n], n))
+            best = min(sorted(pred), key=lambda n: (pred[n], n))
+            if worst == best:
+                break
+            if target[worst] - quantum < floor:
+                break
+            trial = dict(target)
+            trial[worst] -= quantum
+            trial[best] += quantum
+            trial_pred = predicted(trial)
+            if max(trial_pred.values()) - min(trial_pred.values()) >= (
+                max(pred.values()) - min(pred.values())
+            ):
+                break  # the move no longer shrinks the spread
+            target = trial
+
+        if all(
+            abs(target[name] - current[name]) < quantum * 1e-9
+            for name in target
+        ):
+            return None  # nothing moved: skip a no-op update
+        return target
+
+
+@register(
+    "knapsack",
+    summary="binned iterative weight solve equalizing predicted latency",
+    provenance="KnapsackLB, arXiv:2404.17783",
+)
+def _make_knapsack(pool, estimator, config):
+    return KnapsackController(pool, estimator, config.knapsack)

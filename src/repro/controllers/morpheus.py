@@ -1,0 +1,183 @@
+"""Morpheus-style control: lightweight RTT *prediction* feeding weights.
+
+Modelled on Morpheus (arXiv:2510.20506), which argues a load balancer
+should act on where a backend's latency is *going*, not where it has
+been: a lightweight per-backend predictor extrapolates the RTT signal a
+short horizon ahead, and weights follow the prediction.  Racing this
+against the purely reactive laws (α-shift, proportional) on the same
+in-band signal plane is exactly the experiment the Morpheus paper runs
+against reactive baselines.
+
+The predictor is Holt's double exponential smoothing (level + trend) —
+the "lightweight linear prediction" of the paper, with time-aware gains
+so irregular sample spacing cannot destabilize the trend term.  Each
+control step feeds the estimator's current per-backend value into the
+predictor, extrapolates ``horizon`` nanoseconds ahead, clamps the
+prediction to a sane band around the observation (a linear trend can
+overshoot into negative latency), and sets weights ∝ 1/predicted.
+
+``predictions`` keeps the last predicted-vs-reactive pair per backend,
+so reports and tests can quantify what the forecast bought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.controllers.base import (
+    BaseController,
+    require_positive_floor_interval,
+)
+from repro.controllers.registry import register
+from repro.errors import ConfigError
+from repro.units import MILLISECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.estimator import BackendEstimate, BackendLatencyEstimator
+    from repro.lb.backend import BackendPool
+
+
+@dataclass
+class MorpheusConfig:
+    """Tunables for :class:`MorpheusController`."""
+
+    #: Level smoothing gain per ``tau`` of elapsed time.
+    level_gain: float = 0.4
+    #: Trend smoothing gain per ``tau`` of elapsed time.
+    trend_gain: float = 0.2
+    #: Time constant the gains are quoted against.
+    tau: int = 10 * MILLISECONDS
+    #: How far ahead to extrapolate when ranking backends.
+    horizon: int = 20 * MILLISECONDS
+    #: Predictions are clamped to [obs/clamp, obs*clamp].
+    clamp: float = 4.0
+    weight_floor: float = 0.02
+    min_interval: int = 5 * MILLISECONDS
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if not 0.0 < self.level_gain <= 1.0:
+            raise ConfigError("level_gain must be in (0, 1]")
+        if not 0.0 < self.trend_gain <= 1.0:
+            raise ConfigError("trend_gain must be in (0, 1]")
+        if self.tau <= 0 or self.horizon < 0:
+            raise ConfigError("tau must be positive and horizon >= 0")
+        if self.clamp < 1.0:
+            raise ConfigError("clamp must be >= 1")
+        require_positive_floor_interval(self.weight_floor, self.min_interval)
+
+
+class _Predictor:
+    """Holt linear smoothing of one backend's latency signal."""
+
+    __slots__ = ("level", "trend", "last_time")
+
+    def __init__(self) -> None:
+        self.level: Optional[float] = None
+        self.trend = 0.0  # ns of latency change per ns of time
+        self.last_time = 0
+
+    def observe(self, now: int, value: float, config: MorpheusConfig) -> None:
+        if self.level is None:
+            self.level = value
+            self.last_time = now
+            return
+        dt = now - self.last_time
+        if dt <= 0:
+            return
+        # Time-aware gains: a gap of k·tau applies the per-tau gain k
+        # times (capped at full replacement), so irregular control
+        # cadence does not change the effective smoothing window.
+        steps = dt / config.tau
+        level_gain = min(1.0, config.level_gain * steps)
+        trend_gain = min(1.0, config.trend_gain * steps)
+        previous_level = self.level
+        self.level = previous_level + level_gain * (value - previous_level)
+        observed_trend = (self.level - previous_level) / dt
+        self.trend = self.trend + trend_gain * (observed_trend - self.trend)
+        self.last_time = now
+
+    def predict(self, horizon: int) -> Optional[float]:
+        if self.level is None:
+            return None
+        return self.level + self.trend * horizon
+
+
+class MorpheusController(BaseController):
+    """EWMA/linear RTT predictor per backend feeding ∝ 1/pred weights."""
+
+    name = "morpheus"
+
+    def __init__(
+        self,
+        pool: BackendPool,
+        estimator: BackendLatencyEstimator,
+        config: Optional[MorpheusConfig] = None,
+    ):
+        self.config = config or MorpheusConfig()
+        self.config.validate()
+        super().__init__(
+            pool,
+            estimator,
+            weight_floor=self.config.weight_floor,
+            min_interval=self.config.min_interval,
+        )
+        self._predictors: Dict[str, _Predictor] = {}
+        #: Last (predicted, reactive) pair per backend — the race the
+        #: Morpheus paper runs, observable per control step.
+        self.predictions: Dict[str, tuple] = {}
+
+    def _compute(
+        self,
+        now: int,
+        estimates: List[BackendEstimate],
+        current: Dict[str, float],
+    ) -> Optional[Dict[str, float]]:
+        config = self.config
+        values = {
+            e.backend: e.value
+            for e in estimates
+            if e.value > 0 and e.backend in current
+        }
+        if len(values) < 2:
+            return None
+        predicted: Dict[str, float] = {}
+        for name, reactive in sorted(values.items()):
+            predictor = self._predictors.get(name)
+            if predictor is None:
+                predictor = _Predictor()
+                self._predictors[name] = predictor
+            predictor.observe(now, reactive, config)
+            forecast = predictor.predict(config.horizon)
+            if forecast is None:
+                forecast = reactive
+            # A linear trend extrapolates past zero on sharp recoveries;
+            # clamp to a band around the reactive observation.
+            forecast = min(
+                max(forecast, reactive / config.clamp),
+                reactive * config.clamp,
+            )
+            predicted[name] = forecast
+            self.predictions[name] = (forecast, reactive)
+
+        total = sum(current.values())
+        raw = {name: 1.0 / value for name, value in predicted.items()}
+        without = {n: w for n, w in current.items() if n not in raw}
+        budget = total - sum(without.values())
+        raw_total = sum(raw.values())
+        if budget <= 0 or raw_total <= 0:
+            return None
+        new_weights = dict(without)
+        for name, share in raw.items():
+            new_weights[name] = budget * share / raw_total
+        return new_weights
+
+
+@register(
+    "morpheus",
+    summary="Holt linear RTT prediction per backend feeding 1/pred weights",
+    provenance="Morpheus, arXiv:2510.20506",
+)
+def _make_morpheus(pool, estimator, config):
+    return MorpheusController(pool, estimator, config.morpheus)

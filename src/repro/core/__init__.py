@@ -24,12 +24,14 @@ from repro.core.ensemble import EnsembleConfig, EnsembleTimeout, default_timeout
 from repro.core.flowtable import FlowTable
 from repro.core.estimator import BackendEstimate, BackendLatencyEstimator, EstimatorConfig
 from repro.core.controller import AlphaShiftController, ControllerConfig
-from repro.core.strategies import (
-    AimdConfig,
-    AimdController,
+
+# Historical re-exports: the alternative laws moved to the controller
+# zoo (repro.controllers) but stay importable from repro.core.
+from repro.controllers.aimd import AimdConfig, AimdController
+from repro.controllers.base import WeightUpdate
+from repro.controllers.proportional import (
     ProportionalConfig,
     ProportionalController,
-    WeightUpdate,
 )
 from repro.core.feedback import InbandFeedback, FeedbackConfig
 

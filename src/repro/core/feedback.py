@@ -25,13 +25,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.controller import AlphaShiftController, ControllerConfig
 from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
-from repro.core.strategies import (
-    AimdConfig,
-    AimdController,
-    ProportionalConfig,
-    ProportionalController,
-)
-from repro.errors import ConfigError
+from repro.controllers.aimd import AimdConfig
+from repro.controllers.gradient import GradientConfig
+from repro.controllers.knapsack import KnapsackConfig
+from repro.controllers.morpheus import MorpheusConfig
+from repro.controllers.proportional import ProportionalConfig
+from repro.controllers.registry import create as create_controller
 from repro.core.estimator import BackendLatencyEstimator, EstimatorConfig
 from repro.core.flowtable import FlowTable
 from repro.lb.dataplane import LoadBalancer
@@ -50,9 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 class FeedbackConfig:
     """Configuration of the full loop.
 
-    ``strategy`` selects the control law: ``"alpha"`` (the paper's
-    α-shift rule), ``"proportional"`` or ``"aimd"`` (the open-question-#4
-    alternatives in :mod:`repro.core.strategies`).
+    ``strategy`` selects the control law by its registry name (see
+    :mod:`repro.controllers`): ``"alpha"`` is the paper's α-shift rule;
+    ``"proportional"``, ``"aimd"``, ``"knapsack"``, ``"gradient"`` and
+    ``"morpheus"`` are the zoo's alternatives, each reading its own
+    tunables sub-config below.  Unknown names raise
+    :class:`~repro.errors.ConfigError` listing the registered laws.
     """
 
     ensemble: EnsembleConfig = field(default_factory=EnsembleConfig)
@@ -61,6 +63,9 @@ class FeedbackConfig:
     strategy: str = "alpha"
     proportional: ProportionalConfig = field(default_factory=ProportionalConfig)
     aimd: AimdConfig = field(default_factory=AimdConfig)
+    knapsack: KnapsackConfig = field(default_factory=KnapsackConfig)
+    gradient: GradientConfig = field(default_factory=GradientConfig)
+    morpheus: MorpheusConfig = field(default_factory=MorpheusConfig)
     control: bool = True
     flow_capacity: int = 100_000
     flow_idle_timeout: int = 10 * SECONDS
@@ -131,21 +136,11 @@ class InbandFeedback:
         self.estimator = BackendLatencyEstimator(self.config.estimator)
         self.controller = None
         if self.config.control:
-            strategy = self.config.strategy
-            if strategy == "alpha":
-                self.controller = AlphaShiftController(
-                    lb.pool, self.estimator, self.config.controller
-                )
-            elif strategy == "proportional":
-                self.controller = ProportionalController(
-                    lb.pool, self.estimator, self.config.proportional
-                )
-            elif strategy == "aimd":
-                self.controller = AimdController(
-                    lb.pool, self.estimator, self.config.aimd
-                )
-            else:
-                raise ConfigError("unknown control strategy %r" % strategy)
+            # Registry dispatch: any law in repro.controllers, by name.
+            # Unknown names raise ConfigError listing the registered set.
+            self.controller = create_controller(
+                self.config.strategy, lb.pool, self.estimator, self.config
+            )
         self.flows: FlowTable[_FlowState] = FlowTable(
             factory=lambda flow: _FlowState(EnsembleTimeout(self.config.ensemble)),
             capacity=self.config.flow_capacity,

@@ -1,235 +1,50 @@
-"""Alternative control strategies (open question #4).
+"""Deprecated alias for the controller zoo.
 
-The paper's §5 asks for "more sophisticated control loops".  Beyond the
-verbatim α-shift rule (:mod:`~repro.core.controller`), this module
-provides two classic shapes, both driving the same weighted-Maglev knob
-and consuming the same per-backend estimator:
-
-* :class:`ProportionalController` — weights ∝ (1/latency)^p, recomputed
-  at a bounded rate.  Smooth, stateless in the control sense, and a
-  natural gradient-free baseline: a backend twice as slow gets half the
-  traffic (p = 1).
-* :class:`AimdController` — multiplicative decrease for backends whose
-  latency exceeds a threshold over the pool's best, additive recovery
-  otherwise; the TCP-flavoured answer, which trades convergence speed
-  for stability.
-
-All controllers expose ``maybe_update(now)`` and a ``updates`` event
-list, so the feedback plane and the benches treat them uniformly.
+.. deprecated::
+    The alternative control laws moved to :mod:`repro.controllers`
+    (``repro.controllers.proportional`` / ``repro.controllers.aimd``),
+    where they share the formal ``Controller`` protocol and the
+    name-keyed registry with the paper's α-shift rule and the newer
+    laws.  This module re-exports the old names with a
+    ``DeprecationWarning`` so existing imports keep working; new code
+    should import from :mod:`repro.controllers`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
 
-from repro.core.estimator import BackendLatencyEstimator
-from repro.errors import ConfigError
-from repro.lb.backend import BackendPool
-from repro.units import MILLISECONDS
+_MOVED = {
+    "AimdConfig": "repro.controllers.aimd",
+    "AimdController": "repro.controllers.aimd",
+    "ProportionalConfig": "repro.controllers.proportional",
+    "ProportionalController": "repro.controllers.proportional",
+    "WeightUpdate": "repro.controllers.base",
+    "_renormalize_with_floor": "repro.controllers.base",
+}
 
-
-@dataclass
-class WeightUpdate:
-    """Record of one executed weight recomputation."""
-
-    time: int
-    weights_after: Dict[str, float] = field(default_factory=dict)
+#: Old private helper name → new public name.
+_RENAMED = {"_renormalize_with_floor": "renormalize_with_floor"}
 
 
-def _renormalize_with_floor(
-    weights: Dict[str, float], total: float, floor: float
-) -> Dict[str, float]:
-    """Scale ``weights`` to sum to ``total`` with every entry >= floor.
-
-    Floored entries are pinned; the remainder is distributed over the
-    others proportionally.  This conserves the pool's total weight
-    exactly (no per-step leakage), which keeps long-running controllers
-    stable.
-    """
-    result = {name: max(0.0, value) for name, value in weights.items()}
-    if floor * len(result) >= total:
-        # Degenerate: the floors alone exhaust the budget; split evenly.
-        return {name: total / len(result) for name in result}
-    pinned: Dict[str, float] = {}
-    for _ in range(len(result)):
-        free = {n: v for n, v in result.items() if n not in pinned}
-        budget = total - floor * len(pinned)
-        free_sum = sum(free.values())
-        # Vanishing weights (incl. subnormals) would overflow the scale
-        # factor; treat them as zero and split the budget evenly.
-        if free_sum <= total * 1e-12:
-            share = budget / len(free)
-            for name in free:
-                result[name] = share
-            break
-        scale = budget / free_sum
-        newly_pinned = False
-        for name, value in free.items():
-            scaled = value * scale
-            if scaled < floor:
-                pinned[name] = floor
-                result[name] = floor
-                newly_pinned = True
-            else:
-                result[name] = scaled
-        if not newly_pinned:
-            break
-    return result
-
-
-@dataclass
-class ProportionalConfig:
-    """Tunables for :class:`ProportionalController`."""
-
-    power: float = 1.0
-    weight_floor: float = 0.02
-    min_interval: int = 5 * MILLISECONDS
-
-    def validate(self) -> None:
-        """Raise ConfigError on malformed values."""
-        if self.power <= 0:
-            raise ConfigError("power must be positive")
-        if not 0.0 <= self.weight_floor < 1.0 / 2:
-            raise ConfigError("weight_floor must be in [0, 0.5)")
-        if self.min_interval < 0:
-            raise ConfigError("min_interval must be >= 0")
-
-
-class ProportionalController:
-    """Set weights proportional to ``(1/latency)^power``.
-
-    Preserves the pool's total weight; every backend keeps at least the
-    floor share so its estimate stays fresh.
-    """
-
-    def __init__(
-        self,
-        pool: BackendPool,
-        estimator: BackendLatencyEstimator,
-        config: Optional[ProportionalConfig] = None,
-    ):
-        self.pool = pool
-        self.estimator = estimator
-        self.config = config or ProportionalConfig()
-        self.config.validate()
-        self.updates: List[WeightUpdate] = []
-        self._last_update: Optional[int] = None
-
-    def maybe_update(self, now: int) -> Optional[WeightUpdate]:
-        """Recompute weights if the rate limit allows and data exists."""
-        if (
-            self._last_update is not None
-            and now - self._last_update < self.config.min_interval
-        ):
-            return None
-        estimates = {
-            e.backend: e.value for e in self.estimator.snapshot() if e.value > 0
-        }
-        current = self.pool.weights()
-        if len(estimates) < 2 or not set(estimates) <= set(current):
-            return None
-
-        total = sum(current.values())
-        raw = {name: (1.0 / value) ** self.config.power for name, value in estimates.items()}
-        # Backends without an estimate keep their current share.
-        without = {n: w for n, w in current.items() if n not in raw}
-        budget = total - sum(without.values())
-        raw_total = sum(raw.values())
-        new_weights = dict(without)
-        for name, share in raw.items():
-            new_weights[name] = budget * share / raw_total
-        new_weights = _renormalize_with_floor(
-            new_weights, total, self.config.weight_floor * total
+def __getattr__(name: str):
+    module_name = _MOVED.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
         )
-        self.pool.set_weights(new_weights)
-        update = WeightUpdate(time=now, weights_after=dict(new_weights))
-        self.updates.append(update)
-        self._last_update = now
-        return update
+    warnings.warn(
+        "repro.core.strategies.%s moved to %s.%s; "
+        "import it from repro.controllers instead"
+        % (name, module_name, _RENAMED.get(name, name)),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, _RENAMED.get(name, name))
 
 
-@dataclass
-class AimdConfig:
-    """Tunables for :class:`AimdController`."""
-
-    decrease: float = 0.7
-    increase: float = 0.05
-    threshold: float = 1.3
-    weight_floor: float = 0.02
-    min_interval: int = 5 * MILLISECONDS
-
-    def validate(self) -> None:
-        """Raise ConfigError on malformed values."""
-        if not 0.0 < self.decrease < 1.0:
-            raise ConfigError("decrease must be in (0, 1)")
-        if self.increase <= 0:
-            raise ConfigError("increase must be positive")
-        if self.threshold < 1.0:
-            raise ConfigError("threshold must be >= 1")
-        if not 0.0 <= self.weight_floor < 0.5:
-            raise ConfigError("weight_floor must be in [0, 0.5)")
-        if self.min_interval < 0:
-            raise ConfigError("min_interval must be >= 0")
-
-
-class AimdController:
-    """Multiplicative decrease on slow backends, additive recovery.
-
-    A backend whose estimate exceeds ``threshold ×`` the pool's best
-    loses ``(1 − decrease)`` of its weight; all others gain an additive
-    ``increase`` share.  Weights are renormalized to conserve the total.
-    """
-
-    def __init__(
-        self,
-        pool: BackendPool,
-        estimator: BackendLatencyEstimator,
-        config: Optional[AimdConfig] = None,
-    ):
-        self.pool = pool
-        self.estimator = estimator
-        self.config = config or AimdConfig()
-        self.config.validate()
-        self.updates: List[WeightUpdate] = []
-        self._last_update: Optional[int] = None
-
-    def maybe_update(self, now: int) -> Optional[WeightUpdate]:
-        """Apply one AIMD step if the rate limit allows and data exists."""
-        config = self.config
-        if (
-            self._last_update is not None
-            and now - self._last_update < config.min_interval
-        ):
-            return None
-        estimates = {e.backend: e.value for e in self.estimator.snapshot()}
-        current = self.pool.weights()
-        if len(estimates) < 2:
-            return None
-        best = min(estimates.values())
-        if best <= 0:
-            return None
-
-        total = sum(current.values())
-        new_weights = dict(current)
-        changed = False
-        for name, value in estimates.items():
-            if name not in new_weights:
-                continue
-            if value > config.threshold * best:
-                new_weights[name] *= config.decrease
-                changed = True
-            else:
-                new_weights[name] += config.increase * total / len(current)
-                changed = True
-        if not changed:
-            return None
-
-        new_weights = _renormalize_with_floor(
-            new_weights, total, config.weight_floor * total
-        )
-        self.pool.set_weights(new_weights)
-        update = WeightUpdate(time=now, weights_after=dict(new_weights))
-        self.updates.append(update)
-        self._last_update = now
-        return update
+def __dir__():
+    return sorted(_MOVED)

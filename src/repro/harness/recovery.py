@@ -1,0 +1,93 @@
+"""Time-to-recovery: how long a fault's latency damage lasted.
+
+One definition, shared by ``repro resilience`` and the ``repro
+compare`` leaderboard (and pinned by a unit test), so "recovery" means
+the same thing everywhere:
+
+1. The **baseline** is the ``q``-quantile of GET latencies completed
+   between the configured warmup and the fault onset.
+2. The run **degrades** at the first ``bucket``-wide window at or after
+   the onset whose ``q``-quantile exceeds ``factor ×`` baseline.
+3. It **recovers** at the first later window back at or below that
+   threshold — whether because the fault window ended or because the
+   controller routed around a still-active fault (the Fig 3 case, where
+   the injected delay never ends but the feedback arm recovers anyway).
+
+:func:`time_to_recovery` returns the nanoseconds from fault onset to
+the recovery window, ``0`` if the run never degraded, and ``None`` if
+it degraded and never came back (or the window cannot be judged — no
+fault, no pre-fault traffic).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.app.protocol import Op
+from repro.telemetry.quantiles import exact_quantile
+from repro.units import MILLISECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.harness.config import ScenarioConfig
+    from repro.harness.runner import ScenarioResult
+
+#: Recovery = per-bucket quantile back within this factor of baseline.
+DEFAULT_FACTOR = 1.5
+#: Judgement granularity: one verdict per this much simulated time.
+DEFAULT_BUCKET = 100 * MILLISECONDS
+#: The ranked tail quantile (matches the paper's p95 focus).
+DEFAULT_QUANTILE = 0.95
+
+
+def fault_window(config: "ScenarioConfig") -> Optional[Tuple[int, Optional[int]]]:
+    """The overall ``(onset, end)`` fault window of a scenario config.
+
+    Onset is the earliest fault start; end is the latest expiry, or
+    ``None`` if any fault runs to the end of the run.  Returns ``None``
+    for a fault-free config.
+    """
+    faults = config.all_faults()
+    if not faults:
+        return None
+    onset = min(f.start for f in faults)
+    ends = []
+    for f in faults:
+        if f.duration is None:
+            return onset, None
+        ends.append(f.start + f.duration)
+    return onset, max(ends)
+
+
+def time_to_recovery(
+    result: "ScenarioResult",
+    window: Optional[Tuple[int, Optional[int]]],
+    factor: float = DEFAULT_FACTOR,
+    bucket: int = DEFAULT_BUCKET,
+    q: float = DEFAULT_QUANTILE,
+) -> Optional[int]:
+    """Nanoseconds from fault onset until tail latency re-entered the
+    ``factor ×`` pre-fault baseline band; ``0`` if it never left it,
+    ``None`` if it never returned (or the run cannot be judged)."""
+    if window is None:
+        return None
+    onset = window[0]
+    baseline_values = result.latencies(
+        op=Op.GET, start=result.config.warmup or None, end=onset
+    )
+    if not baseline_values:
+        return None  # no pre-fault traffic: nothing to recover *to*
+    threshold = factor * exact_quantile(baseline_values, q)
+    series = result.latency_series(bucket=bucket, op=Op.GET, q=q)
+    degraded_at: Optional[int] = None
+    for t, value in series:
+        if t < onset and degraded_at is None:
+            continue
+        if degraded_at is None:
+            if value > threshold:
+                degraded_at = t
+            continue
+        if value <= threshold:
+            return t - onset
+    if degraded_at is None:
+        return 0
+    return None

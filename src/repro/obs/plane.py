@@ -21,8 +21,8 @@ Instrument inventory (all prefixed ``repro_``):
 ``epoch_rolls_total``                     ENSEMBLETIMEOUT epoch ends
 ``cliff_picks_total{delta_us}``           cliff-chosen reporting timeouts
 ``censored_samples_total``                retransmission-censored samples
-``weight_shifts_total{reason}``           executed α-shifts
-``stale_holds_total``                     shifts refused on stale signal
+``weight_shifts_total{controller,reason}``  executed weight updates
+``stale_holds_total{controller}``         updates refused on stale signal
 ``mode_transitions_total{to_mode}``       resilience-ladder transitions
 ``controller_mode``                       ladder severity (0/1/2)
 ``breaker_transitions_total{backend,to_state}``  breaker edges
@@ -108,18 +108,47 @@ class EstimatorMetrics:
         )
 
 
-class ControllerMetrics:
-    """Control-plane instruments (attached to AlphaShiftController)."""
+class _BoundCounter:
+    """A counter family with some label values pre-bound.
 
-    def __init__(self, registry: Registry):
-        self.shifts = registry.counter(
-            "repro_weight_shifts_total",
-            "Executed traffic shifts, by reason",
-            labels=("reason",),
+    Controllers never know their registry name — the plane binds the
+    ``controller`` label here so every existing call site
+    (``.labels(reason=...).inc()`` and bare ``.inc()``) keeps working
+    while the exported series gains the per-controller dimension.
+    """
+
+    def __init__(self, family, bound):
+        self._family = family
+        self._bound = dict(bound)
+
+    def labels(self, **labels):
+        merged = dict(self._bound)
+        merged.update(labels)
+        return self._family.labels(**merged)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._family.labels(**self._bound).inc(amount)
+
+
+class ControllerMetrics:
+    """Control-plane instruments (attached to the active control law)."""
+
+    def __init__(self, registry: Registry, controller: str = "alpha"):
+        self.shifts = _BoundCounter(
+            registry.counter(
+                "repro_weight_shifts_total",
+                "Executed weight updates, by controller and reason",
+                labels=("controller", "reason"),
+            ),
+            {"controller": controller},
         )
-        self.stale_holds = registry.counter(
-            "repro_stale_holds_total",
-            "Shifts refused because a consulted estimate was stale",
+        self.stale_holds = _BoundCounter(
+            registry.counter(
+                "repro_stale_holds_total",
+                "Updates refused because a consulted estimate was stale",
+                labels=("controller",),
+            ),
+            {"controller": controller},
         )
 
 
@@ -191,7 +220,12 @@ class ObsPlane:
             controller = feedback.controller
             attach = getattr(controller, "attach_metrics", None)
             if attach is not None:
-                attach(ControllerMetrics(registry))
+                attach(
+                    ControllerMetrics(
+                        registry,
+                        controller=scenario.config.feedback.strategy,
+                    )
+                )
             if feedback.ladder is not None:
                 feedback.ladder.attach_metrics(LadderMetrics(registry))
         if scenario.breakers is not None:

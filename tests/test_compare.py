@@ -1,0 +1,173 @@
+"""The ``repro compare`` race harness and the shared recovery metric."""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.faults import DelayFault
+from repro.harness.compare import (
+    RACE_PRESETS,
+    compare_config,
+    compare_point,
+    run_compare,
+)
+from repro.harness.recovery import fault_window, time_to_recovery
+from repro.sweep import ResultStore
+from repro.units import MILLISECONDS, SECONDS
+
+DURATION = units.seconds(0.25)
+CONTROLLERS = ["alpha", "gradient", "proportional"]
+
+
+def race(tmp_path, jobs=1, use_cache=True, store_dir="store"):
+    return run_compare(
+        ["fig3"],
+        CONTROLLERS,
+        duration=DURATION,
+        jobs=jobs,
+        store=ResultStore(str(tmp_path / store_dir)),
+        use_cache=use_cache,
+    )
+
+
+class TestTimeToRecovery:
+    """Pins the shared definition: baseline-relative tail-latency bands."""
+
+    ONSET = 500 * MILLISECONDS
+
+    def stub(self, baseline, series, warmup=100 * MILLISECONDS):
+        return SimpleNamespace(
+            config=SimpleNamespace(warmup=warmup),
+            latencies=lambda op=None, start=None, end=None: baseline,
+            latency_series=lambda bucket, op, q: series,
+        )
+
+    def test_no_fault_window_is_unjudgeable(self):
+        result = self.stub([100] * 20, [])
+        assert time_to_recovery(result, None) is None
+
+    def test_no_prefault_traffic_is_unjudgeable(self):
+        result = self.stub([], [(self.ONSET, 1000.0)])
+        assert time_to_recovery(result, (self.ONSET, None)) is None
+
+    def test_never_degraded_returns_zero(self):
+        # Baseline p95 = 100; threshold = 150; post-fault stays at 120.
+        series = [
+            (self.ONSET + k * 100 * MILLISECONDS, 120.0) for k in range(4)
+        ]
+        result = self.stub([100] * 20, series)
+        assert time_to_recovery(result, (self.ONSET, None)) == 0
+
+    def test_recovery_measured_from_fault_onset(self):
+        series = [
+            (400 * MILLISECONDS, 90.0),   # pre-onset: ignored
+            (500 * MILLISECONDS, 400.0),  # degraded at onset
+            (600 * MILLISECONDS, 400.0),  # still degraded
+            (700 * MILLISECONDS, 140.0),  # back inside 1.5x baseline
+            (800 * MILLISECONDS, 90.0),
+        ]
+        result = self.stub([100] * 20, series)
+        assert time_to_recovery(result, (self.ONSET, None)) == (
+            200 * MILLISECONDS
+        )
+
+    def test_degraded_forever_returns_none(self):
+        series = [
+            (self.ONSET + k * 100 * MILLISECONDS, 500.0) for k in range(4)
+        ]
+        result = self.stub([100] * 20, series)
+        assert time_to_recovery(result, (self.ONSET, None)) is None
+
+    def test_fault_window_open_ended(self):
+        config = SimpleNamespace(
+            all_faults=lambda: [
+                DelayFault(start=2 * SECONDS, extra=1, node="server0")
+            ]
+        )
+        assert fault_window(config) == (2 * SECONDS, None)
+
+    def test_fault_window_closed_and_empty(self):
+        config = SimpleNamespace(
+            all_faults=lambda: [
+                DelayFault(
+                    start=1 * SECONDS,
+                    duration=1 * SECONDS,
+                    extra=1,
+                    node="server0",
+                ),
+                DelayFault(
+                    start=2 * SECONDS,
+                    duration=2 * SECONDS,
+                    extra=1,
+                    node="server0",
+                ),
+            ]
+        )
+        assert fault_window(config) == (1 * SECONDS, 4 * SECONDS)
+        assert fault_window(SimpleNamespace(all_faults=lambda: [])) is None
+
+
+class TestCompareConfig:
+    def test_lane_isolates_the_strategy(self):
+        a = compare_config("fig3", "alpha", duration=DURATION)
+        b = compare_config("fig3", "morpheus", duration=DURATION)
+        assert a.feedback.strategy == "alpha"
+        assert b.feedback.strategy == "morpheus"
+        assert a.faults[0].start == b.faults[0].start
+        assert a.seed == b.seed
+        assert a.resilience.enabled and b.resilience.enabled
+        a.validate()
+
+    def test_default_race_card_covers_the_chaos_presets(self):
+        assert RACE_PRESETS == (
+            "fig3",
+            "flapping_server",
+            "lossy_path",
+            "correlated_burst",
+            "crash",
+        )
+
+    def test_roster_validated_up_front(self):
+        with pytest.raises(ConfigError):
+            run_compare(["fig3"], ["alpha", "typo"], duration=DURATION)
+        with pytest.raises(ConfigError):
+            run_compare([], ["alpha", "gradient"], duration=DURATION)
+        with pytest.raises(ConfigError):
+            run_compare(["fig3"], ["alpha"], duration=DURATION)
+
+
+@pytest.mark.slow
+class TestCompareDeterminism:
+    def test_parallel_equals_serial_and_second_run_hits_cache(self, tmp_path):
+        serial = race(tmp_path, jobs=1, store_dir="serial")
+        parallel = race(tmp_path, jobs=2, store_dir="parallel")
+        assert serial.rows == parallel.rows
+        assert serial.leaderboard() == parallel.leaderboard()
+        assert serial.report.simulated == len(CONTROLLERS)
+
+        warm = race(tmp_path, jobs=2, store_dir="serial")
+        assert warm.report.hits == len(CONTROLLERS)
+        assert warm.report.simulated == 0
+        assert warm.leaderboard() == serial.leaderboard()
+
+    def test_row_shape_and_ranking_determinism(self, tmp_path):
+        report = race(tmp_path)
+        for (preset, name), row in report.rows.items():
+            assert preset == "fig3"
+            assert row["strategy"] == name
+            assert row["requests"] > 0
+            assert row["p95_ms"] is not None
+        ranked = [name for name, _row in report.ranking("fig3")]
+        assert sorted(ranked) == sorted(CONTROLLERS)
+        # The leaderboard is a pure function of the cached rows.
+        assert report.leaderboard() == report.leaderboard()
+
+    def test_global_rng_isolated_from_results(self, tmp_path):
+        random.seed(12345)
+        first = race(tmp_path, store_dir="rng", use_cache=False)
+        random.seed(99999)
+        second = race(tmp_path, store_dir="rng2", use_cache=False)
+        assert first.rows == second.rows

@@ -1,0 +1,93 @@
+"""Invariants every registered control law must satisfy.
+
+Parametrized over the registry — a newly registered law is picked up
+and held to the same contract with no test changes:
+
+* the pool's total weight is conserved by every update;
+* no backend ever drops below its configured weight floor;
+* a law is a deterministic function of its observation sequence.
+"""
+
+import random
+
+import pytest
+
+import repro.controllers as controllers
+from repro.core.feedback import FeedbackConfig
+from repro.core.estimator import BackendLatencyEstimator, EstimatorConfig
+from repro.lb.backend import Backend, BackendPool
+from repro.units import MILLISECONDS
+
+N_SERVERS = 3
+TOTAL = float(N_SERVERS)  # every backend starts at weight 1.0
+
+
+def drive(name, seed=7, steps=60):
+    """Run one law against a noisy synthetic latency trace.
+
+    Returns the weight vector observed after every step (updated or
+    not), so invariants are checked at every instant, not only on
+    update boundaries.
+    """
+    pool = BackendPool([Backend("s%d" % i) for i in range(N_SERVERS)])
+    estimator = BackendLatencyEstimator(EstimatorConfig(min_samples=1))
+    config = FeedbackConfig()
+    controller = controllers.create(name, pool, estimator, config)
+    rng = random.Random(seed)
+    history = []
+    for step in range(1, steps + 1):
+        now = step * 10 * MILLISECONDS
+        # s0 is persistently slow with noise; the others hover near 100us.
+        estimator.observe("s0", now, int(400_000 * (1 + rng.random())))
+        estimator.observe("s1", now, int(100_000 * (1 + 0.1 * rng.random())))
+        estimator.observe("s2", now, int(100_000 * (1 + 0.1 * rng.random())))
+        controller.maybe_update(now)
+        history.append(dict(pool.weights()))
+    return controller, history
+
+
+def floor_fraction(name, config):
+    """The configured weight floor of one law (alpha keeps its own)."""
+    if name == "alpha":
+        return config.controller.weight_floor
+    return getattr(config, name).weight_floor
+
+
+@pytest.mark.parametrize("name", controllers.available())
+class TestLawInvariants:
+    def test_total_weight_conserved(self, name):
+        _controller, history = drive(name)
+        for weights in history:
+            assert sum(weights.values()) == pytest.approx(TOTAL, rel=1e-6)
+
+    def test_weight_floor_never_violated(self, name):
+        config = FeedbackConfig()
+        floor = floor_fraction(name, config) * TOTAL
+        _controller, history = drive(name)
+        for weights in history:
+            for backend, value in weights.items():
+                assert value >= floor - 1e-9, (backend, value)
+
+    def test_slow_backend_loses_weight(self, name):
+        _controller, history = drive(name)
+        final = history[-1]
+        # s0 is ~4x slower throughout; every law should route around it.
+        assert final["s0"] < min(final["s1"], final["s2"])
+
+    def test_deterministic_under_fixed_seed(self, name):
+        controller_a, history_a = drive(name)
+        controller_b, history_b = drive(name)
+        assert history_a == history_b
+        assert len(controller_a.updates) == len(controller_b.updates)
+        assert [u.time for u in controller_a.updates] == [
+            u.time for u in controller_b.updates
+        ]
+
+    def test_updates_record_executed_weights(self, name):
+        controller, _history = drive(name)
+        assert controller.updates, "%s never updated on a 4x spread" % name
+        for update in controller.updates:
+            assert update.weights_after
+            assert sum(update.weights_after.values()) == pytest.approx(
+                TOTAL, rel=1e-6
+            )

@@ -1,0 +1,48 @@
+"""The alpha-strategy Fig 3 report is pinned byte-for-byte.
+
+The registry refactor moved controller construction behind name-keyed
+dispatch; this golden guarantees the default path — the paper's α-shift
+rule on the Fig 3 stimulus — still produces the identical report.  Only
+the wall-clock events/sec figure (real-time, not simulated) is masked.
+
+Regenerate (only after an intentional behavior change)::
+
+    PYTHONPATH=src python -m repro --duration 1.0 run --fault fig3 \
+        | sed -E 's/, [0-9]+ events\\/sec wall-clock//' \
+        > tests/golden/fig3_alpha_report.txt
+"""
+
+import os
+import re
+
+import pytest
+
+from repro import units
+from repro.faults import parse_faults
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.runner import run_scenario
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "golden", "fig3_alpha_report.txt"
+)
+
+_WALL_CLOCK = re.compile(r", \d+ events/sec wall-clock")
+
+
+@pytest.mark.slow
+def test_fig3_alpha_report_matches_golden():
+    duration = units.seconds(1.0)
+    config = ScenarioConfig(
+        seed=1,
+        duration=duration,
+        n_clients=1,
+        n_servers=2,
+        policy=PolicyName.FEEDBACK,
+        faults=parse_faults("fig3", duration),
+        warmup=duration // 10,
+    )
+    assert config.feedback.strategy == "alpha"  # the default law
+    report = _WALL_CLOCK.sub("", run_scenario(config).report())
+    with open(GOLDEN) as handle:
+        expected = handle.read().rstrip("\n")
+    assert report == expected

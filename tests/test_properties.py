@@ -325,10 +325,10 @@ def test_controller_conserves_total_weight_and_respects_floor(latencies, alpha):
 def test_renormalize_with_floor_conserves_total_and_floors(
     weights, total, floor_frac
 ):
-    from repro.core.strategies import _renormalize_with_floor
+    from repro.controllers.base import renormalize_with_floor
 
     floor = floor_frac * total / max(1, len(weights))
-    result = _renormalize_with_floor(weights, total, floor)
+    result = renormalize_with_floor(weights, total, floor)
     assert set(result) == set(weights)
     assert sum(result.values()) == pytest.approx(total, rel=1e-6)
     for value in result.values():
