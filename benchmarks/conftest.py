@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 
 REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_engine.json"
@@ -55,6 +56,20 @@ def record_perf(
     )
     tmp.replace(BENCH_JSON)
     return entry
+
+
+_WALLCLOCK = re.compile(r", \d+ events/sec wall-clock")
+
+
+def scrub_wallclock(text: str) -> str:
+    """Drop the wall-clock fragment from engine footers.
+
+    ``ScenarioResult.report()`` appends host-dependent throughput to its
+    engine line; a report that embeds it can never regenerate
+    byte-identically.  Benches that persist full scenario reports scrub
+    it so ``benchmarks/reports/`` stays a pure function of the sim.
+    """
+    return _WALLCLOCK.sub("", text)
 
 
 def write_report(name: str, text: str) -> None:

@@ -19,7 +19,7 @@ loss, delay, jitter) end-to-end.  The report lands in
 ``benchmarks/reports/chaos.txt``.
 """
 
-from conftest import write_report
+from conftest import scrub_wallclock, write_report
 
 from repro.faults import preset
 from repro.harness.config import PolicyName, ScenarioConfig
@@ -108,7 +108,11 @@ def test_chaos_presets(benchmark):
         for name, arms in results.items()
         for policy, result in arms.items()
     )
-    write_report("chaos", table + "\n\n" + detail)
+    text = scrub_wallclock(table + "\n\n" + detail)
+    # Regeneration cleanliness: nothing host-dependent may survive into
+    # the persisted report, so a re-run on any machine is byte-identical.
+    assert "wall-clock" not in text
+    write_report("chaos", text)
 
     # Asymmetric faults: the feedback LB routes around the bad backend.
     # A flapping 8x slowdown hits half the requests (moves p95); 2% loss

@@ -1,0 +1,85 @@
+"""FLEET — the elastic scenario at scale (``repro fleet``).
+
+Two arms, both deterministic:
+
+* **scale event** — the headline run: α-shift holding a fleet that
+  grows 100 → 1024 backends through a scheduled peak, with target
+  tracking filling in around it and a traffic burst at mid-run.  The
+  acceptance bar is structural: the fleet reaches four figures and no
+  established flow remaps across any scale event.
+* **controller race** — the whole zoo through a reduced elastic
+  scenario, ranked by oscillations / affinity / time-to-stable (the
+  ``repro fleet --controllers all`` leaderboard).
+
+The report lands in ``benchmarks/reports/fleet.txt``; the scale-event
+arm also records its engine throughput in ``BENCH_engine.json`` so the
+1k-backend path shows up in the perf trajectory.
+"""
+
+from conftest import record_perf, write_report
+
+from repro.controllers import available as available_controllers
+from repro.harness.elastic import (
+    ElasticConfig,
+    race_table,
+    run_elastic,
+    run_elastic_race,
+)
+from repro.units import SECONDS
+
+SCALE_CONFIG = ElasticConfig(
+    duration=1 * SECONDS,
+    initial_backends=100,
+    max_backends=1024,
+)
+
+RACE_CONFIG = ElasticConfig(
+    duration=SECONDS // 2,
+    initial_backends=8,
+    max_backends=32,
+    clients=2,
+    connections=16,
+    maglev_size=257,
+)
+
+
+def test_fleet_scale_event_and_race(benchmark):
+    def run_both():
+        elastic = run_elastic(SCALE_CONFIG)
+        roster = available_controllers()
+        rows = run_elastic_race(roster, base=RACE_CONFIG, jobs=2)
+        return elastic, roster, rows
+
+    elastic, roster, rows = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    report = elastic.report()
+    # The acceptance bar: four figures of backends, zero remapped flows.
+    assert elastic.peak_capacity() == SCALE_CONFIG.max_backends
+    assert elastic.violations == 0
+    assert elastic.new_flows > 0
+    assert elastic.fleet.decisions
+
+    # Every controller holds the invariants at reduced scale too.
+    assert sorted(row["strategy"] for row in rows) == sorted(roster)
+    for row in rows:
+        assert row["peak_capacity"] == RACE_CONFIG.max_backends
+        assert row["violations"] == 0
+        assert row["requests"] > 0
+
+    text = "--- scale event: 100 -> 1024 backends ---\n%s\n\n%s" % (
+        report,
+        race_table(rows),
+    )
+    # Sim-derived output only: re-rendering is byte-identical.
+    assert "wall-clock" not in text
+    assert elastic.report() == report
+    write_report("fleet", text)
+
+    record_perf(
+        "fleet_elastic_1k",
+        events=elastic.result.wall_events,
+        wall_seconds=elastic.result.wall_seconds,
+        peak_queue_depth=elastic.scenario.sim.peak_queue_depth,
+    )

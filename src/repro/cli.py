@@ -232,6 +232,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-simulate every lane even when the store has its result",
     )
 
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="elastic fleet: autoscale to 1000+ backends under diurnal load",
+        description="Runs the fleet plane's elastic scenario: the pool "
+        "starts small, target tracking plus a scheduled ramp grow it to "
+        "peak capacity under staggered diurnal client load (with a "
+        "correlated burst landing mid-scale-out), and the report prints "
+        "the scaling timeline, oscillation count, affinity-violation "
+        "audit, and the FRESH/STALE signal-quality census each decision "
+        "saw.  With --controllers, races the zoo through the same "
+        "scenario and prints a fleet leaderboard instead.",
+    )
+    fleet_cmd.add_argument(
+        "--strategy",
+        choices=available_controllers(),
+        default="alpha",
+        help="control law for the single-run report (default alpha)",
+    )
+    fleet_cmd.add_argument(
+        "--controllers",
+        metavar="C1,C2",
+        help="race mode: comma list of control laws (or 'all'); prints "
+        "the fleet leaderboard instead of one report",
+    )
+    fleet_cmd.add_argument(
+        "--initial", type=int, default=100, help="starting backends (default 100)"
+    )
+    fleet_cmd.add_argument(
+        "--max",
+        dest="max_backends",
+        type=int,
+        default=1024,
+        help="provisioned backend universe / peak capacity (default 1024)",
+    )
+    fleet_cmd.add_argument("--clients", type=int, default=4)
+    fleet_cmd.add_argument(
+        "--connections",
+        type=int,
+        default=128,
+        help="connections per client (default 128)",
+    )
+    fleet_cmd.add_argument(
+        "--no-burst",
+        action="store_true",
+        help="drop the correlated burst that lands during the scale-out",
+    )
+    fleet_cmd.add_argument(
+        "--jobs", type=int, default=1, help="race-mode worker processes"
+    )
+    fleet_cmd.add_argument(
+        "--store",
+        default=".sweep-store",
+        metavar="DIR",
+        help="race-mode result store directory (default .sweep-store)",
+    )
+
     sub.add_parser("fig2a", help="paper Fig 2(a): fixed timeouts vs truth")
     sub.add_parser("fig2b", help="paper Fig 2(b): the ensemble tracks truth")
     sub.add_parser("fig3", help="paper Fig 3: Maglev vs latency-aware LB")
@@ -574,6 +630,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table(headers, [[row[h] for h in headers] for row in rows]))
         return 0
 
+    if args.command == "fleet":
+        try:
+            return _fleet_command(args, duration)
+        except ConfigError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
     if args.command == "compare":
         try:
             return _compare_command(args, duration)
@@ -589,6 +652,53 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     return 2  # unreachable: argparse enforces the command set
+
+
+def _fleet_command(args: argparse.Namespace, duration: int) -> int:
+    """The ``repro fleet`` verb: the elastic scale experiment."""
+    from repro.harness.elastic import (
+        ElasticConfig,
+        race_table,
+        run_elastic,
+        run_elastic_race,
+    )
+
+    base = ElasticConfig(
+        seed=args.seed,
+        duration=duration,
+        strategy=args.strategy,
+        initial_backends=args.initial,
+        max_backends=args.max_backends,
+        clients=args.clients,
+        connections=args.connections,
+        burst=not args.no_burst,
+    )
+    if args.controllers:
+        if args.controllers.strip() == "all":
+            controllers = available_controllers()
+        else:
+            controllers = [
+                part.strip()
+                for part in args.controllers.split(",")
+                if part.strip()
+            ]
+        registered = available_controllers()
+        for name in controllers:
+            if name not in registered:
+                raise ConfigError(
+                    "unknown control strategy %r (registered: %s)"
+                    % (name, ", ".join(registered))
+                )
+        rows = run_elastic_race(
+            controllers,
+            base=base,
+            jobs=args.jobs,
+            store=ResultStore(args.store),
+        )
+        print(race_table(rows))
+        return 0
+    print(run_elastic(base).report())
+    return 0
 
 
 def _compare_command(args: argparse.Namespace, duration: int) -> int:

@@ -159,6 +159,11 @@ class InbandFeedback:
         self.ladder = None
         self.breakers = breakers
         self._was_invalid: Dict[str, bool] = {}
+        # Sample-driven ladder-evaluation throttle (see
+        # DegradationConfig.min_evaluate_gap); the periodic check always
+        # evaluates regardless.
+        self._eval_gap = 0
+        self._last_eval = -1
         #: Observability plane (both None unless attached).
         self._metrics = None
         self._tracer = None
@@ -214,6 +219,7 @@ class InbandFeedback:
         self.ladder = DegradationLadder(
             self.lb.pool, self.quality, resilience.ladder, controller=controller
         )
+        self._eval_gap = resilience.ladder.min_evaluate_gap
         interval = resilience.ladder.check_interval
 
         def tick() -> None:
@@ -222,8 +228,38 @@ class InbandFeedback:
 
         sim.schedule_fire(interval, tick)
 
+    def on_backend_added(self, name: str, now: int) -> None:
+        """Reset measurement state for a backend entering the pool.
+
+        The fleet plane reuses backend names across terminate/provision
+        cycles; stale estimates, breaker history, or signal-quality state
+        from the previous incarnation must not grade the new one.
+        """
+        self.estimator.forget(name)
+        self._was_invalid.pop(name, None)
+        if self.breakers is not None:
+            self.breakers.reset(name)
+        if self.quality is not None:
+            # Re-anchor the age clock: register() is a no-op for known
+            # names, so drop the old tracker state first.
+            self.quality.forget(name)
+            self.quality.register(name, now)
+
+    def on_backend_removed(self, name: str, now: int) -> None:
+        """Drop measurement state for a backend leaving the pool.
+
+        Called *before* the pool removal when a drain starts, so the
+        ladder never sees the draining backend's decaying signal as a
+        reason to HOLD.
+        """
+        self.estimator.forget(name)
+        self._was_invalid.pop(name, None)
+        if self.quality is not None:
+            self.quality.forget(name)
+
     def _evaluate(self, now: int) -> None:
         """Walk the ladder and feed invalidation edges to the breakers."""
+        self._last_eval = now
         self.ladder.evaluate(now)
         if self.breakers is None or self.quality is None:
             return
@@ -293,7 +329,8 @@ class InbandFeedback:
         if self.ladder is not None:
             # _feedback_mode was cached by _wire_resilience; no per-packet
             # import of the resilience plane.
-            self._evaluate(now)
+            if self._eval_gap == 0 or now - self._last_eval >= self._eval_gap:
+                self._evaluate(now)
             if self.ladder.mode is not self._feedback_mode:
                 return  # weights frozen: the signal is not trusted
         if self.controller is not None:

@@ -47,3 +47,7 @@ class ConfigError(ReproError):
 
 class SweepError(ReproError):
     """A sweep point failed permanently (runner error or worker crash)."""
+
+
+class FleetError(ReproError):
+    """Invalid fleet operation (e.g. an illegal lifecycle transition)."""

@@ -13,6 +13,7 @@ several full periods.
 ``slow_ramp``       staircase of compounding slowdowns on server0
 ``correlated_burst`` delay+jitter+loss hit *every* LB→server path at once
 ``crash``           server0 dies for the middle third, then restarts
+``elastic``         correlated burst timed to land during a scale-out
 =================== ====================================================
 """
 
@@ -106,6 +107,27 @@ def crash(duration: int, node: str = "server0") -> List[FaultSpec]:
     ]
 
 
+def elastic(duration: int) -> List[FaultSpec]:
+    """A correlated burst timed to land *during* a scale-out.
+
+    The fleet plane's elastic scenario schedules its guaranteed ramp to
+    peak capacity at the midpoint of the run; this preset drops extra
+    delay, jitter, and loss on every LB→server path starting slightly
+    after that, so the burst hits while new backends are still warming
+    and the controller is digesting hundreds of cold signals.  The
+    nastiest failure mode it hunts: a controller that conflates
+    "backend is new and unmeasured" with "backend is slow" and starts
+    oscillating the fleet's weights during the burst.
+    """
+    start = duration // 2 + duration // 16
+    burst = max(1, duration // 8)
+    return [
+        DelayFault(start=start, duration=burst, extra=500_000, node="*"),
+        JitterFault(start=start, duration=burst, amplitude=200_000, node="*"),
+        LossFault(start=start, duration=burst, prob=0.01, node="*"),
+    ]
+
+
 def correlated_burst(duration: int) -> List[FaultSpec]:
     """Every LB→server path degrades at once for an eighth of the run.
 
@@ -131,6 +153,7 @@ PRESETS: Dict[str, Callable[[int], List[FaultSpec]]] = {
     "slow_ramp": slow_ramp,
     "correlated_burst": correlated_burst,
     "crash": crash,
+    "elastic": elastic,
 }
 
 

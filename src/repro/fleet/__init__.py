@@ -1,0 +1,41 @@
+"""The fleet plane: autoscaling and backend lifecycle.
+
+The paper's open question #5 — does in-band feedback stay stable when
+the backend set itself is elastic? — needs a fleet that actually moves:
+:class:`AutoscalingGroup` evaluates declarative policies
+(:class:`TargetTrackingPolicy`, :class:`StepPolicy`,
+:class:`ScheduledAction`) and drives every backend through the
+PROVISIONING → WARMING → IN_SERVICE → DRAINING → TERMINATED lifecycle
+with warm-up weight ramps and conntrack-polled graceful drain.
+
+Like the resilience and obs planes, the fleet plane is default-off and
+structurally absent when disabled: ``FleetConfig(enabled=False)``
+builds a byte-identical scenario.
+"""
+
+from repro.fleet.autoscaler import AutoscalingGroup, ScalingDecision
+from repro.fleet.config import (
+    BUILTIN_METRICS,
+    FleetConfig,
+    ScheduledAction,
+    StepPolicy,
+    TargetTrackingPolicy,
+)
+from repro.fleet.lifecycle import (
+    BackendState,
+    FleetLifecycle,
+    LifecycleEvent,
+)
+
+__all__ = [
+    "AutoscalingGroup",
+    "BUILTIN_METRICS",
+    "BackendState",
+    "FleetConfig",
+    "FleetLifecycle",
+    "LifecycleEvent",
+    "ScalingDecision",
+    "ScheduledAction",
+    "StepPolicy",
+    "TargetTrackingPolicy",
+]

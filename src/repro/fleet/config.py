@@ -1,0 +1,165 @@
+"""Declarative configuration of the fleet plane.
+
+A :class:`FleetConfig` hangs off ``ScenarioConfig.fleet`` and is
+**default-off**: with ``enabled=False`` the harness builds exactly the
+static topology it always has, byte-identical to pre-fleet runs.  When
+enabled, the scenario provisions ``max_backends`` server nodes up front
+(topology is static — the simulator's world doesn't change shape) but
+starts with only ``ScenarioConfig.n_servers`` of them in the pool; the
+:class:`~repro.fleet.autoscaler.AutoscalingGroup` then grows and
+shrinks the *in-service* set according to the policies below.
+
+Three policy kinds, mirroring the cloud-provider taxonomy:
+
+* **target-tracking** — keep a fleet-level metric (mean in-service
+  flows per backend, estimator p95, …) near a setpoint by solving for
+  the fleet size that would restore it;
+* **step** — threshold rules: metric at/above ``upper`` adds ``step``
+  backends, at/below ``lower`` removes them;
+* **scheduled** — one-shot "desired capacity at time t" actions (the
+  diurnal part of an elastic workload, or a guaranteed ramp target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.units import MILLISECONDS
+
+#: Metric names the autoscaler can resolve without external sources.
+BUILTIN_METRICS = ("flows_per_backend", "p95_ms")
+
+
+@dataclass
+class TargetTrackingPolicy:
+    """Keep ``metric`` near ``target`` by resizing the fleet."""
+
+    metric: str = "flows_per_backend"
+    target: float = 2.0
+    #: Relative dead-band around the target; no action inside it (a
+    #: band of 0.2 means act only outside [0.8·target, 1.2·target]).
+    band: float = 0.2
+    #: Most backends added or removed by a single decision.
+    max_step: int = 256
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.target <= 0:
+            raise ConfigError("target-tracking target must be positive")
+        if not 0.0 <= self.band < 1.0:
+            raise ConfigError("target-tracking band must be in [0, 1)")
+        if self.max_step < 1:
+            raise ConfigError("target-tracking max_step must be >= 1")
+
+
+@dataclass
+class StepPolicy:
+    """Threshold rule: breach ``upper``/``lower`` to move ``step``."""
+
+    metric: str = "flows_per_backend"
+    upper: Optional[float] = None
+    lower: Optional[float] = None
+    step: int = 1
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.upper is None and self.lower is None:
+            raise ConfigError("step policy needs an upper or lower bound")
+        if (
+            self.upper is not None
+            and self.lower is not None
+            and self.lower >= self.upper
+        ):
+            raise ConfigError("step policy lower bound must be < upper")
+        if self.step < 1:
+            raise ConfigError("step policy step must be >= 1")
+
+
+@dataclass
+class ScheduledAction:
+    """One-shot: set desired capacity to ``desired`` at time ``at``."""
+
+    at: int
+    desired: int
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.at < 0:
+            raise ConfigError("scheduled action time must be >= 0")
+        if self.desired < 1:
+            raise ConfigError("scheduled desired capacity must be >= 1")
+
+
+@dataclass
+class FleetConfig:
+    """The fleet plane's tunables (off by default)."""
+
+    enabled: bool = False
+    #: Provisioned server universe; the topology has this many nodes.
+    max_backends: int = 8
+    #: The autoscaler never drains below this many in-service backends.
+    min_in_service: int = 1
+    #: Period of the policy-evaluation tick.
+    evaluate_interval: int = 50 * MILLISECONDS
+    #: PROVISIONING → WARMING latency (instance boot, in sim time).
+    provision_delay: int = 100 * MILLISECONDS
+    #: WARMING → IN_SERVICE ramp: weight climbs from
+    #: ``warmup_initial_weight`` to 1.0 over ``warmup_duration`` in
+    #: ``warmup_steps`` discrete steps (each step is one pool
+    #: notification, i.e. one Maglev rebuild for all warming backends).
+    warmup_duration: int = 200 * MILLISECONDS
+    warmup_initial_weight: float = 0.1
+    warmup_steps: int = 4
+    #: Cooldowns between same-direction metric-driven decisions
+    #: (scheduled actions bypass them — they're operator intent).
+    scale_out_cooldown: int = 100 * MILLISECONDS
+    scale_in_cooldown: int = 200 * MILLISECONDS
+    #: DRAINING → TERMINATED: poll conntrack until the backend's pinned
+    #: flows hit zero, or give up after ``drain_timeout``.
+    drain_poll: int = 20 * MILLISECONDS
+    drain_timeout: int = 500 * MILLISECONDS
+    #: Two opposite-direction decisions within this window count as one
+    #: oscillation (the controller-stability headline metric).
+    oscillation_window: int = 1000 * MILLISECONDS
+    #: Patch the Maglev table on membership change instead of rebuilding
+    #: it from scratch (see :mod:`repro.lb.maglev`).
+    incremental_maglev: bool = True
+    target_tracking: Optional[TargetTrackingPolicy] = None
+    steps: List[StepPolicy] = field(default_factory=list)
+    schedule: List[ScheduledAction] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if not self.enabled:
+            return
+        if self.max_backends < 1:
+            raise ConfigError("max_backends must be >= 1")
+        if not 1 <= self.min_in_service <= self.max_backends:
+            raise ConfigError(
+                "min_in_service must be in [1, max_backends]"
+            )
+        for name, value in (
+            ("evaluate_interval", self.evaluate_interval),
+            ("provision_delay", self.provision_delay),
+            ("warmup_duration", self.warmup_duration),
+            ("drain_poll", self.drain_poll),
+            ("drain_timeout", self.drain_timeout),
+        ):
+            if value <= 0:
+                raise ConfigError("%s must be positive" % name)
+        if self.scale_out_cooldown < 0 or self.scale_in_cooldown < 0:
+            raise ConfigError("cooldowns must be >= 0")
+        if not 0.0 < self.warmup_initial_weight <= 1.0:
+            raise ConfigError("warmup_initial_weight must be in (0, 1]")
+        if self.warmup_steps < 1:
+            raise ConfigError("warmup_steps must be >= 1")
+        if self.oscillation_window < 0:
+            raise ConfigError("oscillation_window must be >= 0")
+        if self.target_tracking is not None:
+            self.target_tracking.validate()
+        for policy in self.steps:
+            policy.validate()
+        for action in self.schedule:
+            action.validate()

@@ -20,6 +20,7 @@ Measured invariants:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,44 @@ class ChurnConfig:
     def drain_at(self) -> int:
         """When server0 is removed (drained) from the pool."""
         return 2 * self.duration // 3
+
+
+class AffinityWatch:
+    """LB tap that audits connection-to-server affinity.
+
+    Every scenario that mutates pool membership mid-run (churn, the
+    fleet plane's elastic scale events, `repro compare` lanes) shares
+    this invariant: once a flow's first packet lands on a backend, every
+    later packet of that flow must land on the same backend.  The watch
+    also buckets *new* flows by phase boundary so harnesses can reason
+    about where fresh connections land after each membership change.
+    """
+
+    def __init__(self, lb, phases: Sequence[int] = ()):
+        #: Phase boundaries (times); new flows before ``phases[0]`` are
+        #: phase 0, between boundaries i-1 and i phase i, and so on.
+        self.phases = sorted(phases)
+        self.flow_backends: Dict[FlowKey, str] = {}
+        self.violations: List[Tuple[FlowKey, str, str]] = []
+        #: Per-phase backend → new-flow count.
+        self.phase_counts: List[Dict[str, int]] = [
+            dict() for _ in range(len(self.phases) + 1)
+        ]
+        lb.add_tap(self._tap)
+
+    def _tap(self, now: int, flow: FlowKey, backend: str, packet) -> None:
+        previous = self.flow_backends.get(flow)
+        if previous is None:
+            self.flow_backends[flow] = backend
+            counts = self.phase_counts[bisect_right(self.phases, now)]
+            counts[backend] = counts.get(backend, 0) + 1
+        elif previous != backend:
+            self.violations.append((flow, previous, backend))
+
+    @property
+    def new_flows(self) -> int:
+        """Distinct flows observed."""
+        return len(self.flow_backends)
 
 
 @dataclass
@@ -117,26 +156,9 @@ def run_churn(config: Optional[ChurnConfig] = None) -> ChurnResult:
     sim.schedule_fire_at(config.drain_at, drain)
 
     # Observe affinity and per-phase new-flow routing via the LB tap.
-    flow_backends: Dict[FlowKey, str] = {}
-    violations: List[Tuple[FlowKey, str, str]] = []
-    phase_counts = [dict(), dict(), dict()]  # type: List[Dict[str, int]]
-
-    def tap(now: int, flow: FlowKey, backend: str, packet) -> None:
-        previous = flow_backends.get(flow)
-        if previous is None:
-            flow_backends[flow] = backend
-            if now < config.scale_out_at:
-                phase = 0
-            elif now < config.drain_at:
-                phase = 1
-            else:
-                phase = 2
-            counts = phase_counts[phase]
-            counts[backend] = counts.get(backend, 0) + 1
-        elif previous != backend:
-            violations.append((flow, previous, backend))
-
-    scenario.lb.add_tap(tap)
+    watch = AffinityWatch(
+        scenario.lb, phases=(config.scale_out_at, config.drain_at)
+    )
 
     for client in scenario.clients:
         client.start()
@@ -147,10 +169,10 @@ def run_churn(config: Optional[ChurnConfig] = None) -> ChurnResult:
     return ChurnResult(
         config=config,
         scenario=scenario,
-        affinity_violations=violations,
-        new_flows_before=phase_counts[0],
-        new_flows_after_scale_out=phase_counts[1],
-        new_flows_after_drain=phase_counts[2],
+        affinity_violations=watch.violations,
+        new_flows_before=watch.phase_counts[0],
+        new_flows_after_scale_out=watch.phase_counts[1],
+        new_flows_after_drain=watch.phase_counts[2],
         pinned_at_drain=pinned_at_drain[0],
     )
 

@@ -33,13 +33,15 @@ from repro.units import SECONDS
 
 #: The default race card: the paper's stimulus plus the chaos shapes the
 #: newer laws were designed for (flapping for KnapsackLB, correlated
-#: bursts for Morpheus, crash for the resilience plane).
+#: bursts for Morpheus, crash for the resilience plane, elastic for the
+#: fleet plane's membership churn).
 RACE_PRESETS: Tuple[str, ...] = (
     "fig3",
     "flapping_server",
     "lossy_path",
     "correlated_burst",
     "crash",
+    "elastic",
 )
 
 
@@ -57,6 +59,11 @@ def compare_config(
     part of the contract being compared, and the ``crash`` preset is
     meaningless without it.  Every controller gets the identical
     scenario, so differences in the rows are differences in the law.
+
+    The ``elastic`` preset additionally arms the fleet plane: the pool
+    scales out mid-run (scheduled ramp plus target tracking) so the
+    burst lands while new backends are warming — membership churn is
+    the whole point of that lane.
     """
     config = ScenarioConfig(
         seed=seed,
@@ -69,12 +76,32 @@ def compare_config(
         warmup=duration // 10,
     )
     config.feedback.strategy = strategy
+    if preset_name == "elastic":
+        from repro.fleet import FleetConfig, ScheduledAction
+
+        config.fleet = FleetConfig(
+            enabled=True,
+            max_backends=max(8, 2 * n_servers),
+            min_in_service=n_servers,
+            schedule=[
+                # Scale out ahead of the burst, back in after it.
+                ScheduledAction(at=duration // 3, desired=max(8, 2 * n_servers)),
+                ScheduledAction(at=5 * duration // 6, desired=n_servers),
+            ],
+        )
     return config
 
 
 def compare_point(config: ScenarioConfig) -> Dict[str, object]:
     """Run one race lane and distill it into a flat leaderboard row."""
-    result = run_scenario(config)
+    from repro.harness.churn import AffinityWatch
+    from repro.harness.scenario import build_scenario
+
+    scenario = build_scenario(config)
+    # Stickiness audit on every lane: weight shifts (and, on elastic
+    # lanes, scale events) must never re-route an established flow.
+    watch = AffinityWatch(scenario.lb)
+    result = run_scenario(config, scenario=scenario)
     values = result.latencies(op=Op.GET, start=config.warmup or None)
     window = fault_window(config)
     recovery = time_to_recovery(result, window)
@@ -94,6 +121,7 @@ def compare_point(config: ScenarioConfig) -> Dict[str, object]:
         "shifts": len(updates),
         "churn": round(total_weight_movement(updates, initial), 6),
         "stale_holds": getattr(controller, "stale_holds", 0),
+        "violations": len(watch.violations),
     }
     return row
 
@@ -153,6 +181,8 @@ class CompareReport:
                         row.get("shifts"),
                         _cell(row.get("churn")),
                         row.get("stale_holds"),
+                        # Rows cached before the column existed render "-".
+                        _cell(row.get("violations")),
                         row.get("requests"),
                     )
                 )
@@ -170,6 +200,7 @@ class CompareReport:
                             "shifts",
                             "churn",
                             "stale",
+                            "affinity",
                             "requests",
                         ),
                         rows,

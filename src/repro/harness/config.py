@@ -18,6 +18,7 @@ from repro.app.server import ServerConfig
 from repro.core.feedback import FeedbackConfig
 from repro.errors import ConfigError
 from repro.faults.model import DelayFault, FaultSpec
+from repro.fleet.config import FleetConfig
 from repro.obs.config import ObsConfig
 from repro.resilience.config import ResilienceConfig
 from repro.units import GIGABITS_PER_SECOND, MICROSECONDS, SECONDS
@@ -157,6 +158,10 @@ class ScenarioConfig:
     #: Observability plane (see :mod:`repro.obs`); disabled by default,
     #: making runs byte-identical to builds without it.
     obs: ObsConfig = field(default_factory=ObsConfig)
+    #: Fleet plane (see :mod:`repro.fleet`); disabled by default.  When
+    #: enabled the topology provisions ``fleet.max_backends`` servers
+    #: and the pool starts with the first ``n_servers`` of them.
+    fleet: FleetConfig = field(default_factory=FleetConfig)
     #: Ignore requests completing before this time in summary stats.
     warmup: int = 0
 
@@ -178,6 +183,21 @@ class ScenarioConfig:
         self.memtier.validate()
         self.resilience.validate()
         self.obs.validate()
+        self.fleet.validate()
+        if self.fleet.enabled:
+            if self.fleet.max_backends < self.n_servers:
+                raise ConfigError(
+                    "fleet.max_backends must cover the initial n_servers"
+                )
+            if self.maglev_size <= self.fleet.max_backends:
+                raise ConfigError(
+                    "maglev_size must exceed fleet.max_backends "
+                    "(every backend needs at least one slot)"
+                )
+            if self.server_overrides is not None:
+                raise ConfigError(
+                    "server_overrides are not supported with the fleet plane"
+                )
         for injection in self.injections:
             injection.validate()
             if injection.at >= self.duration:

@@ -46,6 +46,7 @@ from repro.sim.random import RandomStreams
 from repro.transport.endpoint import Host
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.fleet.autoscaler import AutoscalingGroup
     from repro.net.trace import PacketTrace
     from repro.obs.plane import ObsPlane
 
@@ -76,6 +77,8 @@ class Scenario:
     obs: Optional["ObsPlane"] = None
     #: Packet trace, installed by the obs plane on request.
     trace: Optional["PacketTrace"] = None
+    #: Fleet plane (None unless ``config.fleet.enabled``).
+    fleet: Optional["AutoscalingGroup"] = None
     #: Extra series populated by the runner.
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -94,6 +97,12 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
     net_params = config.network
 
     # --- backends and routing policy ----------------------------------
+    # With the fleet plane enabled the *topology* provisions the whole
+    # server universe (the world can't change shape mid-run) while the
+    # pool starts with only the first n_servers; the autoscaler grows
+    # and shrinks membership from there.
+    fleet = config.fleet
+    n_provisioned = fleet.max_backends if fleet.enabled else config.n_servers
     pool = BackendPool(
         [Backend(config.server_name(i)) for i in range(config.n_servers)]
     )
@@ -120,7 +129,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
 
     # --- servers --------------------------------------------------------
     servers: List[ServerApp] = []
-    for index in range(config.n_servers):
+    for index in range(n_provisioned):
         name = config.server_name(index)
         host = Host(network, name)
         network.add_alias(VIP_HOST, name)
@@ -157,7 +166,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         # Direct server→client return pipes (DSR).  A far client is far
         # on the return path by the same margin.
         extra_return = client_delay - net_params.client_lb_delay
-        for s_index in range(config.n_servers):
+        for s_index in range(n_provisioned):
             s_name = config.server_name(s_index)
             network.connect(
                 s_name,
@@ -235,6 +244,23 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
             client.on_record = oracle.on_record
         scenario.oracle = oracle
 
+    # --- fleet plane -------------------------------------------------------
+    # Created after the measurement plane (the autoscaler reads the
+    # feedback loop's estimator/quality state) and before obs (which
+    # instruments it).  start() schedules the first evaluation tick.
+    if fleet.enabled:
+        from repro.fleet.autoscaler import AutoscalingGroup
+
+        scenario.fleet = AutoscalingGroup(
+            sim,
+            pool,
+            conntrack,
+            fleet,
+            [config.server_name(i) for i in range(n_provisioned)],
+            feedback=scenario.feedback,
+        )
+        scenario.fleet.start()
+
     # --- chaos plane -------------------------------------------------------
     # Legacy DelayInjections and declarative faults share one path: both
     # become FaultSpecs, get compiled to windows, and are armed on the
@@ -264,7 +290,11 @@ def _make_policy(
 ) -> RoutingPolicy:
     policy = config.policy
     if policy in (PolicyName.MAGLEV, PolicyName.FEEDBACK, PolicyName.ORACLE):
-        return MaglevPolicy(pool, table_size=config.maglev_size)
+        return MaglevPolicy(
+            pool,
+            table_size=config.maglev_size,
+            incremental=config.fleet.enabled and config.fleet.incremental_maglev,
+        )
     if policy is PolicyName.ROUND_ROBIN:
         return RoundRobin(pool)
     if policy is PolicyName.RANDOM:

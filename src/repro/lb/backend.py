@@ -51,12 +51,36 @@ class BackendPool:
         self._backends[backend.name] = backend
         self._notify()
 
+    def add_many(self, backends: List[Backend]) -> None:
+        """Add several backends atomically (one listener notification).
+
+        The fleet plane scales out in batches; notifying per backend
+        would trigger one Maglev rebuild per addition.
+        """
+        for backend in backends:
+            if backend.name in self._backends:
+                raise BalancerError("duplicate backend %r" % backend.name)
+        for backend in backends:
+            self._backends[backend.name] = backend
+        if backends:
+            self._notify()
+
     def remove(self, name: str) -> None:
         """Remove a backend (e.g. churn experiments)."""
         if name not in self._backends:
             raise BalancerError("unknown backend %r" % name)
         del self._backends[name]
         self._notify()
+
+    def remove_many(self, names: List[str]) -> None:
+        """Remove several backends atomically (one notification)."""
+        for name in names:
+            if name not in self._backends:
+                raise BalancerError("unknown backend %r" % name)
+        for name in names:
+            del self._backends[name]
+        if names:
+            self._notify()
 
     def get(self, name: str) -> Backend:
         """Look up a backend by name."""

@@ -90,7 +90,12 @@ class LoadBalancer:
         self.vip = vip
         self.pool = pool
         self.policy = policy
-        self.conntrack = conntrack or ConnTrack()
+        # ``is None`` test, not truthiness: an *empty* ConnTrack is falsy
+        # (it defines __len__), and the caller-supplied table is always
+        # empty at construction time.  ``conntrack or ConnTrack()`` would
+        # silently orphan the shared table that routing policies and the
+        # fleet plane's autoscaler read their flow counts from.
+        self.conntrack = ConnTrack() if conntrack is None else conntrack
         self.breakers = breakers
         self.stats = LoadBalancerStats()
         self._taps: List[PacketTap] = []

@@ -93,8 +93,12 @@ class _BackendProbe:
         self.stats.successes += 1
         self.consecutive_ok += 1
         self.consecutive_fail = 0
+        # A backend the fleet plane drained is no longer a pool member;
+        # keep probing (it may be relaunched under the same name) but
+        # don't drive health flags for a non-member.
         if (
-            not self.checker.pool.get(self.name).healthy
+            self.name in self.checker.pool
+            and not self.checker.pool.get(self.name).healthy
             and self.consecutive_ok >= self.checker.config.rise
         ):
             self.stats.transitions += 1
@@ -113,7 +117,8 @@ class _BackendProbe:
         self.consecutive_fail += 1
         self.consecutive_ok = 0
         if (
-            self.checker.pool.get(self.name).healthy
+            self.name in self.checker.pool
+            and self.checker.pool.get(self.name).healthy
             and self.consecutive_fail >= self.checker.config.fall
         ):
             self.stats.transitions += 1

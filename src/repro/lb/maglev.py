@@ -12,6 +12,18 @@ stop a backend's turns once it reaches its target.  The feedback
 controller adjusts weights and rebuilds; existing connections are
 unaffected because the dataplane consults connection tracking first.
 
+The **incremental** mode (``MaglevTable(size, incremental=True)``) is
+the fleet plane's membership-churn path: instead of reassigning every
+slot from scratch, a rebuild frees exactly the slots whose owner's
+target shrank (or who left the pool) and lets under-target backends
+claim only those freed slots by continuing their permutation walk.
+Slot movement is therefore bounded by the apportionment delta — adding
+one backend to *n* remaps ≈ ``size/(n+1)`` slots instead of shuffling
+the whole table — which is what keeps a 100 → 1000-backend scale-out
+cheap and conntrack-friendly.  Incremental tables satisfy the same
+slot-target invariants as full builds but are *not* byte-identical to
+them, so the mode is opt-in and default-off.
+
 Hashes are keyed BLAKE2b digests — deterministic across processes (no
 ``PYTHONHASHSEED`` dependence), which the reproducibility story needs.
 """
@@ -19,7 +31,7 @@ Hashes are keyed BLAKE2b digests — deterministic across processes (no
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BalancerError
 
@@ -59,16 +71,31 @@ class MaglevTable:
         Table size; must be prime and comfortably larger than the
         backend count (the paper's LB uses Maglev's default 65537; tests
         use small primes).
+    incremental:
+        When True, rebuilds patch the existing table instead of
+        reassigning every slot: only slots whose owner's apportionment
+        target changed move.  Off by default (full rebuilds are the
+        canonical Maglev construction and what the golden reports pin).
     """
 
-    def __init__(self, size: int = 65_537):
+    def __init__(self, size: int = 65_537, incremental: bool = False):
         if not is_prime(size):
             raise BalancerError("Maglev table size must be prime, got %d" % size)
         self._size = size
+        self._incremental = incremental
         self._table: List[Optional[str]] = [None] * size
         self._backends: List[str] = []
         self._slot_counts: Dict[str, int] = {}
+        #: Per-backend owned slots in claim order (incremental frees
+        #: the most recently claimed first) and permutation positions.
+        self._owned: Dict[str, List[int]] = {}
+        self._next_index: Dict[str, int] = {}
+        self._offsets: Dict[str, int] = {}
+        self._skips: Dict[str, int] = {}
         self.builds = 0
+        #: Slots that changed owner in the last build (incremental mode
+        #: tracks this exactly; full rebuilds leave it at None).
+        self.last_moved: Optional[int] = None
 
     @property
     def size(self) -> int:
@@ -102,31 +129,47 @@ class MaglevTable:
 
         names = sorted(active)  # stable order, independent of dict order
         targets = self._apportion(names, active)
-        offsets = {}
-        skips = {}
-        for name in names:
-            offsets[name] = _stable_hash(name, b"maglev-offset") % self._size
-            skips[name] = _stable_hash(name, b"maglev-skip") % (self._size - 1) + 1
+        if self._incremental and self._backends:
+            self._patch(names, targets)
+        else:
+            self._build_full(names, targets)
+        self._backends = names
+        self._slot_counts = {name: len(self._owned[name]) for name in names}
+        self.builds += 1
 
+    def _perm(self, name: str) -> Tuple[int, int]:
+        """Cached (offset, skip) of ``name``'s slot permutation."""
+        offset = self._offsets.get(name)
+        if offset is None:
+            offset = _stable_hash(name, b"maglev-offset") % self._size
+            self._offsets[name] = offset
+            self._skips[name] = (
+                _stable_hash(name, b"maglev-skip") % (self._size - 1) + 1
+            )
+        return offset, self._skips[name]
+
+    def _build_full(self, names: Sequence[str], targets: Dict[str, int]) -> None:
+        """The canonical construction: reassign every slot from scratch."""
         table: List[Optional[str]] = [None] * self._size
+        owned: Dict[str, List[int]] = {name: [] for name in names}
         next_index = {name: 0 for name in names}
-        counts = {name: 0 for name in names}
         filled = 0
         # Round-robin turns; a backend stops once it hits its slot target.
         while filled < self._size:
             progressed = False
             for name in names:
-                if counts[name] >= targets[name]:
+                mine = owned[name]
+                if len(mine) >= targets[name]:
                     continue
                 progressed = True
-                offset, skip = offsets[name], skips[name]
+                offset, skip = self._perm(name)
                 j = next_index[name]
                 while True:
                     slot = (offset + j * skip) % self._size
                     j += 1
                     if table[slot] is None:
                         table[slot] = name
-                        counts[name] += 1
+                        mine.append(slot)
                         filled += 1
                         break
                 next_index[name] = j
@@ -136,9 +179,58 @@ class MaglevTable:
                 break
 
         self._table = table
-        self._backends = names
-        self._slot_counts = counts
-        self.builds += 1
+        self._owned = owned
+        self._next_index = next_index
+        self.last_moved = None
+
+    def _patch(self, names: Sequence[str], targets: Dict[str, int]) -> None:
+        """Incremental rebuild: move only slots whose target changed.
+
+        Phase 1 frees slots from backends over their new target (most
+        recently claimed first) and from backends that left; phase 2
+        lets under-target backends claim exactly those freed slots by
+        continuing their permutation walk (round-robin turns, mirroring
+        the full build's fairness).  Targets sum to the table size, so
+        frees and claims balance and the table ends full.
+        """
+        table = self._table
+        freed = 0
+        for name in list(self._owned):
+            target = targets.get(name, 0)
+            mine = self._owned[name]
+            while len(mine) > target:
+                table[mine.pop()] = None
+                freed += 1
+            if target == 0:
+                del self._owned[name]
+                self._next_index.pop(name, None)
+
+        self.last_moved = freed
+        remaining = freed
+        while remaining > 0:
+            progressed = False
+            for name in names:
+                mine = self._owned.get(name)
+                if mine is None:
+                    mine = self._owned[name] = []
+                if len(mine) >= targets[name]:
+                    continue
+                progressed = True
+                offset, skip = self._perm(name)
+                j = self._next_index.get(name, 0)
+                while True:
+                    slot = (offset + j * skip) % self._size
+                    j += 1
+                    if table[slot] is None:
+                        table[slot] = name
+                        mine.append(slot)
+                        remaining -= 1
+                        break
+                self._next_index[name] = j
+                if remaining == 0:
+                    break
+            if not progressed:  # pragma: no cover - frees always balance claims
+                break
 
     def _apportion(
         self, names: Sequence[str], weights: Dict[str, float]

@@ -50,9 +50,14 @@ class MaglevPolicy:
     behaviour.
     """
 
-    def __init__(self, pool: BackendPool, table_size: int = 65_537):
+    def __init__(
+        self,
+        pool: BackendPool,
+        table_size: int = 65_537,
+        incremental: bool = False,
+    ):
         self.pool = pool
-        self.table = MaglevTable(table_size)
+        self.table = MaglevTable(table_size, incremental=incremental)
         self._rebuild()
         pool.on_change(self._rebuild)
 

@@ -26,6 +26,9 @@ Instrument inventory (all prefixed ``repro_``):
 ``mode_transitions_total{to_mode}``       resilience-ladder transitions
 ``controller_mode``                       ladder severity (0/1/2)
 ``breaker_transitions_total{backend,to_state}``  breaker edges
+``fleet_scaling_decisions_total{policy,direction}``  executed scalings
+``fleet_transitions_total{from_state,to_state}``  backend lifecycle edges
+``fleet_capacity`` / ``fleet_backends{state}``  fleet size (collect hook)
 ``backend_weight{backend}``               pool weight (collect hook)
 ``backend_latency_estimate_ns{backend}``  current estimate (collect hook)
 ``pipe_dropped_packets{pipe,cause}``      queue vs loss drops (hook)
@@ -178,6 +181,17 @@ class BreakerMetrics:
         )
 
 
+class FleetMetrics:
+    """Fleet-plane instruments (attached to the AutoscalingGroup)."""
+
+    def __init__(self, registry: Registry):
+        self.decisions = registry.counter(
+            "repro_fleet_scaling_decisions_total",
+            "Executed scaling decisions, by policy kind and direction",
+            labels=("policy", "direction"),
+        )
+
+
 class ObsPlane:
     """The scenario's observability plane: registry + tracer + profiler."""
 
@@ -231,6 +245,36 @@ class ObsPlane:
         if scenario.breakers is not None:
             scenario.breakers.attach_metrics(BreakerMetrics(registry))
 
+        fleet = scenario.fleet
+        fleet_capacity = None
+        fleet_backends = None
+        if fleet is not None:
+            fleet.attach_metrics(FleetMetrics(registry))
+            lifecycle_edges = registry.counter(
+                "repro_fleet_transitions_total",
+                "Backend lifecycle transitions, per edge",
+                labels=("from_state", "to_state"),
+            )
+
+            def on_lifecycle(event) -> None:
+                lifecycle_edges.labels(
+                    from_state=(
+                        event.from_state.value if event.from_state else "new"
+                    ),
+                    to_state=event.to_state.value,
+                ).inc()
+
+            fleet.lifecycle.on_transition(on_lifecycle)
+            fleet_capacity = registry.gauge(
+                "repro_fleet_capacity",
+                "Fleet capacity (provisioning + warming + in service)",
+            )
+            fleet_backends = registry.gauge(
+                "repro_fleet_backends",
+                "Backends currently in each lifecycle state",
+                labels=("state",),
+            )
+
         weight = registry.gauge(
             "repro_backend_weight",
             "Current pool weight per backend",
@@ -283,6 +327,14 @@ class ObsPlane:
             sim_pending.set(sim.pending_events)
             sim_live.set(sim.live_events)
             sim_peak.set(sim.peak_queue_depth)
+            if fleet is not None:
+                from repro.fleet.lifecycle import BackendState
+
+                fleet_capacity.set(fleet.capacity())
+                for state in BackendState:
+                    fleet_backends.labels(state=state.value).set(
+                        fleet.lifecycle.count(state)
+                    )
 
         registry.add_collect_hook(collect)
 
@@ -319,5 +371,7 @@ class ObsPlane:
 
         if scenario.feedback is not None:
             scenario.feedback.attach_tracer(tracer)
+        if scenario.fleet is not None:
+            scenario.fleet.attach_tracer(tracer)
         # Stored for request-tree rendering (flow reconstruction).
         tracer.vip = vip  # type: ignore[attr-defined]

@@ -11,7 +11,9 @@ chain as a span:
 * :class:`ResponseSpan` — the server's reply arrived back at the
   client, with the server-side queue/service split;
 * :class:`SampleSpan` — FIXEDTIMEOUT closed a batch on the flow and
-  emitted a ``T_LB`` sample (the batch boundary is ``time - t_lb``).
+  emitted a ``T_LB`` sample (the batch boundary is ``time - t_lb``);
+* :class:`ScaleSpan` — the fleet plane executed a scaling decision
+  (capacity before/after, the policy that fired, its reason).
 
 Shifts themselves stay where they always were — the controller's
 ``shifts`` list — and attribution is computed on demand:
@@ -95,6 +97,20 @@ class SampleSpan:
         return self.time - self.t_lb
 
 
+@dataclass
+class ScaleSpan:
+    """The fleet plane executed one scaling decision."""
+
+    __slots__ = ("time", "policy", "direction", "before", "after", "reason")
+
+    time: int
+    policy: str
+    direction: str
+    before: int
+    after: int
+    reason: str
+
+
 #: A fault window as the runner reports it: (kind, targets, start, end).
 FaultWindow = Tuple[str, Tuple[str, ...], int, Optional[int]]
 
@@ -114,6 +130,7 @@ class CausalTracer:
         self.responses: Dict[int, ResponseSpan] = {}
         self.routes: Dict[FlowKey, RouteSpan] = {}
         self.samples: List[SampleSpan] = []
+        self.scales: List[ScaleSpan] = []
         self.dropped = 0
         self._events = 0
         self._sends_by_id: Dict[int, List[SendSpan]] = {}
@@ -173,6 +190,22 @@ class CausalTracer:
         if not self._admit():
             return
         self.samples.append(SampleSpan(now, flow, backend, t_lb, delta))
+
+    def on_scale(
+        self,
+        now: int,
+        policy: str,
+        direction: str,
+        before: int,
+        after: int,
+        reason: str,
+    ) -> None:
+        """The fleet plane executed a scaling decision."""
+        if not self._admit():
+            return
+        self.scales.append(
+            ScaleSpan(now, policy, direction, before, after, reason)
+        )
 
     # ------------------------------------------------------------------
     # Attribution queries

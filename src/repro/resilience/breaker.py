@@ -215,6 +215,15 @@ class BreakerBoard:
         """Feed negative evidence for ``backend``."""
         self.breaker(backend).record_failure(now)
 
+    def reset(self, backend: str) -> None:
+        """Drop ``backend``'s breaker entirely (fleet reuse seam).
+
+        A terminated backend's failure history must not carry over to a
+        fresh instance launched under the same name; the next query
+        lazily creates a pristine CLOSED breaker.
+        """
+        self._breakers.pop(backend, None)
+
     def state(self, backend: str) -> BreakerState:
         """Current state (CLOSED for backends never seen)."""
         breaker = self._breakers.get(backend)

@@ -64,6 +64,12 @@ class DegradationConfig:
     #: Period of the starvation check (signal loss produces no packets,
     #: so the ladder cannot rely on sample-driven evaluation alone).
     check_interval: int = 10 * MILLISECONDS
+    #: Minimum gap between *sample-driven* ladder evaluations.  Each
+    #: evaluation grades the whole pool, so at 1000 backends the default
+    #: evaluate-per-sample becomes quadratic in fleet size; large-fleet
+    #: scenarios set a gap and lean on the periodic check.  0 keeps the
+    #: original per-sample behaviour.
+    min_evaluate_gap: int = 0
 
     def validate(self) -> None:
         """Raise ValueError on malformed parameters."""
@@ -73,6 +79,8 @@ class DegradationConfig:
             raise ValueError("reentry_hold must be >= 0")
         if self.check_interval <= 0:
             raise ValueError("check_interval must be positive")
+        if self.min_evaluate_gap < 0:
+            raise ValueError("min_evaluate_gap must be >= 0")
 
 
 @dataclass

@@ -128,6 +128,7 @@ class TestCompareConfig:
             "lossy_path",
             "correlated_burst",
             "crash",
+            "elastic",
         )
 
     def test_roster_validated_up_front(self):

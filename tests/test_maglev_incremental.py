@@ -1,0 +1,183 @@
+"""Property tests for incremental Maglev rebuilds (the fleet plane's
+membership-churn path).
+
+The contract under test, in rough order of importance:
+
+* an incremental patch moves a **bounded** number of slots — the
+  apportionment delta, not the whole table;
+* the patched table satisfies the same invariants as a full build
+  (full, targets met, deterministic);
+* ``last_moved`` is *exact*: it equals the number of slots whose owner
+  actually differs from the previous table;
+* established flows never remap — the dataplane consults conntrack
+  before the table, so a pinned flow survives any rebuild (this extends
+  ``tests/test_churn.py``'s affinity invariants down to the unit layer).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lb.conntrack import ConnTrack
+from repro.lb.maglev import MaglevTable
+from repro.net.addr import FlowKey
+
+SIZES = (53, 101, 211)
+
+sizes = st.sampled_from(SIZES)
+counts = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=9)
+
+
+def names(count, generation=0):
+    return ["server%d-%d" % (generation, i) for i in range(count)]
+
+
+def weights(name_list):
+    return {name: 1.0 for name in name_list}
+
+
+def snapshot(table):
+    return list(table._table)
+
+
+class TestInvariants:
+    @given(size=sizes, n=counts)
+    @settings(max_examples=30, deadline=None)
+    def test_first_build_matches_full_build(self, size, n):
+        incremental = MaglevTable(size, incremental=True)
+        full = MaglevTable(size)
+        incremental.build(weights(names(n)))
+        full.build(weights(names(n)))
+        assert snapshot(incremental) == snapshot(full)
+
+    @given(size=sizes, n=counts, extra=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_patched_table_is_full_and_on_target(self, size, n, extra):
+        table = MaglevTable(size, incremental=True)
+        table.build(weights(names(n)))
+        grown = names(n + extra)
+        table.build(weights(grown))
+        cells = snapshot(table)
+        assert None not in cells
+        counts_by_owner = {name: cells.count(name) for name in grown}
+        assert counts_by_owner == table.slot_counts()
+        assert sum(counts_by_owner.values()) == size
+
+    @given(size=sizes, n=counts)
+    @settings(max_examples=30, deadline=None)
+    def test_add_one_moves_a_bounded_fraction(self, size, n):
+        table = MaglevTable(size, incremental=True)
+        table.build(weights(names(n)))
+        before = snapshot(table)
+        table.build(weights(names(n + 1)))
+        moved = sum(1 for a, b in zip(before, snapshot(table)) if a != b)
+        # The newcomer's apportionment share, plus remainder slack.
+        assert moved == table.last_moved
+        assert moved <= size // (n + 1) + n + 2
+
+    @given(size=sizes, n=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_remove_one_moves_only_the_victims_share(self, size, n):
+        all_names = names(n)
+        table = MaglevTable(size, incremental=True)
+        table.build(weights(all_names))
+        victim_share = table.slot_counts()[all_names[-1]]
+        before = snapshot(table)
+        table.build(weights(all_names[:-1]))
+        after = snapshot(table)
+        moved = sum(1 for a, b in zip(before, after) if a != b)
+        assert moved == table.last_moved
+        # Exactly the departed backend's slots change owner, plus any
+        # survivor-to-survivor rebalance from the apportionment shift.
+        assert victim_share <= moved <= size // n + n + 2
+        assert all_names[-1] not in after
+
+    @given(size=sizes, n=counts, shift=st.floats(min_value=1.5, max_value=8.0))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_shift_patch_meets_targets(self, size, n, shift):
+        all_names = names(n)
+        table = MaglevTable(size, incremental=True)
+        table.build(weights(all_names))
+        shifted = weights(all_names)
+        shifted[all_names[0]] = shift
+        table.build(shifted)
+        # The patched distribution equals the apportionment a full build
+        # would compute for the same weights.
+        reference = MaglevTable(size)
+        reference.build(shifted)
+        assert table.slot_counts() == reference.slot_counts()
+        assert None not in snapshot(table)
+
+    @given(
+        size=sizes,
+        steps=st.lists(
+            st.integers(min_value=1, max_value=10), min_size=2, max_size=6
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_membership_walk_is_deterministic(self, size, steps):
+        """Two tables replaying the same resize sequence stay identical."""
+        first = MaglevTable(size, incremental=True)
+        second = MaglevTable(size, incremental=True)
+        for count in steps:
+            first.build(weights(names(count)))
+            second.build(weights(names(count)))
+            assert snapshot(first) == snapshot(second)
+            assert first.last_moved == second.last_moved
+
+
+class TestEstablishedFlows:
+    """The churn invariant at unit scope: pinned flows never move."""
+
+    @given(size=sizes, n=st.integers(min_value=2, max_value=8), seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_conntrack_pins_survive_any_rebuild(self, size, n, seed):
+        table = MaglevTable(size, incremental=True)
+        conntrack = ConnTrack()
+        initial = names(n)
+        table.build(weights(initial))
+
+        # Establish flows the way the dataplane does: route via the
+        # table once, then pin in conntrack.
+        flows = {}
+        for i in range(64):
+            flow = FlowKey("client%d" % seed, 1000 + i, "vip", 1)
+            backend = table.lookup_flow(str(flow))
+            conntrack.insert(flow, backend, now=i)
+            flows[flow] = backend
+
+        # Scale out, shift a weight, then scale in — three rebuilds.
+        table.build(weights(names(n + 3)))
+        shifted = weights(names(n + 3))
+        shifted[initial[0]] = 4.0
+        table.build(shifted)
+        table.build(weights(names(max(2, n - 1), generation=0)))
+
+        # The dataplane consults conntrack first: every established
+        # flow still lands on its original backend.
+        for i, (flow, backend) in enumerate(flows.items()):
+            assert conntrack.lookup(flow, now=1000 + i) == backend
+
+    @given(size=sizes, n=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_unpinned_remap_set_equals_moved_slots(self, size, n):
+        """A flow's route changes iff its slot changed owner — there is
+        no hidden remapping beyond ``last_moved``."""
+        table = MaglevTable(size, incremental=True)
+        table.build(weights(names(n)))
+        probes = ["flow-%d" % i for i in range(256)]
+        before = {p: table.lookup_flow(p) for p in probes}
+        before_cells = snapshot(table)
+        table.build(weights(names(n + 1)))
+        after_cells = snapshot(table)
+        moved_slots = {
+            i
+            for i, (a, b) in enumerate(zip(before_cells, after_cells))
+            if a != b
+        }
+        from repro.lb.maglev import _stable_hash
+
+        for probe in probes:
+            slot = _stable_hash(probe, b"maglev-flow") % size
+            changed = table.lookup_flow(probe) != before[probe]
+            assert changed == (slot in moved_slots)
