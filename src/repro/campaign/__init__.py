@@ -1,0 +1,83 @@
+"""``repro.campaign`` — chaos campaigns with judged invariants.
+
+The campaign plane closes the loop the chaos plane opened: instead of
+hand-picked fault presets judged by eyeball, a campaign *generates*
+randomized fault schedules under an intensity budget
+(:mod:`~repro.campaign.generator`), runs them across the controller
+zoo through the cached sweep executor
+(:mod:`~repro.campaign.runner`), judges every run against a registry
+of safety and liveness invariants
+(:mod:`~repro.campaign.registry` / :mod:`~repro.campaign.invariants`),
+and — when something breaks — delta-debugs the schedule down to a
+minimal, replayable reproducer artifact
+(:mod:`~repro.campaign.shrink` / :mod:`~repro.campaign.artifact`).
+
+Everything is deterministic per seed: the same campaign config yields
+byte-identical schedules, verdicts, and shrunk reproducers at any
+``--jobs`` level.
+"""
+
+from repro.campaign.artifact import (
+    ARTIFACT_FORMAT,
+    load_artifact,
+    load_violations,
+    write_artifact,
+)
+from repro.campaign.config import ALL_KINDS, CampaignConfig, GeneratorConfig
+from repro.campaign.generator import (
+    fault_intensity,
+    generate_schedule,
+    schedule_intensity,
+)
+from repro.campaign.invariants import (
+    CampaignContext,
+    InvariantVerdict,
+    evaluate,
+)
+from repro.campaign.registry import (
+    InvariantSpec,
+    available,
+    get_spec,
+    register,
+    specs,
+)
+from repro.campaign.runner import (
+    CampaignPoint,
+    CampaignReport,
+    build_point_config,
+    campaign_point,
+    campaign_points,
+    replay_artifact,
+    run_campaign,
+)
+from repro.campaign.shrink import ShrinkStats, shrink_point
+
+__all__ = [
+    "ALL_KINDS",
+    "ARTIFACT_FORMAT",
+    "CampaignConfig",
+    "CampaignContext",
+    "CampaignPoint",
+    "CampaignReport",
+    "GeneratorConfig",
+    "InvariantSpec",
+    "InvariantVerdict",
+    "ShrinkStats",
+    "available",
+    "build_point_config",
+    "campaign_point",
+    "campaign_points",
+    "evaluate",
+    "fault_intensity",
+    "generate_schedule",
+    "get_spec",
+    "load_artifact",
+    "load_violations",
+    "register",
+    "replay_artifact",
+    "run_campaign",
+    "schedule_intensity",
+    "shrink_point",
+    "specs",
+    "write_artifact",
+]

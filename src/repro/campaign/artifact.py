@@ -1,0 +1,86 @@
+"""Replayable reproducer artifacts: a violation you can hold.
+
+When a campaign run violates an invariant, the shrinker minimizes its
+fault schedule and the result is persisted as a small JSON artifact:
+the complete :class:`~repro.campaign.runner.CampaignPoint` (seed,
+topology, controller, fault dicts), the violations it produced, and
+the shrink accounting.  ``repro chaos replay <artifact>`` rebuilds the
+point and re-runs it through the cached executor — byte-identically,
+today or after a ``git bisect`` — so a chaos finding travels like a
+failing test, not like a war story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.faults.model import fault_from_dict
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.campaign.runner import CampaignPoint
+
+#: Format tag written into (and required of) every artifact.
+ARTIFACT_FORMAT = "repro.campaign/reproducer-v1"
+
+
+def write_artifact(
+    path: str,
+    point: "CampaignPoint",
+    violations: Dict[str, List[str]],
+    shrink: Optional[dict] = None,
+) -> str:
+    """Persist one reproducer; returns the path written."""
+    tree = {
+        "format": ARTIFACT_FORMAT,
+        "point": asdict(point),
+        "violations": violations,
+    }
+    if shrink is not None:
+        tree["shrink"] = shrink
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(tree, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_artifact(path: str) -> "CampaignPoint":
+    """Rebuild (and re-validate) the point a reproducer describes."""
+    from repro.campaign.runner import CampaignPoint
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = json.load(handle)
+    except OSError as exc:
+        raise ConfigError("cannot read artifact %s: %s" % (path, exc)) from None
+    except ValueError as exc:
+        raise ConfigError("artifact %s is not JSON: %s" % (path, exc)) from None
+    if not isinstance(tree, dict) or tree.get("format") != ARTIFACT_FORMAT:
+        raise ConfigError(
+            "artifact %s is not a %r file" % (path, ARTIFACT_FORMAT)
+        )
+    payload = tree.get("point")
+    if not isinstance(payload, dict):
+        raise ConfigError("artifact %s has no point payload" % path)
+    try:
+        point = CampaignPoint(**payload)
+    except TypeError as exc:
+        raise ConfigError("artifact %s point is malformed: %s" % (path, exc)) from None
+    for fault in point.faults:
+        fault_from_dict(fault)  # validates kinds, fields, magnitudes
+    return point
+
+
+def load_violations(path: str) -> Dict[str, List[str]]:
+    """The violations recorded in an artifact (for replay comparison)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = json.load(handle)
+    return tree.get("violations", {})

@@ -1,0 +1,80 @@
+"""In-flight audit taps: what invariants need that results don't keep.
+
+Most invariants judge a finished :class:`ScenarioResult` — weight
+update logs, ladder transitions, conntrack counters all survive the
+run.  Two do not: *which backend each packet was routed to, and what
+state that backend was in at that instant*.  :class:`CampaignAudit`
+installs LB taps before the run starts (taps see every routed packet)
+and distills the stream into exactly the evidence the invariant checks
+read afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from repro.harness.churn import AffinityWatch
+from repro.net.addr import FlowKey
+from repro.units import to_millis
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.harness.scenario import Scenario
+
+
+class RoutingAudit:
+    """LB tap: no *new* flow may land on a dark backend.
+
+    A backend is dark when it is unhealthy (crashed, breaker-style
+    ejection) or when the fleet plane has it DRAINING/TERMINATED.
+    Established flows legitimately keep hitting such backends — that is
+    conntrack affinity doing its job during a drain — so the audit only
+    judges each flow's *first* packet, the one the routing policy chose
+    a backend for.
+    """
+
+    def __init__(self, scenario: "Scenario"):
+        self._pool = scenario.pool
+        self._fleet = scenario.fleet
+        self._seen: Set[FlowKey] = set()
+        #: First packets audited (new flows observed).
+        self.checked = 0
+        self.violations: List[str] = []
+        scenario.lb.add_tap(self._tap)
+
+    def _tap(self, now: int, flow: FlowKey, backend: str, packet) -> None:
+        if flow in self._seen:
+            return
+        self._seen.add(flow)
+        self.checked += 1
+        if backend not in self._pool:
+            self._violate(now, flow, backend, "not in the pool")
+            return
+        if not self._pool.get(backend).healthy:
+            self._violate(now, flow, backend, "unhealthy")
+        if self._fleet is not None:
+            from repro.fleet.lifecycle import BackendState
+
+            state = self._fleet.lifecycle.state(backend)
+            if state in (BackendState.DRAINING, BackendState.TERMINATED):
+                self._violate(now, flow, backend, state.value.upper())
+
+    def _violate(self, now: int, flow: FlowKey, backend: str, why: str) -> None:
+        self.violations.append(
+            "t=%.3fms new flow %s routed to %s (%s)"
+            % (to_millis(now), flow, backend, why)
+        )
+
+
+class CampaignAudit:
+    """Both taps plus the pre-run weight snapshot, bundled per run.
+
+    Install by constructing with a *built but not yet run* scenario
+    (``build_scenario`` → ``CampaignAudit`` → ``run_scenario``), the
+    same seam the compare harness uses for its affinity column.
+    """
+
+    def __init__(self, scenario: "Scenario"):
+        self.affinity = AffinityWatch(scenario.lb)
+        self.routing = RoutingAudit(scenario)
+        #: Pool weights before the first packet (the conserved total).
+        self.initial_weights = dict(scenario.pool.weights())

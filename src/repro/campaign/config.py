@@ -1,0 +1,136 @@
+"""Campaign configuration: how many runs, how mean the faults get.
+
+Two dataclasses: :class:`GeneratorConfig` bounds the randomized fault
+schedules (how many faults, how intense, which kinds, where in the run
+they may land), and :class:`CampaignConfig` shapes the campaign itself
+(runs, controllers, topology, which invariants to evaluate).  Both are
+pure data with ``validate()`` hooks, matching the harness convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.units import MILLISECONDS, SECONDS
+
+#: Every fault kind the generator knows how to sample.
+ALL_KINDS: Tuple[str, ...] = (
+    "delay",
+    "jitter",
+    "loss",
+    "throttle",
+    "slowdown",
+    "pause",
+    "crash",
+    "partition",
+)
+
+#: Kinds that take a backend out of the dataplane (dark or dead).  On
+#: fleet-armed runs the generator drops these: the autoscaler owns pool
+#: membership there, and racing its drains against chaos-plane crashes
+#: makes "known-good" ambiguous.
+HARD_KINDS: Tuple[str, ...] = ("pause", "crash", "partition")
+
+
+@dataclass
+class GeneratorConfig:
+    """Bounds on one run's randomized fault schedule.
+
+    The generator samples fault compositions until it has between
+    ``min_faults`` and ``max_faults`` specs whose summed intensity (see
+    :func:`~repro.campaign.generator.fault_intensity`) stays within
+    ``intensity_budget``.  Windows land inside
+    ``[onset_min, onset_max] × duration`` and last
+    ``[window_min, window_max] × duration`` — the defaults leave the
+    final ~30% of every run fault-free so the recovery-bound invariant
+    has runway to judge.
+    """
+
+    min_faults: int = 1
+    max_faults: int = 4
+    #: Summed :func:`fault_intensity` cap per schedule.
+    intensity_budget: float = 4.0
+    kinds: Tuple[str, ...] = ALL_KINDS
+    #: Earliest/latest fault onset, as fractions of the run.
+    onset_min: float = 0.20
+    onset_max: float = 0.50
+    #: Shortest/longest activation window, as fractions of the run.
+    window_min: float = 0.05
+    window_max: float = 0.20
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on malformed values."""
+        if not 0 < self.min_faults <= self.max_faults:
+            raise ConfigError(
+                "need 0 < min_faults <= max_faults, got %d..%d"
+                % (self.min_faults, self.max_faults)
+            )
+        if self.intensity_budget <= 0:
+            raise ConfigError("intensity_budget must be positive")
+        if not self.kinds:
+            raise ConfigError("generator needs at least one fault kind")
+        unknown = sorted(set(self.kinds) - set(ALL_KINDS))
+        if unknown:
+            raise ConfigError(
+                "unknown fault kind(s) %s (known: %s)"
+                % (", ".join(unknown), ", ".join(ALL_KINDS))
+            )
+        if not 0 <= self.onset_min <= self.onset_max < 1:
+            raise ConfigError("need 0 <= onset_min <= onset_max < 1")
+        if not 0 < self.window_min <= self.window_max < 1:
+            raise ConfigError("need 0 < window_min <= window_max < 1")
+        if self.onset_max + self.window_max >= 1:
+            raise ConfigError(
+                "onset_max + window_max must stay below 1 (every fault "
+                "window must end before the run does)"
+            )
+
+
+@dataclass
+class CampaignConfig:
+    """Shape of one chaos campaign."""
+
+    seed: int = 1
+    #: Scenario runs in the campaign; run ``r`` gets scenario seed
+    #: ``seed + r`` and its own generated fault schedule.
+    runs: int = 10
+    duration: int = 2 * SECONDS
+    n_servers: int = 3
+    n_clients: int = 1
+    #: Control laws cycled round-robin across runs (registry names).
+    controllers: Tuple[str, ...] = ("alpha",)
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    #: Invariants to evaluate (None = every registered invariant).
+    invariants: Optional[Tuple[str, ...]] = None
+    #: Liveness bound: the tail must re-enter the pre-fault band within
+    #: this long of the last fault window closing.
+    recovery_bound: int = 500 * MILLISECONDS
+    #: Every Nth run additionally arms the fleet plane (scale-out then
+    #: scale-in mid-run) so membership churn meets random faults; 0
+    #: disables fleet-armed runs.
+    fleet_every: int = 4
+    #: Arm the resilience plane (ladder, breakers, health checks).
+    resilience: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on malformed values."""
+        if self.runs <= 0:
+            raise ConfigError("campaign needs at least one run")
+        if self.duration <= 0:
+            raise ConfigError("campaign duration must be positive")
+        if self.n_servers < 2:
+            raise ConfigError(
+                "campaign needs >= 2 servers (shifting load away from a "
+                "faulted backend requires somewhere to shift it)"
+            )
+        if self.n_clients <= 0:
+            raise ConfigError("campaign needs at least one client")
+        if not self.controllers:
+            raise ConfigError("campaign needs at least one controller")
+        if self.recovery_bound <= 0:
+            raise ConfigError("recovery_bound must be positive")
+        if self.fleet_every < 0:
+            raise ConfigError("fleet_every must be >= 0")
+        self.generator.validate()

@@ -1,0 +1,186 @@
+"""Seeded fault-schedule generation under an intensity budget.
+
+One campaign run's schedule is a random *composition* sampled from the
+full chaos vocabulary (:data:`~repro.faults.model.FAULT_KINDS`):
+overlapping windows of delay, jitter, loss, throttle, slowdown, pause,
+crash, and partition faults, each with a randomized target, onset,
+window, and magnitude.  Three properties make the samples useful as a
+campaign rather than noise:
+
+* **Determinism** — the schedule is a pure function of ``(generator
+  config, duration, n_servers, seed)``; the RNG is a private
+  ``random.Random`` seeded via :func:`~repro.sim.random.derive_seed`,
+  so campaigns replay byte-identically and shrunk reproducers stay
+  valid forever.
+* **Intensity budget** — each fault kind carries a cost
+  (:func:`fault_intensity`, scaled by magnitude) and a schedule's
+  summed cost stays within ``intensity_budget``.  The budget is the
+  knob between "background weather" and "everything fails at once".
+* **A protected server** — one randomly chosen backend is never hit by
+  a *hard* fault (pause/crash/partition), so every scenario keeps at
+  least one viable backend and the invariants judge the control plane,
+  not a lost-cause topology.
+
+Generated faults are always one-shot (``period=None``): the recovery
+bound invariant needs a well-defined "last fault window" to measure
+from, and flapping composites are representable as several one-shot
+windows anyway.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.campaign.config import HARD_KINDS, GeneratorConfig
+from repro.faults.model import (
+    FaultSpec,
+    LB_TO_SERVER,
+    SERVER_TO_CLIENT,
+    fault_from_dict,
+)
+from repro.sim.random import derive_seed
+from repro.units import MICROSECONDS, MILLISECONDS
+
+#: Window times snap to this grid: artifacts stay human-readable and
+#: halving a window during shrinking cannot create sub-grid noise.
+TIME_GRID = 100 * MICROSECONDS
+
+#: Base intensity per fault kind.  Hard faults (a backend going dark or
+#: dead) cost the most; magnitude scaling is added on top by
+#: :func:`fault_intensity`.
+BASE_INTENSITY = {
+    "delay": 0.5,
+    "jitter": 0.3,
+    "loss": 0.5,
+    "throttle": 1.0,
+    "slowdown": 0.5,
+    "pause": 1.5,
+    "crash": 2.0,
+    "partition": 2.0,
+}
+
+
+def fault_intensity(fault: FaultSpec) -> float:
+    """How mean one fault spec is (unitless; budgets sum these).
+
+    Base cost per kind plus a magnitude term: +0.5 per extra ms of
+    delay, per ms of jitter amplitude, per 2.5% loss; slowdowns add
+    ``factor / 8``.  Pause/crash/partition and throttle are flat — their
+    damage is the window, not a magnitude.
+    """
+    kind = fault.kind
+    cost = BASE_INTENSITY[kind]
+    if kind == "delay":
+        cost += 0.5 * fault.extra / MILLISECONDS
+    elif kind == "jitter":
+        cost += 0.5 * fault.amplitude / MILLISECONDS
+    elif kind == "loss":
+        cost += 20.0 * fault.prob
+    elif kind == "slowdown":
+        cost += fault.factor / 8.0
+    return cost
+
+
+def schedule_intensity(faults: Sequence[FaultSpec]) -> float:
+    """Summed :func:`fault_intensity` of a schedule."""
+    return sum(fault_intensity(f) for f in faults)
+
+
+def generate_schedule(
+    generator: GeneratorConfig,
+    duration: int,
+    n_servers: int,
+    seed: int,
+    fleet: bool = False,
+) -> List[FaultSpec]:
+    """Sample one run's fault schedule; deterministic per ``seed``.
+
+    ``fleet=True`` drops the hard kinds (pause/crash/partition): on
+    fleet-armed runs the autoscaler owns pool membership, and the
+    campaign judges its drains against *network/server* weather only.
+    """
+    generator.validate()
+    rng = random.Random(derive_seed("campaign.schedule", seed))
+    kinds = tuple(
+        k for k in generator.kinds if not (fleet and k in HARD_KINDS)
+    ) or ("delay",)
+    #: Never hard-fault this backend: the scenario stays viable.
+    protected = rng.randrange(n_servers)
+
+    target = rng.randint(generator.min_faults, generator.max_faults)
+    faults: List[FaultSpec] = []
+    spent = 0.0
+    attempts = 0
+    while len(faults) < target and attempts < 8 * target:
+        attempts += 1
+        fault = _sample_fault(
+            rng, rng.choice(kinds), generator, duration, n_servers, protected
+        )
+        cost = fault_intensity(fault)
+        if faults and spent + cost > generator.intensity_budget:
+            continue  # over budget: re-roll (first fault always lands)
+        spent += cost
+        faults.append(fault)
+
+    # Stable presentation order (generation order is already
+    # deterministic; sorting keeps artifacts diff-friendly).
+    faults.sort(key=lambda f: (f.start, f.kind, f.node))
+    return faults
+
+
+def _sample_fault(
+    rng: random.Random,
+    kind: str,
+    generator: GeneratorConfig,
+    duration: int,
+    n_servers: int,
+    protected: int,
+) -> FaultSpec:
+    """One randomized fault spec of ``kind`` (validated on build)."""
+    start = _grid(
+        int(duration * rng.uniform(generator.onset_min, generator.onset_max))
+    )
+    window = max(
+        TIME_GRID,
+        _grid(
+            int(
+                duration
+                * rng.uniform(generator.window_min, generator.window_max)
+            )
+        ),
+    )
+    if kind in HARD_KINDS:
+        # Dodge the protected backend so the pool never loses its last
+        # viable member to a hard fault.
+        index = rng.randrange(n_servers - 1)
+        if index >= protected:
+            index += 1
+    else:
+        index = rng.randrange(n_servers)
+    params = {
+        "node": "server%d" % index,
+        "start": start,
+        "duration": window,
+    }
+    if kind in ("delay", "jitter", "loss", "throttle"):
+        # Forward path 3:1 over the return path — the paper's stimulus
+        # is LB→server, but return-path weather must compose too.
+        params["direction"] = (
+            LB_TO_SERVER if rng.random() < 0.75 else SERVER_TO_CLIENT
+        )
+    if kind == "delay":
+        params["extra"] = rng.randrange(2, 21) * 100 * MICROSECONDS
+    elif kind == "jitter":
+        params["amplitude"] = rng.randrange(1, 6) * 100 * MICROSECONDS
+    elif kind == "loss":
+        params["prob"] = rng.randrange(1, 8) / 100.0
+    elif kind == "throttle":
+        params["bandwidth_bps"] = rng.randrange(1, 6) * 100_000_000
+    elif kind == "slowdown":
+        params["factor"] = float(rng.randrange(2, 9))
+    return fault_from_dict(dict(params, kind=kind))
+
+
+def _grid(value: int) -> int:
+    return (value // TIME_GRID) * TIME_GRID

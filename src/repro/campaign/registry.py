@@ -1,0 +1,100 @@
+"""The name-keyed invariant registry.
+
+Invariants register a *check* under a short name, exactly the way
+control laws register factories in :mod:`repro.controllers.registry` —
+the campaign runner (and the CLI, and the chaos smoke in CI) evaluate
+invariants by name without enumerating them.  A check takes the
+:class:`~repro.campaign.invariants.CampaignContext` of one finished
+run and returns a list of violation messages (empty = the invariant
+held).
+
+Registering is declarative::
+
+    @register(
+        "weight-conservation",
+        summary="controller updates conserve total weight, respect floor",
+        kind="safety",
+    )
+    def _check(ctx):
+        return [...violation strings...]
+
+Unknown names raise :class:`~repro.errors.ConfigError` listing every
+registered name, so a typo in ``--invariants`` is a one-line fix
+instead of a hunt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.campaign.invariants import CampaignContext
+
+
+#: (context) -> violation messages (empty list = invariant held)
+Check = Callable[["CampaignContext"], List[str]]
+
+#: The two invariant classes chaos campaigns care about: a *safety*
+#: invariant must hold at every instant of every run ("nothing bad
+#: happens"); a *liveness* invariant must hold eventually ("something
+#: good happens" — e.g. the tail recovers after the last fault lifts).
+KINDS = ("safety", "liveness")
+
+
+@dataclass(frozen=True)
+class InvariantSpec:
+    """One registered invariant: identity, check, classification."""
+
+    name: str
+    check: Check
+    #: One-line description for docs and reports.
+    summary: str = ""
+    #: ``"safety"`` or ``"liveness"``.
+    kind: str = "safety"
+
+
+_REGISTRY: Dict[str, InvariantSpec] = {}
+
+
+def register(
+    name: str, summary: str = "", kind: str = "safety"
+) -> Callable[[Check], Check]:
+    """Decorator: register ``check`` under ``name``."""
+    if kind not in KINDS:
+        raise ConfigError(
+            "invariant kind must be one of %s, got %r" % (", ".join(KINDS), kind)
+        )
+
+    def decorate(check: Check) -> Check:
+        if name in _REGISTRY:
+            raise ConfigError("invariant %r registered twice" % name)
+        _REGISTRY[name] = InvariantSpec(
+            name=name, check=check, summary=summary, kind=kind
+        )
+        return check
+
+    return decorate
+
+
+def available() -> List[str]:
+    """All registered invariant names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def specs() -> List[InvariantSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_spec(name: str) -> InvariantSpec:
+    """The spec registered under ``name``; ConfigError if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown invariant %r (registered: %s)"
+            % (name, ", ".join(available()))
+        ) from None

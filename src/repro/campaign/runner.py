@@ -1,0 +1,326 @@
+"""Campaign orchestration: generate, run, judge, shrink, persist.
+
+A campaign is ``runs`` scenario executions, each with its own seeded
+fault schedule (:mod:`repro.campaign.generator`), cycled round-robin
+across the selected control laws, optionally arming the fleet plane
+every Nth run so membership churn meets random weather.  Every run is
+a :class:`CampaignPoint` — a pure-data payload executed by the
+module-level :func:`campaign_point` through the cached sweep executor,
+so campaigns inherit the executor's contract: content-addressed
+caching, crash recovery, and ``--jobs N`` rows byte-identical to
+``--jobs 1``.
+
+After the sweep, violating points are minimized by the shrinker and
+persisted as replayable reproducer artifacts
+(:mod:`repro.campaign.artifact`); :func:`replay_artifact` is the other
+half of that round trip.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.artifact import load_artifact, write_artifact
+from repro.campaign.config import CampaignConfig
+from repro.campaign.generator import generate_schedule
+from repro.campaign.shrink import shrink_point
+from repro.errors import ConfigError, InvariantViolation
+from repro.faults.model import fault_from_dict, fault_to_dict
+from repro.harness.report import format_table
+from repro.sim.random import derive_seed
+from repro.sweep.executor import Outcome, SweepReport, run_tasks, task
+from repro.sweep.store import ResultStore
+
+
+@dataclass
+class CampaignPoint:
+    """One run's complete identity — pure JSON-native data.
+
+    This is both the executor payload (its canonical hash is the cache
+    key) and the reproducer-artifact payload, so everything in here
+    must survive a JSON round trip unchanged: ints, strings, bools,
+    ``None``, and fault *dicts* (:func:`~repro.faults.model.fault_to_dict`
+    trees), never live spec objects.
+    """
+
+    run: int
+    seed: int
+    duration: int
+    n_servers: int
+    n_clients: int
+    strategy: str
+    #: Fault dicts (``fault_from_dict`` rebuilds and validates them).
+    faults: List[dict]
+    #: Invariant names to evaluate (None = all registered).
+    invariants: Optional[List[str]] = None
+    recovery_bound: int = 0
+    #: Arm the fleet plane (scheduled scale-out + scale-in mid-run).
+    fleet: bool = False
+    resilience: bool = True
+
+
+def build_point_config(point: CampaignPoint):
+    """The :class:`ScenarioConfig` a point describes."""
+    from repro.harness.config import PolicyName, ScenarioConfig
+    from repro.resilience.config import ResilienceConfig
+
+    config = ScenarioConfig(
+        seed=point.seed,
+        duration=point.duration,
+        n_clients=point.n_clients,
+        n_servers=point.n_servers,
+        policy=PolicyName.FEEDBACK,
+        faults=[fault_from_dict(tree) for tree in point.faults],
+        resilience=ResilienceConfig(
+            enabled=point.resilience, health_checks=point.resilience
+        ),
+        warmup=point.duration // 10,
+    )
+    config.feedback.strategy = point.strategy
+    if point.fleet:
+        from repro.fleet import FleetConfig, ScheduledAction
+
+        peak = max(8, 2 * point.n_servers)
+        config.fleet = FleetConfig(
+            enabled=True,
+            max_backends=peak,
+            min_in_service=point.n_servers,
+            schedule=[
+                ScheduledAction(at=point.duration // 3, desired=peak),
+                ScheduledAction(
+                    at=5 * point.duration // 6, desired=point.n_servers
+                ),
+            ],
+        )
+    return config
+
+
+def campaign_point(point: CampaignPoint) -> Dict[str, object]:
+    """Run one campaign point and judge it; returns a flat sweep row."""
+    from repro.campaign.audit import CampaignAudit
+    from repro.campaign.invariants import CampaignContext, evaluate
+    from repro.harness.runner import run_scenario
+    from repro.harness.scenario import build_scenario
+
+    config = build_point_config(point)
+    scenario = build_scenario(config)
+    audit = CampaignAudit(scenario)
+    result = run_scenario(config, scenario=scenario)
+    verdicts = evaluate(
+        CampaignContext(
+            result=result, audit=audit, recovery_bound=point.recovery_bound
+        ),
+        names=point.invariants,
+    )
+    return {
+        "run": point.run,
+        "strategy": point.strategy,
+        "fleet": point.fleet,
+        "seed": point.seed,
+        "faults": [f.describe() for f in config.faults],
+        "requests": len(result.records),
+        "checks": len(verdicts),
+        "violations": sum(len(v.violations) for v in verdicts),
+        "violated": [v.name for v in verdicts if not v.passed],
+        "details": {
+            v.name: list(v.violations) for v in verdicts if not v.passed
+        },
+    }
+
+
+def campaign_points(config: CampaignConfig) -> List[CampaignPoint]:
+    """Expand a campaign config into its deterministic point list."""
+    config.validate()
+    points: List[CampaignPoint] = []
+    for run in range(config.runs):
+        fleet = config.fleet_every > 0 and (run + 1) % config.fleet_every == 0
+        faults = generate_schedule(
+            config.generator,
+            config.duration,
+            config.n_servers,
+            seed=derive_seed("campaign.run", config.seed, run),
+            fleet=fleet,
+        )
+        points.append(
+            CampaignPoint(
+                run=run,
+                seed=config.seed + run,
+                duration=config.duration,
+                n_servers=config.n_servers,
+                n_clients=config.n_clients,
+                strategy=config.controllers[run % len(config.controllers)],
+                faults=[fault_to_dict(f) for f in faults],
+                invariants=(
+                    list(config.invariants)
+                    if config.invariants is not None
+                    else None
+                ),
+                recovery_bound=config.recovery_bound,
+                fleet=fleet,
+                resilience=config.resilience,
+            )
+        )
+    return points
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced, plus the renderers."""
+
+    config: CampaignConfig
+    points: List[CampaignPoint]
+    report: SweepReport
+    #: Reproducer-artifact paths, one per shrunk violating point.
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        return self.report.rows
+
+    def violating(self) -> List[Tuple[CampaignPoint, Dict[str, object]]]:
+        """Points whose runs violated at least one invariant."""
+        return [
+            (point, row)
+            for point, row in zip(self.points, self.rows)
+            if row["violations"]
+        ]
+
+    def table(self) -> str:
+        """One row per run: what ran, what was checked, what broke."""
+        rows = []
+        for point, row in zip(self.points, self.rows):
+            rows.append(
+                (
+                    point.run,
+                    point.strategy,
+                    "yes" if point.fleet else "-",
+                    len(point.faults),
+                    "+".join(sorted({f["kind"] for f in point.faults})),
+                    row["checks"],
+                    row["violations"],
+                    ",".join(row["violated"]) or "-",
+                    row["requests"],
+                )
+            )
+        return format_table(
+            (
+                "run",
+                "controller",
+                "fleet",
+                "faults",
+                "kinds",
+                "checks",
+                "violations",
+                "violated",
+                "requests",
+            ),
+            rows,
+        )
+
+    def summary(self) -> str:
+        """Two accounting lines (both grepped by the CI chaos smoke)."""
+        checks = sum(row["checks"] for row in self.rows)
+        violations = sum(row["violations"] for row in self.rows)
+        line = (
+            "campaign: %d runs, %d controllers, %d invariant checks, "
+            "%d violations, %d reproducers"
+            % (
+                len(self.points),
+                len({p.strategy for p in self.points}),
+                checks,
+                violations,
+                len(self.artifacts),
+            )
+        )
+        return line + "\n" + self.report.summary("campaign")
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`InvariantViolation` if any run broke a rule."""
+        violating = self.violating()
+        if not violating:
+            return
+        names = sorted({n for _p, row in violating for n in row["violated"]})
+        raise InvariantViolation(
+            "%d of %d campaign runs violated invariant(s): %s"
+            % (len(violating), len(self.points), ", ".join(names)),
+            artifact=self.artifacts[0] if self.artifacts else None,
+        )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    progress: Optional[Callable[[Outcome, int, int], None]] = None,
+    artifact_dir: Optional[str] = None,
+    max_artifacts: int = 3,
+) -> CampaignReport:
+    """Run a full campaign; shrink and persist violating runs.
+
+    With ``artifact_dir`` set, up to ``max_artifacts`` violating points
+    are minimized by the shrinker and written as reproducer artifacts
+    (shrinking reuses ``store``, so its candidate runs are cached too).
+    """
+    from repro.controllers import available as available_controllers
+
+    registered = available_controllers()
+    for name in config.controllers:
+        if name not in registered:
+            raise ConfigError(
+                "unknown control strategy %r (registered: %s)"
+                % (name, ", ".join(registered))
+            )
+    points = campaign_points(config)
+    tasks = [
+        task(
+            campaign_point,
+            point,
+            label="run%02d/%s%s"
+            % (point.run, point.strategy, "+fleet" if point.fleet else ""),
+        )
+        for point in points
+    ]
+    report = run_tasks(
+        tasks, jobs=jobs, store=store, use_cache=use_cache, progress=progress
+    )
+    campaign = CampaignReport(config=config, points=points, report=report)
+    if artifact_dir is not None:
+        for point, row in campaign.violating()[:max_artifacts]:
+            shrunk, stats = shrink_point(
+                point, row["violated"], store=store, use_cache=use_cache
+            )
+            shrunk_row = run_tasks(
+                [task(campaign_point, shrunk, label="shrunk")],
+                jobs=1,
+                store=store,
+                use_cache=use_cache,
+            ).rows[0]
+            path = write_artifact(
+                os.path.join(
+                    artifact_dir, "reproducer-run%02d.json" % point.run
+                ),
+                shrunk,
+                violations=dict(shrunk_row["details"]),
+                shrink=stats.as_dict(),
+            )
+            campaign.artifacts.append(path)
+    return campaign
+
+
+def replay_artifact(
+    path: str,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> Tuple[CampaignPoint, Dict[str, object]]:
+    """Re-run a reproducer artifact through the cached executor."""
+    point = load_artifact(path)
+    report = run_tasks(
+        [task(campaign_point, point, label="replay")],
+        jobs=1,
+        store=store,
+        use_cache=use_cache,
+    )
+    return point, report.rows[0]

@@ -1,0 +1,191 @@
+"""Delta-debugging shrinker: minimize a violating schedule.
+
+A campaign finds a six-fault composition that breaks an invariant;
+what a human needs is the *two*-fault core that still breaks it.  The
+shrinker runs ddmin-style reduction passes over the point's fault
+dicts, re-running the candidate after every edit and keeping it only
+if some originally-violated invariant still fires:
+
+1. **drop** — remove one fault at a time, to fixpoint;
+2. **narrow** — halve each surviving fault's window, to fixpoint;
+3. **soften** — halve each fault's magnitude (delay extra, jitter
+   amplitude, loss probability, slowdown factor; throttles *double*
+   their cap — weaker is larger), to fixpoint.
+
+Every candidate evaluation goes through the cached sweep executor, so
+a shrink is deterministic, resumable, and free wherever the campaign
+(or an earlier shrink) already ran the same point.  The total number
+of evaluations is bounded by ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.faults.model import fault_from_dict
+from repro.units import MICROSECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.campaign.runner import CampaignPoint
+
+#: Shrunk windows and delays never go below this (sub-grid faults are
+#: noise, and zero-length windows are invalid anyway).
+FLOOR_NS = 100 * MICROSECONDS
+
+#: kind -> (magnitude field, softener, "is it still meaningful?").
+_SOFTEN = {
+    "delay": ("extra", lambda v: v // 2, lambda v: v >= FLOOR_NS),
+    "jitter": ("amplitude", lambda v: v // 2, lambda v: v >= FLOOR_NS),
+    "loss": ("prob", lambda v: v / 2.0, lambda v: v >= 0.005),
+    "slowdown": (
+        "factor",
+        lambda v: 1.0 + (v - 1.0) / 2.0,
+        lambda v: v >= 1.25,
+    ),
+    "throttle": (
+        "bandwidth_bps",
+        lambda v: v * 2,
+        lambda v: v <= 4_000_000_000,
+    ),
+}
+
+
+@dataclass
+class ShrinkStats:
+    """Accounting for one shrink: how hard it worked, how far it got."""
+
+    attempts: int = 0
+    accepted: int = 0
+    from_faults: int = 0
+    to_faults: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "accepted": self.accepted,
+            "from_faults": self.from_faults,
+            "to_faults": self.to_faults,
+        }
+
+
+def shrink_point(
+    point: "CampaignPoint",
+    violated: Sequence[str],
+    store=None,
+    use_cache: bool = True,
+    max_attempts: int = 64,
+):
+    """Minimize ``point`` while some invariant in ``violated`` still
+    fires; returns ``(smaller point, ShrinkStats)``.
+
+    ``violated`` must name at least one invariant the original point
+    breaks — the predicate is "any of these still fires", the standard
+    ddmin guard against shrinking onto a *different* bug.
+    """
+    if not violated:
+        raise ConfigError("shrink needs at least one violated invariant")
+    violated_set = set(violated)
+    stats = ShrinkStats(from_faults=len(point.faults))
+
+    def still_fails(candidate: "CampaignPoint") -> bool:
+        if stats.attempts >= max_attempts:
+            return False
+        stats.attempts += 1
+        row = _run(candidate, store=store, use_cache=use_cache)
+        return bool(violated_set & set(row["violated"]))
+
+    current = point
+    for reduce_pass in (_drop_pass, _narrow_pass, _soften_pass):
+        current = _to_fixpoint(reduce_pass, current, still_fails, stats)
+        if stats.attempts >= max_attempts:
+            break
+    stats.to_faults = len(current.faults)
+    return current, stats
+
+
+def _run(point: "CampaignPoint", store, use_cache) -> dict:
+    from repro.campaign.runner import campaign_point
+    from repro.sweep.executor import run_tasks, task
+
+    report = run_tasks(
+        [task(campaign_point, point, label="shrink")],
+        jobs=1,
+        store=store,
+        use_cache=use_cache,
+    )
+    return report.rows[0]
+
+
+def _to_fixpoint(reduce_pass, point, still_fails, stats) -> "CampaignPoint":
+    while True:
+        smaller = reduce_pass(point, still_fails)
+        if smaller is None:
+            return point
+        stats.accepted += 1
+        point = smaller
+
+
+def _drop_pass(
+    point: "CampaignPoint", still_fails: Callable
+) -> Optional["CampaignPoint"]:
+    """First single-fault removal that still violates, else None."""
+    if len(point.faults) <= 1:
+        return None
+    for index in range(len(point.faults)):
+        faults = [f for i, f in enumerate(point.faults) if i != index]
+        candidate = replace(point, faults=faults)
+        if still_fails(candidate):
+            return candidate
+    return None
+
+
+def _narrow_pass(
+    point: "CampaignPoint", still_fails: Callable
+) -> Optional["CampaignPoint"]:
+    """First window-halving that still violates, else None."""
+    for index, fault in enumerate(point.faults):
+        duration = fault.get("duration")
+        if duration is None:
+            continue
+        half = _grid(duration // 2)
+        if half < FLOOR_NS:
+            continue
+        candidate = _edit(point, index, duration=half)
+        if candidate is not None and still_fails(candidate):
+            return candidate
+    return None
+
+
+def _soften_pass(
+    point: "CampaignPoint", still_fails: Callable
+) -> Optional["CampaignPoint"]:
+    """First magnitude-halving that still violates, else None."""
+    for index, fault in enumerate(point.faults):
+        soften = _SOFTEN.get(fault["kind"])
+        if soften is None:
+            continue  # pause/crash/partition have no magnitude
+        field, halve, meaningful = soften
+        softer = halve(fault[field])
+        if not meaningful(softer):
+            continue
+        candidate = _edit(point, index, **{field: softer})
+        if candidate is not None and still_fails(candidate):
+            return candidate
+    return None
+
+
+def _edit(point: "CampaignPoint", index: int, **changes) -> Optional["CampaignPoint"]:
+    """Copy of ``point`` with one fault dict edited (None if invalid)."""
+    faults = [dict(f) for f in point.faults]
+    faults[index].update(changes)
+    try:
+        fault_from_dict(faults[index])
+    except ConfigError:
+        return None
+    return replace(point, faults=faults)
+
+
+def _grid(value: int) -> int:
+    return (value // FLOOR_NS) * FLOOR_NS

@@ -232,6 +232,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-simulate every lane even when the store has its result",
     )
 
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="randomized chaos campaign: generated fault schedules judged "
+        "against the invariant registry",
+        description="Generates seeded fault schedules from the full chaos "
+        "vocabulary under an intensity budget, runs them across the "
+        "selected control laws through the cached sweep executor, and "
+        "judges every run against the registered safety/liveness "
+        "invariants.  Violating runs are delta-debugged down to minimal "
+        "replayable reproducer artifacts.  'repro chaos replay FILE' "
+        "re-runs one artifact and reports whether it still violates.",
+    )
+    chaos_cmd.add_argument(
+        "action",
+        nargs="?",
+        default="campaign",
+        choices=("campaign", "replay"),
+        help="campaign (default) or replay a reproducer artifact",
+    )
+    chaos_cmd.add_argument(
+        "artifact",
+        nargs="?",
+        help="reproducer artifact path (replay only)",
+    )
+    chaos_cmd.add_argument(
+        "--runs", type=int, default=10, help="campaign runs (default 10)"
+    )
+    chaos_cmd.add_argument(
+        "--controllers",
+        metavar="C1,C2",
+        default="alpha",
+        help="comma list of control laws cycled across runs, or 'all' "
+        "(default alpha; registered: %s)" % ", ".join(available_controllers()),
+    )
+    chaos_cmd.add_argument("--servers", type=int, default=3)
+    chaos_cmd.add_argument("--clients", type=int, default=1)
+    chaos_cmd.add_argument(
+        "--invariants",
+        metavar="I1,I2",
+        help="comma list of invariants to judge (default: all registered)",
+    )
+    chaos_cmd.add_argument(
+        "--max-faults",
+        type=int,
+        default=4,
+        help="faults per generated schedule (default 4)",
+    )
+    chaos_cmd.add_argument(
+        "--budget",
+        type=float,
+        default=4.0,
+        help="schedule intensity budget (default 4.0)",
+    )
+    chaos_cmd.add_argument(
+        "--fleet-every",
+        type=int,
+        default=4,
+        help="arm the fleet plane every Nth run (0 disables; default 4)",
+    )
+    chaos_cmd.add_argument(
+        "--artifacts",
+        default=".campaign-artifacts",
+        metavar="DIR",
+        help="where shrunk reproducers are written (default "
+        ".campaign-artifacts)",
+    )
+    chaos_cmd.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    chaos_cmd.add_argument(
+        "--store",
+        default=".sweep-store",
+        metavar="DIR",
+        help="result store directory (default .sweep-store)",
+    )
+    chaos_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-simulate every run even when the store has its result",
+    )
+
     fleet_cmd = sub.add_parser(
         "fleet",
         help="elastic fleet: autoscale to 1000+ backends under diurnal load",
@@ -644,6 +725,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("error: %s" % exc, file=sys.stderr)
             return 2
 
+    if args.command == "chaos":
+        try:
+            return _chaos_command(args, duration)
+        except ConfigError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
     if args.command == "sweep":
         try:
             return _sweep_command(args, duration)
@@ -698,6 +786,98 @@ def _fleet_command(args: argparse.Namespace, duration: int) -> int:
         print(race_table(rows))
         return 0
     print(run_elastic(base).report())
+    return 0
+
+
+def _chaos_command(args: argparse.Namespace, duration: int) -> int:
+    """The ``repro chaos`` verb: campaign or artifact replay."""
+    from repro.campaign import (
+        CampaignConfig,
+        GeneratorConfig,
+        load_violations,
+        replay_artifact,
+        run_campaign,
+    )
+
+    store = ResultStore(args.store)
+    use_cache = not args.no_cache
+
+    if args.action == "replay":
+        if not args.artifact:
+            raise ConfigError("replay needs an artifact path")
+        point, row = replay_artifact(
+            args.artifact, store=store, use_cache=use_cache
+        )
+        recorded = load_violations(args.artifact)
+        print(
+            "replayed run %d (%s, seed %d): %d faults, %d invariant "
+            "checks, %d violations"
+            % (
+                point.run,
+                point.strategy,
+                point.seed,
+                len(point.faults),
+                row["checks"],
+                row["violations"],
+            )
+        )
+        for name in row["violated"]:
+            for message in row["details"][name]:
+                print("  %s: %s" % (name, message))
+        if sorted(row["violated"]) == sorted(recorded):
+            print("verdict matches the artifact (recorded: %s)"
+                  % (", ".join(sorted(recorded)) or "none"))
+        else:
+            print(
+                "verdict CHANGED: artifact recorded %s"
+                % (", ".join(sorted(recorded)) or "none")
+            )
+        return 1 if row["violations"] else 0
+
+    if args.controllers.strip() == "all":
+        controllers = available_controllers()
+    else:
+        controllers = [
+            part.strip() for part in args.controllers.split(",") if part.strip()
+        ]
+    invariants = None
+    if args.invariants:
+        invariants = tuple(
+            part.strip() for part in args.invariants.split(",") if part.strip()
+        )
+    config = CampaignConfig(
+        seed=args.seed,
+        runs=args.runs,
+        duration=duration,
+        n_servers=args.servers,
+        n_clients=args.clients,
+        controllers=tuple(controllers),
+        generator=GeneratorConfig(
+            max_faults=args.max_faults, intensity_budget=args.budget
+        ),
+        invariants=invariants,
+        fleet_every=args.fleet_every,
+    )
+    campaign = run_campaign(
+        config,
+        jobs=args.jobs,
+        store=store,
+        use_cache=use_cache,
+        progress=print_progress,
+        artifact_dir=args.artifacts,
+    )
+    print(campaign.table())
+    print(campaign.summary())
+    violating = campaign.violating()
+    if violating:
+        for path in campaign.artifacts:
+            print("reproducer written: %s" % path)
+        print(
+            "%d of %d runs violated invariants"
+            % (len(violating), len(campaign.points)),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -51,3 +51,18 @@ class SweepError(ReproError):
 
 class FleetError(ReproError):
     """Invalid fleet operation (e.g. an illegal lifecycle transition)."""
+
+
+class InvariantViolation(ReproError):
+    """A chaos campaign found a run that breaks a registered invariant.
+
+    Carries the violations and, when the shrinker produced one, the
+    path of the minimal-reproducer artifact (a JSON file replayable via
+    ``repro chaos replay <artifact>``) so the failure is actionable
+    from the exception alone.
+    """
+
+    def __init__(self, message: str, artifact: "str | None" = None):
+        super().__init__(message)
+        #: Path of the shrunk reproducer artifact, if one was written.
+        self.artifact = artifact

@@ -36,14 +36,18 @@ from repro.faults.model import (
     PIPE_FAULTS,
     SERVER_FAULTS,
     SERVER_TO_CLIENT,
+    TOPOLOGY_FAULTS,
     CrashRestartFault,
     DelayFault,
     FaultSpec,
     JitterFault,
     LossFault,
+    PartitionFault,
     ServerPauseFault,
     ServerSlowdownFault,
     ThrottleFault,
+    fault_from_dict,
+    fault_to_dict,
 )
 from repro.faults.parse import parse_faults
 from repro.faults.presets import PRESETS, preset
@@ -61,6 +65,9 @@ __all__ = [
     "ServerSlowdownFault",
     "ServerPauseFault",
     "CrashRestartFault",
+    "PartitionFault",
+    "fault_to_dict",
+    "fault_from_dict",
     "FaultSchedule",
     "FaultWindow",
     "PRESETS",
@@ -69,6 +76,7 @@ __all__ = [
     "FAULT_KINDS",
     "PIPE_FAULTS",
     "SERVER_FAULTS",
+    "TOPOLOGY_FAULTS",
     "DIRECTIONS",
     "LB_TO_SERVER",
     "CLIENT_TO_LB",

@@ -29,6 +29,7 @@ from repro.faults.model import (
     FaultSpec,
     JitterFault,
     LossFault,
+    PartitionFault,
     ServerPauseFault,
     ServerSlowdownFault,
     ThrottleFault,
@@ -125,6 +126,7 @@ class Injector:
         self._pipe_jitters: Dict[Pipe, List[int]] = {}
         self._pipe_losses: Dict[Pipe, List[float]] = {}
         self._pipe_caps: Dict[Pipe, List[int]] = {}
+        self._partition_depth: Dict[Pipe, int] = {}
         self._server_factors: Dict[str, List[float]] = {}
         self._pause_depth: Dict[str, int] = {}
         self._crash_depth: Dict[str, int] = {}
@@ -201,6 +203,20 @@ class Injector:
                     "crash fault matches no backend (glob %r)" % fault.node
                 )
             return names
+        if isinstance(fault, PartitionFault):
+            # A partition has no direction: every pipe with a matched
+            # endpoint goes dark, both ways (including prober pipes).
+            pipes = [
+                pipe
+                for (src, dst), pipe in sorted(self._network.pipes().items())
+                if fault.matches(src) or fault.matches(dst)
+            ]
+            if not pipes:
+                raise ConfigError(
+                    "partition fault matches no pipe endpoint (glob %r)"
+                    % fault.node
+                )
+            return pipes
         # Pipe faults.
         if isinstance(fault, LossFault) and self._loss_rng is None:
             raise ConfigError("loss fault needs a loss RNG stream")
@@ -264,6 +280,8 @@ class Injector:
                 self._shift_loss(target, fault.prob, apply)
             elif isinstance(fault, ThrottleFault):
                 self._shift_cap(target, fault.bandwidth_bps, apply)
+            elif isinstance(fault, PartitionFault):
+                self._shift_partition(target, apply)
             elif isinstance(fault, ServerSlowdownFault):
                 self._shift_factor(target, fault.factor, apply)
             elif isinstance(fault, ServerPauseFault):
@@ -325,6 +343,12 @@ class Injector:
         else:
             active.remove(cap)
         pipe.set_bandwidth_override(min(active) if active else None)
+
+    def _shift_partition(self, pipe: Pipe, apply: bool) -> None:
+        depth = self._partition_depth.get(pipe, 0)
+        depth += 1 if apply else -1
+        self._partition_depth[pipe] = depth
+        pipe.set_partitioned(depth > 0)
 
     def _shift_factor(self, server: "ServerApp", factor: float, apply: bool) -> None:
         name = server.host.name

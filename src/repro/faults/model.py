@@ -22,6 +22,7 @@ churn (§2.5):
 :class:`ServerSlowdownFault`  service-time multiplier on matched servers
 :class:`ServerPauseFault`     stop-the-world pause on matched servers
 :class:`CrashRestartFault`    backend leaves the pool, then returns
+:class:`PartitionFault`       every pipe touching matched nodes goes dark
 ============================  =========================================
 
 Recurrence: ``period=None`` is one-shot; a period repeats the fault's
@@ -240,6 +241,28 @@ class ServerPauseFault(FaultSpec):
 
 
 @dataclass
+class PartitionFault(FaultSpec):
+    """Network partition: every pipe touching a matched node goes dark.
+
+    The node glob is matched against *both endpoints* of every pipe in
+    the fabric, so partitioning ``server0`` cuts the LB→server0 path,
+    server0's direct return paths to every client, and any prober pipes
+    — both directions, which is what distinguishes a partition from a
+    lossy or throttled path.  The process itself keeps running: requests
+    already admitted complete into a void, health probes time out, and
+    the in-band signal goes silent rather than degraded — the
+    fail-silent half of the gray-failure space.
+
+    ``direction`` is ignored (a partition has no direction).
+    """
+
+    kind = "partition"
+
+    def _describe_magnitude(self) -> str:
+        return "cut"
+
+
+@dataclass
 class CrashRestartFault(FaultSpec):
     """Backend crash: matched backends leave the pool, then return.
 
@@ -266,9 +289,14 @@ SERVER_FAULTS: Tuple[type, ...] = (
     CrashRestartFault,
 )
 
+#: Fault classes that cut whole nodes out of the fabric (direction and
+#: pipe/server distinction are both ignored; the node glob is matched
+#: against every pipe endpoint).
+TOPOLOGY_FAULTS: Tuple[type, ...] = (PartitionFault,)
+
 #: kind string → fault class, for parsers and presets.
 FAULT_KINDS = {
-    cls.kind: cls for cls in PIPE_FAULTS + SERVER_FAULTS
+    cls.kind: cls for cls in PIPE_FAULTS + SERVER_FAULTS + TOPOLOGY_FAULTS
 }
 
 
@@ -277,3 +305,46 @@ def replace_window(fault: FaultSpec, start: int, duration: Optional[int]) -> Fau
     values = {f.name: getattr(fault, f.name) for f in fields(fault)}
     values.update(start=start, duration=duration, period=None)
     return type(fault)(**values)
+
+
+def replace_fields(fault: FaultSpec, **overrides: object) -> FaultSpec:
+    """Copy ``fault`` with some dataclass fields replaced."""
+    values = {f.name: getattr(fault, f.name) for f in fields(fault)}
+    values.update(overrides)
+    return type(fault)(**values)
+
+
+def fault_to_dict(fault: FaultSpec) -> dict:
+    """Serialize a fault spec to a plain JSON-ready dict (keyed by kind).
+
+    The inverse of :func:`fault_from_dict`; campaign reproducer
+    artifacts persist schedules this way so a violation found today can
+    be replayed byte-identically tomorrow.
+    """
+    tree = {"kind": fault.kind}
+    for f in fields(fault):
+        tree[f.name] = getattr(fault, f.name)
+    return tree
+
+
+def fault_from_dict(tree: dict) -> FaultSpec:
+    """Rebuild a fault spec from :func:`fault_to_dict` output."""
+    if not isinstance(tree, dict) or "kind" not in tree:
+        raise ConfigError("fault dict needs a 'kind' key, got %r" % (tree,))
+    kind = tree["kind"]
+    try:
+        cls = FAULT_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            "unknown fault kind %r (expected one of %s)"
+            % (kind, ", ".join(sorted(FAULT_KINDS)))
+        ) from None
+    names = {f.name for f in fields(cls)}
+    unknown = sorted(set(tree) - names - {"kind"})
+    if unknown:
+        raise ConfigError(
+            "unknown field(s) %s for %s fault" % (", ".join(unknown), kind)
+        )
+    fault = cls(**{k: v for k, v in tree.items() if k in names})
+    fault.validate()
+    return fault

@@ -45,6 +45,7 @@ _MAGNITUDE_KEYS: Dict[str, Dict[str, str]] = {
     "slowdown": {"factor": "factor"},
     "pause": {},
     "crash": {},
+    "partition": {},
 }
 
 _TIME_FIELDS = {"start", "duration", "period", "extra", "amplitude"}

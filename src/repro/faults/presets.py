@@ -14,6 +14,8 @@ several full periods.
 ``correlated_burst`` delay+jitter+loss hit *every* LB→server path at once
 ``crash``           server0 dies for the middle third, then restarts
 ``elastic``         correlated burst timed to land during a scale-out
+``gray_failure``    server0 slows 12× but health probes still pass
+``partition``       server0 is cut off the network for the middle third
 =================== ====================================================
 """
 
@@ -28,6 +30,7 @@ from repro.faults.model import (
     FaultSpec,
     JitterFault,
     LossFault,
+    PartitionFault,
     ServerSlowdownFault,
 )
 from repro.units import MILLISECONDS
@@ -128,6 +131,44 @@ def elastic(duration: int) -> List[FaultSpec]:
     ]
 
 
+def gray_failure(
+    duration: int, node: str = "server0", factor: float = 12.0
+) -> List[FaultSpec]:
+    """``node`` degrades hard but stays *up*: the slow-but-alive case.
+
+    A gray failure is the regime out-of-band health checking is blind
+    to: the server answers probes (it is alive, the listener works, the
+    probe RTT is tiny next to the probe timeout) while real requests
+    crawl through a ``factor``× service-time inflation.  Health-gated
+    Maglev therefore keeps sending it a full share; only a controller
+    reading the in-band signal — which measures what *requests*
+    experience, not what probes experience — can route around it.  The
+    fault holds for the middle half of the run and then lifts, so the
+    run also measures recovery.
+    """
+    return [
+        ServerSlowdownFault(
+            start=duration // 4,
+            duration=duration // 2,
+            factor=factor,
+            node=node,
+        )
+    ]
+
+
+def partition(duration: int, node: str = "server0") -> List[FaultSpec]:
+    """``node`` drops off the network for the middle third of the run.
+
+    Unlike ``crash`` the process never dies and the pool is never told:
+    packets to and from the node simply vanish, probes time out, and the
+    in-band signal goes silent — the fail-silent complement of
+    ``gray_failure``'s fail-slow.
+    """
+    return [
+        PartitionFault(start=duration // 3, duration=duration // 3, node=node)
+    ]
+
+
 def correlated_burst(duration: int) -> List[FaultSpec]:
     """Every LB→server path degrades at once for an eighth of the run.
 
@@ -154,6 +195,8 @@ PRESETS: Dict[str, Callable[[int], List[FaultSpec]]] = {
     "correlated_burst": correlated_burst,
     "crash": crash,
     "elastic": elastic,
+    "gray_failure": gray_failure,
+    "partition": partition,
 }
 
 

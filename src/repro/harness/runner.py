@@ -170,6 +170,13 @@ class ScenarioResult:
             loss += pipe.stats.packets_dropped_loss
         return queue, loss
 
+    def partition_drops(self) -> int:
+        """Network-wide packets discarded by partition faults."""
+        return sum(
+            pipe.stats.packets_dropped_partition
+            for pipe in self.scenario.network.pipes().values()
+        )
+
     def _bucket_marks(self, rows: List[Tuple[int, float]], bucket: int) -> List[str]:
         """Per-bucket fault annotation: kinds active during each bucket."""
         marks = []
@@ -230,9 +237,11 @@ class ScenarioResult:
                     "  %-9s %s on %s" % (kind, span, ", ".join(targets))
                 )
             queue_drops, loss_drops = self.drop_counts()
-            lines.append(
-                "packet drops: queue=%d loss=%d" % (queue_drops, loss_drops)
-            )
+            drops = "packet drops: queue=%d loss=%d" % (queue_drops, loss_drops)
+            partition_drops = self.partition_drops()
+            if partition_drops:
+                drops += " partition=%d" % partition_drops
+            lines.append(drops)
         transitions = self.mode_transitions()
         if transitions:
             lines.append("controller mode transitions:")
@@ -260,6 +269,22 @@ class ScenarioResult:
                         b.reason,
                     )
                 )
+        verdicts = self.scenario.extras.get("invariants")
+        if verdicts:
+            violated = sum(1 for v in verdicts if not v.passed)
+            lines.append(
+                "invariants: %d checked, %d violated"
+                % (len(verdicts), violated)
+            )
+            for v in verdicts:
+                status = (
+                    "ok"
+                    if v.passed
+                    else "VIOLATED (%d)" % len(v.violations)
+                )
+                lines.append("  %-22s %-8s %s" % (v.name, v.kind, status))
+                for message in v.violations[:3]:
+                    lines.append("    %s" % message)
         retry = self.retry_stats()
         if retry is not None:
             lines.append(

@@ -95,6 +95,23 @@ class ConnTrack:
         """Tracked flows currently pinned to ``backend`` (incl. closing)."""
         return self._flow_counts.get(backend, 0)
 
+    def recount(self) -> Dict[str, int]:
+        """Per-backend entry recount straight from the table (O(n)).
+
+        An audit seam for the campaign plane's conntrack invariant: the
+        amortized ``_flow_counts`` cache must always agree with a fresh
+        scan of the entries — PR 7's orphaned-table bug is exactly the
+        class of drift this catches.
+        """
+        counts: Dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.backend] = counts.get(entry.backend, 0) + 1
+        return counts
+
+    def counted(self) -> Dict[str, int]:
+        """The amortized per-backend flow counts (the cached view)."""
+        return dict(self._flow_counts)
+
     def live_flows(self, backend: str) -> int:
         """Pinned flows with no FIN/RST observed yet (O(n) scan)."""
         return sum(

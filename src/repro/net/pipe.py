@@ -45,13 +45,18 @@ class PipeStats:
     packets_delivered: int = 0
     packets_dropped_queue: int = 0
     packets_dropped_loss: int = 0
+    packets_dropped_partition: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
 
     @property
     def packets_dropped(self) -> int:
-        """Total drops from any cause (tail drop + random loss)."""
-        return self.packets_dropped_queue + self.packets_dropped_loss
+        """Total drops from any cause (tail drop, loss, partition)."""
+        return (
+            self.packets_dropped_queue
+            + self.packets_dropped_loss
+            + self.packets_dropped_partition
+        )
 
 
 class Pipe:
@@ -99,6 +104,7 @@ class Pipe:
         self._extra_jitter: Optional[Callable[[], int]] = None
         self._extra_delay = 0
         self._drop_prob = 0.0
+        self._partitioned = False
         self._loss_rng: Optional[random.Random] = None
         self._wire_free_at = 0
         self._last_arrival = 0
@@ -161,6 +167,21 @@ class Pipe:
         self._drop_prob = prob
 
     @property
+    def partitioned(self) -> bool:
+        """Whether a network partition is currently cutting this pipe."""
+        return self._partitioned
+
+    def set_partitioned(self, active: bool) -> None:
+        """Cut (or restore) the pipe entirely.
+
+        While partitioned every packet is discarded before the wire and
+        counted under ``packets_dropped_partition`` — a hard cut, unlike
+        probabilistic loss, so both fate and statistics stay
+        deterministic without an RNG.
+        """
+        self._partitioned = bool(active)
+
+    @property
     def bandwidth_bps(self) -> Optional[int]:
         """Configured wire speed (bits/s), ignoring any override."""
         return self._bandwidth_bps
@@ -209,6 +230,10 @@ class Pipe:
             raise NetworkError("pipe %s has no receiver connected" % self.name)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
+
+        if self._partitioned:
+            self.stats.packets_dropped_partition += 1
+            return False
 
         if self._drop_prob > 0.0:
             assert self._loss_rng is not None

@@ -322,6 +322,10 @@ class ObsPlane:
                 pipe_drops.labels(pipe=label, cause="loss").set(
                     stats.packets_dropped_loss
                 )
+                if stats.packets_dropped_partition:
+                    pipe_drops.labels(pipe=label, cause="partition").set(
+                        stats.packets_dropped_partition
+                    )
             sim = scenario.sim
             sim_events.set(sim.events_processed)
             sim_pending.set(sim.pending_events)

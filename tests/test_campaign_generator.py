@@ -1,0 +1,132 @@
+"""Schedule generator: determinism, budget, validity, protected server."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    ALL_KINDS,
+    GeneratorConfig,
+    fault_intensity,
+    generate_schedule,
+    schedule_intensity,
+)
+from repro.campaign.config import HARD_KINDS
+from repro.errors import ConfigError
+from repro.faults import fault_to_dict
+from repro.units import SECONDS
+
+DURATION = 2 * SECONDS
+
+
+def canonical(schedule):
+    return json.dumps([fault_to_dict(f) for f in schedule], sort_keys=True)
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        a = generate_schedule(GeneratorConfig(), DURATION, 3, seed=42)
+        b = generate_schedule(GeneratorConfig(), DURATION, 3, seed=42)
+        assert canonical(a) == canonical(b)
+
+    def test_seeds_diversify(self):
+        schedules = {
+            canonical(generate_schedule(GeneratorConfig(), DURATION, 3, seed=s))
+            for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_fleet_flag_changes_only_hard_kinds(self):
+        config = GeneratorConfig(kinds=("delay",), max_faults=3)
+        a = generate_schedule(config, DURATION, 3, seed=5)
+        b = generate_schedule(config, DURATION, 3, seed=5, fleet=True)
+        assert canonical(a) == canonical(b)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_schedules_are_valid_and_windowed(self, seed):
+        schedule = generate_schedule(GeneratorConfig(), DURATION, 3, seed=seed)
+        config = GeneratorConfig()
+        assert config.min_faults <= len(schedule) <= config.max_faults
+        for fault in schedule:
+            fault.validate()
+            assert fault.period is None  # one-shot: recovery needs an end
+            assert fault.duration is not None
+            assert fault.start >= int(DURATION * config.onset_min)
+            assert fault.start + fault.duration < DURATION
+            assert fault.node in ("server0", "server1", "server2")
+
+    def test_budget_bounds_multi_fault_schedules(self):
+        config = GeneratorConfig(
+            max_faults=8, min_faults=8, intensity_budget=3.0
+        )
+        for seed in range(8):
+            schedule = generate_schedule(config, DURATION, 3, seed=seed)
+            if len(schedule) > 1:
+                assert schedule_intensity(schedule) <= config.intensity_budget
+
+    def test_intensity_scales_with_magnitude(self):
+        from repro.faults import DelayFault, LossFault
+
+        mild = DelayFault(start=0, duration=1, extra=100_000)
+        harsh = DelayFault(start=0, duration=1, extra=2_000_000)
+        assert fault_intensity(harsh) > fault_intensity(mild)
+        assert fault_intensity(
+            LossFault(start=0, duration=1, prob=0.07)
+        ) > fault_intensity(LossFault(start=0, duration=1, prob=0.01))
+
+    def test_sorted_presentation_order(self):
+        schedule = generate_schedule(
+            GeneratorConfig(max_faults=4, min_faults=4, intensity_budget=50),
+            DURATION,
+            3,
+            seed=3,
+        )
+        starts = [f.start for f in schedule]
+        assert starts == sorted(starts)
+
+
+class TestProtectedServer:
+    def test_hard_faults_never_hit_the_protected_backend(self):
+        # With 2 servers and one protected, every hard fault in a
+        # schedule must land on the same (unprotected) node.
+        config = GeneratorConfig(
+            kinds=HARD_KINDS,
+            min_faults=6,
+            max_faults=6,
+            intensity_budget=100.0,
+        )
+        for seed in range(10):
+            schedule = generate_schedule(config, DURATION, 2, seed=seed)
+            assert len({f.node for f in schedule}) == 1
+
+    def test_fleet_runs_exclude_hard_kinds(self):
+        config = GeneratorConfig(
+            kinds=ALL_KINDS, min_faults=8, max_faults=8, intensity_budget=100.0
+        )
+        for seed in range(6):
+            schedule = generate_schedule(
+                config, DURATION, 3, seed=seed, fleet=True
+            )
+            assert not any(f.kind in HARD_KINDS for f in schedule)
+
+
+class TestConfigValidation:
+    def test_bad_fault_counts(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(min_faults=0).validate()
+        with pytest.raises(ConfigError):
+            GeneratorConfig(min_faults=5, max_faults=2).validate()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            GeneratorConfig(kinds=("delay", "gremlin")).validate()
+
+    def test_windows_must_end_before_the_run(self):
+        with pytest.raises(ConfigError, match="below 1"):
+            GeneratorConfig(onset_max=0.8, window_max=0.3).validate()
+
+    def test_bad_budget(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(intensity_budget=0).validate()

@@ -1,0 +1,259 @@
+"""Campaign runner: expansion, caching, jobs determinism, artifacts, CLI."""
+
+import json
+
+import pytest
+
+import repro.campaign.runner as runner_module
+from repro.campaign import (
+    CampaignConfig,
+    GeneratorConfig,
+    ShrinkStats,
+    campaign_points,
+    load_artifact,
+    load_violations,
+    replay_artifact,
+    run_campaign,
+)
+from repro.campaign.registry import _REGISTRY, register
+from repro.cli import main
+from repro.errors import ConfigError, InvariantViolation
+from repro.sweep.store import ResultStore
+from repro.units import MILLISECONDS, SECONDS
+
+MS = MILLISECONDS
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        seed=7,
+        runs=3,
+        duration=400 * MS,
+        n_servers=2,
+        controllers=("alpha", "proportional"),
+        generator=GeneratorConfig(max_faults=2),
+        fleet_every=3,
+    )
+    defaults.update(kwargs)
+    return CampaignConfig(**defaults)
+
+
+class TestPointExpansion:
+    def test_expansion_is_deterministic(self):
+        assert campaign_points(small_config()) == campaign_points(
+            small_config()
+        )
+
+    def test_controllers_cycle_round_robin(self):
+        points = campaign_points(small_config(runs=5))
+        assert [p.strategy for p in points] == [
+            "alpha",
+            "proportional",
+            "alpha",
+            "proportional",
+            "alpha",
+        ]
+
+    def test_fleet_every_arms_every_nth_run(self):
+        points = campaign_points(small_config(runs=6, fleet_every=2))
+        assert [p.fleet for p in points] == [
+            False, True, False, True, False, True,
+        ]
+        points = campaign_points(small_config(runs=4, fleet_every=0))
+        assert not any(p.fleet for p in points)
+
+    def test_each_run_gets_its_own_schedule_and_seed(self):
+        points = campaign_points(small_config(runs=4))
+        assert len({p.seed for p in points}) == 4
+        assert len({json.dumps(p.faults, sort_keys=True) for p in points}) > 1
+
+    def test_invariant_subset_propagates(self):
+        points = campaign_points(
+            small_config(invariants=("ladder-legal", "breaker-legal"))
+        )
+        assert points[0].invariants == ["ladder-legal", "breaker-legal"]
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ConfigError, match="unknown control strategy"):
+            run_campaign(small_config(controllers=("alpha", "gremlin")))
+
+    def test_single_server_campaign_rejected(self):
+        with pytest.raises(ConfigError):
+            small_config(n_servers=1).validate()
+
+
+@pytest.fixture(scope="module")
+def campaign_store(tmp_path_factory):
+    return tmp_path_factory.mktemp("campaign-store")
+
+
+@pytest.fixture(scope="module")
+def campaign(campaign_store):
+    return run_campaign(
+        small_config(), jobs=1, store=ResultStore(str(campaign_store))
+    )
+
+
+class TestSmallCampaign:
+    def test_known_good_configs_pass_every_invariant(self, campaign):
+        assert len(campaign.rows) == 3
+        assert all(row["violations"] == 0 for row in campaign.rows)
+        assert all(row["checks"] == len(_REGISTRY) for row in campaign.rows)
+        campaign.raise_if_violated()  # must not raise
+        assert campaign.violating() == []
+        assert campaign.artifacts == []
+
+    def test_every_run_served_traffic(self, campaign):
+        assert all(row["requests"] > 0 for row in campaign.rows)
+
+    def test_table_and_summary_render(self, campaign):
+        table = campaign.table()
+        assert "controller" in table and "violated" in table
+        assert "alpha" in table and "proportional" in table
+        summary = campaign.summary()
+        assert summary.startswith("campaign: 3 runs, 2 controllers,")
+        assert "0 violations, 0 reproducers" in summary
+        assert "sweep campaign: 3 points" in summary
+
+    def test_rerun_is_served_from_the_cache(self, campaign, campaign_store):
+        again = run_campaign(
+            small_config(), jobs=1, store=ResultStore(str(campaign_store))
+        )
+        assert again.report.hits == 3
+        assert again.report.simulated == 0
+        assert json.dumps(again.rows, sort_keys=True) == json.dumps(
+            campaign.rows, sort_keys=True
+        )
+
+
+class TestJobsDeterminism:
+    def test_parallel_rows_byte_identical_to_inline(
+        self, campaign, tmp_path
+    ):
+        parallel = run_campaign(
+            small_config(),
+            jobs=2,
+            store=ResultStore(str(tmp_path / "parallel-store")),
+        )
+        assert parallel.report.simulated == 3  # fresh store, really ran
+        assert json.dumps(parallel.rows, sort_keys=True) == json.dumps(
+            campaign.rows, sort_keys=True
+        )
+
+
+@pytest.fixture
+def always_fails(monkeypatch):
+    """A temp invariant that always fires, plus a stubbed shrinker so the
+    artifact path costs no extra simulations."""
+
+    @register("always-fails", summary="test-only tripwire")
+    def _check(context):
+        return ["synthetic violation for the artifact round trip"]
+
+    monkeypatch.setattr(
+        runner_module,
+        "shrink_point",
+        lambda point, violated, store=None, use_cache=True: (
+            point,
+            ShrinkStats(
+                attempts=1,
+                accepted=0,
+                from_faults=len(point.faults),
+                to_faults=len(point.faults),
+            ),
+        ),
+    )
+    yield
+    _REGISTRY.pop("always-fails")
+
+
+class TestArtifacts:
+    def test_violations_shrink_to_replayable_artifacts(
+        self, always_fails, tmp_path
+    ):
+        store = ResultStore(str(tmp_path / "store"))
+        config = small_config(
+            runs=2,
+            duration=300 * MS,
+            controllers=("alpha",),
+            fleet_every=0,
+            invariants=("always-fails",),
+        )
+        campaign = run_campaign(
+            config,
+            store=store,
+            artifact_dir=str(tmp_path / "artifacts"),
+            max_artifacts=1,
+        )
+        assert all(row["violated"] == ["always-fails"] for row in campaign.rows)
+        assert len(campaign.artifacts) == 1  # max_artifacts caps the output
+
+        path = campaign.artifacts[0]
+        point = load_artifact(path)
+        assert point == campaign.points[0]
+        assert list(load_violations(path)) == ["always-fails"]
+        payload = json.loads(open(path).read())
+        assert payload["format"] == "repro.campaign/reproducer-v1"
+        assert payload["shrink"]["attempts"] == 1
+
+        replayed_point, row = replay_artifact(path, store=store)
+        assert replayed_point == point
+        assert row["violated"] == ["always-fails"]
+
+        with pytest.raises(InvariantViolation) as excinfo:
+            campaign.raise_if_violated()
+        assert excinfo.value.artifact == path
+        assert "always-fails" in str(excinfo.value)
+
+    def test_cli_replay_exits_nonzero_and_matches_verdict(
+        self, always_fails, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "store")
+        campaign = run_campaign(
+            small_config(
+                runs=1,
+                duration=300 * MS,
+                controllers=("alpha",),
+                fleet_every=0,
+                invariants=("always-fails",),
+            ),
+            store=ResultStore(store_dir),
+            artifact_dir=str(tmp_path / "artifacts"),
+        )
+        code = main(
+            ["chaos", "replay", campaign.artifacts[0], "--store", store_dir]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "replayed run 0 (alpha" in out
+        assert "verdict matches the artifact" in out
+
+
+class TestCli:
+    def test_chaos_campaign_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "--duration",
+                "0.3",
+                "chaos",
+                "--runs",
+                "2",
+                "--servers",
+                "2",
+                "--fleet-every",
+                "0",
+                "--max-faults",
+                "2",
+                "--store",
+                str(tmp_path / "store"),
+                "--artifacts",
+                str(tmp_path / "artifacts"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 runs, 1 controllers," in out
+        assert "0 violations" in out
+
+    def test_replay_without_artifact_is_a_usage_error(self, capsys):
+        assert main(["chaos", "replay"]) == 2

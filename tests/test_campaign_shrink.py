@@ -1,0 +1,161 @@
+"""Shrinker: ddmin passes, bounds, determinism (predicate stubbed).
+
+The predicate is monkeypatched so every test pins the reduction logic
+exactly without simulating; the end-to-end shrink-on-a-real-violation
+path lives in test_campaign_runner.py and the golden reproducer test.
+"""
+
+import pytest
+
+import repro.campaign.shrink as shrink_module
+from repro.campaign import CampaignPoint, ShrinkStats, shrink_point
+from repro.errors import ConfigError
+from repro.units import MILLISECONDS, SECONDS
+
+MS = MILLISECONDS
+
+
+def fault(kind, **extra):
+    tree = {
+        "kind": kind,
+        "start": 400 * MS,
+        "duration": 200 * MS,
+        "period": None,
+        "node": "server0",
+        "direction": "lb->server",
+    }
+    tree.update(extra)
+    return tree
+
+
+def point(*faults):
+    return CampaignPoint(
+        run=0,
+        seed=1,
+        duration=2 * SECONDS,
+        n_servers=3,
+        n_clients=1,
+        strategy="alpha",
+        faults=list(faults),
+        invariants=["recovery-bound"],
+        recovery_bound=500 * MS,
+    )
+
+
+@pytest.fixture
+def predicate(monkeypatch):
+    """Install a fake runner; returns a setter taking fails(point)->bool."""
+
+    def install(fails):
+        def fake_run(candidate, store, use_cache):
+            return {"violated": ["recovery-bound"] if fails(candidate) else []}
+
+        monkeypatch.setattr(shrink_module, "_run", fake_run)
+
+    return install
+
+
+class TestDropPass:
+    def test_shrinks_to_the_single_guilty_fault(self, predicate):
+        predicate(lambda p: any(f["kind"] == "crash" for f in p.faults))
+        original = point(
+            fault("delay", extra=1 * MS),
+            fault("crash"),
+            fault("loss", prob=0.05),
+            fault("jitter", amplitude=300_000),
+        )
+        shrunk, stats = shrink_point(original, ["recovery-bound"])
+        assert [f["kind"] for f in shrunk.faults] == ["crash"]
+        assert stats.from_faults == 4
+        assert stats.to_faults == 1
+        assert stats.accepted >= 3
+
+    def test_keeps_jointly_necessary_faults(self, predicate):
+        predicate(
+            lambda p: {"crash", "loss"} <= {f["kind"] for f in p.faults}
+        )
+        original = point(
+            fault("crash"), fault("loss", prob=0.05), fault("delay", extra=1 * MS)
+        )
+        shrunk, _stats = shrink_point(original, ["recovery-bound"])
+        assert sorted(f["kind"] for f in shrunk.faults) == ["crash", "loss"]
+
+
+class TestNarrowAndSoften:
+    def test_windows_halve_to_the_predicate_floor(self, predicate):
+        predicate(
+            lambda p: all(f["duration"] >= 50 * MS for f in p.faults)
+        )
+        shrunk, _stats = shrink_point(point(fault("crash")), ["recovery-bound"])
+        assert 50 * MS <= shrunk.faults[0]["duration"] < 100 * MS
+
+    def test_magnitudes_halve_to_the_predicate_floor(self, predicate):
+        predicate(
+            lambda p: all(f["prob"] >= 0.02 for f in p.faults)
+        )
+        shrunk, _stats = shrink_point(
+            point(fault("loss", prob=0.08)), ["recovery-bound"]
+        )
+        assert 0.02 <= shrunk.faults[0]["prob"] < 0.04
+
+    def test_throttle_softens_by_raising_the_cap(self, predicate):
+        predicate(
+            lambda p: all(f["bandwidth_bps"] <= 800_000_000 for f in p.faults)
+        )
+        shrunk, _stats = shrink_point(
+            point(fault("throttle", bandwidth_bps=100_000_000)),
+            ["recovery-bound"],
+        )
+        assert 400_000_000 <= shrunk.faults[0]["bandwidth_bps"] <= 800_000_000
+
+    def test_magnitudeless_kinds_are_left_alone(self, predicate):
+        predicate(lambda p: True)
+        original = point(fault("partition", direction="lb->server"))
+        shrunk, _stats = shrink_point(original, ["recovery-bound"])
+        assert shrunk.faults[0]["kind"] == "partition"
+        # Only the window shrank; there is no magnitude to soften.
+        assert shrunk.faults[0]["duration"] < 200 * MS
+
+
+class TestBoundsAndDeterminism:
+    def test_attempts_are_bounded(self, predicate):
+        calls = []
+        predicate(lambda p: calls.append(1) or True)
+        _shrunk, stats = shrink_point(
+            point(fault("delay", extra=2 * MS)),
+            ["recovery-bound"],
+            max_attempts=5,
+        )
+        assert stats.attempts <= 5
+        assert len(calls) <= 5
+
+    def test_same_inputs_shrink_identically(self, predicate):
+        def fails(p):
+            return any(f["kind"] == "crash" for f in p.faults)
+
+        predicate(fails)
+        original = point(fault("crash"), fault("delay", extra=1 * MS))
+        a, stats_a = shrink_point(original, ["recovery-bound"])
+        b, stats_b = shrink_point(original, ["recovery-bound"])
+        assert a == b
+        assert stats_a.as_dict() == stats_b.as_dict()
+
+    def test_original_point_is_not_mutated(self, predicate):
+        predicate(lambda p: True)
+        original = point(fault("delay", extra=2 * MS), fault("crash"))
+        before = [dict(f) for f in original.faults]
+        shrink_point(original, ["recovery-bound"])
+        assert original.faults == before
+
+    def test_empty_violation_list_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            shrink_point(point(fault("crash")), [])
+
+    def test_stats_round_trip(self):
+        stats = ShrinkStats(attempts=5, accepted=2, from_faults=4, to_faults=1)
+        assert stats.as_dict() == {
+            "attempts": 5,
+            "accepted": 2,
+            "from_faults": 4,
+            "to_faults": 1,
+        }

@@ -1,0 +1,119 @@
+"""Property test: random overlapping fault schedules revert to baseline.
+
+The injector's contract is a composition law per knob (delays add,
+loss composes as independent segments, pause/crash/partition refcount,
+…) plus one global promise: when every window has expired, every knob
+is back at its pre-chaos baseline *exactly* — no residue, regardless
+of how windows overlapped or in which order they expired.  Hypothesis
+drives that promise across randomized schedules drawn from the full
+fault vocabulary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    CrashRestartFault,
+    DelayFault,
+    JitterFault,
+    LossFault,
+    PartitionFault,
+    ServerPauseFault,
+    ServerSlowdownFault,
+    ThrottleFault,
+)
+from repro.harness.config import ScenarioConfig
+from repro.harness.scenario import build_scenario
+from repro.units import MILLISECONDS, SECONDS
+
+MS = MILLISECONDS
+DURATION = 1 * SECONDS
+#: Every window must expire by here, leaving slack before run end.
+LAST_END = 900 * MS
+
+
+@st.composite
+def fault_spec(draw):
+    kind = draw(
+        st.sampled_from(
+            (
+                "delay",
+                "jitter",
+                "loss",
+                "throttle",
+                "slowdown",
+                "pause",
+                "crash",
+                "partition",
+            )
+        )
+    )
+    start = draw(st.integers(min_value=10, max_value=700)) * MS
+    duration = min(
+        draw(st.integers(min_value=10, max_value=500)) * MS,
+        LAST_END - start,
+    )
+    node = "server%d" % draw(st.integers(min_value=0, max_value=1))
+    window = dict(start=start, duration=duration, node=node)
+    if kind == "delay":
+        return DelayFault(extra=draw(st.integers(1, 2000)) * 1000, **window)
+    if kind == "jitter":
+        return JitterFault(amplitude=draw(st.integers(1, 500)) * 1000, **window)
+    if kind == "loss":
+        return LossFault(prob=draw(st.floats(0.01, 0.5)), **window)
+    if kind == "throttle":
+        return ThrottleFault(
+            bandwidth_bps=draw(st.integers(1, 50)) * 10_000_000, **window
+        )
+    if kind == "slowdown":
+        return ServerSlowdownFault(factor=draw(st.floats(1.5, 16.0)), **window)
+    if kind == "pause":
+        return ServerPauseFault(**window)
+    if kind == "crash":
+        return CrashRestartFault(**window)
+    return PartitionFault(**window)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(fault_spec(), min_size=1, max_size=5))
+def test_random_schedules_compose_and_revert_to_exact_baseline(faults):
+    scenario = build_scenario(
+        ScenarioConfig(duration=DURATION, n_servers=2, faults=faults)
+    )
+    # No client traffic: the simulator runs only the injector's apply/
+    # revert events, so the assertion isolates knob state exactly.
+    scenario.sim.run_until(DURATION)
+
+    for pipe in scenario.network.pipes().values():
+        assert pipe.extra_delay == 0
+        assert pipe.extra_jitter is None
+        assert pipe.drop_prob == 0.0
+        assert pipe._bandwidth_override is None
+        assert not pipe.partitioned
+    for server in scenario.servers:
+        assert server.service_multiplier == 1.0
+        assert not server.paused
+    for backend in scenario.pool.names():
+        assert scenario.pool.get(backend).healthy
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(fault_spec(), min_size=2, max_size=4),
+    st.integers(min_value=1, max_value=100),
+)
+def test_mid_run_knobs_stay_in_legal_ranges(faults, probe_ms):
+    """At an arbitrary mid-run instant the composed knobs are sane:
+    never negative delay, loss stays a probability, caps never exceed
+    the configured wire speed."""
+    scenario = build_scenario(
+        ScenarioConfig(duration=DURATION, n_servers=2, faults=faults)
+    )
+    scenario.sim.run_until(probe_ms * 9 * MS)
+    for pipe in scenario.network.pipes().values():
+        assert pipe.extra_delay >= 0
+        assert 0.0 <= pipe.drop_prob <= 1.0
+        if pipe._bandwidth_override is not None:
+            assert 0 < pipe._bandwidth_override <= pipe.bandwidth_bps
+    for server in scenario.servers:
+        assert server.service_multiplier >= 1.0

@@ -68,7 +68,8 @@ class TestValidation:
 
     def test_all_kinds_registered(self):
         assert set(FAULT_KINDS) == {
-            "delay", "jitter", "loss", "throttle", "slowdown", "pause", "crash"
+            "delay", "jitter", "loss", "throttle", "slowdown", "pause",
+            "crash", "partition",
         }
 
 

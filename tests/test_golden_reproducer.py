@@ -1,0 +1,34 @@
+"""The committed reproducer artifact still reproduces its violation.
+
+`tests/golden/reproducer-recovery-bound.json` is a shrunk campaign
+artifact (produced by `examples/chaos_minimal_reproducer.py`): one 2x
+slowdown on server0 judged against a deliberately unachievable 1 ms
+recovery bound. Replaying it must yield exactly the recorded
+`recovery-bound` violation — if this test fails, either the replay
+pipeline or the recovery detector changed behaviour, and the artifact
+format's promise ("a reproducer stays a reproducer") is broken.
+"""
+
+import os
+
+from repro.campaign import load_artifact, load_violations, replay_artifact
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "golden", "reproducer-recovery-bound.json"
+)
+
+
+def test_golden_artifact_is_minimal_and_well_formed():
+    point = load_artifact(GOLDEN)
+    assert point.strategy == "alpha"
+    assert len(point.faults) == 1  # the shrinker got it down to one
+    assert point.faults[0]["kind"] == "slowdown"
+    assert point.invariants == ["recovery-bound"]
+    assert list(load_violations(GOLDEN)) == ["recovery-bound"]
+
+
+def test_golden_artifact_still_reproduces():
+    point, row = replay_artifact(GOLDEN)
+    assert row["violated"] == ["recovery-bound"]
+    recorded = load_violations(GOLDEN)["recovery-bound"]
+    assert row["details"]["recovery-bound"] == recorded

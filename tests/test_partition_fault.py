@@ -1,0 +1,143 @@
+"""PartitionFault: both-direction cut, revert, presets, dict round trip."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    PRESETS,
+    PartitionFault,
+    ServerSlowdownFault,
+    fault_from_dict,
+    fault_to_dict,
+    preset,
+)
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.runner import run_scenario
+from repro.harness.scenario import build_scenario
+from repro.units import MILLISECONDS, SECONDS
+
+MS = MILLISECONDS
+
+
+def built(*faults, **kwargs):
+    defaults = dict(duration=1 * SECONDS, n_servers=2, faults=list(faults))
+    defaults.update(kwargs)
+    return build_scenario(ScenarioConfig(**defaults))
+
+
+class TestPartitionKnob:
+    def test_every_pipe_touching_the_node_goes_dark_and_reverts(self):
+        scenario = built(
+            PartitionFault(start=100 * MS, duration=200 * MS, node="server0")
+        )
+        sim = scenario.sim
+        pipes = scenario.network.pipes()
+        touching = {
+            ends: pipe
+            for ends, pipe in pipes.items()
+            if "server0" in ends
+        }
+        others = {
+            ends: pipe
+            for ends, pipe in pipes.items()
+            if "server0" not in ends
+        }
+        assert touching and others
+        # Both directions: the LB→server pipe and server0's return
+        # pipes are all in the touching set.
+        assert any(ends[0] == "server0" for ends in touching)
+        assert any(ends[1] == "server0" for ends in touching)
+
+        sim.run_until(150 * MS)
+        assert all(pipe.partitioned for pipe in touching.values())
+        assert not any(pipe.partitioned for pipe in others.values())
+        sim.run_until(350 * MS)
+        assert not any(pipe.partitioned for pipe in pipes.values())
+
+    def test_overlapping_partitions_refcount(self):
+        scenario = built(
+            PartitionFault(start=100 * MS, duration=300 * MS, node="server0"),
+            PartitionFault(start=200 * MS, duration=100 * MS, node="server0"),
+        )
+        sim = scenario.sim
+        pipe = scenario.network.pipe("lb", "server0")
+        sim.run_until(250 * MS)
+        assert pipe.partitioned
+        sim.run_until(350 * MS)  # inner window expired, outer still active
+        assert pipe.partitioned
+        sim.run_until(450 * MS)
+        assert not pipe.partitioned
+
+    def test_no_matching_node_raises(self):
+        with pytest.raises(ConfigError):
+            built(
+                PartitionFault(start=100 * MS, duration=100 * MS, node="nope")
+            )
+
+    def test_partition_drops_are_counted_and_reported(self):
+        config = ScenarioConfig(
+            duration=1 * SECONDS,
+            n_servers=2,
+            policy=PolicyName.MAGLEV,
+            faults=[
+                PartitionFault(start=300 * MS, duration=300 * MS, node="server0")
+            ],
+        )
+        result = run_scenario(config)
+        assert result.partition_drops() > 0
+        assert "partition=%d" % result.partition_drops() in result.report()
+
+    def test_reports_omit_partition_count_when_zero(self):
+        config = ScenarioConfig(duration=500 * MS, n_servers=2)
+        result = run_scenario(config)
+        assert result.partition_drops() == 0
+        assert "partition=" not in result.report()
+
+
+class TestPresets:
+    def test_gray_failure_slows_the_server_but_keeps_probes_passing(self):
+        faults = preset("gray_failure", 2 * SECONDS)
+        assert len(faults) == 1
+        fault = faults[0]
+        # Gray failure: the server degrades but stays up — the fault is
+        # a slowdown, never a crash/partition, so health probes pass.
+        assert isinstance(fault, ServerSlowdownFault)
+        assert fault.node == "server0"
+        assert fault.factor > 1
+        assert fault.start == 2 * SECONDS // 4
+        assert fault.duration == 2 * SECONDS // 2
+
+    def test_partition_preset_shape(self):
+        faults = preset("partition", 3 * SECONDS)
+        assert len(faults) == 1
+        assert isinstance(faults[0], PartitionFault)
+        assert faults[0].node == "server0"
+        assert faults[0].duration == 3 * SECONDS // 3
+
+    def test_presets_registered(self):
+        assert "gray_failure" in PRESETS
+        assert "partition" in PRESETS
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_every_field(self):
+        fault = PartitionFault(start=123, duration=456, node="server*")
+        tree = fault_to_dict(fault)
+        assert tree["kind"] == "partition"
+        assert fault_from_dict(tree) == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            fault_from_dict({"kind": "gremlin"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            fault_from_dict({"kind": "partition", "blast_radius": 3})
+
+    def test_invalid_magnitude_rejected(self):
+        with pytest.raises(ConfigError):
+            fault_from_dict({"kind": "loss", "prob": 2.0})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigError, match="kind"):
+            fault_from_dict({"node": "server0"})
