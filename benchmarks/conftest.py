@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import json
 import pathlib
-import re
 
 REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_engine.json"
@@ -58,18 +57,9 @@ def record_perf(
     return entry
 
 
-_WALLCLOCK = re.compile(r", \d+ events/sec wall-clock")
-
-
-def scrub_wallclock(text: str) -> str:
-    """Drop the wall-clock fragment from engine footers.
-
-    ``ScenarioResult.report()`` appends host-dependent throughput to its
-    engine line; a report that embeds it can never regenerate
-    byte-identically.  Benches that persist full scenario reports scrub
-    it so ``benchmarks/reports/`` stays a pure function of the sim.
-    """
-    return _WALLCLOCK.sub("", text)
+# The scrubber now lives in the report renderer (prefer
+# report(deterministic=True)); re-exported here for bench imports.
+from repro.harness.report import scrub_wallclock  # noqa: E402,F401
 
 
 def write_report(name: str, text: str) -> None:

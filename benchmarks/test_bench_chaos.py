@@ -104,7 +104,7 @@ def test_chaos_presets(benchmark):
         rows,
     )
     detail = "\n\n".join(
-        "--- %s / %s ---\n%s" % (name, policy, result.report())
+        "--- %s / %s ---\n%s" % (name, policy, result.report(deterministic=True))
         for name, arms in results.items()
         for policy, result in arms.items()
     )

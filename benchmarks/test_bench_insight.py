@@ -1,0 +1,113 @@
+"""INSIGHT — flight-recorder overhead and the Fig 3 causal narration.
+
+Two questions, one paper-scale run each way:
+
+* **Cost of always-on recording.**  The insight plane is meant to stay
+  armed in every experiment, so its overhead must be small and its
+  presence invisible to the simulation.  The same Fig 3 stimulus runs
+  with the recorder off and on; the run must stay *byte-identical*
+  (same records, same shifts — the tier-1 guarantee, re-asserted at
+  bench scale) and the report records the wall-clock cost of the armed
+  run next to the disarmed one.
+* **The regenerable narration.**  The armed run's first post-fault
+  shift is explained from the timeline and persisted, so
+  ``benchmarks/reports/insight.txt`` carries the paper's causal story
+  (sample → estimate → decision → fault) in regenerable form.
+"""
+
+from conftest import write_report
+
+from repro.faults import DelayFault
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.report import format_table
+from repro.harness.runner import run_scenario
+from repro.insight import InsightConfig, explain_shift
+from repro.units import MILLISECONDS, SECONDS
+
+DURATION = 3 * SECONDS
+INJECT_AT = DURATION // 2
+SEED = 21
+
+
+def _config(insight_enabled):
+    return ScenarioConfig(
+        seed=SEED,
+        duration=DURATION,
+        n_servers=2,
+        policy=PolicyName.FEEDBACK,
+        insight=InsightConfig(enabled=insight_enabled),
+        faults=[
+            DelayFault(start=INJECT_AT, node="server0", extra=MILLISECONDS)
+        ],
+        warmup=DURATION // 10,
+    )
+
+
+def _record_key(record):
+    # request_id is a process-global counter, not simulation state.
+    return (
+        record.sent_at,
+        record.completed_at,
+        record.latency,
+        record.server,
+        record.op,
+        record.local_port,
+    )
+
+
+def test_insight_recorder_overhead(benchmark):
+    def run_both():
+        return {
+            "off": run_scenario(_config(False)),
+            "on": run_scenario(_config(True)),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    off, on = results["off"], results["on"]
+
+    # The recorder is passive: armed and disarmed runs tell one history.
+    assert [_record_key(r) for r in off.records] == [
+        _record_key(r) for r in on.records
+    ]
+    assert off.shift_times() == on.shift_times()
+    assert off.wall_events == on.wall_events
+
+    # Host-dependent cost goes to stdout only; the persisted report must
+    # regenerate byte-identical on any machine.
+    overhead = on.wall_seconds / off.wall_seconds - 1.0 if off.wall_seconds else 0.0
+    print(
+        "recorder overhead: off=%.3fs on=%.3fs (%+.1f%%)"
+        % (off.wall_seconds, on.wall_seconds, 100.0 * overhead)
+    )
+
+    timeline = on.timeline()
+    rows = [
+        ("recorder off", off.wall_events, "-", "-", "-"),
+        (
+            "recorder on",
+            on.wall_events,
+            len(timeline),
+            timeline.dropped,
+            len(timeline.annotations),
+        ),
+    ]
+    table = format_table(
+        ("arm", "sim events", "frames", "dropped", "annotations"), rows
+    )
+
+    shifts = on.scenario.feedback.shift_events()
+    post_fault = [i for i, s in enumerate(shifts) if s.time >= INJECT_AT]
+    assert post_fault, "the injected delay must provoke a shift"
+    narration = explain_shift(on, post_fault[0])
+    assert "dominant upstream cause: delay" in narration
+
+    text = "\n\n".join(
+        (
+            table,
+            "--- first post-fault shift, explained from the timeline ---\n"
+            + narration,
+            on.report(deterministic=True),
+        )
+    )
+    assert "wall-clock" not in text
+    write_report("insight", text)

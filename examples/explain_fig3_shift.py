@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Insight plane: replay Fig 3 from the flight recorder.
+
+Runs the Fig 3 feedback arm with the insight plane armed, then works
+entirely from the recorded timeline — no re-running, no tracer.  First
+it prints the overview (every shift and SLO alert the recorder saw);
+then it explains the first shift that fired *after* the 1 ms delay
+injection, walking the causal chain explain reconstructs: the
+triggering ``T_LB`` sample, the estimator snapshot from the nearest
+recorded frame, the controller's worst/best inputs, and the dominant
+upstream cause (which on Fig 3 must be the delay fault itself); and
+finally it diffs the recorded run against a different seed to show
+where the two histories first diverge.
+
+Run:  python examples/explain_fig3_shift.py
+"""
+
+from repro import units
+from repro.harness.config import PolicyName
+from repro.harness.figures import Fig3Config, run_fig3
+from repro.insight import (
+    InsightConfig,
+    explain_overview,
+    explain_shift,
+    loads,
+    render_diff,
+)
+
+
+def recorded_fig3(seed: int):
+    fig3 = run_fig3(
+        Fig3Config(
+            seed=seed,
+            duration=units.seconds(2.0),
+            insight=InsightConfig(enabled=True),
+        ),
+        policies=(PolicyName.FEEDBACK,),
+    )
+    return fig3, fig3.results[PolicyName.FEEDBACK.value]
+
+
+def main() -> None:
+    fig3, result = recorded_fig3(seed=2)
+
+    print("=== what the flight recorder saw ===")
+    print(explain_overview(result))
+
+    shifts = result.scenario.feedback.shift_events()
+    post_fault = [
+        i for i, s in enumerate(shifts) if s.time >= fig3.config.injection_at
+    ]
+    assert post_fault, "the injected delay must provoke a shift"
+
+    print()
+    print("=== why the first post-fault shift fired ===")
+    print(explain_shift(result, post_fault[0]))
+
+    # The same timeline as a portable artifact: serialize, reload, and
+    # diff against another seed's history.
+    _, other = recorded_fig3(seed=3)
+    mine = loads(result.scenario.insight.dumps())
+    theirs = loads(other.scenario.insight.dumps())
+
+    print()
+    print("=== seed 2 vs seed 3, frame by frame ===")
+    print(render_diff(mine, theirs))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ read afterwards.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Set
 
 from repro.harness.churn import AffinityWatch
@@ -19,6 +20,16 @@ from repro.units import to_millis
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.harness.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ViolationEvent:
+    """One structured invariant violation (time-addressable, unlike the
+    rendered strings, so trace attribution can window over them)."""
+
+    time: int
+    invariant: str
+    message: str
 
 
 class RoutingAudit:
@@ -39,6 +50,8 @@ class RoutingAudit:
         #: First packets audited (new flows observed).
         self.checked = 0
         self.violations: List[str] = []
+        #: Structured twins of ``violations`` for time-window queries.
+        self.events: List[ViolationEvent] = []
         scenario.lb.add_tap(self._tap)
 
     def _tap(self, now: int, flow: FlowKey, backend: str, packet) -> None:
@@ -59,9 +72,15 @@ class RoutingAudit:
                 self._violate(now, flow, backend, state.value.upper())
 
     def _violate(self, now: int, flow: FlowKey, backend: str, why: str) -> None:
-        self.violations.append(
-            "t=%.3fms new flow %s routed to %s (%s)"
-            % (to_millis(now), flow, backend, why)
+        message = "t=%.3fms new flow %s routed to %s (%s)" % (
+            to_millis(now),
+            flow,
+            backend,
+            why,
+        )
+        self.violations.append(message)
+        self.events.append(
+            ViolationEvent(time=now, invariant="no-dark-routing", message=message)
         )
 
 

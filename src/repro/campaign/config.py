@@ -113,6 +113,9 @@ class CampaignConfig:
     fleet_every: int = 4
     #: Arm the resilience plane (ladder, breakers, health checks).
     resilience: bool = True
+    #: Arm the insight plane on every run (timelines in the rows;
+    #: ``run_campaign(timeline_dir=...)`` writes them out).
+    insight: bool = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on malformed values."""

@@ -59,6 +59,8 @@ class CampaignPoint:
     #: Arm the fleet plane (scheduled scale-out + scale-in mid-run).
     fleet: bool = False
     resilience: bool = True
+    #: Arm the insight plane (timeline recorded into the row).
+    insight: bool = False
 
 
 def build_point_config(point: CampaignPoint):
@@ -78,6 +80,10 @@ def build_point_config(point: CampaignPoint):
         ),
         warmup=point.duration // 10,
     )
+    if point.insight:
+        from repro.insight.config import InsightConfig
+
+        config.insight = InsightConfig(enabled=True)
     config.feedback.strategy = point.strategy
     if point.fleet:
         from repro.fleet import FleetConfig, ScheduledAction
@@ -114,7 +120,7 @@ def campaign_point(point: CampaignPoint) -> Dict[str, object]:
         ),
         names=point.invariants,
     )
-    return {
+    row: Dict[str, object] = {
         "run": point.run,
         "strategy": point.strategy,
         "fleet": point.fleet,
@@ -128,6 +134,11 @@ def campaign_point(point: CampaignPoint) -> Dict[str, object]:
             v.name: list(v.violations) for v in verdicts if not v.passed
         },
     }
+    if scenario.insight is not None:
+        # JSONL string keeps the row flat JSON-native (cacheable);
+        # run_campaign writes it to a file when timeline_dir is set.
+        row["timeline"] = scenario.insight.dumps()
+    return row
 
 
 def campaign_points(config: CampaignConfig) -> List[CampaignPoint]:
@@ -160,6 +171,7 @@ def campaign_points(config: CampaignConfig) -> List[CampaignPoint]:
                 recovery_bound=config.recovery_bound,
                 fleet=fleet,
                 resilience=config.resilience,
+                insight=config.insight,
             )
         )
     return points
@@ -174,6 +186,8 @@ class CampaignReport:
     report: SweepReport
     #: Reproducer-artifact paths, one per shrunk violating point.
     artifacts: List[str] = field(default_factory=list)
+    #: Timeline-artifact paths (insight-armed runs, timeline_dir set).
+    timelines: List[str] = field(default_factory=list)
 
     @property
     def rows(self) -> List[Dict[str, object]]:
@@ -257,12 +271,15 @@ def run_campaign(
     progress: Optional[Callable[[Outcome, int, int], None]] = None,
     artifact_dir: Optional[str] = None,
     max_artifacts: int = 3,
+    timeline_dir: Optional[str] = None,
 ) -> CampaignReport:
     """Run a full campaign; shrink and persist violating runs.
 
     With ``artifact_dir`` set, up to ``max_artifacts`` violating points
     are minimized by the shrinker and written as reproducer artifacts
     (shrinking reuses ``store``, so its candidate runs are cached too).
+    With ``timeline_dir`` set (and ``config.insight``), each run's
+    recorded timeline is written as ``run%02d.jsonl``.
     """
     from repro.controllers import available as available_controllers
 
@@ -287,6 +304,16 @@ def run_campaign(
         tasks, jobs=jobs, store=store, use_cache=use_cache, progress=progress
     )
     campaign = CampaignReport(config=config, points=points, report=report)
+    if timeline_dir is not None:
+        os.makedirs(timeline_dir, exist_ok=True)
+        for point, outcome in zip(points, report.outcomes):
+            text = outcome.row.get("timeline")
+            if not text:
+                continue
+            path = os.path.join(timeline_dir, "run%02d.jsonl" % point.run)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            campaign.timelines.append(path)
     if artifact_dir is not None:
         for point, row in campaign.violating()[:max_artifacts]:
             shrunk, stats = shrink_point(

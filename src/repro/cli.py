@@ -41,6 +41,14 @@ from repro.harness.multilb import sweep_multilb
 from repro.harness.recovery import fault_window, time_to_recovery
 from repro.harness.report import format_table
 from repro.harness.runner import run_scenario
+from repro.insight import (
+    InsightConfig,
+    explain_alert,
+    explain_overview,
+    explain_shift,
+    load_timeline,
+    render_diff,
+)
 from repro.obs import (
     ObsConfig,
     render_request_tree,
@@ -113,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
         "like 'delay:node=server0,start=1s,extra=1ms'; repeatable"
         % ", ".join(sorted(PRESETS)),
     )
+    run_cmd.add_argument(
+        "--timeline",
+        metavar="FILE",
+        default=None,
+        help="arm the insight plane and write its timeline artifact "
+        "(JSONL) to FILE",
+    )
 
     metrics_cmd = sub.add_parser(
         "metrics",
@@ -168,6 +183,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="ID",
         help="print the span tree of one request id",
+    )
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="causal chains from the flight recorder: why did the "
+        "controller shift weight, why did the SLO alert fire",
+        description="Runs the Fig 3 feedback arm with the insight "
+        "plane recording.  With no flags, lists the recorded shifts "
+        "and SLO alerts by index.  --shift N walks the timeline "
+        "backwards from weight shift N and prints the causal chain "
+        "(triggering sample, estimator snapshot, controller inputs, "
+        "fault windows in the lookback, dominant upstream cause); "
+        "--alert N does the same from SLO alert N.",
+    )
+    explain_cmd.add_argument(
+        "--shift",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explain weight shift N (0-based)",
+    )
+    explain_cmd.add_argument(
+        "--alert",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explain SLO alert N (0-based)",
+    )
+    explain_cmd.add_argument(
+        "--lookback",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="causal lookback behind the event (default 0.25s)",
+    )
+    explain_cmd.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="also write the run's timeline artifact (JSONL) to FILE",
+    )
+
+    diff_cmd = sub.add_parser(
+        "diff",
+        help="align two timeline artifacts and report divergence "
+        "points in weights, modes, and SLO state",
+        description="Loads two JSONL timeline artifacts (written by "
+        "run --timeline, explain --export, fleet --timeline, or the "
+        "chaos/compare --timelines directories), aligns their frames "
+        "into frame-interval buckets, and reports where the runs "
+        "diverge.  Always exits 0: divergence is a finding, not a "
+        "failure.",
+    )
+    diff_cmd.add_argument("run_a", metavar="RUN_A", help="first artifact")
+    diff_cmd.add_argument("run_b", metavar="RUN_B", help="second artifact")
+    diff_cmd.add_argument(
+        "--eps",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="normalized per-backend weight divergence threshold "
+        "(default 0.05)",
     )
 
     res_cmd = sub.add_parser(
@@ -230,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="re-simulate every lane even when the store has its result",
+    )
+    compare_cmd.add_argument(
+        "--timelines",
+        metavar="DIR",
+        default=None,
+        help="arm the insight plane and write each lane's timeline "
+        "artifact (preset-controller.jsonl) into DIR",
     )
 
     chaos_cmd = sub.add_parser(
@@ -312,6 +396,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-simulate every run even when the store has its result",
     )
+    chaos_cmd.add_argument(
+        "--timelines",
+        metavar="DIR",
+        default=None,
+        help="arm the insight plane and write each run's timeline "
+        "artifact (runNN.jsonl) into DIR",
+    )
 
     fleet_cmd = sub.add_parser(
         "fleet",
@@ -367,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=".sweep-store",
         metavar="DIR",
         help="race-mode result store directory (default .sweep-store)",
+    )
+    fleet_cmd.add_argument(
+        "--timeline",
+        metavar="FILE",
+        default=None,
+        help="single-run mode: arm the insight plane and write its "
+        "timeline artifact (JSONL) to FILE",
     )
 
     sub.add_parser("fig2a", help="paper Fig 2(a): fixed timeouts vs truth")
@@ -476,10 +574,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_servers=args.servers,
             policy=PolicyName(args.policy),
             faults=faults,
+            insight=InsightConfig(enabled=args.timeline is not None),
             warmup=duration // 10,
         )
         config.feedback.strategy = args.strategy
-        print(run_scenario(config).report())
+        result = run_scenario(config)
+        print(result.report())
+        if args.timeline is not None:
+            result.scenario.insight.export(args.timeline)
+            print("timeline written: %s" % args.timeline)
         return 0
 
     if args.command == "metrics":
@@ -548,7 +651,51 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        print(render_shift_attribution(tracer, shifts, args.shift, window))
+        print(
+            render_shift_attribution(
+                tracer, shifts, args.shift, window, scales=tracer.scales
+            )
+        )
+        return 0
+
+    if args.command == "explain":
+        fig3 = run_fig3(
+            Fig3Config(
+                seed=args.seed,
+                duration=duration,
+                insight=InsightConfig(enabled=True),
+            ),
+            policies=(PolicyName.FEEDBACK,),
+        )
+        result = fig3.results[PolicyName.FEEDBACK.value]
+        assert result.scenario.insight is not None
+        if args.export is not None:
+            result.scenario.insight.export(args.export)
+            print("timeline written: %s" % args.export)
+        lookback = units.seconds(args.lookback)
+        if args.shift is not None and args.alert is not None:
+            print("give --shift or --alert, not both", file=sys.stderr)
+            return 2
+        try:
+            if args.shift is not None:
+                print(explain_shift(result, args.shift, lookback))
+            elif args.alert is not None:
+                print(explain_alert(result, args.alert, lookback))
+            else:
+                print(explain_overview(result))
+        except IndexError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "diff":
+        try:
+            timeline_a = load_timeline(args.run_a)
+            timeline_b = load_timeline(args.run_b)
+        except (OSError, ValueError) as exc:
+            print("cannot load timeline: %s" % exc, file=sys.stderr)
+            return 2
+        print(render_diff(timeline_a, timeline_b, weight_eps=args.eps))
         return 0
 
     if args.command == "resilience":
@@ -760,6 +907,7 @@ def _fleet_command(args: argparse.Namespace, duration: int) -> int:
         clients=args.clients,
         connections=args.connections,
         burst=not args.no_burst,
+        insight=args.timeline is not None,
     )
     if args.controllers:
         if args.controllers.strip() == "all":
@@ -785,7 +933,11 @@ def _fleet_command(args: argparse.Namespace, duration: int) -> int:
         )
         print(race_table(rows))
         return 0
-    print(run_elastic(base).report())
+    elastic = run_elastic(base)
+    print(elastic.report())
+    if args.timeline is not None:
+        elastic.scenario.insight.export(args.timeline)
+        print("timeline written: %s" % args.timeline)
     return 0
 
 
@@ -857,6 +1009,7 @@ def _chaos_command(args: argparse.Namespace, duration: int) -> int:
         ),
         invariants=invariants,
         fleet_every=args.fleet_every,
+        insight=args.timelines is not None,
     )
     campaign = run_campaign(
         config,
@@ -865,9 +1018,12 @@ def _chaos_command(args: argparse.Namespace, duration: int) -> int:
         use_cache=use_cache,
         progress=print_progress,
         artifact_dir=args.artifacts,
+        timeline_dir=args.timelines,
     )
     print(campaign.table())
     print(campaign.summary())
+    for path in campaign.timelines:
+        print("timeline written: %s" % path)
     violating = campaign.violating()
     if violating:
         for path in campaign.artifacts:
@@ -901,9 +1057,13 @@ def _compare_command(args: argparse.Namespace, duration: int) -> int:
         store=ResultStore(args.store),
         use_cache=not args.no_cache,
         progress=print_progress,
+        insight=args.timelines is not None,
     )
     print(compare.leaderboard())
     print(compare.summary())
+    if args.timelines is not None:
+        for path in compare.write_timelines(args.timelines):
+            print("timeline written: %s" % path)
     return 0
 
 

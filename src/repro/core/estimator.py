@@ -124,6 +124,10 @@ class BackendLatencyEstimator:
             return None
         return self._metric_value(state)
 
+    def sample_counts(self) -> Dict[str, int]:
+        """Samples folded in per backend so far (pure read, sorted)."""
+        return {name: s.samples for name, s in sorted(self._backends.items())}
+
     def snapshot(self, now: Optional[int] = None) -> List[BackendEstimate]:
         """Estimates for all backends meeting ``min_samples``.
 

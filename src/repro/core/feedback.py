@@ -167,6 +167,8 @@ class InbandFeedback:
         #: Observability plane (both None unless attached).
         self._metrics = None
         self._tracer = None
+        #: Insight plane's flight recorder (None unless attached).
+        self._recorder = None
         if resilience is not None and resilience.enabled:
             self._wire_resilience(resilience)
         lb.add_tap(self._on_packet)
@@ -178,6 +180,10 @@ class InbandFeedback:
     def attach_tracer(self, tracer) -> None:
         """Record emitted samples as causal-trace spans."""
         self._tracer = tracer
+
+    def attach_recorder(self, recorder) -> None:
+        """Report epoch rolls to the insight plane's flight recorder."""
+        self._recorder = recorder
 
     @property
     def sample_count(self) -> int:
@@ -279,16 +285,20 @@ class InbandFeedback:
         if self._censor:
             state.observe_seq(packet)
         metrics = self._metrics
-        if metrics is None:
+        recorder = self._recorder
+        if metrics is None and recorder is None:
             t_lb = state.ensemble.observe(now)
         else:
             epochs_before = state.ensemble.epochs_completed
             t_lb = state.ensemble.observe(now)
             if state.ensemble.epochs_completed != epochs_before:
-                metrics.epoch_rolls.inc()
-                metrics.cliff_picks.labels(
-                    delta_us=state.ensemble.current_timeout // 1000
-                ).inc()
+                if metrics is not None:
+                    metrics.epoch_rolls.inc()
+                    metrics.cliff_picks.labels(
+                        delta_us=state.ensemble.current_timeout // 1000
+                    ).inc()
+                if recorder is not None:
+                    recorder.on_epoch_roll(now, state.ensemble.current_timeout)
 
         if packet.is_fin or packet.is_rst:
             # The flow is ending; its measurement state is no longer useful.

@@ -52,6 +52,7 @@ def compare_config(
     duration: int = 2 * SECONDS,
     n_servers: int = 3,
     n_clients: int = 1,
+    insight: bool = False,
 ) -> ScenarioConfig:
     """One race lane: FEEDBACK policy, ``strategy``'s law, one preset.
 
@@ -75,6 +76,10 @@ def compare_config(
         resilience=ResilienceConfig(enabled=True, health_checks=True),
         warmup=duration // 10,
     )
+    if insight:
+        from repro.insight.config import InsightConfig
+
+        config.insight = InsightConfig(enabled=True)
     config.feedback.strategy = strategy
     if preset_name == "elastic":
         from repro.fleet import FleetConfig, ScheduledAction
@@ -123,6 +128,10 @@ def compare_point(config: ScenarioConfig) -> Dict[str, object]:
         "stale_holds": getattr(controller, "stale_holds", 0),
         "violations": len(watch.violations),
     }
+    if scenario.insight is not None:
+        # Carried as a JSONL string so the row stays flat JSON-native
+        # (cacheable by the sweep store); written to a file post-sweep.
+        row["timeline"] = scenario.insight.dumps()
     return row
 
 
@@ -239,6 +248,25 @@ class CompareReport:
         """The executor's one-line accounting (grepped by CI)."""
         return self.report.summary("compare")
 
+    def write_timelines(self, directory: str) -> List[str]:
+        """Write each lane's timeline artifact (rows recorded with the
+        insight plane armed) as ``<preset>-<controller>.jsonl``."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        paths: List[str] = []
+        for (preset_name, controller_name), row in self.rows.items():
+            text = row.get("timeline")
+            if not text:
+                continue
+            path = os.path.join(
+                directory, "%s-%s.jsonl" % (preset_name, controller_name)
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            paths.append(path)
+        return paths
+
 
 def run_compare(
     presets: Sequence[str],
@@ -251,6 +279,7 @@ def run_compare(
     store: Optional[ResultStore] = None,
     use_cache: bool = True,
     progress: Optional[Callable[[Outcome, int, int], None]] = None,
+    insight: bool = False,
 ) -> CompareReport:
     """Race ``controllers`` across ``presets`` through the executor."""
     from repro.controllers import available
@@ -278,6 +307,7 @@ def run_compare(
                 duration=duration,
                 n_servers=n_servers,
                 n_clients=n_clients,
+                insight=insight,
             )
             pairs.append((preset_name, controller_name))
             tasks.append(

@@ -19,6 +19,7 @@ from repro.core.feedback import FeedbackConfig
 from repro.errors import ConfigError
 from repro.faults.model import DelayFault, FaultSpec
 from repro.fleet.config import FleetConfig
+from repro.insight.config import InsightConfig
 from repro.obs.config import ObsConfig
 from repro.resilience.config import ResilienceConfig
 from repro.units import GIGABITS_PER_SECOND, MICROSECONDS, SECONDS
@@ -162,6 +163,9 @@ class ScenarioConfig:
     #: enabled the topology provisions ``fleet.max_backends`` servers
     #: and the pool starts with the first ``n_servers`` of them.
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    #: Insight plane (see :mod:`repro.insight`); disabled by default,
+    #: making runs byte-identical to builds without it.
+    insight: InsightConfig = field(default_factory=InsightConfig)
     #: Ignore requests completing before this time in summary stats.
     warmup: int = 0
 
@@ -184,6 +188,7 @@ class ScenarioConfig:
         self.resilience.validate()
         self.obs.validate()
         self.fleet.validate()
+        self.insight.validate()
         if self.fleet.enabled:
             if self.fleet.max_backends < self.n_servers:
                 raise ConfigError(

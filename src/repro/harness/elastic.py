@@ -59,6 +59,8 @@ class ElasticConfig:
     #: slot per backend; the default ScenarioConfig size 1021 is too
     #: small for a 1k fleet).
     maglev_size: int = 4099
+    #: Arm the insight plane (flight-recorder timeline on the result).
+    insight: bool = False
 
     def scenario_config(self) -> ScenarioConfig:
         """The underlying ScenarioConfig, fleet plane armed."""
@@ -121,6 +123,10 @@ class ElasticConfig:
             fleet=fleet,
             warmup=duration // 10,
         )
+        if self.insight:
+            from repro.insight.config import InsightConfig
+
+            config.insight = InsightConfig(enabled=True)
         config.feedback.strategy = self.strategy
         return config
 
@@ -287,6 +293,9 @@ def run_elastic(config: Optional[ElasticConfig] = None) -> ElasticResult:
         client.stop()
         records.extend(client.records)
     records.sort(key=lambda r: r.completed_at)
+    if scenario.insight is not None:
+        # Manual run loop: run_scenario's closing-frame hook never runs.
+        scenario.insight.finalize(scenario_config.duration)
     result = ScenarioResult(
         config=scenario_config,
         scenario=scenario,

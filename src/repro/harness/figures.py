@@ -40,6 +40,7 @@ from repro.harness.config import (
     PolicyName,
     ScenarioConfig,
 )
+from repro.insight.config import InsightConfig
 from repro.obs.config import ObsConfig
 from repro.harness.runner import ScenarioResult, run_scenario
 from repro.lb.backend import Backend, BackendPool
@@ -366,6 +367,8 @@ class Fig3Config:
     memtier: MemtierConfig = field(default_factory=MemtierConfig)
     #: Observability plane for each arm (None keeps it off).
     obs: Optional[ObsConfig] = None
+    #: Insight plane for each arm (None keeps it off).
+    insight: Optional[InsightConfig] = None
 
     @property
     def injection_at(self) -> int:
@@ -430,6 +433,7 @@ def run_fig3(
                 )
             ],
             obs=config.obs or ObsConfig(),
+            insight=config.insight or InsightConfig(),
             warmup=config.duration // 10,
         )
         results[policy.value] = run_scenario(scenario_config)

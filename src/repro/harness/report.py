@@ -6,7 +6,22 @@ look: fixed-width columns, values pre-scaled by the caller.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Sequence, Tuple
+
+_WALLCLOCK = re.compile(r", \d+ events/sec wall-clock")
+
+
+def scrub_wallclock(text: str) -> str:
+    """Drop the wall-clock fragment from engine footers.
+
+    ``ScenarioResult.report()`` appends host-dependent throughput to its
+    engine line; a report that embeds it can never regenerate
+    byte-identically.  Prefer ``report(deterministic=True)`` when you
+    control the render call — this scrubber covers already-rendered
+    text (persisted golden reports, mixed output).
+    """
+    return _WALLCLOCK.sub("", text)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -191,8 +191,20 @@ class ScenarioResult:
             marks.append("+".join(kinds))
         return marks
 
-    def report(self) -> str:
-        """Multi-line human-readable run summary."""
+    def timeline(self):
+        """The insight plane's recorded timeline (None when disabled)."""
+        insight = self.scenario.insight
+        if insight is None:
+            return None
+        return insight.timeline
+
+    def report(self, deterministic: bool = False) -> str:
+        """Multi-line human-readable run summary.
+
+        With ``deterministic=True`` wall-clock-derived fragments (the
+        events/sec engine-footer rate) are omitted, so regenerated
+        golden reports never drift across machines.
+        """
         lines = [
             "scenario: policy=%s servers=%d clients=%d duration=%.1fs seed=%d"
             % (
@@ -319,8 +331,11 @@ class ScenarioResult:
                 )
             else:
                 lines.append("packet trace: %d records captured" % captured)
+        insight = self.scenario.insight
+        if insight is not None:
+            lines.append(insight.summary())
         engine = "engine: %d events processed" % self.wall_events
-        if self.wall_seconds > 0:
+        if self.wall_seconds > 0 and not deterministic:
             engine += ", %.0f events/sec wall-clock" % (
                 self.wall_events / self.wall_seconds
             )
@@ -350,6 +365,10 @@ def run_scenario(
     wall_seconds = time.perf_counter() - started
     for client in scenario.clients:
         client.stop()
+    if scenario.insight is not None:
+        # Closing frame at end-of-run; purely observational, after the
+        # simulator has drained, so results stay byte-identical.
+        scenario.insight.finalize(config.duration)
 
     records: List[RequestRecord] = []
     for client in scenario.clients:

@@ -47,6 +47,7 @@ from repro.transport.endpoint import Host
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.fleet.autoscaler import AutoscalingGroup
+    from repro.insight.plane import InsightPlane
     from repro.net.trace import PacketTrace
     from repro.obs.plane import ObsPlane
 
@@ -79,6 +80,8 @@ class Scenario:
     trace: Optional["PacketTrace"] = None
     #: Fleet plane (None unless ``config.fleet.enabled``).
     fleet: Optional["AutoscalingGroup"] = None
+    #: Insight plane (None unless ``config.insight.enabled``).
+    insight: Optional["InsightPlane"] = None
     #: Extra series populated by the runner.
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -278,6 +281,14 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         from repro.obs.plane import ObsPlane
 
         scenario.obs = ObsPlane.install(scenario)
+
+    # --- insight plane ----------------------------------------------------
+    # After obs, so the recorder's tap sees post-update state.  Same
+    # passivity contract: no events scheduled, no RNG draws.
+    if config.insight.enabled:
+        from repro.insight.plane import InsightPlane
+
+        scenario.insight = InsightPlane.install(scenario)
 
     return scenario
 

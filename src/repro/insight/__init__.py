@@ -1,0 +1,52 @@
+"""repro.insight — flight recorder, SLO burn-rate monitor, causal explain.
+
+The insight plane records an epoch-paced timeline of controller state
+(weights, estimates, grades, modes, breakers, lifecycle, flows, fault
+windows) through the same passive ``attach_*`` seams the obs plane
+uses, evaluates a declarative latency SLO with multi-window burn-rate
+alerting over it, and answers *why* questions after the fact:
+``repro explain`` walks the timeline backwards from a shift or alert
+into a causal chain, and ``repro diff`` aligns two recorded runs and
+reports divergence points.  Off by default; byte-identical on/off.
+"""
+
+from repro.insight.config import InsightConfig, SLOConfig
+from repro.insight.diff import Divergence, diff_timelines, render_diff
+from repro.insight.explain import (
+    DEFAULT_LOOKBACK,
+    explain_alert,
+    explain_overview,
+    explain_shift,
+)
+from repro.insight.plane import InsightPlane
+from repro.insight.recorder import FlightRecorder, describe_frame
+from repro.insight.slo import SLOAlert, SLOMonitor
+from repro.insight.timeline import (
+    Annotation,
+    Timeline,
+    TimelineFrame,
+    load_timeline,
+    loads,
+)
+
+__all__ = [
+    "Annotation",
+    "DEFAULT_LOOKBACK",
+    "Divergence",
+    "FlightRecorder",
+    "InsightConfig",
+    "InsightPlane",
+    "SLOAlert",
+    "SLOConfig",
+    "SLOMonitor",
+    "Timeline",
+    "TimelineFrame",
+    "describe_frame",
+    "diff_timelines",
+    "explain_alert",
+    "explain_overview",
+    "explain_shift",
+    "load_timeline",
+    "loads",
+    "render_diff",
+]

@@ -1,0 +1,85 @@
+"""Insight-plane configuration.
+
+Everything here defaults to *off*: with ``InsightConfig.enabled`` false
+the plane is structurally absent (no recorder, no timeline, no SLO
+monitor, no extra LB tap) and scenario results are byte-identical to a
+build without it.  Enabling it adds passive recording only — the flight
+recorder never draws randomness or schedules simulator events (frame
+pacing rides on the LB's packet tap), so even an enabled run produces
+the same records and shifts as a disabled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import MILLISECONDS
+
+
+@dataclass
+class SLOConfig:
+    """A declarative latency SLO with multi-window burn-rate alerting.
+
+    A request is *bad* when its latency exceeds ``target``; the error
+    budget is ``1 - goal``.  The burn rate over a window is the bad
+    fraction divided by the budget (1.0 = burning exactly the budget).
+    An alert fires when **both** the short and the long window burn at
+    ``burn_threshold`` or faster — the Google SRE multiwindow rule: the
+    long window proves the burn is sustained, the short window proves
+    it is still happening.
+    """
+
+    #: Latency target (ns): a request slower than this is SLO-bad.
+    target: int = 2 * MILLISECONDS
+    #: Fraction of requests that must meet the target (error budget
+    #: is ``1 - goal``).
+    goal: float = 0.95
+    #: Fast window (ns): proves the burn is current.
+    short_window: int = 100 * MILLISECONDS
+    #: Slow window (ns): proves the burn is sustained.
+    long_window: int = 500 * MILLISECONDS
+    #: Both windows must burn at least this many budgets-per-window.
+    burn_threshold: float = 2.0
+    #: Minimum gap between alert firings (ns).
+    cooldown: int = 200 * MILLISECONDS
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.target <= 0:
+            raise ConfigError("slo target must be positive")
+        if not 0.0 < self.goal < 1.0:
+            raise ConfigError("slo goal must be in (0, 1)")
+        if self.short_window <= 0 or self.long_window <= 0:
+            raise ConfigError("slo windows must be positive")
+        if self.short_window > self.long_window:
+            raise ConfigError("slo short_window must not exceed long_window")
+        if self.burn_threshold <= 0:
+            raise ConfigError("slo burn_threshold must be positive")
+        if self.cooldown < 0:
+            raise ConfigError("slo cooldown must be >= 0")
+
+
+@dataclass
+class InsightConfig:
+    """Switches for the flight-recorder plane."""
+
+    #: Master switch; nothing below matters while this is False.
+    enabled: bool = False
+    #: Target gap between recorded frames (ns).  Frames are paced by
+    #: the LB's packet tap, so a silent network records no frames —
+    #: which is itself signal.
+    frame_interval: int = 10 * MILLISECONDS
+    #: Ring bound on stored frames; past it the oldest are dropped
+    #: (and counted, never silently lost).
+    max_frames: int = 4096
+    #: The latency SLO the monitor evaluates over the timeline.
+    slo: SLOConfig = field(default_factory=SLOConfig)
+
+    def validate(self) -> None:
+        """Raise ConfigError on malformed values."""
+        if self.frame_interval <= 0:
+            raise ConfigError("frame_interval must be positive")
+        if self.max_frames <= 0:
+            raise ConfigError("max_frames must be positive")
+        self.slo.validate()

@@ -1,0 +1,205 @@
+"""Timeline alignment: where did two runs diverge, and in what?
+
+``repro diff RUN_A RUN_B`` loads two JSONL timeline artifacts (two
+controllers on the same preset, two seeds, or pre/post a code change),
+aligns their frames into buckets of one ``frame_interval``, and walks
+the shared span reporting :class:`Divergence` points — normalized
+weight vectors drifting past an epsilon, ladder modes disagreeing,
+breaker states disagreeing, or SLO state (ok vs burning) disagreeing.
+
+Alignment is by *bucket*, not exact frame time: the two runs pace
+frames off their own packet taps, so capture times differ by a few
+packets even on identical dynamics.  What matters is what the frames
+say about the same slice of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.insight.timeline import Timeline, TimelineFrame
+from repro.units import MILLISECONDS, to_millis
+
+
+@dataclass
+class Divergence:
+    """One aligned bucket where the runs disagree."""
+
+    time: int
+    #: What diverged: ``weights``, ``mode``, ``breaker``, ``slo``.
+    field: str
+    a: str
+    b: str
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        return "[%.3fms] %s divergence: a=%s b=%s" % (
+            to_millis(self.time),
+            self.field,
+            self.a,
+            self.b,
+        )
+
+
+def _normalized_weights(frame: TimelineFrame) -> Dict[str, float]:
+    total = sum(frame.weights.values())
+    if total <= 0:
+        return dict(frame.weights)
+    return {name: value / total for name, value in frame.weights.items()}
+
+
+def _weights_text(weights: Dict[str, float]) -> str:
+    return (
+        " ".join(
+            "%s=%.3f" % (name, value) for name, value in sorted(weights.items())
+        )
+        or "(empty)"
+    )
+
+
+def _bucket_frames(
+    timeline: Timeline, interval: int
+) -> Dict[int, TimelineFrame]:
+    """Last frame per interval bucket (the bucket's settled view)."""
+    buckets: Dict[int, TimelineFrame] = {}
+    for frame in timeline.frames:
+        buckets[frame.time // interval] = frame
+    return buckets
+
+
+def _slo_state(frame: TimelineFrame) -> Optional[str]:
+    if frame.slo is None:
+        return None
+    return frame.slo.get("state")
+
+
+def diff_timelines(
+    a: Timeline,
+    b: Timeline,
+    weight_eps: float = 0.05,
+) -> List[Divergence]:
+    """Divergence points across the span both timelines cover."""
+    interval = int(
+        a.meta.get("frame_interval")
+        or b.meta.get("frame_interval")
+        or 10 * MILLISECONDS
+    )
+    buckets_a = _bucket_frames(a, interval)
+    buckets_b = _bucket_frames(b, interval)
+    shared = sorted(set(buckets_a) & set(buckets_b))
+    divergences: List[Divergence] = []
+    for bucket in shared:
+        frame_a, frame_b = buckets_a[bucket], buckets_b[bucket]
+        time = max(frame_a.time, frame_b.time)
+
+        weights_a = _normalized_weights(frame_a)
+        weights_b = _normalized_weights(frame_b)
+        drift = max(
+            (
+                abs(weights_a.get(name, 0.0) - weights_b.get(name, 0.0))
+                for name in set(weights_a) | set(weights_b)
+            ),
+            default=0.0,
+        )
+        if drift > weight_eps:
+            divergences.append(
+                Divergence(
+                    time=time,
+                    field="weights",
+                    a=_weights_text(weights_a),
+                    b=_weights_text(weights_b),
+                )
+            )
+
+        if frame_a.ladder_mode != frame_b.ladder_mode:
+            divergences.append(
+                Divergence(
+                    time=time,
+                    field="mode",
+                    a=str(frame_a.ladder_mode),
+                    b=str(frame_b.ladder_mode),
+                )
+            )
+
+        if frame_a.breakers != frame_b.breakers:
+            diffs = {
+                name
+                for name in set(frame_a.breakers) | set(frame_b.breakers)
+                if frame_a.breakers.get(name, "closed")
+                != frame_b.breakers.get(name, "closed")
+            }
+            if diffs:
+                divergences.append(
+                    Divergence(
+                        time=time,
+                        field="breaker",
+                        a=" ".join(
+                            "%s=%s" % (n, frame_a.breakers.get(n, "closed"))
+                            for n in sorted(diffs)
+                        ),
+                        b=" ".join(
+                            "%s=%s" % (n, frame_b.breakers.get(n, "closed"))
+                            for n in sorted(diffs)
+                        ),
+                    )
+                )
+
+        state_a, state_b = _slo_state(frame_a), _slo_state(frame_b)
+        if state_a != state_b:
+            divergences.append(
+                Divergence(
+                    time=time,
+                    field="slo",
+                    a=str(state_a),
+                    b=str(state_b),
+                )
+            )
+    return divergences
+
+
+def _describe_meta(timeline: Timeline) -> str:
+    meta = timeline.meta
+    parts = []
+    for key in ("policy", "strategy", "seed"):
+        if key in meta:
+            parts.append("%s=%s" % (key, meta[key]))
+    return " ".join(parts) or "(no meta)"
+
+
+def render_diff(
+    a: Timeline,
+    b: Timeline,
+    weight_eps: float = 0.05,
+    limit: int = 40,
+) -> str:
+    """Human-readable diff report over two timelines."""
+    divergences = diff_timelines(a, b, weight_eps)
+    lines = [
+        "timeline diff",
+        "  a: %s (%d frames)" % (_describe_meta(a), len(a)),
+        "  b: %s (%d frames)" % (_describe_meta(b), len(b)),
+    ]
+    interval = int(a.meta.get("frame_interval") or 10 * MILLISECONDS)
+    shared = len(
+        set(_bucket_frames(a, interval)) & set(_bucket_frames(b, interval))
+    )
+    lines.append("  aligned buckets: %d" % shared)
+    if not divergences:
+        lines.append("no divergence: runs agree on weights, modes, and SLO state")
+        return "\n".join(lines)
+    lines.append(
+        "%d divergence point(s)%s:"
+        % (
+            len(divergences),
+            "" if len(divergences) <= limit else " (first %d shown)" % limit,
+        )
+    )
+    for divergence in divergences[:limit]:
+        lines.append("  " + divergence.describe())
+    first = divergences[0]
+    lines.append(
+        "first divergence at %.3fms in %s"
+        % (to_millis(first.time), first.field)
+    )
+    return "\n".join(lines)

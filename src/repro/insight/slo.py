@@ -1,0 +1,144 @@
+"""Declarative latency SLO evaluation with multi-window burn rates.
+
+The monitor consumes completed-request latencies (pulled from client
+records at frame-capture time — it installs no hooks) and maintains a
+sliding event window of (time, bad) pairs.  ``evaluate`` computes the
+burn rate over the short and long windows; an :class:`SLOAlert` fires
+when both burn at the configured threshold, subject to a cooldown —
+the standard multiwindow multi-burn-rate alerting rule: the long
+window keeps one latency spike from paging, the short window stops
+the alert promptly once the burn ends.
+
+Everything here is arithmetic over observed values: no randomness, no
+scheduled events, no simulator access — the monitor cannot perturb the
+run it watches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.insight.config import SLOConfig
+from repro.units import to_millis
+
+
+@dataclass
+class SLOAlert:
+    """One burn-rate alert firing."""
+
+    time: int
+    burn_short: float
+    burn_long: float
+    #: Bad / total requests inside the long window at firing time.
+    bad: int
+    total: int
+
+    def describe(self) -> str:
+        """One-line rendering for reports and annotations."""
+        return (
+            "SLO burn-rate alert at %.3fms: short=%.2fx long=%.2fx "
+            "(%d of %d requests over target)"
+            % (
+                to_millis(self.time),
+                self.burn_short,
+                self.burn_long,
+                self.bad,
+                self.total,
+            )
+        )
+
+
+class SLOMonitor:
+    """Evaluates one latency SLO over rolling windows."""
+
+    def __init__(self, config: Optional[SLOConfig] = None):
+        self.config = config or SLOConfig()
+        self.config.validate()
+        #: (completion time, was the request SLO-bad) within long_window.
+        self._events: Deque[Tuple[int, bool]] = deque()
+        #: Lifetime counters (never pruned).
+        self.observed = 0
+        self.bad_observed = 0
+        #: Alert firings, in time order.
+        self.alerts: List[SLOAlert] = []
+        self._last_alert_at: Optional[int] = None
+
+    def observe(self, time: int, latency: int) -> None:
+        """Fold one completed request into the window."""
+        bad = latency > self.config.target
+        self._events.append((time, bad))
+        self.observed += 1
+        if bad:
+            self.bad_observed += 1
+
+    def _prune(self, now: int) -> None:
+        cutoff = now - self.config.long_window
+        events = self._events
+        while events and events[0][0] <= cutoff:
+            events.popleft()
+
+    def burn_rate(self, now: int, window: int) -> float:
+        """Bad fraction over ``(now - window, now]`` divided by budget."""
+        cutoff = now - window
+        bad = total = 0
+        for time, was_bad in self._events:
+            if time <= cutoff:
+                continue
+            total += 1
+            if was_bad:
+                bad += 1
+        if total == 0:
+            return 0.0
+        budget = 1.0 - self.config.goal
+        return (bad / total) / budget
+
+    def evaluate(self, now: int) -> Optional[SLOAlert]:
+        """Prune, compute both burns, and fire an alert if both exceed
+        the threshold (and the cooldown allows); returns the alert."""
+        self._prune(now)
+        config = self.config
+        burn_short = self.burn_rate(now, config.short_window)
+        burn_long = self.burn_rate(now, config.long_window)
+        if burn_short < config.burn_threshold or burn_long < config.burn_threshold:
+            return None
+        if (
+            self._last_alert_at is not None
+            and now - self._last_alert_at < config.cooldown
+        ):
+            return None
+        bad = sum(1 for _t, was_bad in self._events if was_bad)
+        alert = SLOAlert(
+            time=now,
+            burn_short=round(burn_short, 4),
+            burn_long=round(burn_long, 4),
+            bad=bad,
+            total=len(self._events),
+        )
+        self.alerts.append(alert)
+        self._last_alert_at = now
+        return alert
+
+    def snapshot(self, now: int) -> Optional[Dict[str, Any]]:
+        """JSON-native burn summary for a timeline frame (None pre-traffic)."""
+        if self.observed == 0:
+            return None
+        self._prune(now)
+        bad = sum(1 for _t, was_bad in self._events if was_bad)
+        burn_short = self.burn_rate(now, self.config.short_window)
+        burn_long = self.burn_rate(now, self.config.long_window)
+        burning = (
+            burn_short >= self.config.burn_threshold
+            and burn_long >= self.config.burn_threshold
+        )
+        return {
+            "burn_short": round(burn_short, 4),
+            "burn_long": round(burn_long, 4),
+            "window_bad": bad,
+            "window_total": len(self._events),
+            "observed": self.observed,
+            "bad_observed": self.bad_observed,
+            "state": "burning" if burning else "ok",
+            "alerts": len(self.alerts),
+        }

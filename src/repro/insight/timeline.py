@@ -1,0 +1,216 @@
+"""The recorded artifact: a bounded timeline of frames and annotations.
+
+A :class:`TimelineFrame` is one epoch-paced snapshot of everything the
+controller could see — weights, estimates, sample counts, signal
+grades, ladder mode, breaker and lifecycle states, flow counts, active
+fault windows, and the SLO monitor's burn state.  Frames live in a
+bounded ring (oldest dropped and counted past ``max_frames``);
+:class:`Annotation` marks point events (weight shifts, mode and breaker
+transitions, scale decisions, SLO alert firings) between frames.
+
+The whole timeline serializes to JSON Lines — one ``meta`` line, then
+one line per frame and per annotation — so two runs' artifacts can be
+diffed, archived, or replayed without the producing process.
+:func:`load_timeline` / :func:`loads` are the other half of that round
+trip.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass
+class TimelineFrame:
+    """One flight-recorder snapshot, JSON-native throughout."""
+
+    #: Simulation time of the capture (ns).
+    time: int
+    #: Per-backend pool weight.
+    weights: Dict[str, float] = field(default_factory=dict)
+    #: Per-backend T_LB estimate (ns); only backends with one.
+    estimates: Dict[str, float] = field(default_factory=dict)
+    #: Per-backend samples folded into the estimator so far.
+    samples: Dict[str, int] = field(default_factory=dict)
+    #: Per-backend signal grade (``fresh``/``stale``/``invalid``);
+    #: empty without the resilience plane.
+    grades: Dict[str, str] = field(default_factory=dict)
+    #: Per-backend breaker state for breakers instantiated so far.
+    breakers: Dict[str, str] = field(default_factory=dict)
+    #: Per-backend fleet lifecycle state; empty without the fleet plane.
+    lifecycle: Dict[str, str] = field(default_factory=dict)
+    #: Per-backend conntrack flow counts (the amortized cached view).
+    flows: Dict[str, int] = field(default_factory=dict)
+    #: Degradation-ladder mode (``FEEDBACK``/``HOLD``/``FALLBACK``);
+    #: None without the resilience plane.
+    ladder_mode: Optional[str] = None
+    #: Reporting timeout the last completed epoch chose (ns); None
+    #: until the first epoch rolls.
+    cliff_pick: Optional[int] = None
+    #: ENSEMBLETIMEOUT epoch boundaries crossed so far (all flows).
+    epoch_rolls: int = 0
+    #: T_LB samples produced so far (the estimator's total).
+    sample_total: int = 0
+    #: Fault windows active at capture: ``[kind, [targets], start, end]``.
+    faults: List[list] = field(default_factory=list)
+    #: SLO monitor snapshot (burn rates, counts, state); None when the
+    #: monitor has seen no traffic yet.
+    slo: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class Annotation:
+    """A point event worth marking on the timeline."""
+
+    time: int
+    #: Event class: ``shift``, ``mode``, ``breaker``, ``scale``,
+    #: ``slo_alert``, ...
+    kind: str
+    #: One-line human-readable description.
+    label: str
+    #: Structured payload (JSON-native).
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Timeline:
+    """Bounded in-memory frame ring plus annotations, JSONL in and out."""
+
+    def __init__(self, max_frames: int = 4096):
+        if max_frames <= 0:
+            raise ValueError("max_frames must be positive")
+        self.max_frames = max_frames
+        self._frames: Deque[TimelineFrame] = deque(maxlen=max_frames)
+        self.annotations: List[Annotation] = []
+        #: Frames evicted from the ring (never silently lost).
+        self.dropped = 0
+        #: Run metadata captured at install time (policy, seed, ...).
+        self.meta: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def frames(self) -> List[TimelineFrame]:
+        """Stored frames, oldest first."""
+        return list(self._frames)
+
+    def append(self, frame: TimelineFrame) -> None:
+        """Record one frame; the ring evicts (and counts) the oldest."""
+        if len(self._frames) == self.max_frames:
+            self.dropped += 1
+        self._frames.append(frame)
+
+    def annotate(self, annotation: Annotation) -> None:
+        """Record one point event."""
+        self.annotations.append(annotation)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def frame_at_or_before(self, time: int) -> Optional[TimelineFrame]:
+        """Latest frame captured at or before ``time`` (None if none)."""
+        best: Optional[TimelineFrame] = None
+        for frame in self._frames:
+            if frame.time > time:
+                break  # frames are appended in time order
+            best = frame
+        return best
+
+    def frames_between(self, start: int, end: int) -> List[TimelineFrame]:
+        """Frames with ``start <= time <= end``, oldest first."""
+        return [f for f in self._frames if start <= f.time <= end]
+
+    def annotations_between(
+        self, start: int, end: int, kind: Optional[str] = None
+    ) -> List[Annotation]:
+        """Annotations with ``start <= time <= end``, optionally by kind."""
+        return [
+            a
+            for a in self.annotations
+            if start <= a.time <= end and (kind is None or a.kind == kind)
+        ]
+
+    def alerts(self) -> List[Annotation]:
+        """SLO alert firings, in time order."""
+        return [a for a in self.annotations if a.kind == "slo_alert"]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def dumps(self, meta: Optional[Dict[str, Any]] = None) -> str:
+        """The timeline as JSON Lines (meta, frames, annotations)."""
+        merged = dict(self.meta)
+        if meta:
+            merged.update(meta)
+        merged["frames"] = len(self._frames)
+        merged["dropped_frames"] = self.dropped
+        merged["annotations"] = len(self.annotations)
+        lines = [json.dumps({"kind": "meta", **merged}, sort_keys=True)]
+        for frame in self._frames:
+            lines.append(
+                json.dumps({"kind": "frame", **asdict(frame)}, sort_keys=True)
+            )
+        for annotation in self.annotations:
+            record = asdict(annotation)
+            # The annotation's own kind moves to "event": the top-level
+            # "kind" key is the JSONL record discriminator.
+            record["event"] = record.pop("kind")
+            lines.append(
+                json.dumps({"kind": "annotation", **record}, sort_keys=True)
+            )
+        return "\n".join(lines) + "\n"
+
+    def export_jsonl(
+        self, path: str, meta: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Write :meth:`dumps` to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps(meta))
+        return path
+
+
+def loads(text: str) -> Timeline:
+    """Rebuild a :class:`Timeline` from its JSONL serialization."""
+    frames: List[TimelineFrame] = []
+    annotations: List[Annotation] = []
+    meta: Dict[str, Any] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError("timeline line %d is not JSON: %s" % (number, exc))
+        kind = record.pop("kind", None)
+        if kind == "meta":
+            meta = record
+        elif kind == "frame":
+            frames.append(TimelineFrame(**record))
+        elif kind == "annotation":
+            record["kind"] = record.pop("event")
+            annotations.append(Annotation(**record))
+        else:
+            raise ValueError(
+                "timeline line %d has unknown kind %r" % (number, kind)
+            )
+    # A ring at least as large as the stored frame count, so loading
+    # never re-drops what the producer kept.
+    timeline = Timeline(max_frames=max(1, len(frames)))
+    timeline.meta = meta
+    timeline.dropped = int(meta.get("dropped_frames", 0))
+    for frame in frames:
+        timeline._frames.append(frame)
+    timeline.annotations = annotations
+    return timeline
+
+
+def load_timeline(path: str) -> Timeline:
+    """Read a JSONL timeline artifact from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

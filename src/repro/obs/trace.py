@@ -298,9 +298,21 @@ def render_shift_list(tracer: CausalTracer, shifts: Sequence, window: int) -> st
 
 
 def render_shift_attribution(
-    tracer: CausalTracer, shifts: Sequence, index: int, window: int
+    tracer: CausalTracer,
+    shifts: Sequence,
+    index: int,
+    window: int,
+    scales: Sequence = (),
+    events: Sequence = (),
 ) -> str:
-    """Which ``T_LB`` samples caused shift ``index``, with batch bounds."""
+    """Which ``T_LB`` samples caused shift ``index``, with batch bounds.
+
+    ``scales`` (fleet :class:`ScaleSpan`-likes) and ``events`` (campaign
+    violation events) that fall inside the attribution window — from the
+    earliest contributing sample's batch start to the shift — are
+    rendered as extra cross-plane sections, so a shift provoked by a
+    scale-in or coincident with a dark-routing violation says so.
+    """
     shift = shifts[index]
     samples = tracer.contributing_samples(shift, window)
     lines = [
@@ -325,6 +337,35 @@ def render_shift_attribution(
         )
     if not samples:
         lines.append("  (none recorded before this shift)")
+    window_start = (
+        min(s.batch_start for s in samples) if samples else shift.time
+    )
+    in_window_scales = [
+        s for s in scales if window_start <= s.time <= shift.time
+    ]
+    if in_window_scales:
+        lines.append("fleet scaling decisions in attribution window:")
+        for span in in_window_scales:
+            lines.append(
+                "  %11.3f  %s %s: %d -> %d  (%s)"
+                % (
+                    to_millis(span.time),
+                    span.policy,
+                    span.direction,
+                    span.before,
+                    span.after,
+                    span.reason,
+                )
+            )
+    in_window_events = [
+        e for e in events if window_start <= e.time <= shift.time
+    ]
+    if in_window_events:
+        lines.append("invariant violations in attribution window:")
+        for event in in_window_events:
+            lines.append("  %11.3f  [%s] %s" % (
+                to_millis(event.time), event.invariant, event.message,
+            ))
     return "\n".join(lines)
 
 

@@ -455,3 +455,33 @@ class TestObsCounters:
         # samples because nothing fired.
         assert "# TYPE repro_invariant_violations_total counter" in exported
         assert "repro_invariant_violations_total{" not in exported
+
+
+class TestViolationEvents:
+    """The structured twins of the rendered violation strings."""
+
+    def test_clean_run_has_no_events(self, context):
+        assert context.audit.routing.events == []
+
+    def test_violation_emits_structured_twin(self, context):
+        from repro.net.addr import FlowKey
+
+        routing = context.audit.routing
+        flow = FlowKey("client9", 40999, "vip", 11211)
+        before = len(routing.violations)
+        try:
+            routing._tap(123 * MS, flow, "ghost-backend", packet=None)
+            assert len(routing.violations) == before + 1
+            assert len(routing.events) == before + 1
+            event = routing.events[-1]
+            assert event.time == 123 * MS
+            assert event.invariant == "no-dark-routing"
+            # The structured record carries the same rendered message,
+            # so trace attribution and reports agree verbatim.
+            assert event.message == routing.violations[-1]
+            assert "ghost-backend" in event.message
+        finally:
+            routing.violations.pop()
+            routing.events.pop()
+            routing._seen.discard(flow)
+            routing.checked -= 1

@@ -196,3 +196,68 @@ class TestObsVerbs:
         code = main(["--duration", "1", "trace", "--shift", "100000"])
         assert code == 2
         assert "out of range" in capsys.readouterr().err
+
+
+class TestInsightVerbs:
+    def test_explain_parser_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.shift is None and args.alert is None
+        assert args.lookback == 0.25
+        assert args.export is None
+
+    def test_diff_parser_positionals(self):
+        args = build_parser().parse_args(["diff", "a.jsonl", "b.jsonl"])
+        assert args.run_a == "a.jsonl" and args.run_b == "b.jsonl"
+        assert args.eps == 0.05
+
+    def test_explain_overview(self, capsys):
+        code = main(["--duration", "0.6", "explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shifts (use --shift N):" in out
+
+    def test_explain_shift_chain(self, capsys):
+        code = main(["--duration", "0.6", "explain", "--shift", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triggering sample:" in out
+        assert "dominant upstream cause:" in out
+
+    def test_explain_shift_out_of_range(self, capsys):
+        code = main(["--duration", "0.6", "explain", "--shift", "100000"])
+        assert code == 1
+        assert capsys.readouterr().err
+
+    def test_explain_rejects_both_flags(self, capsys):
+        code = main(
+            ["--duration", "0.6", "explain", "--shift", "0", "--alert", "0"]
+        )
+        assert code == 2
+
+    def test_explain_export_then_diff(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        assert main(["--duration", "0.6", "explain", "--export", a]) == 0
+        assert main(
+            ["--seed", "5", "--duration", "0.6", "explain", "--export", b]
+        ) == 0
+        code = main(["diff", a, b])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline written" in out
+        assert "divergence" in out  # either kind of verdict mentions it
+
+    def test_diff_missing_file(self, capsys):
+        code = main(["diff", "/nonexistent/a.jsonl", "/nonexistent/b.jsonl"])
+        assert code == 2
+        assert "cannot load timeline" in capsys.readouterr().err
+
+    def test_run_timeline_export(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        code = main(["--duration", "0.2", "run", "--timeline", path])
+        assert code == 0
+        from repro.insight import load_timeline
+
+        timeline = load_timeline(path)
+        assert len(timeline) > 0
+        assert "insight:" in capsys.readouterr().out

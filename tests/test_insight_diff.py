@@ -1,0 +1,114 @@
+"""Timeline alignment and divergence reporting."""
+
+from repro.harness.config import PolicyName
+from repro.harness.figures import Fig3Config, run_fig3
+from repro.insight import (
+    InsightConfig,
+    Timeline,
+    TimelineFrame,
+    diff_timelines,
+    loads,
+    render_diff,
+)
+from repro.units import MILLISECONDS, SECONDS
+
+INTERVAL = 10 * MILLISECONDS
+
+
+def timeline(frames, meta=None):
+    built = Timeline()
+    built.meta = {"frame_interval": INTERVAL, **(meta or {})}
+    for frame in frames:
+        built.append(frame)
+    return built
+
+
+def frame(time, weights, mode=None, breakers=None, slo_state=None):
+    return TimelineFrame(
+        time=time,
+        weights=weights,
+        ladder_mode=mode,
+        breakers=breakers or {},
+        slo=None if slo_state is None else {"state": slo_state},
+    )
+
+
+class TestAlignment:
+    def test_identical_timelines_do_not_diverge(self):
+        frames = [frame(t * INTERVAL, {"a": 1.0, "b": 1.0}) for t in range(5)]
+        assert diff_timelines(timeline(frames), timeline(list(frames))) == []
+
+    def test_offset_capture_times_still_align(self):
+        # Frames land a few packets apart in the two runs; same bucket.
+        a = timeline([frame(10 * MILLISECONDS, {"a": 1.0, "b": 1.0})])
+        b = timeline([frame(10 * MILLISECONDS + 123_456, {"a": 1.0, "b": 1.0})])
+        assert diff_timelines(a, b) == []
+
+    def test_unshared_buckets_are_skipped(self):
+        a = timeline([frame(0, {"a": 1.0}), frame(INTERVAL, {"a": 1.0})])
+        b = timeline([frame(0, {"a": 1.0})])  # shorter run
+        assert diff_timelines(a, b) == []
+
+
+class TestDivergence:
+    def test_weight_divergence_past_epsilon(self):
+        a = timeline([frame(0, {"a": 1.0, "b": 1.0})])
+        b = timeline([frame(0, {"a": 1.8, "b": 0.2})])
+        found = diff_timelines(a, b)
+        assert [d.field for d in found] == ["weights"]
+
+    def test_weights_compared_normalized(self):
+        # 2:2 and 1:1 are the same routing distribution.
+        a = timeline([frame(0, {"a": 2.0, "b": 2.0})])
+        b = timeline([frame(0, {"a": 1.0, "b": 1.0})])
+        assert diff_timelines(a, b) == []
+
+    def test_mode_and_breaker_and_slo_divergence(self):
+        a = timeline(
+            [frame(0, {"a": 1.0}, mode="FEEDBACK", breakers={"a": "closed"}, slo_state="ok")]
+        )
+        b = timeline(
+            [frame(0, {"a": 1.0}, mode="FALLBACK", breakers={"a": "open"}, slo_state="burning")]
+        )
+        fields = sorted(d.field for d in diff_timelines(a, b))
+        assert fields == ["breaker", "mode", "slo"]
+
+    def test_epsilon_is_tunable(self):
+        a = timeline([frame(0, {"a": 1.0, "b": 1.0})])
+        b = timeline([frame(0, {"a": 1.1, "b": 0.9})])
+        assert diff_timelines(a, b, weight_eps=0.2) == []
+        assert diff_timelines(a, b, weight_eps=0.01)
+
+
+class TestRendering:
+    def test_render_mentions_divergence_and_first_point(self):
+        a = timeline([frame(0, {"a": 1.0, "b": 1.0})], meta={"seed": 1})
+        b = timeline([frame(0, {"a": 1.9, "b": 0.1})], meta={"seed": 2})
+        text = render_diff(a, b)
+        assert "divergence" in text
+        assert "first divergence at" in text
+
+    def test_render_agreeing_runs(self):
+        frames = [frame(0, {"a": 1.0})]
+        text = render_diff(timeline(frames), timeline(list(frames)))
+        assert "no divergence" in text
+
+
+class TestEndToEnd:
+    def test_two_seeds_of_fig3_diverge_via_artifacts(self):
+        timelines = []
+        for seed in (2, 3):
+            fig3 = run_fig3(
+                Fig3Config(
+                    seed=seed,
+                    duration=int(0.6 * SECONDS),
+                    insight=InsightConfig(enabled=True),
+                ),
+                policies=(PolicyName.FEEDBACK,),
+            )
+            insight = fig3.results["feedback"].scenario.insight
+            timelines.append(loads(insight.dumps()))  # via the artifact
+        text = render_diff(timelines[0], timelines[1])
+        assert "aligned buckets:" in text
+        # Different seeds shift weight at different times.
+        assert "divergence" in text

@@ -1,0 +1,113 @@
+"""Causal chains from the flight recorder, incl. the golden fig3 case."""
+
+import pytest
+
+from repro.harness.config import PolicyName
+from repro.harness.figures import Fig3Config, run_fig3
+from repro.insight import InsightConfig, explain_alert, explain_overview, explain_shift
+from repro.units import MILLISECONDS, SECONDS
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    """One recorded fig3 feedback arm, shared by every test here."""
+    return run_fig3(
+        Fig3Config(
+            seed=2,
+            duration=int(1.2 * SECONDS),
+            insight=InsightConfig(enabled=True),
+        ),
+        policies=(PolicyName.FEEDBACK,),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(fig3):
+    return fig3.results[PolicyName.FEEDBACK.value]
+
+
+class TestGoldenCausal:
+    def test_first_post_fault_shift_names_the_delay_fault(self, fig3, result):
+        """The acceptance criterion: on fig3, explain for the first
+        post-injection shift names the 1 ms delay window as the
+        dominant upstream cause."""
+        shifts = result.scenario.feedback.shift_events()
+        post = [
+            i for i, s in enumerate(shifts) if s.time >= fig3.config.injection_at
+        ]
+        assert post, "fig3 must shift after the injection"
+        text = explain_shift(result, post[0])
+        cause = [
+            line for line in text.splitlines()
+            if line.startswith("dominant upstream cause:")
+        ]
+        assert len(cause) == 1
+        assert "delay" in cause[0]
+        assert "server0" in cause[0]
+
+    def test_pre_fault_shift_blames_organic_imbalance(self, fig3, result):
+        shifts = result.scenario.feedback.shift_events()
+        pre = [
+            i for i, s in enumerate(shifts)
+            if s.time < fig3.config.injection_at
+        ]
+        assert pre
+        text = explain_shift(result, pre[0])
+        assert "organic load imbalance" in text
+
+
+class TestChainContents:
+    def test_chain_has_all_four_layers(self, result):
+        text = explain_shift(result, 0)
+        assert "triggering sample:" in text
+        assert "estimator snapshot" in text
+        assert "controller inputs:" in text
+        assert "dominant upstream cause:" in text
+
+    def test_triggering_sample_is_on_the_demoted_backend(self, result):
+        shifts = result.scenario.feedback.shift_events()
+        text = explain_shift(result, 0)
+        demoted = shifts[0].from_backend
+        trigger = [
+            line for line in text.splitlines()
+            if line.startswith("triggering sample:")
+        ][0]
+        assert demoted in trigger
+
+    def test_shift_index_out_of_range(self, result):
+        with pytest.raises(IndexError):
+            explain_shift(result, 10_000)
+        with pytest.raises(IndexError):
+            explain_shift(result, -1)
+
+    def test_lookback_narrows_the_fault_attribution(self, fig3, result):
+        shifts = result.scenario.feedback.shift_events()
+        post = [
+            i for i, s in enumerate(shifts)
+            if s.time > fig3.config.injection_at + 1 * MILLISECONDS
+        ]
+        assert post
+        # A 1 ms lookback cannot reach back to the injection start, but
+        # the window is still *active* at the shift, so it stays dominant.
+        text = explain_shift(result, post[0], lookback=1 * MILLISECONDS)
+        assert "dominant upstream cause: delay" in text
+
+
+class TestOverviewAndAlerts:
+    def test_overview_lists_shifts(self, result):
+        text = explain_overview(result)
+        assert "shifts (use --shift N):" in text
+        assert "#0 at" in text
+
+    def test_alert_out_of_range_raises(self, result):
+        # The default SLO is comfortable for fig3; no alerts fire.
+        with pytest.raises(IndexError):
+            explain_alert(result, 0)
+
+    def test_explain_requires_the_insight_plane(self):
+        bare = run_fig3(
+            Fig3Config(seed=2, duration=int(0.4 * SECONDS)),
+            policies=(PolicyName.FEEDBACK,),
+        ).results[PolicyName.FEEDBACK.value]
+        with pytest.raises(ValueError):
+            explain_shift(bare, 0)

@@ -1,0 +1,199 @@
+"""The insight plane wired into real scenarios: passivity and capture."""
+
+import pytest
+
+from repro.faults import DelayFault
+from repro.fleet import FleetConfig, ScheduledAction
+from repro.harness.config import PolicyName, ScenarioConfig
+from repro.harness.runner import run_scenario
+from repro.insight import InsightConfig, SLOConfig, loads
+from repro.resilience import ResilienceConfig
+from repro.units import MILLISECONDS
+
+
+def run(insight=None, policy=PolicyName.FEEDBACK, **overrides):
+    config = ScenarioConfig(
+        seed=9,
+        duration=120 * MILLISECONDS,
+        policy=policy,
+        insight=insight or InsightConfig(),
+        faults=[DelayFault(start=60 * MILLISECONDS, node="server0", extra=MILLISECONDS)],
+        **overrides,
+    )
+    return run_scenario(config)
+
+
+def record_key(record):
+    # request_id is a process-global counter, not simulation state.
+    return (
+        record.sent_at,
+        record.completed_at,
+        record.latency,
+        record.server,
+        record.op,
+        record.local_port,
+    )
+
+
+class TestByteIdentity:
+    def test_enabled_plane_changes_nothing(self):
+        off = run()
+        on = run(InsightConfig(enabled=True))
+        assert [record_key(r) for r in off.records] == [
+            record_key(r) for r in on.records
+        ]
+        assert [e.time for e in off.scenario.feedback.shift_events()] == [
+            e.time for e in on.scenario.feedback.shift_events()
+        ]
+        assert off.wall_events == on.wall_events
+
+    def test_identical_under_full_arming(self):
+        kwargs = dict(
+            resilience=ResilienceConfig(enabled=True, health_checks=True)
+        )
+        off = run(**kwargs)
+        on = run(InsightConfig(enabled=True), **kwargs)
+        assert [record_key(r) for r in off.records] == [
+            record_key(r) for r in on.records
+        ]
+        assert off.wall_events == on.wall_events
+
+    def test_disabled_plane_is_structurally_absent(self):
+        result = run()
+        assert result.scenario.insight is None
+        assert result.timeline() is None
+
+
+class TestFrameCapture:
+    def test_frames_paced_and_bounded(self):
+        result = run(InsightConfig(enabled=True, frame_interval=10 * MILLISECONDS))
+        timeline = result.timeline()
+        times = [f.time for f in timeline.frames]
+        assert times == sorted(times)
+        # ~1 frame per interval plus the closing frame.
+        assert 5 <= len(times) <= 14
+        assert times[-1] == result.config.duration  # finalize() frame
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g >= 10 * MILLISECONDS for g in gaps[:-1])
+
+    def test_ring_bound_drops_and_counts(self):
+        result = run(
+            InsightConfig(
+                enabled=True, frame_interval=MILLISECONDS, max_frames=4
+            )
+        )
+        timeline = result.timeline()
+        assert len(timeline) == 4
+        assert timeline.dropped > 0
+
+    def test_frames_carry_controller_state(self):
+        result = run(InsightConfig(enabled=True))
+        final = result.timeline().frames[-1]
+        assert set(final.weights) == {"server0", "server1"}
+        assert final.estimates  # the estimator saw samples
+        assert final.samples["server0"] > 0
+        assert final.sample_total == result.scenario.feedback.sample_count
+        assert final.flows  # conntrack counted flows
+        # Post-fault frame sees the active delay window.
+        assert any(f.faults for f in result.timeline().frames)
+        assert final.slo is not None and final.slo["observed"] > 0
+
+    def test_resilience_state_recorded_when_armed(self):
+        result = run(
+            InsightConfig(enabled=True),
+            resilience=ResilienceConfig(enabled=True, health_checks=True),
+        )
+        final = result.timeline().frames[-1]
+        assert final.ladder_mode is not None
+        assert final.grades.get("server0") in ("fresh", "stale", "invalid")
+
+    def test_fleet_lifecycle_recorded_when_armed(self):
+        result = run(
+            InsightConfig(enabled=True),
+            n_servers=2,
+            maglev_size=1021,
+            fleet=FleetConfig(
+                enabled=True,
+                max_backends=4,
+                min_in_service=2,
+                schedule=[ScheduledAction(at=40 * MILLISECONDS, desired=4)],
+            ),
+        )
+        timeline = result.timeline()
+        final = timeline.frames[-1]
+        assert final.lifecycle  # per-backend fleet states captured
+        assert timeline.annotations_between(
+            0, result.config.duration, kind="scale"
+        )
+
+    def test_shift_annotations_match_controller(self):
+        result = run(InsightConfig(enabled=True))
+        shifts = result.scenario.feedback.shift_events()
+        noted = result.timeline().annotations_between(
+            0, result.config.duration, kind="shift"
+        )
+        assert len(noted) == len(shifts)
+        assert [a.time for a in noted] == [s.time for s in shifts]
+
+    def test_maglev_arm_records_weights_only(self):
+        result = run(InsightConfig(enabled=True), policy=PolicyName.MAGLEV)
+        final = result.timeline().frames[-1]
+        assert final.weights  # pool state still visible
+        assert final.estimates == {}  # no feedback plane to read
+
+
+class TestSLOIntegration:
+    def test_tight_slo_fires_and_annotates(self):
+        result = run(
+            InsightConfig(
+                enabled=True,
+                slo=SLOConfig(
+                    target=200_000,  # 200us: the delay fault breaks this
+                    goal=0.95,
+                    short_window=20 * MILLISECONDS,
+                    long_window=50 * MILLISECONDS,
+                    burn_threshold=1.5,
+                    cooldown=20 * MILLISECONDS,
+                ),
+            )
+        )
+        alerts = result.timeline().alerts()
+        assert alerts
+        assert result.scenario.insight.slo.alerts
+        assert "SLO burn-rate alert" in alerts[0].label
+
+    def test_report_carries_insight_summary(self):
+        result = run(InsightConfig(enabled=True))
+        text = result.report()
+        assert "insight:" in text
+        assert "frames recorded" in text
+
+
+class TestArtifact:
+    def test_dumps_round_trips_through_loads(self):
+        result = run(InsightConfig(enabled=True))
+        text = result.scenario.insight.dumps()
+        loaded = loads(text)
+        assert len(loaded) == len(result.timeline())
+        assert loaded.meta["policy"] == "feedback"
+        assert loaded.meta["seed"] == 9
+
+    def test_export_writes_jsonl(self, tmp_path):
+        result = run(InsightConfig(enabled=True))
+        path = str(tmp_path / "timeline.jsonl")
+        result.scenario.insight.export(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        assert '"kind": "meta"' in first
+
+
+class TestConfigValidation:
+    def test_bad_insight_config_rejected_at_scenario_validate(self):
+        from repro.errors import ConfigError
+
+        config = ScenarioConfig(
+            duration=50 * MILLISECONDS,
+            insight=InsightConfig(enabled=True, frame_interval=0),
+        )
+        with pytest.raises(ConfigError):
+            config.validate()

@@ -1,0 +1,126 @@
+"""The SLO monitor: burn rates, the multiwindow rule, cooldown."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.insight import SLOConfig, SLOMonitor
+from repro.units import MILLISECONDS
+
+
+def config(**overrides):
+    base = dict(
+        target=2 * MILLISECONDS,
+        goal=0.9,                       # budget = 10%
+        short_window=100 * MILLISECONDS,
+        long_window=500 * MILLISECONDS,
+        burn_threshold=2.0,
+        cooldown=200 * MILLISECONDS,
+    )
+    base.update(overrides)
+    return SLOConfig(**base)
+
+
+def feed(monitor, start, count, bad_every=None, gap=MILLISECONDS):
+    """``count`` requests from ``start``; every ``bad_every``th is slow."""
+    for i in range(count):
+        latency = (
+            3 * MILLISECONDS
+            if bad_every is not None and i % bad_every == 0
+            else MILLISECONDS
+        )
+        monitor.observe(start + i * gap, latency)
+    return start + count * gap
+
+
+class TestConfig:
+    def test_validate_rejects_bad_values(self):
+        for bad in (
+            config(target=0),
+            config(goal=1.0),
+            config(goal=0.0),
+            config(short_window=0),
+            config(short_window=600 * MILLISECONDS),  # > long_window
+            config(burn_threshold=0),
+            config(cooldown=-1),
+        ):
+            with pytest.raises(ConfigError):
+                bad.validate()
+
+    def test_defaults_validate(self):
+        SLOConfig().validate()
+
+
+class TestBurnRate:
+    def test_no_events_burns_zero(self):
+        monitor = SLOMonitor(config())
+        assert monitor.burn_rate(MILLISECONDS, 100 * MILLISECONDS) == 0.0
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        monitor = SLOMonitor(config())
+        # 2 bad of 10 = 20% bad over a 10% budget = 2.0x.
+        now = feed(monitor, 0, 10, bad_every=5)
+        assert monitor.burn_rate(now, 100 * MILLISECONDS) == pytest.approx(2.0)
+
+    def test_window_excludes_old_events(self):
+        monitor = SLOMonitor(config())
+        monitor.observe(0, 3 * MILLISECONDS)             # bad, old
+        monitor.observe(95 * MILLISECONDS, MILLISECONDS)  # good, recent
+        burn = monitor.burn_rate(100 * MILLISECONDS, 10 * MILLISECONDS)
+        assert burn == 0.0  # only the good event is inside the window
+
+
+class TestAlerting:
+    def test_sustained_burn_fires_once_per_cooldown(self):
+        monitor = SLOMonitor(config())
+        now = feed(monitor, 0, 400, bad_every=3)  # ~33% bad: 3.3x burn
+        alert = monitor.evaluate(now)
+        assert alert is not None
+        assert alert.burn_short >= 2.0 and alert.burn_long >= 2.0
+        assert monitor.alerts == [alert]
+        # Inside the cooldown: silent even though still burning.
+        assert monitor.evaluate(now + MILLISECONDS) is None
+        # Past the cooldown (and still burning): fires again.
+        later = feed(monitor, now + 250 * MILLISECONDS, 100, bad_every=3)
+        assert monitor.evaluate(later) is not None
+        assert len(monitor.alerts) == 2
+
+    def test_short_spike_alone_does_not_fire(self):
+        monitor = SLOMonitor(config())
+        # A long healthy history, then a brief spike: the long window
+        # dilutes it below threshold, so no alert (the multiwindow rule).
+        now = feed(monitor, 0, 450)
+        now = feed(monitor, now, 30, bad_every=1)
+        assert monitor.burn_rate(now, config().short_window) >= 2.0
+        assert monitor.burn_rate(now, config().long_window) < 2.0
+        assert monitor.evaluate(now) is None
+
+    def test_healthy_traffic_never_fires(self):
+        monitor = SLOMonitor(config())
+        now = feed(monitor, 0, 300)
+        assert monitor.evaluate(now) is None
+        assert monitor.alerts == []
+
+    def test_describe_mentions_burns(self):
+        monitor = SLOMonitor(config())
+        now = feed(monitor, 0, 100, bad_every=2)
+        alert = monitor.evaluate(now)
+        text = alert.describe()
+        assert "SLO burn-rate alert" in text
+        assert "short=" in text and "long=" in text
+
+
+class TestSnapshot:
+    def test_none_before_traffic(self):
+        assert SLOMonitor(config()).snapshot(0) is None
+
+    def test_snapshot_states(self):
+        monitor = SLOMonitor(config())
+        now = feed(monitor, 0, 100)
+        snap = monitor.snapshot(now)
+        assert snap["state"] == "ok"
+        assert snap["observed"] == 100 and snap["bad_observed"] == 0
+        now = feed(monitor, now, 400, bad_every=2)
+        snap = monitor.snapshot(now)
+        assert snap["state"] == "burning"
+        assert snap["window_bad"] > 0
+        assert snap["burn_long"] >= 2.0

@@ -1,0 +1,123 @@
+"""Timeline ring, queries, and the JSONL round trip."""
+
+import pytest
+
+from repro.insight import Annotation, Timeline, TimelineFrame, load_timeline, loads
+
+
+def frame(time, **overrides):
+    base = dict(weights={"server0": 1.0, "server1": 1.0})
+    base.update(overrides)
+    return TimelineFrame(time=time, **base)
+
+
+class TestRing:
+    def test_append_keeps_time_order(self):
+        timeline = Timeline()
+        for t in (10, 20, 30):
+            timeline.append(frame(t))
+        assert [f.time for f in timeline.frames] == [10, 20, 30]
+        assert len(timeline) == 3
+        assert timeline.dropped == 0
+
+    def test_ring_evicts_oldest_and_counts(self):
+        timeline = Timeline(max_frames=2)
+        for t in (10, 20, 30, 40):
+            timeline.append(frame(t))
+        assert [f.time for f in timeline.frames] == [30, 40]
+        assert timeline.dropped == 2
+
+    def test_max_frames_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Timeline(max_frames=0)
+
+
+class TestQueries:
+    def test_frame_at_or_before(self):
+        timeline = Timeline()
+        for t in (10, 20, 30):
+            timeline.append(frame(t))
+        assert timeline.frame_at_or_before(25).time == 20
+        assert timeline.frame_at_or_before(30).time == 30
+        assert timeline.frame_at_or_before(5) is None
+
+    def test_frames_between_inclusive(self):
+        timeline = Timeline()
+        for t in (10, 20, 30):
+            timeline.append(frame(t))
+        assert [f.time for f in timeline.frames_between(10, 20)] == [10, 20]
+
+    def test_annotations_between_filters_by_kind(self):
+        timeline = Timeline()
+        timeline.annotate(Annotation(time=5, kind="shift", label="a"))
+        timeline.annotate(Annotation(time=15, kind="slo_alert", label="b"))
+        timeline.annotate(Annotation(time=25, kind="shift", label="c"))
+        assert [
+            a.label for a in timeline.annotations_between(0, 30, kind="shift")
+        ] == ["a", "c"]
+        assert [a.label for a in timeline.alerts()] == ["b"]
+
+
+class TestSerialization:
+    def build(self):
+        timeline = Timeline(max_frames=8)
+        timeline.meta = {"policy": "feedback", "seed": 3, "frame_interval": 10}
+        timeline.append(
+            frame(
+                10,
+                estimates={"server0": 420.5},
+                grades={"server0": "fresh"},
+                ladder_mode="FEEDBACK",
+                cliff_pick=600000,
+                faults=[["delay", ["server0"], 5, None]],
+                slo={"state": "ok", "burn_short": 0.0},
+            )
+        )
+        timeline.append(frame(20))
+        timeline.annotate(
+            Annotation(time=12, kind="shift", label="s", data={"from": "server0"})
+        )
+        return timeline
+
+    def test_dumps_loads_round_trip(self):
+        timeline = self.build()
+        text = timeline.dumps()
+        loaded = loads(text)
+        assert [f.time for f in loaded.frames] == [10, 20]
+        assert loaded.frames[0].estimates == {"server0": 420.5}
+        assert loaded.frames[0].faults == [["delay", ["server0"], 5, None]]
+        assert loaded.frames[0].slo["state"] == "ok"
+        assert loaded.annotations[0].kind == "shift"
+        assert loaded.annotations[0].data == {"from": "server0"}
+        assert loaded.meta["policy"] == "feedback"
+        # The round trip is idempotent byte for byte.
+        assert loads(loaded.dumps()).dumps() == loaded.dumps()
+
+    def test_annotation_kind_survives_the_record_discriminator(self):
+        # Annotation.kind must not collide with the line's "kind" field.
+        timeline = Timeline()
+        timeline.annotate(Annotation(time=1, kind="breaker", label="x"))
+        assert loads(timeline.dumps()).annotations[0].kind == "breaker"
+
+    def test_export_and_load_file(self, tmp_path):
+        timeline = self.build()
+        path = str(tmp_path / "run.jsonl")
+        timeline.export_jsonl(path, meta={"extra": "yes"})
+        loaded = load_timeline(path)
+        assert loaded.meta["extra"] == "yes"
+        assert len(loaded) == 2
+
+    def test_meta_counts_recorded(self):
+        timeline = Timeline(max_frames=1)
+        timeline.append(frame(10))
+        timeline.append(frame(20))
+        loaded = loads(timeline.dumps())
+        assert loaded.meta["frames"] == 1
+        assert loaded.meta["dropped_frames"] == 1
+        assert loaded.dropped == 1
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            loads("not json\n")
+        with pytest.raises(ValueError):
+            loads('{"kind": "mystery"}\n')

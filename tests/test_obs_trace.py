@@ -158,3 +158,83 @@ class TestRendering:
     def test_request_tree_unknown_request(self):
         out = render_request_tree(CausalTracer(), 99, [], window=64)
         assert "no trace spans" in out
+
+
+class TestCrossPlaneAttribution:
+    """Fleet scale spans and campaign violations in the shift window."""
+
+    def scale(self, time, direction="in"):
+        from repro.fleet.autoscaler import ScalingDecision
+
+        return ScalingDecision(
+            time=time,
+            policy="target-tracking",
+            direction=direction,
+            reason="p99 over target",
+            metric=3.2,
+            before=4,
+            after=3 if direction == "in" else 5,
+        )
+
+    def violation(self, time):
+        from repro.campaign.audit import ViolationEvent
+
+        return ViolationEvent(
+            time=time,
+            invariant="no-dark-routing",
+            message="flow routed to draining server2",
+        )
+
+    def test_scales_in_window_rendered(self):
+        tracer = make_tracer()
+        # Attribution window is [min batch_start, shift.time] = [110, 450].
+        out = render_shift_attribution(
+            tracer, [make_shift()], 0, window=64,
+            scales=[self.scale(250)],
+        )
+        assert "fleet scaling decisions in attribution window:" in out
+        assert "target-tracking in: 4 -> 3" in out
+        assert "p99 over target" in out
+
+    def test_scales_outside_window_omitted(self):
+        tracer = make_tracer()
+        out = render_shift_attribution(
+            tracer, [make_shift()], 0, window=64,
+            scales=[self.scale(50), self.scale(9_000)],
+        )
+        assert "fleet scaling" not in out
+
+    def test_violations_in_window_rendered(self):
+        tracer = make_tracer()
+        out = render_shift_attribution(
+            tracer, [make_shift()], 0, window=64,
+            events=[self.violation(300)],
+        )
+        assert "invariant violations in attribution window:" in out
+        assert "[no-dark-routing]" in out
+        assert "draining server2" in out
+
+    def test_violations_outside_window_omitted(self):
+        tracer = make_tracer()
+        out = render_shift_attribution(
+            tracer, [make_shift()], 0, window=64,
+            events=[self.violation(50)],
+        )
+        assert "invariant violations" not in out
+
+    def test_no_cross_plane_sections_by_default(self):
+        tracer = make_tracer()
+        out = render_shift_attribution(tracer, [make_shift()], 0, window=64)
+        assert "fleet scaling" not in out
+        assert "invariant violations" not in out
+
+    def test_empty_attribution_windows_over_shift_instant(self):
+        # With no samples the window collapses to the shift instant:
+        # only a decision at exactly shift.time survives the filter.
+        out = render_shift_attribution(
+            CausalTracer(), [make_shift(time=450)], 0, window=64,
+            scales=[self.scale(450), self.scale(449, direction="out")],
+        )
+        assert "fleet scaling decisions in attribution window:" in out
+        assert "in: 4 -> 3" in out
+        assert "out: 4 -> 5" not in out

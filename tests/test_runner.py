@@ -79,3 +79,39 @@ class TestResultViews:
         if times:
             assert result.first_shift_after(0) == times[0]
         assert result.first_shift_after(10**15) is None
+
+
+class TestDeterministicReport:
+    def test_default_report_carries_wallclock(self, result):
+        assert "events/sec wall-clock" in result.report()
+
+    def test_deterministic_report_scrubs_wallclock(self, result):
+        text = result.report(deterministic=True)
+        assert "wall-clock" not in text
+        # Only the host-dependent fragment goes; the engine line stays.
+        assert "engine: %d events processed" % result.wall_events in text
+
+    def test_deterministic_report_is_stable_across_runs(self):
+        config = dict(
+            seed=3,
+            duration=300 * MILLISECONDS,
+            policy=PolicyName.FEEDBACK,
+            warmup=50 * MILLISECONDS,
+        )
+        a = run_scenario(ScenarioConfig(**config))
+        b = run_scenario(ScenarioConfig(**config))
+        assert a.report(deterministic=True) == b.report(deterministic=True)
+
+    def test_scrub_wallclock_matches_deterministic_render(self, result):
+        from repro.harness.report import scrub_wallclock
+
+        assert scrub_wallclock(result.report()) == result.report(
+            deterministic=True
+        )
+
+    def test_scrub_wallclock_on_plain_text(self):
+        from repro.harness.report import scrub_wallclock
+
+        line = "engine: 9 events processed, 123 events/sec wall-clock, x"
+        assert scrub_wallclock(line) == "engine: 9 events processed, x"
+        assert scrub_wallclock("untouched") == "untouched"
