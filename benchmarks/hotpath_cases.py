@@ -17,7 +17,7 @@ from typing import List, Tuple
 
 from repro.core.ensemble import EnsembleConfig, EnsembleTimeout
 from repro.net.addr import Endpoint
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketSlab
 from repro.net.pipe import Pipe
 from repro.sim.engine import Simulator
 from repro.units import GIGABITS_PER_SECOND, MICROSECONDS
@@ -47,6 +47,27 @@ def run_engine_handle_events(n: int = 10_000) -> Tuple[int, float]:
     seconds = time.perf_counter() - start
     assert len(sink) == n
     return n, seconds
+
+
+def run_engine_run_lane(n: int = 1_000_000) -> Tuple[int, float]:
+    """Drain an ``n``-event sorted column through the run lane.
+
+    ``schedule_fire_many`` stores the whole column as one run-lane entry
+    (no per-event heap pushes), so this measures raw dispatch: the
+    engine's ceiling for the batched shapes the slab dataplane produces.
+    """
+    sim = Simulator()
+    noop = _noop
+    start = time.perf_counter()
+    sim.schedule_fire_many(range(n), noop)
+    sim.run()
+    seconds = time.perf_counter() - start
+    assert sim.events_processed == n
+    return n, seconds
+
+
+def _noop() -> None:
+    return None
 
 
 def make_gap_trace(n: int = 100_000, seed: int = 7) -> List[int]:
@@ -106,3 +127,73 @@ def run_pipe_stream(
     seconds = time.perf_counter() - start
     assert len(delivered) == packets * batches
     return len(delivered), seconds, sim.peak_queue_depth
+
+
+def run_pipe_stream_slab(
+    packets: int = 10_000, batches: int = 5
+) -> Tuple[int, float, int]:
+    """Slab-mode pipe stream: alloc_batch → send_batch → bulk drain → free.
+
+    Same shape as :func:`run_pipe_stream` but through the slab
+    dataplane's vectorized seams: array-structured packet records
+    (integer handles) allocated per wave, sent as one batch, delivered
+    by the pump's bulk same-instant drain into a batch receiver, and
+    recycled wholesale.  This is the slab dataplane's packet ceiling
+    the CI gate tracks.
+    """
+    sim = Simulator()
+    slab = PacketSlab()
+    pipe = Pipe(sim, "bench", prop_delay=10 * MICROSECONDS, slab=slab)
+    src_i = slab.intern_endpoint(Endpoint("a", 1))
+    dst_i = slab.intern_endpoint(Endpoint("b", 2))
+    fid = slab.intern_flow(src_i, dst_i)
+    count = [0]
+    free = slab.free
+    free_batch = slab.free_batch
+
+    def deliver(handle: int) -> None:
+        count[0] += 1
+        free(handle)
+
+    def deliver_batch(handles: List[int]) -> None:
+        count[0] += len(handles)
+        free_batch(handles)
+
+    pipe.connect(deliver)
+    pipe.connect_batch(deliver_batch)
+    alloc_batch = slab.alloc_batch
+    send_batch = pipe.send_batch
+    seqs = range(packets)
+    start = time.perf_counter()
+    for _ in range(batches):
+        send_batch(alloc_batch(src_i, dst_i, fid, 0, seqs, 0, 100, None, 0))
+        sim.run()
+    seconds = time.perf_counter() - start
+    assert count[0] == packets * batches
+    assert slab.live == 0
+    assert sim.events_processed == packets * batches
+    return count[0], seconds, sim.peak_queue_depth
+
+
+def run_fleet_elastic_1k() -> Tuple[int, float, int]:
+    """The 1k-backend elastic scale event (the end-to-end gate arm).
+
+    Mirrors ``test_bench_fleet``'s scale-event arm: 100 → 1024 backends
+    through a scheduled peak with a mid-run burst.  Unlike the
+    microbenches this exercises every layer at once — transport, slab
+    dataplane, feedback, autoscaler — so a regression anywhere shows up
+    here even when each microbench still passes.
+    """
+    from repro.harness.elastic import ElasticConfig, run_elastic
+    from repro.units import SECONDS
+
+    config = ElasticConfig(
+        duration=1 * SECONDS, initial_backends=100, max_backends=1024
+    )
+    elastic = run_elastic(config)
+    result = elastic.result
+    return (
+        result.wall_events,
+        result.wall_seconds,
+        elastic.scenario.sim.peak_queue_depth,
+    )

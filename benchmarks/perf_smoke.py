@@ -30,8 +30,11 @@ from hotpath_cases import (  # noqa: E402
     make_gap_trace,
     run_engine_fire_events,
     run_engine_handle_events,
+    run_engine_run_lane,
     run_ensemble_observe,
+    run_fleet_elastic_1k,
     run_pipe_stream,
+    run_pipe_stream_slab,
 )
 
 BENCH_JSON = pathlib.Path(__file__).resolve().parent / "BENCH_engine.json"
@@ -47,12 +50,13 @@ def _best_rate(runner, *args, **kwargs) -> float:
     return best
 
 
-def measure() -> dict:
+def measure(fleet: bool = True) -> dict:
     """Re-run every gated bench; returns bench name → events/sec."""
     trace = make_gap_trace()
-    return {
+    rates = {
         "engine_fire_10k": _best_rate(run_engine_fire_events),
         "engine_handle_10k": _best_rate(run_engine_handle_events),
+        "engine_run_lane_1m": _best_rate(run_engine_run_lane),
         "ensemble_observe_fused_100k": _best_rate(
             run_ensemble_observe, trace, fused=True
         ),
@@ -60,7 +64,15 @@ def measure() -> dict:
             run_ensemble_observe, trace, fused=False
         ),
         "pipe_pump_10x1k": _best_rate(run_pipe_stream),
+        "pipe_slab_5x10k": _best_rate(run_pipe_stream_slab),
     }
+    if fleet:
+        # End-to-end arm: every layer at once (transport, slab dataplane,
+        # feedback, autoscaler).  One run, not best-of-5 — it dominates
+        # the gate's wall clock and its ~30s scale smooths jitter anyway.
+        events, seconds, _peak = run_fleet_elastic_1k()
+        rates["fleet_elastic_1k"] = events / seconds
+    return rates
 
 
 def main(argv=None) -> int:
@@ -71,6 +83,11 @@ def main(argv=None) -> int:
         default=0.30,
         help="allowed fractional slowdown vs baseline (default 0.30)",
     )
+    parser.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the ~30s fleet_elastic_1k end-to-end arm",
+    )
     args = parser.parse_args(argv)
 
     if not BENCH_JSON.exists():
@@ -79,7 +96,7 @@ def main(argv=None) -> int:
     baseline = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
 
     failures = []
-    for bench, rate in measure().items():
+    for bench, rate in measure(fleet=not args.no_fleet).items():
         recorded = baseline.get(bench, {}).get("events_per_sec")
         if recorded is None:
             print("%-30s %12.0f ev/s  (no baseline, skipped)" % (bench, rate))

@@ -8,7 +8,11 @@ is the baseline the CI ``perf-smoke`` job gates against.
 """
 
 from conftest import record_perf
-from hotpath_cases import run_engine_fire_events, run_engine_handle_events
+from hotpath_cases import (
+    run_engine_fire_events,
+    run_engine_handle_events,
+    run_engine_run_lane,
+)
 
 from repro.net.addr import Endpoint
 from repro.net.network import Network
@@ -92,6 +96,11 @@ class TestRecordedBaseline:
 
     def test_record_engine_handle_events_per_sec(self):
         entry = self._record("engine_handle_10k", run_engine_handle_events)
+        assert entry["events_per_sec"] > 0
+
+    def test_record_engine_run_lane_per_sec(self):
+        """Raw dispatch ceiling: a 1M-event sorted column, no heap."""
+        entry = self._record("engine_run_lane_1m", run_engine_run_lane)
         assert entry["events_per_sec"] > 0
 
 

@@ -8,7 +8,12 @@ throughputs into ``BENCH_engine.json`` for the CI perf gate.
 """
 
 from conftest import record_perf, write_report
-from hotpath_cases import make_gap_trace, run_ensemble_observe, run_pipe_stream
+from hotpath_cases import (
+    make_gap_trace,
+    run_ensemble_observe,
+    run_pipe_stream,
+    run_pipe_stream_slab,
+)
 
 
 def _best_of(runs, runner, *args, **kwargs):
@@ -41,6 +46,12 @@ class TestPipeSend:
 
         assert benchmark(run) == 10_000
 
+    def test_pipe_slab_5x10k_packets(self, benchmark):
+        def run():
+            return run_pipe_stream_slab()[0]
+
+        assert benchmark(run) == 50_000
+
 
 def test_hotpath_report():
     """Record fused-vs-naive and pipe throughput; render the report."""
@@ -48,11 +59,15 @@ def test_hotpath_report():
     fused_n, fused_s = _best_of(5, run_ensemble_observe, trace, fused=True)
     naive_n, naive_s = _best_of(3, run_ensemble_observe, trace, fused=False)
     pipe_n, pipe_s, pipe_peak = _best_of(5, run_pipe_stream)
+    slab_n, slab_s, slab_peak = _best_of(5, run_pipe_stream_slab)
 
     fused = record_perf("ensemble_observe_fused_100k", fused_n, fused_s)
     naive = record_perf("ensemble_observe_naive_100k", naive_n, naive_s)
     pipe = record_perf(
         "pipe_pump_10x1k", pipe_n, pipe_s, peak_queue_depth=pipe_peak
+    )
+    slab = record_perf(
+        "pipe_slab_5x10k", slab_n, slab_s, peak_queue_depth=slab_peak
     )
 
     speedup = fused["events_per_sec"] / naive["events_per_sec"]
@@ -68,9 +83,17 @@ def test_hotpath_report():
         "  delivery pump:                %12.0f pkts/sec" % pipe["events_per_sec"],
         "  engine peak queue depth:      %12d (one event per pipe)"
         % pipe["peak_queue_depth"],
+        "",
+        "slab pipe, 5 waves x 10k packets, batch seams + bulk drain:",
+        "  vectorized delivery:          %12.0f pkts/sec" % slab["events_per_sec"],
+        "  engine peak queue depth:      %12d (one event per pipe)"
+        % slab["peak_queue_depth"],
     ]
     write_report("hotpath", "\n".join(lines))
     # The fused path must beat the naive loop decisively; the pump must
-    # hold the heap at O(pipes), not O(packets in flight).
+    # hold the heap at O(pipes), not O(packets in flight); the slab
+    # batch seams must beat the per-packet object pump.
     assert speedup > 1.5
     assert pipe["peak_queue_depth"] < 50
+    assert slab["peak_queue_depth"] < 50
+    assert slab["events_per_sec"] > pipe["events_per_sec"]

@@ -222,6 +222,9 @@ class _ConnLoop:
         self.client = client
         self.index = index
         self.conn = conn
+        # Prebound: the send/response paths run per request and the
+        # host.sim property chain is pure overhead there.
+        self._sim = client.host.sim
         self.sent = 0
         self.outstanding: Dict[int, Request] = {}
         self._deadlines: Dict[int, Timer] = {}
@@ -251,7 +254,7 @@ class _ConnLoop:
         if retry is not None:
             # Re-sends bypass the per-connection budget: the request was
             # already admitted once, this is its recovery attempt.
-            retry.sent_at = client.host.sim.now
+            retry.sent_at = self._sim._now
             self.outstanding[retry.request_id] = retry
             self.conn.send_message(retry, retry.wire_size)
             self._arm_deadline(retry.request_id)
@@ -261,7 +264,7 @@ class _ConnLoop:
         if self.sent >= config.requests_per_connection:
             return False
         request = config.workload.make_request(client.rng)
-        request.sent_at = client.host.sim.now
+        request.sent_at = self._sim._now
         self.outstanding[request.request_id] = request
         self.sent += 1
         if client.retry is not None:
@@ -277,9 +280,7 @@ class _ConnLoop:
     def _arm_deadline(self, request_id: int) -> None:
         if self.client.retry is None:
             return
-        timer = Timer(
-            self.client.host.sim, lambda: self._on_deadline(request_id)
-        )
+        timer = Timer(self._sim, lambda: self._on_deadline(request_id))
         timer.start(self.client.retry.deadline)
         self._deadlines[request_id] = timer
 
@@ -312,11 +313,12 @@ class _ConnLoop:
         request = self.outstanding.pop(response.request_id, None)
         if request is None:
             return
+        client = self.client
         timer = self._deadlines.pop(response.request_id, None)
         if timer is not None:
             timer.stop()
-        self.client._attempts.pop(response.request_id, None)
-        now = self.client.host.sim.now
+        client._attempts.pop(response.request_id, None)
+        now = self._sim._now
         record = RequestRecord(
             request_id=request.request_id,
             op=request.op,
@@ -326,16 +328,16 @@ class _ConnLoop:
             server=response.server,
             local_port=conn.local.port,
         )
-        self.client.records.append(record)
-        if self.client.on_record is not None:
-            self.client.on_record(record)
-        if self.client.on_response is not None:
-            self.client.on_response(record, response)
+        client.records.append(record)
+        if client.on_record is not None:
+            client.on_record(record)
+        if client.on_response is not None:
+            client.on_response(record, response)
 
-        think = self.client.config.think_time
+        think = client.config.think_time
         if think > 0:
             # Per-request think-time events are never cancelled: fast path.
-            self.client.host.sim.schedule_fire(think, self._continue)
+            self._sim.schedule_fire(think, self._continue)
         else:
             self._continue()
 

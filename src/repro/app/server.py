@@ -23,7 +23,11 @@ from repro.app.protocol import Op, Request, Response
 from repro.app.servicetime import Deterministic, ServiceTimeModel
 from repro.app.variability import LatencyInjector, NullInjector
 from repro.net.addr import Endpoint
-from repro.transport.connection import Connection, TransportConfig
+from repro.transport.connection import (
+    Connection,
+    ConnectionState,
+    TransportConfig,
+)
 from repro.transport.endpoint import Host
 from repro.units import MICROSECONDS
 
@@ -87,6 +91,8 @@ class ServerApp:
         self.host = host
         self.config = config
         self.rng = rng
+        # Prebound: _on_request/_process run once per request.
+        self._sim = host.sim
         self.store = KeyValueStore(config.store_capacity)
         self.stats = ServerStats()
         self.endpoint = service_endpoint or Endpoint(host.name, config.port)
@@ -175,7 +181,7 @@ class ServerApp:
     def _on_request(self, conn: Connection, request: Request) -> None:
         if not isinstance(request, Request):
             return  # stray message type: ignore rather than crash the run
-        now = self.host.sim.now
+        now = self._sim._now
         if self._crashed:
             # A dead process answers nothing: requests already in the
             # kernel's buffers when it died just vanish.
@@ -188,7 +194,7 @@ class ServerApp:
         self._process(conn, request, now)
 
     def _process(self, conn: Connection, request: Request, arrived_at: int) -> None:
-        now = self.host.sim.now
+        now = self._sim._now
         start = max(now, heapq.heappop(self._worker_free))
         queue_delay = start - arrived_at
         extra = self.config.injector.extra_delay(start)
@@ -208,12 +214,12 @@ class ServerApp:
         response.service_time = work
 
         def respond() -> None:
-            if conn.state.value != "closed":
+            if conn.state is not ConnectionState.CLOSED:
                 self.stats.responses += 1
                 conn.send_message(response, response.wire_size)
 
         # One-shot, never cancelled: skip the EventHandle allocation.
-        self.host.sim.schedule_fire_at(completion, respond)
+        self._sim.schedule_fire_at(completion, respond)
 
     def _execute(self, request: Request) -> Response:
         if request.op is Op.GET:

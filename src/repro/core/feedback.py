@@ -35,7 +35,10 @@ from repro.core.estimator import BackendLatencyEstimator, EstimatorConfig
 from repro.core.flowtable import FlowTable
 from repro.lb.dataplane import LoadBalancer
 from repro.net.addr import FlowKey
-from repro.net.packet import Packet
+from repro.net.packet import FLAG_FIN, FLAG_RST, FLAG_SYN, Packet
+
+_FIN_OR_RST = FLAG_FIN | FLAG_RST
+_SYN_OR_FIN = FLAG_SYN | FLAG_FIN
 from repro.telemetry.timeseries import TimeSeries
 from repro.units import SECONDS
 
@@ -112,6 +115,18 @@ class _FlowState:
         else:
             self.max_end_seq = packet.end_seq
 
+    def observe_seq_fields(self, flags: int, seq: int, payload_len: int) -> None:
+        """Field-wise :meth:`observe_seq` for slab-handle packets."""
+        if payload_len == 0 and not flags & FLAG_SYN:
+            return  # pure ACKs carry no new sequence range
+        end_seq = seq + payload_len
+        if flags & _SYN_OR_FIN:
+            end_seq += 1
+        if end_seq <= self.max_end_seq:
+            self.tainted = True
+        else:
+            self.max_end_seq = end_seq
+
 
 class InbandFeedback:
     """Wires measurement and control onto a load balancer.
@@ -148,10 +163,13 @@ class InbandFeedback:
         )
         self.samples: List[SampleRecord] = []
         self.censored_samples = 0
-        # Hot-path flags, hoisted once: _on_packet runs per forwarded
-        # packet and these do not change after construction.
+        # Hot-path flags and methods, hoisted once: _on_packet runs per
+        # forwarded packet and these do not change after construction
+        # (flows and estimator are never reassigned).
         self._censor = self.config.censor_retransmissions
         self._record = self.config.record_samples
+        self._get_or_create = self.flows.get_or_create
+        self._est_observe = self.estimator.observe
         #: Per-backend sample series for reports (time, T_LB ns).
         self.sample_series: Dict[str, TimeSeries] = {}
         #: Resilience plane (None unless enabled).
@@ -169,6 +187,9 @@ class InbandFeedback:
         self._tracer = None
         #: Insight plane's flight recorder (None unless attached).
         self._recorder = None
+        #: The network's PacketSlab (None in object mode); the tap reads
+        #: packet fields straight from its columns.
+        self._slab = lb.network.slab
         if resilience is not None and resilience.enabled:
             self._wire_resilience(resilience)
         lb.add_tap(self._on_packet)
@@ -279,15 +300,28 @@ class InbandFeedback:
             self._was_invalid[name] = invalid
 
     def _on_packet(
-        self, now: int, flow: FlowKey, backend: str, packet: Packet
+        self, now: int, flow: FlowKey, backend: str, packet
     ) -> None:
-        state = self.flows.get_or_create(flow, now)
-        if self._censor:
-            state.observe_seq(packet)
+        # ``packet`` is a Packet in object mode, an integer slab handle
+        # in slab mode; only its flags (and, when censoring, its sequence
+        # range) are read, so both forms are handled field-wise.
+        state = self._get_or_create(flow, now)
+        slab = self._slab
+        if slab is not None and type(packet) is int:
+            flags = slab.flags[packet]
+            if self._censor:
+                state.observe_seq_fields(
+                    flags, slab.seq[packet], slab.payload_len[packet]
+                )
+        else:
+            flags = packet.flags
+            if self._censor:
+                state.observe_seq(packet)
         metrics = self._metrics
         recorder = self._recorder
         if metrics is None and recorder is None:
-            t_lb = state.ensemble.observe(now)
+            ensemble = state.ensemble
+            t_lb = ensemble.observe(now)
         else:
             epochs_before = state.ensemble.epochs_completed
             t_lb = state.ensemble.observe(now)
@@ -300,7 +334,7 @@ class InbandFeedback:
                 if recorder is not None:
                     recorder.on_epoch_roll(now, state.ensemble.current_timeout)
 
-        if packet.is_fin or packet.is_rst:
+        if flags & _FIN_OR_RST:
             # The flow is ending; its measurement state is no longer useful.
             self.flows.remove(flow)
 
@@ -315,7 +349,7 @@ class InbandFeedback:
                 metrics.censored.inc()
             return
 
-        self.estimator.observe(backend, now, t_lb)
+        self._est_observe(backend, now, t_lb)
         if metrics is not None:
             metrics.tlb_samples.labels(
                 backend=backend,

@@ -71,18 +71,21 @@ class FlowTable(Generic[S]):
         if self._ops % self._sweep_every == 0:
             self._sweep(now)
 
-        entry = self._entries.get(flow)
+        entries = self._entries
+        entry = entries.get(flow)
         if entry is not None:
-            self._entries[flow] = (now, entry[1])
-            self._entries.move_to_end(flow)
+            # Entries are mutable [last_seen, state] pairs so a touch is
+            # an in-place store plus move_to_end, not a tuple realloc.
+            entry[0] = now
+            entries.move_to_end(flow)
             return entry[1]
 
-        if len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
+        if len(entries) >= self._capacity:
+            entries.popitem(last=False)
             self.stats.evicted_capacity += 1
 
         state = self._factory(flow)
-        self._entries[flow] = (now, state)
+        entries[flow] = [now, state]
         self.stats.created += 1
         return state
 

@@ -168,6 +168,12 @@ class ScenarioConfig:
     insight: InsightConfig = field(default_factory=InsightConfig)
     #: Ignore requests completing before this time in summary stats.
     warmup: int = 0
+    #: Slab dataplane: store packet records in a :class:`PacketSlab`
+    #: (flat parallel arrays addressed by integer handle) instead of
+    #: per-packet objects.  Byte-identical results either way — the
+    #: differential suite proves it — so this stays on; ``False`` keeps
+    #: the object dataplane for A/B runs and the differential tests.
+    slab: bool = True
 
     def validate(self) -> None:
         """Raise ConfigError on malformed values."""

@@ -48,7 +48,7 @@ from repro.lb.dataplane import LoadBalancer
 from repro.lb.policies import MaglevPolicy
 from repro.net.addr import Endpoint, FlowKey
 from repro.net.network import Network
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketSlab
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.telemetry.quantiles import exact_quantile
@@ -98,6 +98,8 @@ class BacklogConfig:
     #: Flow-control window: small enough to stay window-limited (bursty).
     window: int = 16 * 1024
     mss: int = 1448
+    #: Slab dataplane (see :attr:`ScenarioConfig.slab`); byte-identical.
+    slab: bool = True
 
 
 @dataclass
@@ -114,7 +116,7 @@ class BacklogRun:
 def build_backlog(config: BacklogConfig) -> BacklogRun:
     """Assemble the single-flow Fig 2 scenario (no probes attached yet)."""
     sim = Simulator()
-    network = Network(sim)
+    network = Network(sim, PacketSlab() if config.slab else None)
     streams = RandomStreams(config.seed)
     jitter_rng = streams.get("net.jitter")
 

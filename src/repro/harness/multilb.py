@@ -29,6 +29,7 @@ from repro.lb.dataplane import LoadBalancer
 from repro.lb.policies import MaglevPolicy
 from repro.net.addr import Endpoint
 from repro.net.network import Network
+from repro.net.packet import PacketSlab
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.telemetry.timeseries import TimeSeries
@@ -127,7 +128,7 @@ def run_multilb(config: Optional[MultiLbConfig] = None) -> MultiLbResult:
     config = config or MultiLbConfig()
     config.validate()
     sim = Simulator()
-    network = Network(sim)
+    network = Network(sim, PacketSlab())
     streams = RandomStreams(config.seed)
     bw = 10 * GIGABITS_PER_SECOND
 

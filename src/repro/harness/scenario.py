@@ -40,6 +40,7 @@ from repro.lb.policies import (
 from repro.lb.health import HealthChecker
 from repro.net.addr import Endpoint
 from repro.net.network import Network
+from repro.net.packet import PacketSlab
 from repro.resilience.breaker import BreakerBoard
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
@@ -95,7 +96,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
     """Construct the simulated deployment described by ``config``."""
     config.validate()
     sim = Simulator()
-    network = Network(sim)
+    network = Network(sim, PacketSlab() if config.slab else None)
     streams = RandomStreams(config.seed)
     net_params = config.network
 

@@ -40,6 +40,7 @@ from repro.lb.dataplane import LoadBalancer
 from repro.lb.policies import MaglevPolicy
 from repro.net.addr import Endpoint
 from repro.net.network import Network
+from repro.net.packet import PacketSlab
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.transport.endpoint import Host
@@ -141,7 +142,7 @@ def run_tiered(config: Optional[TieredScenarioConfig] = None) -> TieredResult:
     config = config or TieredScenarioConfig()
     config.validate()
     sim = Simulator()
-    network = Network(sim)
+    network = Network(sim, PacketSlab())
     streams = RandomStreams(config.seed)
     bw = 10 * GIGABITS_PER_SECOND
 

@@ -15,17 +15,26 @@ path stays O(1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
-from repro.net.addr import FlowKey
 from repro.units import MILLISECONDS, SECONDS
 
+# Keys are opaque to the table: the LB passes FlowKey tuples in object
+# mode and interned integer flow ids in slab mode (int hashing is much
+# cheaper than a 4-field tuple hash on the per-packet path).
+FlowId = Hashable
 
-@dataclass
+
 class _Entry:
-    backend: str
-    last_seen: int
-    closing_at: Optional[int] = None  # time FIN/RST observed
+    """Slotted by hand (not a dataclass): one entry per tracked flow on
+    the per-packet path, so attribute access and allocation both count."""
+
+    __slots__ = ("backend", "last_seen", "closing_at")
+
+    def __init__(self, backend: str, last_seen: int):
+        self.backend = backend
+        self.last_seen = last_seen
+        self.closing_at: Optional[int] = None  # time FIN/RST observed
 
 
 @dataclass
@@ -53,7 +62,7 @@ class ConnTrack:
         self._idle_timeout = idle_timeout
         self._fin_linger = fin_linger
         self._sweep_every = max(1, sweep_every)
-        self._entries: Dict[FlowKey, _Entry] = {}
+        self._entries: Dict[FlowId, _Entry] = {}
         self._flow_counts: Dict[str, int] = {}
         self._ops = 0
         self.stats = ConnTrackStats()
@@ -61,7 +70,7 @@ class ConnTrack:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def lookup(self, flow: FlowKey, now: int) -> Optional[str]:
+    def lookup(self, flow: FlowId, now: int) -> Optional[str]:
         """Backend for ``flow``, refreshing its idle clock; None if absent."""
         self._maybe_sweep(now)
         entry = self._entries.get(flow)
@@ -76,7 +85,7 @@ class ConnTrack:
         self.stats.hits += 1
         return entry.backend
 
-    def insert(self, flow: FlowKey, backend: str, now: int) -> None:
+    def insert(self, flow: FlowId, backend: str, now: int) -> None:
         """Pin ``flow`` to ``backend``."""
         old = self._entries.get(flow)
         if old is not None:
@@ -85,7 +94,7 @@ class ConnTrack:
         self._flow_counts[backend] = self._flow_counts.get(backend, 0) + 1
         self.stats.inserts += 1
 
-    def mark_closing(self, flow: FlowKey, now: int) -> None:
+    def mark_closing(self, flow: FlowId, now: int) -> None:
         """Note a FIN/RST from the client; entry lingers briefly."""
         entry = self._entries.get(flow)
         if entry is not None and entry.closing_at is None:
@@ -133,7 +142,7 @@ class ConnTrack:
         for flow, idle in dead:
             self._remove(flow, idle=idle)
 
-    def _remove(self, flow: FlowKey, idle: bool) -> None:
+    def _remove(self, flow: FlowId, idle: bool) -> None:
         entry = self._entries.pop(flow, None)
         if entry is None:
             return

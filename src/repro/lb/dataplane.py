@@ -28,12 +28,17 @@ from repro.lb.conntrack import ConnTrack
 from repro.lb.policies import RoutingPolicy
 from repro.net.addr import Endpoint, FlowKey
 from repro.net.network import Network
-from repro.net.packet import Packet
+from repro.net.packet import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - resilience imports lb submodules
     from repro.resilience.breaker import BreakerBoard
 
-#: Signature of a measurement tap.
+_FIN_OR_RST = FLAG_FIN | FLAG_RST
+
+#: Signature of a measurement tap.  In slab mode the last argument is
+#: the integer slab handle instead of a Packet; the in-repo taps ignore
+#: it (they key off ``flow``/``backend``), and cold-path consumers
+#: materialize a snapshot via ``network.slab.materialize(handle)``.
 PacketTap = Callable[[int, FlowKey, str, Packet], None]
 
 
@@ -100,6 +105,17 @@ class LoadBalancer:
         self.stats = LoadBalancerStats()
         self._taps: List[PacketTap] = []
         self._metrics = None
+        # Slab mode: packets arrive as integer handles; conntrack keys
+        # are interned flow ids (ints) instead of FlowKey tuples, which
+        # skips the 4-field tuple hash on every lookup.  Policies and
+        # taps still receive the interned FlowKey object (free: a list
+        # index), so hashing-sensitive policies route identically.
+        self._slab = network.slab
+        # Prebound hot-path handles: on_packet runs once per forwarded
+        # packet, so skip the network.sim.now property chain and the
+        # send_via attribute hop.
+        self._sim = network.sim
+        self._send_via = network.send_via
         network.add_node(self)
 
     def add_tap(self, tap: PacketTap) -> None:
@@ -114,28 +130,44 @@ class LoadBalancer:
     # Node interface
     # ------------------------------------------------------------------
 
-    def on_packet(self, packet: Packet) -> None:
-        """Process one client→server packet."""
+    def on_packet(self, packet) -> None:
+        """Process one client→server packet (object or slab handle)."""
         self.stats.packets_in += 1
-        if packet.dst.host != self.vip.host:
-            # Not for our VIP: a misrouted packet; drop.
-            self.stats.packets_dropped_no_backend += 1
-            if self._metrics is not None:
-                self._metrics.misroutes.inc()
-            return
+        slab = self._slab
+        if slab is not None and type(packet) is int:
+            if slab.ep_host[slab.dst_i[packet]] != self.vip.host:
+                # Not for our VIP: a misrouted packet; drop (and free —
+                # the LB owns the handle on delivery).
+                self.stats.packets_dropped_no_backend += 1
+                slab.free(packet)
+                if self._metrics is not None:
+                    self._metrics.misroutes.inc()
+                return
+            flags = slab.flags[packet]
+            flow = slab.flow(packet)
+            key = slab.fid[packet]
+        else:
+            if packet.dst.host != self.vip.host:
+                # Not for our VIP: a misrouted packet; drop.
+                self.stats.packets_dropped_no_backend += 1
+                if self._metrics is not None:
+                    self._metrics.misroutes.inc()
+                return
+            flags = packet.flags
+            flow = packet.flow
+            key = flow
 
-        now = self.network.sim.now
-        flow = packet.flow
-        backend = self.conntrack.lookup(flow, now)
+        now = self._sim._now
+        backend = self.conntrack.lookup(key, now)
         if backend is not None and backend not in self.pool:
             # The backend left the pool but the flow is pinned: keep
             # draining it (§2.5 — membership churn must not break
             # established connections).  Only new flows avoid it.
             self.stats.draining_packets += 1
         if backend is None:
-            is_new = packet.is_syn and not packet.is_ack
+            is_new = flags & FLAG_SYN and not flags & FLAG_ACK
             backend = self.policy.select(flow, now)
-            self.conntrack.insert(flow, backend, now)
+            self.conntrack.insert(key, backend, now)
             if is_new:
                 self.stats.new_flows += 1
                 self.stats.per_backend_new_flows[backend] = (
@@ -146,8 +178,8 @@ class LoadBalancer:
             else:
                 self.stats.conntrack_fallbacks += 1
 
-        if packet.is_fin or packet.is_rst:
-            self.conntrack.mark_closing(flow, now)
+        if flags & _FIN_OR_RST:
+            self.conntrack.mark_closing(key, now)
 
         for tap in self._taps:
             tap(now, flow, backend, packet)
@@ -161,7 +193,7 @@ class LoadBalancer:
         )
         if self._metrics is not None:
             self._metrics.packets.labels(backend=backend).inc()
-        self.network.send_via(self.name, backend, packet)
+        self._send_via(self.name, backend, packet)
 
     def backend_share(self) -> Dict[str, float]:
         """Fraction of forwarded packets per backend (for reports)."""

@@ -21,23 +21,36 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.node import Node
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketSlab
 from repro.net.pipe import Pipe
 from repro.net.trace import PacketTrace
 from repro.sim.engine import Simulator
 
 
 class Network:
-    """Registry of nodes, pipes between them, and per-node routes."""
+    """Registry of nodes, pipes between them, and per-node routes.
 
-    def __init__(self, sim: Simulator):
+    When constructed with a :class:`PacketSlab`, the fabric runs in slab
+    mode: packets are integer handles into the slab's columns, hosts and
+    the LB address them by handle, and network taps receive materialized
+    :class:`Packet` snapshots (taps are the cold observation path).
+    """
+
+    def __init__(self, sim: Simulator, slab: Optional[PacketSlab] = None):
         self._sim = sim
+        #: Slab backing packet records, or None for object mode.
+        self.slab = slab
         self._nodes: Dict[str, Node] = {}
         self._pipes: Dict[Tuple[str, str], Pipe] = {}
         self._routes: Dict[str, Dict[str, str]] = {}
         self._default_routes: Dict[str, str] = {}
         self._aliases: Dict[str, str] = {}
         self._taps: List[Callable[[str, Packet], None]] = []
+        # Memoized (src node, dst host) → outgoing pipe.  Route
+        # resolution walks three dicts per packet otherwise; the cache
+        # collapses that to one lookup and is invalidated wholesale on
+        # any topology mutation (routes, aliases, pipes).
+        self._hop_cache: Dict[Tuple[str, str], Pipe] = {}
 
     @property
     def sim(self) -> Simulator:
@@ -72,6 +85,7 @@ class Network:
         if node_name not in self._nodes:
             raise NetworkError("alias target %r not a node" % node_name)
         self._aliases[alias] = node_name
+        self._hop_cache.clear()
 
     def connect(
         self,
@@ -98,11 +112,13 @@ class Network:
             bandwidth_bps,
             queue_capacity,
             jitter,
+            slab=self.slab,
         )
         # Bind the receiver's method directly: delivery is the hottest
         # callback in the simulation, so skip wrapper indirection.
         pipe.connect(self._nodes[dst].on_packet)
         self._pipes[key] = pipe
+        self._hop_cache.clear()
         return pipe
 
     def connect_bidirectional(
@@ -138,38 +154,48 @@ class Network:
         if node not in self._nodes:
             raise NetworkError("unknown node %r" % node)
         self._routes[node][dst_host] = next_hop
+        self._hop_cache.clear()
 
     def set_default_route(self, node: str, next_hop: str) -> None:
         """Fallback next hop for destinations with no explicit route."""
         if node not in self._nodes:
             raise NetworkError("unknown node %r" % node)
         self._default_routes[node] = next_hop
+        self._hop_cache.clear()
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
 
-    def send_from(self, node_name: str, packet: Packet) -> bool:
+    def send_from(self, node_name: str, packet) -> bool:
         """Route ``packet`` out of ``node_name`` toward its destination.
 
-        Resolves the next hop (explicit route, then default route, then —
-        if the destination resolves to a directly-pipe-connected node —
-        that node).  Returns False if the pipe tail-dropped the packet.
+        ``packet`` is a :class:`Packet` or a slab handle.  Resolves the
+        next hop (explicit route, then default route, then — if the
+        destination resolves to a directly-pipe-connected node — that
+        node).  Returns False if the pipe tail-dropped the packet.
         """
-        dst_host = packet.dst.host
-        next_hop = self._resolve_next_hop(node_name, dst_host)
-        pipe = self._pipes.get((node_name, next_hop))
+        if type(packet) is int:
+            slab = self.slab
+            dst_host = slab.ep_host[slab.dst_i[packet]]
+        else:
+            dst_host = packet.dst.host
+        key = (node_name, dst_host)
+        pipe = self._hop_cache.get(key)
         if pipe is None:
-            raise NetworkError(
-                "no pipe from %s to next hop %s (for dst %s)"
-                % (node_name, next_hop, dst_host)
-            )
+            next_hop = self._resolve_next_hop(node_name, dst_host)
+            pipe = self._pipes.get((node_name, next_hop))
+            if pipe is None:
+                raise NetworkError(
+                    "no pipe from %s to next hop %s (for dst %s)"
+                    % (node_name, next_hop, dst_host)
+                )
+            self._hop_cache[key] = pipe
         if self._taps:
-            for tap in self._taps:
-                tap(pipe.name, packet)
+            self._run_taps(pipe.name, packet)
         return pipe.send(packet)
 
-    def send_via(self, src_node: str, next_hop: str, packet: Packet) -> bool:
+    def send_via(self, src_node: str, next_hop: str, packet) -> bool:
         """Send over an explicit hop, ignoring route tables.
 
         The load balancer uses this to forward a VIP-addressed packet to
@@ -179,9 +205,17 @@ class Network:
         if pipe is None:
             raise NetworkError("no pipe %s->%s" % (src_node, next_hop))
         if self._taps:
-            for tap in self._taps:
-                tap(pipe.name, packet)
+            self._run_taps(pipe.name, packet)
         return pipe.send(packet)
+
+    def _run_taps(self, pipe_name: str, packet) -> None:
+        # Taps are the cold observation path: slab handles are
+        # materialized once into an independent snapshot so trace
+        # records survive handle recycling.
+        if type(packet) is int:
+            packet = self.slab.materialize(packet)
+        for tap in self._taps:
+            tap(pipe_name, packet)
 
     def _resolve_next_hop(self, node_name: str, dst_host: str) -> str:
         routes = self._routes.get(node_name, {})

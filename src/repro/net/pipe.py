@@ -29,11 +29,12 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
+from itertools import repeat as _repeat
 from typing import Callable, Deque, Optional
 
 from repro.errors import NetworkError
-from repro.net.packet import Packet
-from repro.sim.engine import Simulator
+from repro.net.packet import HEADER_BYTES, Packet, PacketSlab
+from repro.sim.engine import EventHandle, Simulator
 from repro.units import serialization_delay
 
 
@@ -89,6 +90,7 @@ class Pipe:
         bandwidth_bps: Optional[int] = None,
         queue_capacity: int = 1024,
         jitter: Optional[Callable[[], int]] = None,
+        slab: Optional[PacketSlab] = None,
     ):
         if prop_delay < 0:
             raise NetworkError("negative propagation delay on pipe %s" % name)
@@ -108,6 +110,12 @@ class Pipe:
         self._loss_rng: Optional[random.Random] = None
         self._wire_free_at = 0
         self._last_arrival = 0
+        # Hot-path caches, kept in sync by the knob setters: the send
+        # fast path reads one flag instead of re-deriving partition /
+        # loss / jitter / override state per packet.
+        self._eff_bw = bandwidth_bps
+        self._total_delay = prop_delay
+        self._cold = jitter is not None
         # Departure times of packets still occupying the queue/wire;
         # drained lazily in send() instead of with per-packet events.
         self._departures: Deque[int] = deque()
@@ -122,6 +130,10 @@ class Pipe:
         self._pump_armed = False
         self.stats = PipeStats()
         self._deliver: Optional[Callable[[Packet], None]] = None
+        self._deliver_batch: Optional[Callable[[list], None]] = None
+        # Slab mode: payloads are integer handles into these columns.
+        # The pipe owns a handle from send() until delivery or drop.
+        self._slab = slab
 
     @property
     def prop_delay(self) -> int:
@@ -142,6 +154,7 @@ class Pipe:
         if extra < 0:
             raise NetworkError("extra delay must be >= 0, got %d" % extra)
         self._extra_delay = extra
+        self._total_delay = self._prop_delay + extra
 
     @property
     def drop_prob(self) -> float:
@@ -165,6 +178,7 @@ class Pipe:
         if rng is not None:
             self._loss_rng = rng
         self._drop_prob = prob
+        self._refresh_cold()
 
     @property
     def partitioned(self) -> bool:
@@ -180,6 +194,7 @@ class Pipe:
         deterministic without an RNG.
         """
         self._partitioned = bool(active)
+        self._refresh_cold()
 
     @property
     def bandwidth_bps(self) -> Optional[int]:
@@ -206,6 +221,7 @@ class Pipe:
                 "bandwidth override must be positive or None on %s" % self.name
             )
         self._bandwidth_override = bandwidth_bps
+        self._eff_bw = self.effective_bandwidth_bps
 
     @property
     def extra_jitter(self) -> Optional[Callable[[], int]]:
@@ -219,30 +235,73 @@ class Pipe:
         to the packet's propagation delay.
         """
         self._extra_jitter = jitter
+        self._refresh_cold()
+
+    def _refresh_cold(self) -> None:
+        """Recompute whether send() must take the slow (faulted) path."""
+        self._cold = (
+            self._partitioned
+            or self._drop_prob > 0.0
+            or self._jitter is not None
+            or self._extra_jitter is not None
+        )
 
     def connect(self, deliver: Callable[[Packet], None]) -> None:
         """Attach the receiving side's delivery callback."""
         self._deliver = deliver
 
-    def send(self, packet: Packet) -> bool:
-        """Transmit ``packet``; returns False if it was dropped."""
+    def connect_batch(self, deliver_batch: Callable[[list], None]) -> None:
+        """Attach an optional *batch* delivery callback (slab mode only).
+
+        When set, the pump hands an entire same-instant batch of due slab
+        handles to ``deliver_batch(handles)`` in one call whenever that
+        is order-equivalent to per-packet dispatch: every queued arrival
+        shares the head's arrival instant and no other engine event's
+        key interleaves the batch's reserved seqs.  Receivers that
+        register this commit to handle-only traffic on the pipe and take
+        ownership of every handle in the list.  Per-packet
+        :meth:`connect` delivery remains the fallback (lone arrivals,
+        bounded runs, profiled runs, mixed-instant batches).
+        """
+        self._deliver_batch = deliver_batch
+
+    def send(self, packet) -> bool:
+        """Transmit ``packet`` (object or slab handle).
+
+        Returns False if it was dropped.  In slab mode the pipe takes
+        ownership of the handle: dropped handles are freed here,
+        delivered ones pass to the receiver.
+        """
         if self._deliver is None:
             raise NetworkError("pipe %s has no receiver connected" % self.name)
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.size_bytes
+        slab = self._slab
+        if slab is not None and type(packet) is int:
+            size = HEADER_BYTES + slab.payload_len[packet]
+        else:
+            slab = None
+            size = packet.size_bytes
+        stats = self.stats
+        stats.packets_sent += 1
+        stats.bytes_sent += size
+        cold = self._cold
 
-        if self._partitioned:
-            self.stats.packets_dropped_partition += 1
-            return False
-
-        if self._drop_prob > 0.0:
-            assert self._loss_rng is not None
-            if self._loss_rng.random() < self._drop_prob:
-                self.stats.packets_dropped_loss += 1
+        if cold:
+            if self._partitioned:
+                stats.packets_dropped_partition += 1
+                if slab is not None:
+                    slab.free(packet)
                 return False
+            if self._drop_prob > 0.0:
+                assert self._loss_rng is not None
+                if self._loss_rng.random() < self._drop_prob:
+                    stats.packets_dropped_loss += 1
+                    if slab is not None:
+                        slab.free(packet)
+                    return False
 
-        now = self._sim.now
-        bandwidth = self.effective_bandwidth_bps
+        sim = self._sim
+        now = sim._now
+        bandwidth = self._eff_bw
         if bandwidth is None:
             departure = now
         else:
@@ -250,24 +309,28 @@ class Pipe:
             while departures and departures[0] <= now:
                 departures.popleft()
             if len(departures) >= self._queue_capacity:
-                self.stats.packets_dropped_queue += 1
+                stats.packets_dropped_queue += 1
+                if slab is not None:
+                    slab.free(packet)
                 return False
-            start = max(now, self._wire_free_at)
-            departure = start + serialization_delay(
-                packet.size_bytes, bandwidth
-            )
+            start = self._wire_free_at
+            if start < now:
+                start = now
+            # Inlined serialization_delay(): ceil(bits·ns-per-s / bps).
+            departure = start + (-(-size * 8_000_000_000 // bandwidth))
             self._wire_free_at = departure
             departures.append(departure)
 
-        arrival = departure + self._prop_delay + self._extra_delay
-        for draw in (self._jitter, self._extra_jitter):
-            if draw is not None:
-                jitter = draw()
-                if jitter < 0:
-                    raise NetworkError(
-                        "jitter must be non-negative on %s" % self.name
-                    )
-                arrival += jitter
+        arrival = departure + self._total_delay
+        if cold:
+            for draw in (self._jitter, self._extra_jitter):
+                if draw is not None:
+                    jitter = draw()
+                    if jitter < 0:
+                        raise NetworkError(
+                            "jitter must be non-negative on %s" % self.name
+                        )
+                    arrival += jitter
         # Never reorder: clamp to the previous arrival instant.
         if arrival < self._last_arrival:
             arrival = self._last_arrival
@@ -275,34 +338,226 @@ class Pipe:
 
         # Reserve the tie-breaking seq now (as if the delivery event were
         # scheduled here) but only keep one engine event outstanding.
-        seq = self._sim.reserve_seq()
+        # (reserve_seq() and note_parked(1) inlined — this is the hottest
+        # per-packet call site in the simulation.)
+        seq = sim._seq + 1
+        sim._seq = seq
         self._arrivals.append((arrival, seq, packet))
+        parked = sim._parked + 1
+        sim._parked = parked
+        load = len(sim._queue) - sim._tombstones + sim._run_pending + parked
+        if load > sim._peak_load:
+            sim._peak_load = load
         if not self._pump_armed:
             self._pump_armed = True
-            self._sim.schedule_fire_at(arrival, self._pump, seq=seq)
+            sim.schedule_fire_at(arrival, self._pump, seq=seq)
         return True
 
-    def _pump(self) -> None:
-        """Deliver the head in-flight packet; re-arm for the next one.
+    def send_batch(self, handles: list) -> int:
+        """Transmit a wave of slab handles; returns how many were accepted.
 
-        Fires once per delivered packet (so ``events_processed`` matches
-        the per-packet scheme) but the engine heap holds at most one
-        entry per pipe.  Re-arming uses the next packet's reserved seq,
-        so ties against unrelated events keep their original order.
+        Fast path for the warm ideal-link case (slab mode, no faults, no
+        bandwidth): the wave shares one arrival instant, so stats, seq
+        reservation, and pump arming are each done once and the per-packet
+        work collapses to a C-level extend of the arrival queue.  Any
+        other configuration (faults armed, finite bandwidth, object mode)
+        falls back to per-packet :meth:`send`, which preserves exact
+        drop/serialization behavior.
         """
-        arrivals = self._arrivals
-        _arrival, _seq, packet = arrivals.popleft()
-        if arrivals:
-            head = arrivals[0]
-            self._sim.schedule_fire_at(head[0], self._pump, seq=head[1])
-        else:
-            self._pump_armed = False
+        slab = self._slab
+        if slab is None or self._cold or self._eff_bw is not None:
+            send = self.send
+            sent = 0
+            for handle in handles:
+                if send(handle):
+                    sent += 1
+            return sent
+        if self._deliver is None:
+            raise NetworkError("pipe %s has no receiver connected" % self.name)
+        n = len(handles)
+        if n == 0:
+            return 0
         stats = self.stats
-        stats.packets_delivered += 1
-        stats.bytes_delivered += packet.size_bytes
+        payload_len = slab.payload_len
+        size = HEADER_BYTES * n + sum(map(payload_len.__getitem__, handles))
+        stats.packets_sent += n
+        stats.bytes_sent += size
+        sim = self._sim
+        arrival = sim._now + self._total_delay
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        seq = sim.reserve_seq_block(n)
+        self._arrivals.extend(
+            zip(_repeat(arrival, n), range(seq, seq + n), handles)
+        )
+        sim.note_parked(n)
+        if not self._pump_armed:
+            self._pump_armed = True
+            sim.schedule_fire_at(arrival, self._pump, seq=seq)
+        return n
+
+    def _pump(self) -> None:
+        """Deliver every in-flight packet whose arrival is due; re-arm.
+
+        Batch drain: one engine event delivers the head packet and then —
+        when the engine is in an unbounded run (``sim.inline_ok``) — keeps
+        delivering successive arrivals inline for as long as each would
+        have been the very next engine event anyway (its ``(time, seq)``
+        key precedes the engine's next key and the run horizon).  Each
+        inline delivery advances the clock and the processed-events count
+        exactly as a separate pump firing would, so ``events_processed``,
+        callback order, and every timestamp stay byte-identical to the
+        one-event-per-packet scheme; only the heap traffic disappears.
+
+        When the batch leaves arrivals behind (or the engine is stepping
+        with a budget), the pump re-arms for the new head using its
+        reserved seq, preserving tie order against unrelated events.
+        """
+        sim = self._sim
+        arrivals = self._arrivals
+        stats = self.stats
         deliver = self._deliver
         assert deliver is not None
-        deliver(packet)
+        slab = self._slab
+
+        _arrival, _seq, packet = arrivals.popleft()
+        if not arrivals and sim._inline_ok:
+            # Fast path: lone arrival during an unbounded drain (the
+            # overwhelmingly common case on lightly loaded pipes).  With
+            # nothing left to batch, the phantom/horizon machinery below
+            # degenerates to exactly this:
+            self._pump_armed = False
+            sim._parked -= 1
+            stats.packets_delivered += 1
+            if slab is not None and type(packet) is int:
+                stats.bytes_delivered += HEADER_BYTES + slab.payload_len[packet]
+            else:
+                stats.bytes_delivered += packet.size_bytes
+            deliver(packet)
+            return
+        deliver_batch = self._deliver_batch
+        if (
+            deliver_batch is not None
+            and sim._inline_ok
+            and sim._profiler is None
+            and slab is not None
+            and arrivals
+            and arrivals[-1][0] == _arrival
+        ):
+            # Bulk drain: every queued arrival shares this instant
+            # (arrivals are monotone, so last == head means all equal).
+            # If no other engine event's key interleaves the batch's
+            # reserved seqs, per-packet dispatch would deliver exactly
+            # this list in exactly this order with the clock pinned at
+            # _arrival — so hand the whole batch to the receiver in one
+            # call and account for it wholesale.
+            last_seq = arrivals[-1][1]
+            key = sim.next_key()
+            if key is None or key > (_arrival, last_seq):
+                batch = [packet]
+                batch.extend(entry[2] for entry in arrivals)
+                arrivals.clear()
+                self._pump_armed = False
+                n = len(batch)
+                sim._parked -= n
+                stats.packets_delivered += n
+                payload_len = slab.payload_len
+                stats.bytes_delivered += HEADER_BYTES * n + sum(
+                    map(payload_len.__getitem__, batch)
+                )
+                # The pump's own heap event covers the head; the rest
+                # were delivered inline.
+                sim.inline_fire_batch(_arrival, n - 1)
+                deliver_batch(batch)
+                return
+        if not sim.inline_ok:
+            # Bounded run (step()/max_events): exact per-packet behavior.
+            if arrivals:
+                head = arrivals[0]
+                sim.schedule_fire_at(head[0], self._pump, seq=head[1])
+            else:
+                self._pump_armed = False
+            sim._parked -= 1
+            stats.packets_delivered += 1
+            if slab is not None and type(packet) is int:
+                stats.bytes_delivered += HEADER_BYTES + slab.payload_len[packet]
+            else:
+                stats.bytes_delivered += packet.size_bytes
+            deliver(packet)
+            return
+
+        # Mirror the per-firing bookkeeping of the one-event scheme
+        # before every delivery: while arrivals remain queued the old
+        # scheme had a re-armed pump event in the heap (modelled here as
+        # a phantom, so peak depth follows the same trajectory); once
+        # arrivals drain, the pump was disarmed, so a send() issued from
+        # inside a delivery arms a real heap event exactly as before.
+        profiler = sim._profiler
+        until = sim.inline_until
+        sim._parked -= 1
+        # The first packet's delivery belongs to the pump's own heap
+        # event (the engine already wraps and counts it); only inline
+        # deliveries are dispatched through the profiler here, keeping
+        # profiler.events == sim.events_processed.
+        first = True
+        while True:
+            if arrivals:
+                sim._phantom = 1
+                armed_inline = True
+            else:
+                sim._phantom = 0
+                self._pump_armed = False
+                armed_inline = False
+            stats.packets_delivered += 1
+            if slab is not None and type(packet) is int:
+                stats.bytes_delivered += HEADER_BYTES + slab.payload_len[packet]
+            else:
+                stats.bytes_delivered += packet.size_bytes
+            if profiler is None or first:
+                first = False
+                deliver(packet)
+            else:
+                profiler.run_args(deliver, packet)
+            if not armed_inline:
+                # Arrivals were empty at delivery time; any packets sent
+                # during the delivery armed a fresh heap event themselves.
+                break
+            head = arrivals[0]
+            t2 = head[0]
+            if until is not None and t2 > until:
+                self._re_arm(head)
+                break
+            s2 = head[1]
+            queue = sim._queue
+            if sim._runs or (queue and type(queue[0][2]) is EventHandle):
+                # Slow path: run columns or a possibly-cancelled heap
+                # head need the engine's authoritative next key.
+                key = sim.next_key()
+                if key is not None and key < (t2, s2):
+                    self._re_arm(head)
+                    break
+            elif queue:
+                entry = queue[0]
+                qt = entry[0]
+                if qt < t2 or (qt == t2 and entry[1] < s2):
+                    self._re_arm(head)
+                    break
+            arrivals.popleft()
+            packet = head[2]
+            sim._parked -= 1
+            # inline_fire(t2), inlined:
+            sim._now = t2
+            sim._events_processed += 1
+        sim._phantom = 0
+
+    def _re_arm(self, head: tuple) -> None:
+        # Delivery must yield to an earlier engine event: drop the
+        # phantom (the real push replaces it) and schedule the pump for
+        # the head arrival under its reserved seq.
+        sim = self._sim
+        sim._phantom = 0
+        sim.schedule_fire_at(head[0], self._pump, seq=head[1])
 
     @property
     def in_flight(self) -> int:

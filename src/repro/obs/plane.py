@@ -299,10 +299,16 @@ class ObsPlane:
         )
         sim_live = registry.gauge(
             "repro_sim_live_events",
-            "Engine events still queued that will actually fire",
+            "Outstanding work: live engine events plus packets parked "
+            "behind batch-drain pipe pumps (a 1k-packet batch reads as "
+            "1000, not 1)",
         )
         sim_peak = registry.gauge(
             "repro_sim_peak_queue_depth", "High-water mark of the event queue"
+        )
+        sim_peak_load = registry.gauge(
+            "repro_sim_peak_load",
+            "High-water mark of outstanding work (events + parked packets)",
         )
 
         def collect() -> None:
@@ -329,8 +335,11 @@ class ObsPlane:
             sim = scenario.sim
             sim_events.set(sim.events_processed)
             sim_pending.set(sim.pending_events)
-            sim_live.set(sim.live_events)
+            # Honest load: a pipe holding 1000 arrivals behind one pump
+            # entry contributes 1000 here, not 1 (see Simulator.pending_load).
+            sim_live.set(sim.pending_load)
             sim_peak.set(sim.peak_queue_depth)
+            sim_peak_load.set(sim.peak_load)
             if fleet is not None:
                 from repro.fleet.lifecycle import BackendState
 

@@ -27,12 +27,27 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import TransportError
 from repro.net.addr import Endpoint
-from repro.net.packet import MessageBoundary, Packet, TcpFlags
+from repro.net.packet import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    MessageBoundary,
+    Packet,
+    TcpFlags,
+)
 from repro.sim.engine import Simulator, Timer
+
+_SYN_ACK = FLAG_SYN | FLAG_ACK
+_ACK_PSH = FLAG_ACK | FLAG_PSH
+_FIN_ACK = FLAG_FIN | FLAG_ACK
+_RST_ACK = FLAG_RST | FLAG_ACK
+_SYN_OR_FIN = FLAG_SYN | FLAG_FIN
 from repro.transport.ack_policy import AckPolicy, ImmediateAck
 from repro.transport.pacing import Pacer
 from repro.transport.retransmit import RttEstimator
@@ -83,17 +98,37 @@ class TransportConfig:
         return replace(self)
 
 
-@dataclass
 class _SentSegment:
-    """Book-keeping for an in-flight segment."""
+    """Book-keeping for an in-flight segment (hot-path __slots__ class;
+    ``flags`` is a plain int)."""
 
-    seq: int
-    end_seq: int
-    payload_len: int
-    flags: TcpFlags
-    boundaries: List[MessageBoundary]
-    sent_at: int
-    retransmitted: bool = False
+    __slots__ = (
+        "seq",
+        "end_seq",
+        "payload_len",
+        "flags",
+        "boundaries",
+        "sent_at",
+        "retransmitted",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        end_seq: int,
+        payload_len: int,
+        flags: int,
+        boundaries: List[MessageBoundary],
+        sent_at: int,
+        retransmitted: bool = False,
+    ):
+        self.seq = seq
+        self.end_seq = end_seq
+        self.payload_len = payload_len
+        self.flags = flags
+        self.boundaries = boundaries
+        self.sent_at = sent_at
+        self.retransmitted = retransmitted
 
 
 @dataclass
@@ -132,6 +167,8 @@ class Connection:
     ):
         config.validate()
         self._host = host
+        # Prebound: _transmit runs per segment, so skip the attribute hop.
+        self._host_transmit = host.transmit
         self._sim: Simulator = host.sim
         self.local = local
         self.remote = remote
@@ -154,9 +191,24 @@ class Connection:
         # --- receive side ----------------------------------------------
         self._irs: Optional[int] = None  # peer's initial sequence number
         self._rcv_nxt = 0
-        self._ooo: Dict[int, Packet] = {}
+        # Out-of-order buffer: seq -> (flags, seq, payload_len,
+        # boundaries) field tuples.  Fields are copied out of slab
+        # handles before buffering, so handles never outlive delivery.
+        self._ooo: Dict[int, Tuple] = {}
         self._rx_boundaries: Dict[int, Any] = {}
         self._delivered_offset = 0
+
+        # --- slab mode ---------------------------------------------------
+        # When the host runs on a PacketSlab, intern this connection's
+        # endpoints/flow once; _transmit then allocates slab records.
+        slab = host.slab
+        self._slab = slab
+        if slab is not None:
+            self._src_i = slab.intern_endpoint(local)
+            self._dst_i = slab.intern_endpoint(remote)
+            self._fid = slab.intern_flow(self._src_i, self._dst_i)
+        else:
+            self._src_i = self._dst_i = self._fid = -1
 
         # --- machinery ---------------------------------------------------
         self._rtt = RttEstimator(
@@ -218,7 +270,7 @@ class Connection:
         self.state = ConnectionState.SYN_SENT
         self._snd_nxt = self._iss + 1  # SYN consumes one sequence number
         self._transmit(
-            flags=TcpFlags.SYN, seq=self._iss, payload_len=0, boundaries=[]
+            flags=FLAG_SYN, seq=self._iss, payload_len=0, boundaries=None
         )
         self._arm_rto()
 
@@ -239,7 +291,11 @@ class Connection:
             MessageBoundary(end_offset=self._stream_len, message=message)
         )
         self.stats.messages_sent += 1
-        if self.established:
+        state = self.state
+        if (
+            state is ConnectionState.ESTABLISHED
+            or state is ConnectionState.CLOSE_WAIT
+        ):
             self._try_send()
 
     def close(self) -> None:
@@ -255,10 +311,10 @@ class Connection:
         if self.state is ConnectionState.CLOSED:
             return
         self._transmit(
-            flags=TcpFlags.RST | TcpFlags.ACK,
+            flags=_RST_ACK,
             seq=self._snd_nxt,
             payload_len=0,
-            boundaries=[],
+            boundaries=None,
         )
         self._teardown()
 
@@ -266,51 +322,70 @@ class Connection:
     # Packet input (called by the Host demux)
     # ------------------------------------------------------------------
 
-    def handle_packet(self, packet: Packet) -> None:
-        """Process one inbound segment for this connection."""
+    def handle_packet(self, packet) -> None:
+        """Process one inbound segment (a :class:`Packet` or slab handle).
+
+        Slab handles are ingested — fields copied to locals, handle freed
+        — before the state machine runs, so nothing downstream can retain
+        a recycled slot.
+        """
+        if type(packet) is int:
+            slab = self._slab
+            flags = slab.flags[packet]
+            seq = slab.seq[packet]
+            ack = slab.ack[packet]
+            payload_len = slab.payload_len[packet]
+            boundaries = slab.boundaries[packet]
+            slab.free(packet)
+        else:
+            flags = packet.flags
+            seq = packet.seq
+            ack = packet.ack
+            payload_len = packet.payload_len
+            boundaries = packet.boundaries
         self.stats.segments_received += 1
 
-        if packet.is_rst:
+        if flags & FLAG_RST:
             self._teardown()
             return
 
-        if packet.is_syn:
-            self._handle_syn(packet)
+        if flags & FLAG_SYN:
+            self._handle_syn(flags, seq, ack)
             return
 
-        if packet.is_ack:
-            self._handle_ack(packet.ack)
+        if flags & FLAG_ACK:
+            self._handle_ack(ack)
 
-        if self.state in (ConnectionState.CLOSED,):
+        if self.state is ConnectionState.CLOSED:
             return
 
-        if packet.payload_len > 0 or packet.is_fin:
-            self._handle_data(packet)
+        if payload_len > 0 or flags & FLAG_FIN:
+            self._handle_data(flags, seq, payload_len, boundaries)
 
     # ------------------------------------------------------------------
     # Handshake
     # ------------------------------------------------------------------
 
-    def _handle_syn(self, packet: Packet) -> None:
+    def _handle_syn(self, flags: int, seq: int, ack: int) -> None:
         if not self.is_client and self.state is ConnectionState.CLOSED:
             # Passive open: record peer ISN, send SYN-ACK.
-            self._irs = packet.seq
-            self._rcv_nxt = packet.seq + 1
+            self._irs = seq
+            self._rcv_nxt = seq + 1
             self.state = ConnectionState.SYN_RCVD
             self._snd_nxt = self._iss + 1
             self._transmit(
-                flags=TcpFlags.SYN | TcpFlags.ACK,
+                flags=_SYN_ACK,
                 seq=self._iss,
                 payload_len=0,
-                boundaries=[],
+                boundaries=None,
             )
             self._arm_rto()
             return
 
         if self.is_client and self.state is ConnectionState.SYN_SENT:
-            if packet.is_ack and packet.ack == self._iss + 1:
-                self._irs = packet.seq
-                self._rcv_nxt = packet.seq + 1
+            if flags & FLAG_ACK and ack == self._iss + 1:
+                self._irs = seq
+                self._rcv_nxt = seq + 1
                 self._snd_una = self._iss + 1
                 self._inflight.clear()
                 self._rto_timer.stop()
@@ -329,10 +404,10 @@ class Connection:
         if not self.is_client and self.state is ConnectionState.SYN_RCVD:
             # Duplicate SYN from the peer (our SYN-ACK was lost): resend.
             self._transmit(
-                flags=TcpFlags.SYN | TcpFlags.ACK,
+                flags=_SYN_ACK,
                 seq=self._iss,
                 payload_len=0,
-                boundaries=[],
+                boundaries=None,
             )
 
     def _notify_established(self) -> None:
@@ -343,45 +418,71 @@ class Connection:
     # Receive path
     # ------------------------------------------------------------------
 
-    def _handle_data(self, packet: Packet) -> None:
+    def _handle_data(
+        self,
+        flags: int,
+        seq: int,
+        payload_len: int,
+        boundaries: Optional[List[MessageBoundary]],
+    ) -> None:
         if self._irs is None:
             return  # data before SYN: drop
 
-        if packet.seq == self._rcv_nxt:
-            self._accept_segment(packet)
+        if seq == self._rcv_nxt:
+            self._accept_segment(flags, seq, payload_len, boundaries)
             # Drain any buffered out-of-order continuation.
             while self._rcv_nxt in self._ooo:
-                self._accept_segment(self._ooo.pop(self._rcv_nxt))
+                self._accept_segment(*self._ooo.pop(self._rcv_nxt))
             self._ack_policy.on_data(in_order=True)
-        elif packet.seq > self._rcv_nxt:
-            self._ooo[packet.seq] = packet
+        elif seq > self._rcv_nxt:
+            self._ooo[seq] = (flags, seq, payload_len, boundaries)
             self._ack_policy.on_data(in_order=False)
         else:
             # Entirely duplicate segment: re-ack so the sender advances.
             self._ack_policy.on_data(in_order=False)
 
-    def _accept_segment(self, packet: Packet) -> None:
-        self._rcv_nxt = packet.end_seq
-        self.stats.bytes_delivered += packet.payload_len
-        for boundary in packet.boundaries:
-            self._rx_boundaries.setdefault(boundary.end_offset, boundary.message)
+    def _accept_segment(
+        self,
+        flags: int,
+        seq: int,
+        payload_len: int,
+        boundaries: Optional[List[MessageBoundary]],
+    ) -> None:
+        end_seq = seq + payload_len
+        if flags & _SYN_OR_FIN:
+            end_seq += 1  # SYN/FIN consume a sequence number
+        self._rcv_nxt = end_seq
+        self.stats.bytes_delivered += payload_len
+        if boundaries:
+            for boundary in boundaries:
+                self._rx_boundaries.setdefault(boundary.end_offset, boundary.message)
         assert self._irs is not None
         in_order_offset = self._rcv_nxt - (self._irs + 1)
-        if packet.is_fin:
+        if flags & FLAG_FIN:
             in_order_offset -= 1  # FIN consumed a sequence number
             self._handle_peer_fin()
         self._deliver_messages(in_order_offset)
 
     def _deliver_messages(self, in_order_offset: int) -> None:
-        if not self._rx_boundaries:
+        boundaries = self._rx_boundaries
+        if not boundaries:
+            return
+        if len(boundaries) == 1:
+            # One pending message — the request/response steady state;
+            # skip the sort and the generator.
+            (offset,) = boundaries
+            if offset > in_order_offset:
+                return
+            message = boundaries.pop(offset)
+            self.stats.messages_delivered += 1
+            if self.on_message is not None:
+                self.on_message(self, message)
             return
         ready = sorted(
-            offset
-            for offset in self._rx_boundaries
-            if offset <= in_order_offset
+            offset for offset in boundaries if offset <= in_order_offset
         )
         for offset in ready:
-            message = self._rx_boundaries.pop(offset)
+            message = boundaries.pop(offset)
             self.stats.messages_delivered += 1
             if self.on_message is not None:
                 self.on_message(self, message)
@@ -420,15 +521,17 @@ class Connection:
         self._rtt.reset_backoff()
 
         # Retire fully acked segments; sample RTT per Karn's rule.
-        now = self._sim.now
+        now = self._sim._now
+        rtt_estimator = self._rtt
+        rtt_cb = self.on_rtt_sample
         remaining: List[_SentSegment] = []
         for segment in self._inflight:
             if segment.end_seq <= ack:
                 if not segment.retransmitted:
                     rtt = now - segment.sent_at
-                    self._rtt.sample(rtt)
-                    if self.on_rtt_sample is not None:
-                        self.on_rtt_sample(self, rtt)
+                    rtt_estimator.sample(rtt)
+                    if rtt_cb is not None:
+                        rtt_cb(self, rtt)
             else:
                 remaining.append(segment)
         self._inflight = remaining
@@ -461,29 +564,52 @@ class Connection:
         )
 
     def _try_send(self) -> None:
-        if not (self.established or self.state is ConnectionState.FIN_WAIT):
+        # Cheap no-op exit first: roughly half the calls (ACK-clocked
+        # wakeups with nothing queued) return here.
+        if self._unsent_offset >= self._stream_len and (
+            not self._fin_queued or self._fin_sent
+        ):
             return
+        state = self.state
+        if not (
+            state is ConnectionState.ESTABLISHED
+            or state is ConnectionState.CLOSE_WAIT
+            or state is ConnectionState.FIN_WAIT
+        ):
+            return
+        config = self.config
+        window = config.window
+        mss = config.mss
+        iss1 = self._iss + 1
         while self._unsent_offset < self._stream_len:
-            window_left = self.config.window - self.bytes_in_flight
+            window_left = window - (self._snd_nxt - self._snd_una)
             if window_left <= 0:
                 break
-            chunk = min(
-                self.config.mss,
-                self._stream_len - self._unsent_offset,
-                window_left,
-            )
             start = self._unsent_offset
+            chunk = self._stream_len - start
+            if chunk > mss:
+                chunk = mss
+            if chunk > window_left:
+                chunk = window_left
             end = start + chunk
-            boundaries = [
-                b for b in self._pending_boundaries if start < b.end_offset <= end
-            ]
-            self._pending_boundaries = [
-                b for b in self._pending_boundaries if b.end_offset > end
-            ]
-            seq = self._data_seq(start)
+            pending = self._pending_boundaries
+            if pending:
+                # One pass instead of two comprehensions: partition into
+                # boundaries carried by this segment and ones past it.
+                boundaries = []
+                remaining = []
+                for b in pending:
+                    off = b.end_offset
+                    if off > end:
+                        remaining.append(b)
+                    elif off > start:
+                        boundaries.append(b)
+                self._pending_boundaries = remaining
+            else:
+                boundaries = []
             self._unsent_offset = end
-            self._snd_nxt = self._data_seq(end)
-            self._send_data_segment(seq, chunk, boundaries, TcpFlags.ACK | TcpFlags.PSH)
+            self._snd_nxt = iss1 + end
+            self._send_data_segment(iss1 + start, chunk, boundaries, _ACK_PSH)
 
         if (
             self._fin_queued
@@ -495,7 +621,7 @@ class Connection:
             self._fin_sent = True
             if self.state is ConnectionState.ESTABLISHED:
                 self.state = ConnectionState.FIN_WAIT
-            self._send_data_segment(fin_seq, 0, [], TcpFlags.FIN | TcpFlags.ACK)
+            self._send_data_segment(fin_seq, 0, [], _FIN_ACK)
 
     def _data_seq(self, stream_offset: int) -> int:
         return self._iss + 1 + stream_offset
@@ -505,27 +631,34 @@ class Connection:
         seq: int,
         payload_len: int,
         boundaries: List[MessageBoundary],
-        flags: TcpFlags,
+        flags: int,
     ) -> None:
+        now = self._sim._now
         segment = _SentSegment(
             seq=seq,
-            end_seq=seq + payload_len + (1 if flags & TcpFlags.FIN else 0),
+            end_seq=seq + payload_len + (1 if flags & FLAG_FIN else 0),
             payload_len=payload_len,
             flags=flags,
             boundaries=boundaries,
-            sent_at=self._sim.now,
+            sent_at=now,
         )
         self._inflight.append(segment)
         self._ack_policy.on_piggyback()  # this segment carries our ACK
 
         if self._pacer is not None and payload_len > 0:
-            send_at = self._pacer.allocate(self._sim.now, payload_len)
-            if send_at > self._sim.now:
+            send_at = self._pacer.allocate(now, payload_len)
+            if send_at > now:
                 self._sim.schedule_fire_at(
                     send_at, lambda s=segment: self._emit_segment(s)
                 )
                 return
-        self._emit_segment(segment)
+        # Unpaced path: _emit_segment inlined (sent_at is already now).
+        self._transmit(flags, seq, payload_len, boundaries)
+        self.stats.bytes_sent += payload_len
+        timer = self._rto_timer
+        handle = timer._handle
+        if handle is None or handle._cancelled:
+            timer.start(self._rtt.rto)
 
     def _emit_segment(self, segment: _SentSegment) -> None:
         segment.sent_at = self._sim.now
@@ -544,16 +677,35 @@ class Connection:
             return
         self.stats.pure_acks_sent += 1
         self._transmit(
-            flags=TcpFlags.ACK, seq=self._snd_nxt, payload_len=0, boundaries=[]
+            flags=FLAG_ACK, seq=self._snd_nxt, payload_len=0, boundaries=None
         )
 
     def _transmit(
         self,
-        flags: TcpFlags,
+        flags: int,
         seq: int,
         payload_len: int,
-        boundaries: List[MessageBoundary],
+        boundaries: Optional[List[MessageBoundary]],
+        retransmit: bool = False,
     ) -> None:
+        self.stats.segments_sent += 1
+        slab = self._slab
+        if slab is not None:
+            self._host_transmit(
+                slab.alloc(
+                    self._src_i,
+                    self._dst_i,
+                    self._fid,
+                    flags,
+                    seq,
+                    self._rcv_nxt,
+                    payload_len,
+                    list(boundaries) if boundaries else None,
+                    self._sim._now,
+                    retransmit,
+                )
+            )
+            return
         packet = Packet(
             src=self.local,
             dst=self.remote,
@@ -561,10 +713,10 @@ class Connection:
             seq=seq,
             ack=self._rcv_nxt,
             payload_len=payload_len,
-            boundaries=list(boundaries),
+            boundaries=list(boundaries) if boundaries else [],
             sent_at=self._sim.now,
+            retransmit=retransmit,
         )
-        self.stats.segments_sent += 1
         self._host.transmit(packet)
 
     # ------------------------------------------------------------------
@@ -579,16 +731,16 @@ class Connection:
 
         if self.state is ConnectionState.SYN_SENT:
             self._transmit(
-                flags=TcpFlags.SYN, seq=self._iss, payload_len=0, boundaries=[]
+                flags=FLAG_SYN, seq=self._iss, payload_len=0, boundaries=None
             )
             self._arm_rto()
             return
         if self.state is ConnectionState.SYN_RCVD:
             self._transmit(
-                flags=TcpFlags.SYN | TcpFlags.ACK,
+                flags=_SYN_ACK,
                 seq=self._iss,
                 payload_len=0,
-                boundaries=[],
+                boundaries=None,
             )
             self._arm_rto()
             return
@@ -600,19 +752,13 @@ class Connection:
         segment.retransmitted = True
         segment.sent_at = self._sim.now
         self.stats.retransmissions += 1
-        packet = Packet(
-            src=self.local,
-            dst=self.remote,
+        self._transmit(
             flags=segment.flags,
             seq=segment.seq,
-            ack=self._rcv_nxt,
             payload_len=segment.payload_len,
-            boundaries=list(segment.boundaries),
-            sent_at=self._sim.now,
+            boundaries=segment.boundaries,
             retransmit=True,
         )
-        self.stats.segments_sent += 1
-        self._host.transmit(packet)
         self._arm_rto()
 
     # ------------------------------------------------------------------

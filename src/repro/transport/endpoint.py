@@ -15,7 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.errors import TransportError
 from repro.net.addr import Endpoint
 from repro.net.network import Network
-from repro.net.packet import Packet
+from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet
 from repro.transport.connection import Connection, TransportConfig
 
 _ConnKey = Tuple[str, int, str, int]  # local host, local port, remote host, remote port
@@ -59,8 +59,16 @@ class Host:
         self.network = network
         self.name = name
         self.sim = network.sim
+        #: The network's PacketSlab (None in object mode).  Connections
+        #: read this to decide how to transmit.
+        self.slab = network.slab
         self.default_config = default_config or TransportConfig()
         self._connections: Dict[_ConnKey, Connection] = {}
+        # Slab-mode demux twin: the (local endpoint index, remote
+        # endpoint index) pair packed into one int (local << 32 | remote)
+        # -> Connection.  A packed-int key skips both the 4-string tuple
+        # hash and the 2-tuple allocation on every delivery.
+        self._conns_by_pair: Dict[int, Connection] = {}
         self._listeners: Dict[int, Listener] = {}
         self._next_ephemeral = 49_152
         network.add_node(self)
@@ -111,6 +119,8 @@ class Host:
             is_client=True,
         )
         self._connections[key] = conn
+        if self.slab is not None:
+            self._conns_by_pair[conn._src_i << 32 | conn._dst_i] = conn
         conn.open()
         return conn
 
@@ -123,8 +133,43 @@ class Host:
     # Node interface
     # ------------------------------------------------------------------
 
-    def on_packet(self, packet: Packet) -> None:
-        """Demux an inbound packet to a connection or listener."""
+    def on_packet(self, packet) -> None:
+        """Demux an inbound packet (object or slab handle).
+
+        Slab handles demux on the interned (dst, src) endpoint-index
+        pair; the 4-string-tuple key path remains for object mode.  A
+        handle that matches nothing is freed here — the host owns it on
+        delivery.
+        """
+        if type(packet) is int:
+            slab = self.slab
+            dst_i = slab.dst_i[packet]
+            src_i = slab.src_i[packet]
+            conn = self._conns_by_pair.get(dst_i << 32 | src_i)
+            if conn is not None:
+                conn.handle_packet(packet)
+                return
+            flags = slab.flags[packet]
+            if flags & FLAG_SYN and not flags & FLAG_ACK:
+                local = slab.endpoint(dst_i)
+                listener = self._listeners.get(local.port)
+                if listener is not None:
+                    remote = slab.endpoint(src_i)
+                    conn = Connection(
+                        host=self,
+                        local=local,
+                        remote=remote,
+                        config=(listener.config or self.default_config).copy(),
+                        is_client=False,
+                    )
+                    self._connections[self._key(local, remote)] = conn
+                    self._conns_by_pair[conn._src_i << 32 | conn._dst_i] = conn
+                    listener.on_connection(conn)
+                    conn.handle_packet(packet)
+                    return
+            slab.free(packet)
+            return
+
         local = packet.dst
         remote = packet.src
         key = self._key(local, remote)
@@ -150,14 +195,16 @@ class Host:
         # No matching connection: silently drop (stale segment after
         # teardown, or RST for an unknown flow).
 
-    def transmit(self, packet: Packet) -> bool:
-        """Send a packet out through the network's routing."""
+    def transmit(self, packet) -> bool:
+        """Send a packet (object or slab handle) via the network's routing."""
         return self.network.send_from(self.name, packet)
 
     def forget_connection(self, conn: Connection) -> None:
         """Remove a closed connection from the demux table."""
         key = self._key(conn.local, conn.remote)
         self._connections.pop(key, None)
+        if self.slab is not None:
+            self._conns_by_pair.pop(conn._src_i << 32 | conn._dst_i, None)
 
     # ------------------------------------------------------------------
 

@@ -109,10 +109,14 @@ class TestMetricsPillar:
         sim = result.scenario.sim
         live = families["repro_sim_live_events"]["samples"][0][2]
         pending = families["repro_sim_pending_events"]["samples"][0][2]
-        assert live == sim.live_events
+        peak_load = families["repro_sim_peak_load"]["samples"][0][2]
+        # The live gauge reports *outstanding work* — live events plus
+        # packets parked behind batch-drain pumps — not raw heap entries,
+        # so a 1k-packet batch never reads as depth 1.
+        assert live == sim.pending_load
+        assert live >= sim.live_events
         assert pending == sim.pending_events
-        # Tombstones only ever inflate the pending count.
-        assert live <= pending
+        assert peak_load == sim.peak_load
 
     def test_report_footer_shows_live_and_pending(self):
         result = run(ObsConfig(enabled=True))
